@@ -1,0 +1,114 @@
+//! Buffer dimensioning: Theorem 1 vs the bandwidth-delay product rule
+//! (paper Section IV-C remarks).
+//!
+//! The classical rule of thumb sizes a router buffer at one
+//! bandwidth-delay product (BDP). The paper's worked example shows that
+//! for a *lossless* BCN-controlled fabric this is unsustainable: the
+//! strong-stability bound requires ~2.75x the BDP for the default
+//! parameters.
+
+use crate::params::BcnParams;
+use crate::stability::theorem1_required_buffer;
+
+/// The bandwidth-delay product `C * rtt` in bits.
+#[must_use]
+pub fn bandwidth_delay_product(capacity: f64, rtt: f64) -> f64 {
+    capacity * rtt
+}
+
+/// The paper's worked example, assembled in one place.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkedExample {
+    /// The BDP buffer (bits) for the example's 0.5 ms round-trip... more
+    /// precisely the paper's quoted 5 Mbit figure.
+    pub bdp: f64,
+    /// Theorem 1's required buffer (bits).
+    pub required: f64,
+    /// `required / bdp` — the paper quotes "nearly three times".
+    pub ratio: f64,
+}
+
+/// Reproduces the Section IV-C numeric example: `N = 50`,
+/// `C = 10 Gbit/s`, 0.5 ms of round-trip queueing headroom (5 Mbit BDP),
+/// `q0 = 2.5 Mbit`, standard-draft gains.
+#[must_use]
+pub fn paper_example() -> WorkedExample {
+    let params = BcnParams::paper_defaults();
+    let bdp = 5.0e6; // the paper's quoted BDP figure
+    let required = theorem1_required_buffer(&params);
+    WorkedExample { bdp, required, ratio: required / bdp }
+}
+
+/// Required buffer as a function of flow count (all else fixed).
+#[must_use]
+pub fn required_vs_n(params: &BcnParams, ns: &[u32]) -> Vec<(u32, f64)> {
+    ns.iter()
+        .map(|&n| (n, theorem1_required_buffer(&params.clone().with_n_flows(n))))
+        .collect()
+}
+
+/// Required buffer as a function of link capacity (all else fixed).
+#[must_use]
+pub fn required_vs_capacity(params: &BcnParams, capacities: &[f64]) -> Vec<(f64, f64)> {
+    capacities
+        .iter()
+        .map(|&c| (c, theorem1_required_buffer(&params.clone().with_capacity(c))))
+        .collect()
+}
+
+/// Required buffer as a function of the reference point `q0`.
+#[must_use]
+pub fn required_vs_q0(params: &BcnParams, q0s: &[f64]) -> Vec<(f64, f64)> {
+    q0s.iter()
+        .map(|&q| (q, theorem1_required_buffer(&params.clone().with_q0(q))))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worked_example_matches_paper() {
+        let ex = paper_example();
+        assert_eq!(ex.bdp, 5.0e6);
+        // Paper: "13.75 Mbits ... nearly three times" (we compute the
+        // unrounded 13.81).
+        assert!(
+            (ex.required - 13.81e6).abs() < 0.05e6,
+            "required {}",
+            ex.required
+        );
+        assert!(ex.ratio > 2.7 && ex.ratio < 2.8, "ratio {}", ex.ratio);
+    }
+
+    #[test]
+    fn bdp_is_capacity_times_rtt() {
+        assert_eq!(bandwidth_delay_product(10.0e9, 0.5e-3), 5.0e6);
+    }
+
+    #[test]
+    fn required_buffer_grows_with_sqrt_n() {
+        let p = BcnParams::paper_defaults();
+        let sweep = required_vs_n(&p, &[50, 200]);
+        // (req - q0) scales as sqrt(N): quadrupling N doubles the
+        // overshoot term.
+        let over0 = sweep[0].1 - p.q0;
+        let over1 = sweep[1].1 - p.q0;
+        assert!((over1 / over0 - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn required_buffer_shrinks_with_capacity() {
+        let p = BcnParams::paper_defaults();
+        let sweep = required_vs_capacity(&p, &[10.0e9, 40.0e9]);
+        assert!(sweep[1].1 < sweep[0].1);
+    }
+
+    #[test]
+    fn required_buffer_linear_in_q0() {
+        let p = BcnParams::paper_defaults();
+        let sweep = required_vs_q0(&p, &[1.0e6, 2.0e6]);
+        assert!((sweep[1].1 / sweep[0].1 - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,66 @@
+//! Error type for BCN model construction and analysis.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors raised when constructing or analysing a BCN system.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum BcnError {
+    /// A parameter failed validation (non-positive, non-finite, or
+    /// violating an ordering constraint such as `q0 < B`).
+    InvalidParameter {
+        /// The offending parameter's name.
+        name: &'static str,
+        /// Explanation of the violated constraint.
+        reason: String,
+    },
+    /// An analysis routine was called on a parameterisation outside its
+    /// applicable case (e.g. the Case-1 extremum formulas on a node-shaped
+    /// region).
+    WrongCase {
+        /// What the routine required.
+        expected: String,
+        /// What the parameters actually are.
+        actual: String,
+    },
+    /// A numerical sub-step (root finding, integration) failed.
+    Numerical(String),
+}
+
+impl fmt::Display for BcnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BcnError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter {name}: {reason}")
+            }
+            BcnError::WrongCase { expected, actual } => {
+                write!(f, "analysis requires {expected} but parameters give {actual}")
+            }
+            BcnError::Numerical(msg) => write!(f, "numerical failure: {msg}"),
+        }
+    }
+}
+
+impl Error for BcnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = BcnError::InvalidParameter { name: "gi", reason: "must be positive".into() };
+        assert_eq!(e.to_string(), "invalid parameter gi: must be positive");
+        let e = BcnError::WrongCase { expected: "a spiral increase region".into(), actual: "node".into() };
+        assert!(e.to_string().contains("requires"));
+        let e = BcnError::Numerical("no sign change".into());
+        assert!(e.to_string().contains("numerical failure"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<T: Send + Sync + std::error::Error>() {}
+        check::<BcnError>();
+    }
+}

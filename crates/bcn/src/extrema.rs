@@ -1,0 +1,354 @@
+//! Queue extrema along region-local trajectories (paper Eqs. 18–20, 28, 34).
+//!
+//! Since `dx/dt = y`, the queue deviation `x(t)` has a local extremum
+//! exactly where `y(t) = 0`. Each routine here comes in two flavours:
+//!
+//! * a **robust** version derived from the matrix-exponential flow (zero
+//!   of `y(t)` located analytically or by safeguarded bisection), used by
+//!   the stability criteria; and
+//! * a **paper** version transcribing the printed formula, kept for
+//!   fidelity and cross-checked against the robust version in tests.
+//!
+//! Transcription notes (verified by the cross-check tests):
+//!
+//! * Eq. 18/phi of Eq. 12 use the principal arctangent; for initial
+//!   points with `x(0) <= 0` (including the canonical `(-q0, 0)`) the
+//!   printed form needs the `atan2` branch correction applied here.
+//! * Eq. 34's exponent reads `-(lambda A3 + A4)/(lambda A4)` in print;
+//!   the derivation (substitute `t* = -(A3 lambda + A4)/(A4 lambda)` into
+//!   `e^{lambda t}`) gives `-(lambda A3 + A4)/A4`. We implement the
+//!   corrected form; see `critical_extremum`.
+
+use crate::closed_form::{RegionFlow, Spectrum};
+
+/// A located extremum of `x(t)` along a region trajectory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Extremum {
+    /// Time of the extremum (relative to the region entry).
+    pub t: f64,
+    /// The extremal value of `x`.
+    pub x: f64,
+}
+
+/// First extremum of `x(t)` for a spiral region (`alpha ± i beta`,
+/// `beta > 0`) from `z0`, robust version.
+///
+/// Returns `None` only for the equilibrium itself. If `y(0) = 0` the
+/// initial point is an extremum; the *next* one (half a rotation later) is
+/// returned, matching the paper's `t* > 0` convention for round analysis.
+#[must_use]
+pub fn spiral_extremum(alpha: f64, beta: f64, z0: [f64; 2]) -> Option<Extremum> {
+    let flow = flow_for_focus(alpha, beta);
+    let [x0, y0] = z0;
+    if x0 == 0.0 && y0 == 0.0 {
+        return None;
+    }
+    // y(t) = e^{alpha t} [y0 cos(beta t) + c sin(beta t)],
+    // c = (y'(0) - alpha y0)/beta with y'(0) from the ODE.
+    let ydot0 = flow.jacobian().mul_vec(z0)[1];
+    let c = (ydot0 - alpha * y0) / beta;
+    let t_star = if y0 == 0.0 {
+        if c == 0.0 {
+            return None; // y identically zero can only happen at the origin
+        }
+        std::f64::consts::PI / beta
+    } else {
+        // h(theta) = y0 cos(theta) + c sin(theta) has exactly one zero in
+        // (0, pi]: h(0) = y0 and h(pi) = -y0 straddle it.
+        let h = |theta: f64| y0 * theta.cos() + c * theta.sin();
+        let mut lo = 0.0_f64;
+        let mut hi = std::f64::consts::PI;
+        for _ in 0..80 {
+            let mid = 0.5 * (lo + hi);
+            if mid <= lo || mid >= hi {
+                break;
+            }
+            let hm = h(mid);
+            if hm == 0.0 {
+                lo = mid;
+                hi = mid;
+                break;
+            }
+            if hm.signum() == y0.signum() {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi) / beta
+    };
+    let x = flow.at(t_star, z0)[0];
+    Some(Extremum { t: t_star, x })
+}
+
+/// First extremum of `x(t)` for a spiral region, paper transcription
+/// (Eqs. 18–20) with `atan2` branch correction for `x(0) <= 0`.
+///
+/// Defined (like the paper) for initial points off the vertical axis with
+/// `y(0) != 0`; returns `None` otherwise.
+#[must_use]
+pub fn spiral_extremum_paper(alpha: f64, beta: f64, z0: [f64; 2]) -> Option<Extremum> {
+    let [x0, y0] = z0;
+    if x0 == 0.0 || y0 == 0.0 {
+        return None;
+    }
+    // Eq. 18 with principal arctangents.
+    let base = ((alpha / beta).atan() + ((y0 - alpha * x0) / (beta * x0)).atan()) / beta;
+    let mut t_star = if x0 * y0 >= 0.0 {
+        base
+    } else {
+        base + std::f64::consts::PI / beta
+    };
+    // The printed two-branch rule still lands one half-period early for
+    // some quadrant combinations (it was derived for the round-analysis
+    // entry points); normalise to the first non-negative root.
+    let half = std::f64::consts::PI / beta;
+    while t_star < 0.0 {
+        t_star += half;
+    }
+    // Eq. 12's amplitude A (paper definition) and Eqs. 19/20.
+    let a_coef =
+        ((alpha * alpha + beta * beta) * x0 * x0 - 2.0 * alpha * x0 * y0 + y0 * y0).sqrt() / beta;
+    let magnitude =
+        a_coef * beta / (alpha * alpha + beta * beta).sqrt() * (alpha * t_star).exp();
+    let x = if y0 > 0.0 { magnitude } else { -magnitude };
+    Some(Extremum { t: t_star, x })
+}
+
+/// Global extremum of `x(t)` for a node region (`l1 < l2 < 0`), robust
+/// version: the unique interior zero of `y(t)` if one exists.
+///
+/// Returns `None` when `x(t)` is monotone from `z0` (e.g. starting on an
+/// eigenline, or with the slow mode already dominant) — the paper's
+/// Case 3 situation where the queue never overshoots.
+#[must_use]
+pub fn node_extremum(l1: f64, l2: f64, z0: [f64; 2]) -> Option<Extremum> {
+    assert!(l1 < l2, "node requires l1 < l2");
+    let [x0, y0] = z0;
+    let a1 = (l2 * x0 - y0) / (l2 - l1);
+    let a2 = (l1 * x0 - y0) / (l1 - l2);
+    if a1 == 0.0 || a2 == 0.0 {
+        return None; // straight-line trajectory: x is monotone
+    }
+    // y(t) = A1 l1 e^{l1 t} + A2 l2 e^{l2 t} = 0
+    //   =>  e^{(l1 - l2) t*} = -A2 l2 / (A1 l1) =: r
+    let r = -(a2 * l2) / (a1 * l1);
+    if r <= 0.0 {
+        return None;
+    }
+    let t_star = r.ln() / (l1 - l2);
+    if t_star <= 0.0 {
+        return None;
+    }
+    let x = a1 * (l1 * t_star).exp() + a2 * (l2 * t_star).exp();
+    Some(Extremum { t: t_star, x })
+}
+
+/// Global extremum for a node region, paper transcription (Eq. 28),
+/// evaluated through logarithms of absolute values with the sign taken
+/// from `y(0)` as the paper prescribes (maximum for `y(0) > 0`, minimum
+/// for `y(0) < 0`).
+///
+/// Returns `None` in the same monotone situations as [`node_extremum`].
+#[must_use]
+pub fn node_extremum_paper(l1: f64, l2: f64, z0: [f64; 2]) -> Option<Extremum> {
+    // Reuse the robust root for existence and the time; Eq. 28 only
+    // restates the value.
+    let robust = node_extremum(l1, l2, z0)?;
+    let [x0, y0] = z0;
+    let u2 = y0 - l2 * x0;
+    let u1 = y0 - l1 * x0;
+    if u1 == 0.0 || u2 == 0.0 {
+        return None;
+    }
+    // |mump| = [ (-l1)^{l1} |u2|^{l2} / ( (-l2)^{l2} |u1|^{l1} ) ]^{1/(l2-l1)}
+    let log_mag = (l1 * (-l1).ln() + l2 * u2.abs().ln()
+        - l2 * (-l2).ln()
+        - l1 * u1.abs().ln())
+        / (l2 - l1);
+    let x = y0.signum() * log_mag.exp();
+    Some(Extremum { t: robust.t, x })
+}
+
+/// Unique extremum for a critical region (repeated eigenvalue `l < 0`),
+/// robust version.
+///
+/// Returns `None` when `x(t)` is monotone from `z0`.
+#[must_use]
+pub fn critical_extremum(l: f64, z0: [f64; 2]) -> Option<Extremum> {
+    let [x0, y0] = z0;
+    let a3 = x0;
+    let a4 = y0 - l * x0;
+    if a4 == 0.0 {
+        return None; // on the eigenline: monotone
+    }
+    // y(t) = (A3 l + A4 + A4 l t) e^{l t} = 0  =>  t* = -(A3 l + A4)/(A4 l)
+    let t_star = -(a3 * l + a4) / (a4 * l);
+    if t_star <= 0.0 {
+        return None;
+    }
+    // x(t*) = (A3 + A4 t*) e^{l t*} = -(A4 / l) e^{l t*}; note the paper's
+    // Eq. 34 prints the exponent as -(l A3 + A4)/(l A4); substituting t*
+    // into e^{l t} gives -(l A3 + A4)/A4, which is what we use (the
+    // cross-check test against the numeric flow confirms it).
+    let x = -(a4 / l) * ((-(l * a3 + a4) / a4).exp());
+    Some(Extremum { t: t_star, x })
+}
+
+/// Dispatching robust extremum for any region flow.
+#[must_use]
+pub fn region_extremum(flow: &RegionFlow, z0: [f64; 2]) -> Option<Extremum> {
+    match flow.spectrum() {
+        Spectrum::Focus { alpha, beta } => spiral_extremum(alpha, beta, z0),
+        Spectrum::Node { l1, l2 } => node_extremum(l1, l2, z0),
+        Spectrum::Critical { l } => critical_extremum(l, z0),
+    }
+}
+
+fn flow_for_focus(alpha: f64, beta: f64) -> RegionFlow {
+    // lambda^2 + m lambda + n with m = -2 alpha, n = alpha^2 + beta^2.
+    RegionFlow::from_mn(-2.0 * alpha, alpha * alpha + beta * beta)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALPHA: f64 = -1.0;
+    const BETA: f64 = 3.0;
+
+    #[test]
+    fn spiral_extremum_has_zero_velocity() {
+        for z0 in [[-1.0, 2.0], [0.5, -1.5], [-2.0, -0.1], [1.0, 0.3]] {
+            let e = spiral_extremum(ALPHA, BETA, z0).unwrap();
+            let flow = flow_for_focus(ALPHA, BETA);
+            let z = flow.at(e.t, z0);
+            assert!(z[1].abs() < 1e-9, "y at extremum for {z0:?}: {z:?}");
+            assert!((z[0] - e.x).abs() < 1e-9);
+            assert!(e.t > 0.0 && e.t <= std::f64::consts::PI / BETA + 1e-12);
+        }
+    }
+
+    #[test]
+    fn spiral_extremum_is_actually_extremal() {
+        let z0 = [-1.0, 2.0];
+        let e = spiral_extremum(ALPHA, BETA, z0).unwrap();
+        let flow = flow_for_focus(ALPHA, BETA);
+        // x just before and just after is below the max (y0 > 0 => max).
+        let dt = 1e-3;
+        let before = flow.at(e.t - dt, z0)[0];
+        let after = flow.at(e.t + dt, z0)[0];
+        assert!(e.x >= before && e.x >= after, "{e:?} vs {before} {after}");
+    }
+
+    #[test]
+    fn spiral_paper_formula_agrees_with_robust() {
+        for z0 in [[1.0, 0.5], [-1.0, 2.0], [0.5, -1.5], [-2.0, -0.1]] {
+            let robust = spiral_extremum(ALPHA, BETA, z0).unwrap();
+            let paper = spiral_extremum_paper(ALPHA, BETA, z0).unwrap();
+            assert!(
+                (robust.t - paper.t).abs() < 1e-9,
+                "t mismatch for {z0:?}: robust {} paper {}",
+                robust.t,
+                paper.t
+            );
+            assert!(
+                (robust.x - paper.x).abs() < 1e-9 * robust.x.abs().max(1.0),
+                "x mismatch for {z0:?}: robust {} paper {}",
+                robust.x,
+                paper.x
+            );
+        }
+    }
+
+    #[test]
+    fn spiral_from_rest_returns_half_rotation() {
+        // y0 = 0: next extremum after exactly half a period.
+        let e = spiral_extremum(ALPHA, BETA, [-1.0, 0.0]).unwrap();
+        assert!((e.t - std::f64::consts::PI / BETA).abs() < 1e-12);
+        // Half a rotation from a minimum gives a maximum (sign flip,
+        // decayed).
+        assert!(e.x > 0.0 && e.x < 1.0);
+    }
+
+    const L1: f64 = -2.0;
+    const L2: f64 = -1.0;
+
+    #[test]
+    fn node_extremum_has_zero_velocity() {
+        // Start moving up across the node: y0 > 0 produces a maximum.
+        let z0 = [-1.0, 3.0];
+        let e = node_extremum(L1, L2, z0).unwrap();
+        let flow = RegionFlow::from_mn(-(L1 + L2), L1 * L2);
+        let z = flow.at(e.t, z0);
+        assert!(z[1].abs() < 1e-9, "{z:?}");
+        assert!((z[0] - e.x).abs() < 1e-9);
+        assert!(e.x > 0.0);
+    }
+
+    #[test]
+    fn node_monotone_cases_return_none() {
+        // On an eigenline.
+        assert!(node_extremum(L1, L2, [1.0, L2]).is_none());
+        // Decaying towards origin without crossing y = 0: start with
+        // x > 0, y < 0 between the eigenlines (y/x in (l1, l2)).
+        assert!(node_extremum(L1, L2, [1.0, -1.5]).is_none());
+    }
+
+    #[test]
+    fn node_paper_formula_agrees_with_robust() {
+        for z0 in [[-1.0, 3.0], [-0.5, 1.2], [1.0, -4.0]] {
+            let robust = node_extremum(L1, L2, z0).unwrap();
+            let paper = node_extremum_paper(L1, L2, z0).unwrap();
+            assert!(
+                (robust.x - paper.x).abs() < 1e-9 * robust.x.abs().max(1.0),
+                "x mismatch for {z0:?}: robust {} paper {}",
+                robust.x,
+                paper.x
+            );
+        }
+    }
+
+    #[test]
+    fn critical_extremum_has_zero_velocity() {
+        let l = -2.0;
+        let z0 = [-1.0, 3.0];
+        let e = critical_extremum(l, z0).unwrap();
+        let flow = RegionFlow::from_mn(4.0, 4.0);
+        let z = flow.at(e.t, z0);
+        assert!(z[1].abs() < 1e-9, "{z:?}");
+        assert!((z[0] - e.x).abs() < 1e-9 * e.x.abs().max(1.0));
+    }
+
+    #[test]
+    fn critical_monotone_cases_return_none() {
+        let l = -2.0;
+        assert!(critical_extremum(l, [1.0, l]).is_none()); // eigenline
+        assert!(critical_extremum(l, [1.0, -1.0]).is_none()); // t* < 0
+    }
+
+    #[test]
+    fn region_extremum_dispatches_by_spectrum() {
+        let spiral = RegionFlow::from_mn(2.0, 10.0);
+        let node = RegionFlow::from_mn(3.0, 2.0);
+        let critical = RegionFlow::from_mn(4.0, 4.0);
+        let z0 = [-1.0, 3.0];
+        for flow in [&spiral, &node, &critical] {
+            let e = region_extremum(flow, z0).expect("extremum exists");
+            let z = flow.at(e.t, z0);
+            assert!(z[1].abs() < 1e-8, "dispatch failed: {z:?}");
+        }
+    }
+
+    #[test]
+    fn extremum_scales_linearly_with_amplitude() {
+        // The flows are linear: doubling the initial point doubles the
+        // extremum but keeps its time.
+        let z0 = [-1.0, 2.0];
+        let z2 = [-2.0, 4.0];
+        let e1 = spiral_extremum(ALPHA, BETA, z0).unwrap();
+        let e2 = spiral_extremum(ALPHA, BETA, z2).unwrap();
+        assert!((e2.t - e1.t).abs() < 1e-10);
+        assert!((e2.x - 2.0 * e1.x).abs() < 1e-9);
+    }
+}

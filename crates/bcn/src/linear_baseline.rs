@@ -1,0 +1,119 @@
+//! The prior linear stability analysis of Lu et al. \[4\]
+//! ("Congestion Control in Networks with No Congestion Drops",
+//! Allerton 2006) — the baseline the paper argues against.
+//!
+//! That analysis splits the switched BCN system into its two linear
+//! subsystems, checks each in isolation with classical criteria
+//! (Nyquist there; equivalently Routh–Hurwitz for these second-order
+//! characteristic polynomials), and declares the overall system stable
+//! when both subsystems are. The reproduced paper's Proposition 1 notes
+//! the result: **every** positive parameterisation passes, because
+//! `lambda^2 + m lambda + n` with `m, n > 0` is always Hurwitz.
+//!
+//! The baseline's blind spots — exactly what the paper's strong-stability
+//! analysis fixes — are:
+//!
+//! * it says nothing about the switching transient, so it cannot predict
+//!   the buffer overshoot (its verdict is independent of `B`);
+//! * it cannot explain the sustained queue oscillations (limit cycle)
+//!   observed in experiments.
+
+use crate::model::{BcnFluid, Region};
+use crate::params::BcnParams;
+
+/// Routh–Hurwitz data for one isolated subsystem.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SubsystemStability {
+    /// Coefficient `m` of `lambda^2 + m lambda + n`.
+    pub m: f64,
+    /// Coefficient `n`.
+    pub n: f64,
+    /// Hurwitz verdict: both coefficients positive.
+    pub stable: bool,
+}
+
+/// The baseline's overall analysis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearAnalysis {
+    /// The rate-increase subsystem viewed in isolation.
+    pub increase: SubsystemStability,
+    /// The rate-decrease subsystem viewed in isolation.
+    pub decrease: SubsystemStability,
+    /// The baseline's verdict: stable iff both subsystems are.
+    pub overall_stable: bool,
+}
+
+/// Runs the Lu et al. \[4\]-style analysis: Routh–Hurwitz on each isolated
+/// linearised subsystem (paper Eq. 10 coefficients `m1 = a k`, `n1 = a`,
+/// `m2 = b w / pm = k b C`, `n2 = b C`).
+#[must_use]
+pub fn analyze(params: &BcnParams) -> LinearAnalysis {
+    let sys = BcnFluid::linearized(params.clone());
+    let sub = |region: Region| {
+        let j = sys.jacobian(region);
+        let m = -j.trace();
+        let n = j.det();
+        SubsystemStability { m, n, stable: m > 0.0 && n > 0.0 }
+    };
+    let increase = sub(Region::Increase);
+    let decrease = sub(Region::Decrease);
+    LinearAnalysis { increase, decrease, overall_stable: increase.stable && decrease.stable }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stability;
+
+    #[test]
+    fn proposition_1_all_positive_parameters_pass() {
+        // Any valid parameter set is declared stable by the baseline.
+        let variants = [
+            BcnParams::paper_defaults(),
+            BcnParams::test_defaults(),
+            BcnParams::paper_defaults().with_gi(1000.0),
+            BcnParams::paper_defaults().with_gd(0.9),
+            BcnParams::paper_defaults().with_n_flows(10_000),
+        ];
+        for p in variants {
+            let a = analyze(&p);
+            assert!(a.overall_stable, "baseline rejected {p:?}");
+            assert!(a.increase.stable && a.decrease.stable);
+        }
+    }
+
+    #[test]
+    fn coefficients_match_paper_eq10() {
+        let p = BcnParams::paper_defaults();
+        let a = analyze(&p);
+        assert!((a.increase.m - p.a() * p.k()).abs() < 1e-9 * a.increase.m);
+        assert!((a.increase.n - p.a()).abs() < 1e-9 * a.increase.n);
+        let m2 = p.b() * p.w / p.pm;
+        assert!((a.decrease.m - m2).abs() < 1e-9 * m2);
+        assert!((a.decrease.n - p.b() * p.capacity).abs() < 1e-6);
+    }
+
+    #[test]
+    fn verdict_is_blind_to_buffer_size() {
+        // The baseline cannot see B at all — same verdict with a buffer
+        // 1000x smaller.
+        let p = BcnParams::paper_defaults();
+        let small = p.clone().with_buffer(p.q0 * 1.001);
+        assert_eq!(analyze(&p), analyze(&small));
+    }
+
+    #[test]
+    fn baseline_passes_where_strong_stability_fails() {
+        // The paper's motivating gap: with the 5 Mbit BDP buffer the
+        // baseline says "stable" but the exact switched trajectory
+        // overflows the buffer.
+        let p = BcnParams::paper_defaults();
+        assert!(analyze(&p).overall_stable);
+        let exact = stability::exact_verdict(&p, 20);
+        assert!(
+            !exact.strongly_stable,
+            "the 5 Mbit buffer should overflow: {exact:?}"
+        );
+        assert!(!stability::theorem1_holds(&p));
+    }
+}

@@ -1,0 +1,324 @@
+//! The BCN switched vector field in deviation coordinates.
+
+use odesolve::hybrid::HybridSystem;
+use odesolve::Direction;
+use phaseplane::{Mat2, PlaneSystem, SwitchingLine};
+
+use crate::params::BcnParams;
+
+/// The two control regions of the variable-structure rate law
+/// (paper Eq. 7).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Region {
+    /// `sigma > 0`: additive rate increase (queue below target).
+    Increase,
+    /// `sigma < 0`: multiplicative rate decrease (queue above target).
+    Decrease,
+}
+
+impl Region {
+    /// The region governing a point with congestion measure `sigma`
+    /// (boundary points are assigned to `Increase`; the flow is
+    /// transversal there except at the origin, so the choice only affects
+    /// a measure-zero set).
+    #[must_use]
+    pub fn from_sigma(sigma: f64) -> Self {
+        if sigma >= 0.0 {
+            Region::Increase
+        } else {
+            Region::Decrease
+        }
+    }
+
+    /// The hybrid-mode index used by the `odesolve` adapter.
+    #[must_use]
+    pub fn mode_index(self) -> usize {
+        match self {
+            Region::Increase => 0,
+            Region::Decrease => 1,
+        }
+    }
+
+    /// The inverse of [`Region::mode_index`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on an index other than 0 or 1.
+    #[must_use]
+    pub fn from_mode_index(mode: usize) -> Self {
+        match mode {
+            0 => Region::Increase,
+            1 => Region::Decrease,
+            other => panic!("invalid BCN mode index {other}"),
+        }
+    }
+
+    /// The opposite region.
+    #[must_use]
+    pub fn other(self) -> Self {
+        match self {
+            Region::Increase => Region::Decrease,
+            Region::Decrease => Region::Increase,
+        }
+    }
+}
+
+/// Whether the rate-decrease law keeps the paper's full nonlinear form or
+/// its first-order Taylor approximation about the equilibrium (paper
+/// Eq. 8 vs Eq. 9; the increase law is linear either way).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Linearity {
+    /// `dy/dt = -b (y + C)(x + k y)` in the decrease region (Eq. 8).
+    #[default]
+    FullNonlinear,
+    /// `dy/dt = -b C (x + k y)` in the decrease region (Eq. 9) — the
+    /// form all the paper's closed-form analysis applies to.
+    Linearized,
+}
+
+/// The BCN fluid model `dx/dt = y`, `dy/dt = f_region(x, y)` in deviation
+/// coordinates `x = q - q0`, `y = N r - C` (paper Eqs. 8–9).
+///
+/// Implements [`PlaneSystem`] (region chosen pointwise by the sign of
+/// `sigma`) for phase-plane utilities, and [`HybridSystem`] for accurate
+/// event-located integration across the switching line.
+///
+/// # Example
+///
+/// ```
+/// use bcn::{BcnFluid, BcnParams, Region};
+///
+/// let sys = BcnFluid::linearized(BcnParams::paper_defaults());
+/// // Queue empty, rate at capacity: deep inside the increase region.
+/// let p = sys.params().initial_point();
+/// assert_eq!(sys.region_at(p), Region::Increase);
+/// let d = sys.deriv_in(Region::Increase, p);
+/// assert_eq!(d[0], 0.0);       // dx/dt = y = 0
+/// assert!(d[1] > 0.0);         // rate accelerating
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct BcnFluid {
+    params: BcnParams,
+    linearity: Linearity,
+}
+
+impl BcnFluid {
+    /// Builds the model with the paper's full nonlinear decrease law.
+    #[must_use]
+    pub fn new(params: BcnParams) -> Self {
+        Self { params, linearity: Linearity::FullNonlinear }
+    }
+
+    /// Builds the model with the linearised decrease law of Eq. 9 (the
+    /// object of all the paper's closed-form analysis).
+    #[must_use]
+    pub fn linearized(params: BcnParams) -> Self {
+        Self { params, linearity: Linearity::Linearized }
+    }
+
+    /// The parameter set.
+    #[must_use]
+    pub fn params(&self) -> &BcnParams {
+        &self.params
+    }
+
+    /// Which decrease law this instance uses.
+    #[must_use]
+    pub fn linearity(&self) -> Linearity {
+        self.linearity
+    }
+
+    /// The switching line `x + k y = 0`.
+    #[must_use]
+    pub fn switching_line(&self) -> SwitchingLine {
+        SwitchingLine::bcn(self.params.k())
+    }
+
+    /// The region governing the dynamics at point `p = (x, y)`.
+    #[must_use]
+    pub fn region_at(&self, p: [f64; 2]) -> Region {
+        Region::from_sigma(self.params.sigma(p[0], p[1]))
+    }
+
+    /// The vector field of a *specific* region evaluated at `p`
+    /// (regardless of which region `p` actually lies in) — the primitive
+    /// the closed-form and hybrid machinery builds on.
+    #[must_use]
+    pub fn deriv_in(&self, region: Region, p: [f64; 2]) -> [f64; 2] {
+        let [x, y] = p;
+        let k = self.params.k();
+        let s = x + k * y; // sigma = -s
+        let dy = match region {
+            Region::Increase => -self.params.a() * s,
+            Region::Decrease => match self.linearity {
+                Linearity::FullNonlinear => -self.params.b() * (y + self.params.capacity) * s,
+                Linearity::Linearized => -self.params.b() * self.params.capacity * s,
+            },
+        };
+        [y, dy]
+    }
+
+    /// The Jacobian of the linearised dynamics of `region` at the origin:
+    /// the companion matrix of `lambda^2 + k n lambda + n = 0` with
+    /// `n = a` (increase) or `n = b C` (decrease) — paper Eq. 35.
+    #[must_use]
+    pub fn jacobian(&self, region: Region) -> Mat2 {
+        let n = self.region_n(region);
+        Mat2::companion(self.params.k() * n, n)
+    }
+
+    /// The characteristic constant `n` of a region: `n1 = a` for increase,
+    /// `n2 = b C` for decrease.
+    #[must_use]
+    pub fn region_n(&self, region: Region) -> f64 {
+        match region {
+            Region::Increase => self.params.a(),
+            Region::Decrease => self.params.b() * self.params.capacity,
+        }
+    }
+}
+
+impl PlaneSystem for BcnFluid {
+    fn deriv(&self, p: [f64; 2]) -> [f64; 2] {
+        self.deriv_in(self.region_at(p), p)
+    }
+}
+
+impl HybridSystem<2> for BcnFluid {
+    fn rhs(&self, mode: usize, _t: f64, y: &[f64; 2]) -> [f64; 2] {
+        self.deriv_in(Region::from_mode_index(mode), *y)
+    }
+
+    fn guard(&self, _mode: usize, _t: f64, y: &[f64; 2]) -> f64 {
+        // The switching surface sigma = 0, expressed as s = x + k y.
+        y[0] + self.params.k() * y[1]
+    }
+
+    fn guard_direction(&self, _mode: usize) -> Direction {
+        Direction::Any
+    }
+
+    fn transition(&self, mode: usize, _t: f64, y: &[f64; 2]) -> (usize, [f64; 2]) {
+        (1 - mode, *y)
+    }
+
+    fn mode_at(&self, _t: f64, y: &[f64; 2]) -> usize {
+        self.region_at(*y).mode_index()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sys() -> BcnFluid {
+        BcnFluid::new(BcnParams::test_defaults())
+    }
+
+    #[test]
+    fn region_membership() {
+        let s = sys();
+        assert_eq!(s.region_at([-1.0, 0.0]), Region::Increase);
+        assert_eq!(s.region_at([1.0, 0.0]), Region::Decrease);
+        // Far above the line in y with x slightly negative: decrease.
+        let k = s.params().k();
+        assert_eq!(s.region_at([-1.0, 2.0 / k]), Region::Decrease);
+    }
+
+    #[test]
+    fn region_round_trips_mode_index() {
+        for r in [Region::Increase, Region::Decrease] {
+            assert_eq!(Region::from_mode_index(r.mode_index()), r);
+            assert_eq!(r.other().other(), r);
+        }
+    }
+
+    #[test]
+    fn origin_is_equilibrium_of_both_regions() {
+        let s = sys();
+        for r in [Region::Increase, Region::Decrease] {
+            assert_eq!(s.deriv_in(r, [0.0, 0.0]), [0.0, 0.0]);
+        }
+    }
+
+    #[test]
+    fn nonlinear_and_linearized_agree_to_first_order() {
+        let p = BcnParams::test_defaults();
+        let nl = BcnFluid::new(p.clone());
+        let lin = BcnFluid::linearized(p.clone());
+        // Increase region: identical laws.
+        let pt = [-100.0, 5.0];
+        assert_eq!(nl.deriv_in(Region::Increase, pt), lin.deriv_in(Region::Increase, pt));
+        // Decrease region: ratio of dy equals (y + C)/C.
+        let pt = [100.0, 2000.0];
+        let d_nl = nl.deriv_in(Region::Decrease, pt)[1];
+        let d_lin = lin.deriv_in(Region::Decrease, pt)[1];
+        let expected_ratio = (pt[1] + p.capacity) / p.capacity;
+        assert!((d_nl / d_lin - expected_ratio).abs() < 1e-12);
+        // Near the equilibrium the two converge.
+        let pt = [1e-3, 1e-3];
+        let d_nl = nl.deriv_in(Region::Decrease, pt)[1];
+        let d_lin = lin.deriv_in(Region::Decrease, pt)[1];
+        assert!((d_nl - d_lin).abs() < 1e-6 * d_lin.abs().max(1.0));
+    }
+
+    #[test]
+    fn jacobian_matches_paper_eq35() {
+        let s = sys();
+        let p = s.params();
+        let ji = s.jacobian(Region::Increase);
+        assert_eq!(ji.trace(), -p.k() * p.a());
+        assert_eq!(ji.det(), p.a());
+        let jd = s.jacobian(Region::Decrease);
+        assert_eq!(jd.trace(), -p.k() * p.b() * p.capacity);
+        assert_eq!(jd.det(), p.b() * p.capacity);
+        // m2 = b w / pm must equal k * b * C (the identity the paper uses
+        // to unify the two regions into Eq. 35).
+        let m2_paper = p.b() * p.w / p.pm;
+        assert!((jd.trace() + m2_paper).abs() < 1e-12 * m2_paper.abs());
+    }
+
+    #[test]
+    fn plane_system_picks_region_by_sigma() {
+        let s = sys();
+        let pt_inc = [-1000.0, 0.0];
+        assert_eq!(
+            PlaneSystem::deriv(&s, pt_inc),
+            s.deriv_in(Region::Increase, pt_inc)
+        );
+        let pt_dec = [1000.0, 0.0];
+        assert_eq!(
+            PlaneSystem::deriv(&s, pt_dec),
+            s.deriv_in(Region::Decrease, pt_dec)
+        );
+    }
+
+    #[test]
+    fn hybrid_guard_is_switching_function() {
+        let s = sys();
+        let k = s.params().k();
+        let on_line = [-k * 7.0, 7.0];
+        assert_eq!(HybridSystem::guard(&s, 0, 0.0, &on_line), 0.0);
+        assert!(HybridSystem::guard(&s, 0, 0.0, &[1.0, 0.0]) > 0.0);
+        let (m, y) = HybridSystem::transition(&s, 0, 0.0, &on_line);
+        assert_eq!(m, 1);
+        assert_eq!(y, on_line);
+    }
+
+    #[test]
+    fn flow_crosses_switching_line_transversally_off_origin() {
+        // ds/dt = y on the line in both regions, so any point with y != 0
+        // crosses; this is why the hybrid mode-flip transition is sound.
+        let s = sys();
+        let k = s.params().k();
+        for y in [-500.0, -1.0, 1.0, 500.0] {
+            let p = [-k * y, y];
+            for r in [Region::Increase, Region::Decrease] {
+                let d = s.deriv_in(r, p);
+                let ds_dt = d[0] + k * d[1];
+                // dy/dt vanishes on the line, so ds/dt = y exactly.
+                assert!((ds_dt - y).abs() < 1e-9 * y.abs());
+            }
+        }
+    }
+}

@@ -1,0 +1,351 @@
+//! Fluid trajectory simulation.
+//!
+//! Two simulators operate at different fidelities:
+//!
+//! * [`fluid_trajectory`] — event-located hybrid integration of the
+//!   (linearised or nonlinear) switched system on the unbounded phase
+//!   plane: the object of the paper's analysis.
+//! * [`SaturatingFluid`] — the *physical* fluid model with the buffer
+//!   walls enforced: the queue saturates at `0` and `B`, drops accumulate
+//!   while the buffer is full, and the congestion measure uses the
+//!   saturated queue derivative. This is what the dashed segments of the
+//!   paper's Fig. 3 (curves l3/l4 pinned at the walls) correspond to, and
+//!   it provides the drop/underflow ground truth for the criterion
+//!   experiments.
+
+use odesolve::hybrid::{integrate_hybrid, HybridSolution};
+use odesolve::{Dopri5, Options, SolveError};
+
+use crate::model::{BcnFluid, Linearity};
+use crate::params::BcnParams;
+
+/// Options for [`fluid_trajectory`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct FluidOptions {
+    /// Model-time horizon in seconds.
+    pub t_end: f64,
+    /// Integrator tolerance.
+    pub tol: f64,
+    /// Maximum number of region switches before stopping.
+    pub max_switches: usize,
+    /// Optional dense recording interval.
+    pub record_dt: Option<f64>,
+}
+
+impl Default for FluidOptions {
+    fn default() -> Self {
+        Self { t_end: 1.0, tol: 1e-9, max_switches: 10_000, record_dt: None }
+    }
+}
+
+impl FluidOptions {
+    /// Sets the time horizon.
+    #[must_use]
+    pub fn with_t_end(mut self, t_end: f64) -> Self {
+        self.t_end = t_end;
+        self
+    }
+
+    /// Sets the dense recording interval.
+    #[must_use]
+    pub fn with_record_dt(mut self, dt: f64) -> Self {
+        self.record_dt = Some(dt);
+        self
+    }
+}
+
+/// Integrates the switched BCN system from `p0` (deviation coordinates)
+/// with exact event location on the switching line.
+///
+/// # Errors
+///
+/// Propagates [`SolveError`] from the integrator.
+pub fn fluid_trajectory(
+    sys: &BcnFluid,
+    p0: [f64; 2],
+    opts: &FluidOptions,
+) -> Result<HybridSolution<2>, SolveError> {
+    let mut stepper = Dopri5::with_tolerances(opts.tol, opts.tol);
+    let mut o = Options::default();
+    if let Some(dt) = opts.record_dt {
+        o = o.with_record_dt(dt);
+    }
+    integrate_hybrid(sys, 0.0, p0, opts.t_end, opts.max_switches, &mut stepper, &o)
+}
+
+/// Result of a saturating (physical) fluid run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SaturatingRun {
+    /// Sample times (seconds).
+    pub times: Vec<f64>,
+    /// Queue lengths `q(t)` in bits (clamped to `[0, B]`).
+    pub queue: Vec<f64>,
+    /// Aggregate source rate `N r(t)` in bit/s.
+    pub rate: Vec<f64>,
+    /// Total bits dropped at the full buffer.
+    pub dropped_bits: f64,
+    /// Total bits of service lost to an empty queue with the aggregate
+    /// rate below capacity (link underutilisation).
+    pub idle_bits: f64,
+    /// Largest queue observed (bits).
+    pub max_queue: f64,
+    /// Smallest queue observed after the first buffer departure (bits).
+    pub min_queue_after_start: f64,
+}
+
+impl SaturatingRun {
+    /// Whether any packets (bits) were dropped.
+    #[must_use]
+    pub fn has_drops(&self) -> bool {
+        self.dropped_bits > 0.0
+    }
+}
+
+/// The physical fluid model: queue clamped to `[0, B]` with drop and
+/// idle-time accounting (forward-Euler with saturation; the clamped
+/// dynamics are non-smooth, so a small fixed step is the robust choice).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SaturatingFluid {
+    params: BcnParams,
+    linearity: Linearity,
+}
+
+impl SaturatingFluid {
+    /// Builds the physical model with the full nonlinear decrease law.
+    #[must_use]
+    pub fn new(params: BcnParams) -> Self {
+        Self { params, linearity: Linearity::FullNonlinear }
+    }
+
+    /// Uses the linearised decrease law instead.
+    #[must_use]
+    pub fn linearized(params: BcnParams) -> Self {
+        Self { params, linearity: Linearity::Linearized }
+    }
+
+    /// The parameter set.
+    #[must_use]
+    pub fn params(&self) -> &BcnParams {
+        &self.params
+    }
+
+    /// Runs the model from physical state `(q0_bits, aggregate_rate)` for
+    /// `t_end` seconds with fixed step `dt`, recording every
+    /// `record_every`-th sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` or `t_end` are non-positive, or `record_every` is 0.
+    #[must_use]
+    pub fn run(
+        &self,
+        q_init: f64,
+        rate_init: f64,
+        t_end: f64,
+        dt: f64,
+        record_every: usize,
+    ) -> SaturatingRun {
+        assert!(dt > 0.0 && t_end > 0.0, "time step and horizon must be positive");
+        assert!(record_every > 0, "record_every must be at least 1");
+        let p = &self.params;
+        let b_total = p.buffer;
+        let cap = p.capacity;
+        let k = p.k();
+        let n_steps = (t_end / dt).ceil() as usize;
+
+        let mut q = q_init.clamp(0.0, b_total);
+        let mut rate = rate_init.max(0.0);
+        let mut dropped = 0.0;
+        let mut idle = 0.0;
+        let mut max_q = q;
+        let mut min_q_after = f64::INFINITY;
+        let mut started = q > 0.0;
+
+        let mut times = Vec::with_capacity(n_steps / record_every + 2);
+        let mut queue = Vec::with_capacity(times.capacity());
+        let mut rates = Vec::with_capacity(times.capacity());
+        times.push(0.0);
+        queue.push(q);
+        rates.push(rate);
+
+        for step in 1..=n_steps {
+            // Unclamped queue drift and its saturated (physical) version.
+            let drift = rate - cap;
+            let q_dot = if (q <= 0.0 && drift < 0.0) || (q >= b_total && drift > 0.0) {
+                0.0
+            } else {
+                drift
+            };
+            // Congestion measure from the *observed* queue dynamics.
+            let sigma = (p.q0 - q) - k * q_dot;
+            // Rate law (Eq. 7), scaled to the aggregate rate R = N r:
+            // dR/dt = a sigma (increase) or b sigma R (decrease).
+            let rate_dot = if sigma > 0.0 {
+                p.a() * sigma
+            } else {
+                p.b() * sigma
+                    * match self.linearity {
+                        Linearity::FullNonlinear => rate,
+                        Linearity::Linearized => cap,
+                    }
+            };
+
+            // Accounting.
+            if q >= b_total && drift > 0.0 {
+                dropped += drift * dt;
+            }
+            if q <= 0.0 && drift < 0.0 {
+                idle += -drift * dt;
+            }
+
+            q = (q + q_dot * dt).clamp(0.0, b_total);
+            rate = (rate + rate_dot * dt).max(0.0);
+            if q > 0.0 {
+                started = true;
+            }
+            max_q = max_q.max(q);
+            if started {
+                min_q_after = min_q_after.min(q);
+            }
+            if step % record_every == 0 || step == n_steps {
+                times.push(step as f64 * dt);
+                queue.push(q);
+                rates.push(rate);
+            }
+        }
+
+        SaturatingRun {
+            times,
+            queue,
+            rate: rates,
+            dropped_bits: dropped,
+            idle_bits: idle,
+            max_queue: max_q,
+            min_queue_after_start: if min_q_after.is_finite() { min_q_after } else { q },
+        }
+    }
+
+    /// Runs from the canonical start (empty queue, aggregate rate at
+    /// capacity) with a step automatically chosen well below the fastest
+    /// region's rotation period.
+    #[must_use]
+    pub fn run_canonical(&self, t_end: f64) -> SaturatingRun {
+        let p = &self.params;
+        let beta_fast = (p.a().max(p.b() * p.capacity)).sqrt();
+        let dt = (0.002 / beta_fast).min(t_end / 1000.0);
+        let record_every = ((t_end / dt / 4000.0).ceil() as usize).max(1);
+        self.run(0.0, p.capacity, t_end, dt, record_every)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stability;
+
+    fn params() -> BcnParams {
+        BcnParams::test_defaults()
+    }
+
+    #[test]
+    fn hybrid_trajectory_converges_towards_equilibrium() {
+        let p = params();
+        let sys = BcnFluid::linearized(p.clone());
+        let opts = FluidOptions::default().with_t_end(60.0);
+        let out = fluid_trajectory(&sys, p.initial_point(), &opts).unwrap();
+        let end = out.solution.last_state();
+        let start_amp = p.q0;
+        assert!(
+            end[0].abs() < 0.6 * start_amp,
+            "no contraction: {end:?} from amplitude {start_amp}"
+        );
+        assert!(out.switch_count() > 4, "switches {}", out.switch_count());
+    }
+
+    #[test]
+    fn hybrid_extrema_match_round_analysis() {
+        // The ODE-integrated maximum queue must agree with the exact
+        // closed-form first-round maximum.
+        let p = params();
+        let sys = BcnFluid::linearized(p.clone());
+        let fr = crate::rounds::first_round(&p).unwrap();
+        let opts = FluidOptions { t_end: 10.0, tol: 1e-11, max_switches: 100, record_dt: Some(1e-3) };
+        let out = fluid_trajectory(&sys, p.initial_point(), &opts).unwrap();
+        let max_x = out.solution.max_component(0);
+        assert!(
+            (max_x - fr.max1_x).abs() < 1e-4 * fr.max1_x.abs(),
+            "integrated {max_x} vs closed form {}",
+            fr.max1_x
+        );
+    }
+
+    #[test]
+    fn saturating_run_with_roomy_buffer_has_no_drops() {
+        let p = params().with_buffer(3.0e5); // far above the overshoot
+        let run = SaturatingFluid::new(p).run_canonical(4.0);
+        assert!(!run.has_drops(), "dropped {}", run.dropped_bits);
+        assert!(run.max_queue < 3.0e5);
+    }
+
+    #[test]
+    fn saturating_run_with_tight_buffer_drops() {
+        // Shrink the buffer below the known overshoot: drops must appear.
+        let p = params();
+        let fr = crate::rounds::first_round(&p).unwrap();
+        let tight = p.clone().with_buffer(p.q0 + 0.5 * fr.max1_x);
+        let run = SaturatingFluid::linearized(tight).run_canonical(4.0);
+        assert!(run.has_drops(), "expected drops, run max {}", run.max_queue);
+    }
+
+    #[test]
+    fn saturating_queue_stays_physical() {
+        let p = params();
+        let run = SaturatingFluid::new(p.clone()).run_canonical(2.0);
+        for &q in &run.queue {
+            assert!((0.0..=p.buffer).contains(&q), "q = {q}");
+        }
+        for &r in &run.rate {
+            assert!(r >= 0.0);
+        }
+    }
+
+    #[test]
+    fn saturating_max_queue_tracks_exact_analysis() {
+        // With a large buffer the saturating model never clamps, so its
+        // max queue approximates the unbounded analysis.
+        let p = params().with_buffer(1.0e6);
+        let exact = stability::exact_verdict(&p, 10);
+        let run = SaturatingFluid::linearized(p.clone()).run_canonical(3.0);
+        let expected = p.q0 + exact.max_x;
+        assert!(
+            (run.max_queue - expected).abs() < 0.03 * expected,
+            "saturating {} vs exact {expected}",
+            run.max_queue
+        );
+    }
+
+    #[test]
+    fn drop_accounting_is_consistent() {
+        // Everything the sources pour in above capacity while the buffer
+        // is pinned must show up as drops; a sanity lower bound.
+        let p = params().with_buffer(p_tight());
+        let run = SaturatingFluid::new(p).run_canonical(2.0);
+        if run.has_drops() {
+            assert!(run.dropped_bits > 0.0);
+            assert!(run.dropped_bits < 2.0 * 1.0e6 * 2.0, "absurd drop volume");
+        }
+    }
+
+    fn p_tight() -> f64 {
+        let p = params();
+        let fr = crate::rounds::first_round(&p).unwrap();
+        p.q0 + 0.3 * fr.max1_x
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn rejects_bad_step() {
+        let p = params();
+        let _ = SaturatingFluid::new(p).run(0.0, 1.0, -1.0, 1e-3, 1);
+    }
+}

@@ -1,0 +1,202 @@
+//! Transient-performance analysis — the paper's declared future work
+//! (Section V: "investigate the transient behaviors of BCN system and
+//! evaluate the impact of parameters on the transient performance").
+//!
+//! Strong stability says the queue *stays* inside `(0, B)`; transient
+//! performance says how *well* it gets to `q0`: overshoot magnitude,
+//! oscillation period, per-round decay, and settling time. For Case 1
+//! every one of these has a closed form through the round analysis, so a
+//! parameter search over transient targets is interactive-speed.
+
+use crate::cases::{classify_params, CaseId};
+use crate::model::Region;
+use crate::params::BcnParams;
+use crate::rounds::{round_ratio, steady_leg_duration, trace_legs};
+
+/// Transient-performance summary of a parameter set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TransientMetrics {
+    /// Which case the parameters fall into.
+    pub case: CaseId,
+    /// Largest queue overshoot above `q0`, as a fraction of `q0`
+    /// (`max x / q0`); zero when the trajectory never overshoots
+    /// (Cases 3/4).
+    pub overshoot_ratio: f64,
+    /// Deepest dip below `q0` after the first crossing, as a fraction of
+    /// `q0` (positive number; `1` would mean the queue empties).
+    pub undershoot_ratio: f64,
+    /// One full oscillation round `T_i + T_d`, if rounds repeat
+    /// (Case 1 / limit-cycle regimes).
+    pub round_period: Option<f64>,
+    /// Per-round amplitude ratio `rho` (Case 1).
+    pub rho: Option<f64>,
+    /// Rounds until the amplitude falls below 5%.
+    pub rounds_to_settle: Option<f64>,
+    /// Wall-clock settling time (5% criterion), if the system settles by
+    /// repeated rounds; `None` for non-repeating (node) approaches,
+    /// which settle within their single pass, or for `rho >= 1`.
+    pub settling_time: Option<f64>,
+}
+
+/// Computes the transient metrics of a parameter set.
+#[must_use]
+pub fn analyze(params: &BcnParams) -> TransientMetrics {
+    let case = classify_params(params).case;
+    let legs = trace_legs(params, params.initial_point(), 4);
+    let mut max_x = 0.0_f64;
+    let mut min_x = 0.0_f64;
+    for leg in &legs {
+        if let Some(e) = leg.extremum {
+            max_x = max_x.max(e.x);
+            min_x = min_x.min(e.x);
+        }
+    }
+    let (round_period, rho) = if case == CaseId::Case1 {
+        let period = match (
+            steady_leg_duration(params, Region::Increase),
+            steady_leg_duration(params, Region::Decrease),
+        ) {
+            (Some(ti), Some(td)) => Some(ti + td),
+            _ => None,
+        };
+        (period, round_ratio(params))
+    } else {
+        (None, None)
+    };
+    let rounds_to_settle = rho.and_then(|r| {
+        if r > 0.0 && r < 1.0 {
+            Some((0.05_f64).ln() / r.ln())
+        } else {
+            None
+        }
+    });
+    let settling_time = match (rounds_to_settle, round_period) {
+        (Some(n), Some(t)) => Some(n * t),
+        _ => None,
+    };
+    TransientMetrics {
+        case,
+        overshoot_ratio: max_x / params.q0,
+        undershoot_ratio: -min_x.min(0.0) / params.q0,
+        round_period,
+        rho,
+        rounds_to_settle,
+        settling_time,
+    }
+}
+
+/// Searches (by bisection over `Gi`) for the largest additive-increase
+/// gain whose overshoot stays below `target_ratio * q0` — the
+/// gain-tuning question a deployment faces with a fixed buffer.
+///
+/// Returns `None` if even the smallest probed gain overshoots too much.
+///
+/// # Panics
+///
+/// Panics if `gi_lo >= gi_hi` or either is non-positive.
+#[must_use]
+pub fn max_gi_for_overshoot(params: &BcnParams, target_ratio: f64, gi_lo: f64, gi_hi: f64) -> Option<f64> {
+    assert!(gi_lo > 0.0 && gi_lo < gi_hi, "need 0 < gi_lo < gi_hi");
+    let over = |gi: f64| analyze(&params.clone().with_gi(gi)).overshoot_ratio;
+    if over(gi_lo) > target_ratio {
+        return None;
+    }
+    if over(gi_hi) <= target_ratio {
+        return Some(gi_hi);
+    }
+    let (mut lo, mut hi) = (gi_lo, gi_hi);
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        if mid <= lo || mid >= hi {
+            break;
+        }
+        if over(mid) <= target_ratio {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    Some(lo)
+}
+
+/// Settling-vs-overshoot frontier: for each `w` in the sweep, the
+/// (overshoot ratio, settling time) pair — the two-objective trade
+/// surface an operator tunes on.
+#[must_use]
+pub fn w_frontier(params: &BcnParams, ws: &[f64]) -> Vec<(f64, f64, Option<f64>)> {
+    ws.iter()
+        .map(|&w| {
+            let m = analyze(&params.clone().with_w(w));
+            (w, m.overshoot_ratio, m.settling_time)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cases::exemplar;
+
+    fn p() -> BcnParams {
+        BcnParams::test_defaults()
+    }
+
+    #[test]
+    fn case1_metrics_are_complete() {
+        let m = analyze(&p());
+        assert_eq!(m.case, CaseId::Case1);
+        assert!(m.overshoot_ratio > 0.0);
+        assert!(m.undershoot_ratio > 0.0 && m.undershoot_ratio < 1.0);
+        let rho = m.rho.expect("case 1 has a round ratio");
+        assert!(rho > 0.0 && rho < 1.0);
+        let n = m.rounds_to_settle.unwrap();
+        assert!((n - (0.05_f64).ln() / rho.ln()).abs() < 1e-12);
+        let t = m.settling_time.unwrap();
+        assert!((t - n * m.round_period.unwrap()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cases_3_and_4_report_no_overshoot() {
+        for case in [CaseId::Case3, CaseId::Case4] {
+            let m = analyze(&exemplar(&p(), case));
+            assert!(m.overshoot_ratio <= 0.0 + 1e-12, "{case}: {m:?}");
+            assert!(m.rho.is_none());
+            assert!(m.settling_time.is_none());
+        }
+    }
+
+    #[test]
+    fn overshoot_grows_with_gi() {
+        let small = analyze(&p().with_gi(0.25)).overshoot_ratio;
+        let large = analyze(&p().with_gi(4.0)).overshoot_ratio;
+        assert!(large > small, "{large} vs {small}");
+    }
+
+    #[test]
+    fn gi_search_meets_target() {
+        let params = p();
+        let target = 1.5;
+        let gi = max_gi_for_overshoot(&params, target, 1e-3, 50.0).expect("achievable");
+        let at = analyze(&params.clone().with_gi(gi)).overshoot_ratio;
+        assert!(at <= target + 1e-6, "overshoot {at} at gi {gi}");
+        // And it is maximal: slightly larger gain violates the target.
+        let above = analyze(&params.clone().with_gi(gi * 1.05)).overshoot_ratio;
+        assert!(above > target, "not maximal: {above} at {}", gi * 1.05);
+    }
+
+    #[test]
+    fn gi_search_handles_unreachable_target() {
+        assert!(max_gi_for_overshoot(&p(), 1e-9, 1.0, 2.0).is_none());
+    }
+
+    #[test]
+    fn w_frontier_is_monotone_in_settling() {
+        let ws = [0.5, 1.0, 2.0, 4.0, 8.0];
+        let frontier = w_frontier(&p(), &ws);
+        assert_eq!(frontier.len(), 5);
+        for pair in frontier.windows(2) {
+            let (t0, t1) = (pair[0].2.unwrap(), pair[1].2.unwrap());
+            assert!(t1 < t0, "settling not improving: {frontier:?}");
+        }
+    }
+}

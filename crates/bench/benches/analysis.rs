@@ -1,0 +1,73 @@
+//! Performance of the analytic layer: closed-form flows, first-round
+//! extrema, the stability criterion, and criterion-atlas throughput —
+//! the operations a network-planning tool would run interactively.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bcn::closed_form::RegionFlow;
+use bcn::model::Region;
+use bcn::rounds::{first_round, round_ratio};
+use bcn::stability::{criterion, exact_verdict, theorem1_required_buffer};
+use bcn::{BcnFluid, BcnParams};
+
+fn bench_closed_form(c: &mut Criterion) {
+    let params = BcnParams::test_defaults();
+    let sys = BcnFluid::linearized(params.clone());
+    let flow = RegionFlow::from_kn(params.k(), sys.region_n(Region::Increase));
+    let z0 = params.initial_point();
+
+    let mut group = c.benchmark_group("closed_form");
+    group.bench_function("flow_at", |b| {
+        b.iter(|| black_box(flow.at(black_box(0.01), black_box(z0))))
+    });
+    group.bench_function("time_to_switching_line", |b| {
+        b.iter(|| black_box(flow.time_to_switching_line(black_box(z0), params.k(), 1.0)))
+    });
+    group.finish();
+}
+
+fn bench_stability(c: &mut Criterion) {
+    let params = BcnParams::test_defaults();
+    let mut group = c.benchmark_group("stability");
+    group.bench_function("theorem1", |b| {
+        b.iter(|| black_box(theorem1_required_buffer(black_box(&params))))
+    });
+    group.bench_function("first_round", |b| {
+        b.iter(|| black_box(first_round(black_box(&params))))
+    });
+    group.bench_function("round_ratio", |b| {
+        b.iter(|| black_box(round_ratio(black_box(&params))))
+    });
+    group.bench_function("criterion", |b| {
+        b.iter(|| black_box(criterion(black_box(&params))))
+    });
+    group.bench_function("exact_verdict_20_legs", |b| {
+        b.iter(|| black_box(exact_verdict(black_box(&params), 20)))
+    });
+    group.finish();
+}
+
+fn bench_atlas_row(c: &mut Criterion) {
+    // One row of the (Gi, Gd) atlas: 13 criterion+exact evaluations.
+    let base = BcnParams::test_defaults().with_buffer(1.5e5);
+    c.bench_function("atlas_row_13_cells", |b| {
+        b.iter(|| {
+            let mut granted = 0u32;
+            for i in 0..13 {
+                let gi = base.gi * 0.05 * 400.0_f64.powf(f64::from(i) / 12.0);
+                let p = base.clone().with_gi(gi);
+                if criterion(&p).is_guaranteed() {
+                    granted += 1;
+                }
+                if exact_verdict(&p, 40).strongly_stable {
+                    granted += 1;
+                }
+            }
+            black_box(granted)
+        })
+    });
+}
+
+criterion_group!(benches, bench_closed_form, bench_stability, bench_atlas_row);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Packet-level simulator throughput: events per second of wall time for
+//! BCN-, QCN-, and uncontrolled runs, plus the saturating fluid
+//! simulator for comparison.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use bcn::simulate::SaturatingFluid;
+use dcesim::qcn::{QcnCpConfig, QcnRpConfig};
+use dcesim::sim::{fluid_validation_params, Control, SimConfig, Simulation};
+use dcesim::time::Duration;
+
+fn base_cfg(t_end: f64) -> SimConfig {
+    let params = fluid_validation_params();
+    SimConfig::from_fluid(&params, 8_000.0, Duration::from_secs(2e-6), t_end)
+}
+
+fn bench_des(c: &mut Criterion) {
+    let mut group = c.benchmark_group("des");
+    group.sample_size(20);
+    group.bench_function("bcn_50ms_sim", |b| {
+        b.iter(|| black_box(Simulation::new(base_cfg(0.05)).run()))
+    });
+    group.bench_function("qcn_50ms_sim", |b| {
+        let params = fluid_validation_params();
+        b.iter(|| {
+            let mut cfg = base_cfg(0.05);
+            cfg.control = Control::Qcn {
+                cp: QcnCpConfig { q_eq_bits: params.q0, w: 2.0, sample_every: 5 },
+                rp: QcnRpConfig::standard(params.capacity),
+            };
+            black_box(Simulation::new(cfg).run())
+        })
+    });
+    group.bench_function("uncontrolled_50ms_sim", |b| {
+        b.iter(|| {
+            let mut cfg = base_cfg(0.05);
+            cfg.control = Control::None;
+            black_box(Simulation::new(cfg).run())
+        })
+    });
+    group.finish();
+}
+
+fn bench_saturating_fluid(c: &mut Criterion) {
+    let params = fluid_validation_params();
+    let mut group = c.benchmark_group("fluid");
+    group.sample_size(20);
+    group.bench_function("saturating_50ms_sim", |b| {
+        let sim = SaturatingFluid::new(params.clone());
+        b.iter(|| black_box(sim.run_canonical(0.05)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_des, bench_saturating_fluid);
+criterion_main!(benches);

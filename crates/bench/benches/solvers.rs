@@ -1,0 +1,104 @@
+//! Performance of the ODE substrate on the BCN vector fields: raw
+//! stepper throughput, event-location overhead, and hybrid integration.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use bcn::simulate::{fluid_trajectory, FluidOptions};
+use bcn::{BcnFluid, BcnParams};
+use odesolve::{integrate, integrate_with_events, Dopri5, EventSpec, Options, Rk4};
+use phaseplane::PlaneSystem;
+
+fn bench_steppers(c: &mut Criterion) {
+    let params = BcnParams::test_defaults();
+    let sys = BcnFluid::linearized(params.clone());
+    let ode = move |_t: f64, z: &[f64; 2]| PlaneSystem::deriv(&sys, *z);
+    let p0 = params.initial_point();
+
+    let mut group = c.benchmark_group("steppers");
+    group.bench_function("rk4_fixed_1e-5_over_10ms", |b| {
+        b.iter(|| {
+            let sol = integrate(
+                &ode,
+                0.0,
+                black_box(p0),
+                0.01,
+                &mut Rk4::with_step(1e-5),
+                &Options::default(),
+            )
+            .unwrap();
+            black_box(sol.last_state())
+        })
+    });
+    group.bench_function("dopri5_tol_1e-9_over_10ms", |b| {
+        b.iter(|| {
+            let sol = integrate(
+                &ode,
+                0.0,
+                black_box(p0),
+                0.01,
+                &mut Dopri5::with_tolerances(1e-9, 1e-9),
+                &Options::default(),
+            )
+            .unwrap();
+            black_box(sol.last_state())
+        })
+    });
+    group.finish();
+}
+
+fn bench_event_location(c: &mut Criterion) {
+    let params = BcnParams::test_defaults();
+    let sys = BcnFluid::linearized(params.clone());
+    let k = params.k();
+    let ode = move |_t: f64, z: &[f64; 2]| PlaneSystem::deriv(&sys, *z);
+    let guard = move |_t: f64, z: &[f64; 2]| z[0] + k * z[1];
+    let p0 = params.initial_point();
+
+    let mut group = c.benchmark_group("events");
+    group.bench_function("integrate_plain_10ms", |b| {
+        b.iter(|| {
+            integrate(
+                &ode,
+                0.0,
+                black_box(p0),
+                0.01,
+                &mut Dopri5::new(),
+                &Options::default(),
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("integrate_with_guard_10ms", |b| {
+        b.iter(|| {
+            let events = [EventSpec::recorded(&guard)];
+            integrate_with_events(
+                &ode,
+                0.0,
+                black_box(p0),
+                0.01,
+                &mut Dopri5::new(),
+                &events,
+                &Options::default(),
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_hybrid(c: &mut Criterion) {
+    let params = BcnParams::test_defaults();
+    let sys = BcnFluid::linearized(params.clone());
+    let opts = FluidOptions::default().with_t_end(0.2);
+    c.bench_function("hybrid_bcn_trajectory_0.2s", |b| {
+        b.iter_batched(
+            || sys.clone(),
+            |s| black_box(fluid_trajectory(&s, params.initial_point(), &opts).unwrap()),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_steppers, bench_event_location, bench_hybrid);
+criterion_main!(benches);

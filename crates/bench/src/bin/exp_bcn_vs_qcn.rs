@@ -1,0 +1,8 @@
+//! Regenerates the BCN-vs-QCN packet-level comparison.
+
+fn main() {
+    if let Err(e) = bench::experiments::bcn_vs_qcn::main() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

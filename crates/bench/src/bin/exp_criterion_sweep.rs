@@ -1,0 +1,8 @@
+//! Regenerates the criterion atlas over (Gi, Gd).
+
+fn main() {
+    if let Err(e) = bench::experiments::criterion_sweep::main() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

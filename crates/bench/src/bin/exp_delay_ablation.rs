@@ -1,0 +1,8 @@
+//! Regenerates the propagation-delay ablation.
+
+fn main() {
+    if let Err(e) = bench::experiments::delay_ablation::main() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

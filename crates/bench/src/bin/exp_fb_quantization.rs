@@ -1,0 +1,8 @@
+//! Regenerates the FB-field quantization ablation.
+
+fn main() {
+    if let Err(e) = bench::experiments::fb_quantization::main() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerates the fluid-vs-packet validation.
+
+fn main() {
+    if let Err(e) = bench::experiments::fluid_vs_packet::main() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

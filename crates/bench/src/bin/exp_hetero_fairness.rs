@@ -1,0 +1,8 @@
+//! Regenerates the heterogeneous-model fairness experiment.
+
+fn main() {
+    if let Err(e) = bench::experiments::hetero_fairness::main() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

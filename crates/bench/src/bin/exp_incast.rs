@@ -1,0 +1,8 @@
+//! Regenerates the incast fan-in sweep.
+
+fn main() {
+    if let Err(e) = bench::experiments::incast::main() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

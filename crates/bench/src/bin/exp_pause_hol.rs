@@ -1,0 +1,8 @@
+//! Regenerates the PAUSE head-of-line-blocking vs BCN comparison.
+
+fn main() {
+    if let Err(e) = bench::experiments::pause_hol::main() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

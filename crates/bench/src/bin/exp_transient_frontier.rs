@@ -1,0 +1,8 @@
+//! Regenerates the transient-performance frontier.
+
+fn main() {
+    if let Err(e) = bench::experiments::transient_frontier::main() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerates the w/pm transients ablation.
+
+fn main() {
+    if let Err(e) = bench::experiments::w_pm_transients::main() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerates the warm-up / q0 trade-off experiment.
+
+fn main() {
+    if let Err(e) = bench::experiments::warmup::main() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's Fig. 3 (trajectory taxonomy).
+
+fn main() {
+    if let Err(e) = bench::figures::fig03::main() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

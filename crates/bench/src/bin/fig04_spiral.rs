@@ -1,0 +1,8 @@
+//! Regenerates the paper's Fig. 4 (spiral trajectories).
+
+fn main() {
+    if let Err(e) = bench::figures::fig04::main() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's Fig. 5 (node trajectories).
+
+fn main() {
+    if let Err(e) = bench::figures::fig05::main() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's Fig. 6 (Case 1 dynamics).
+
+fn main() {
+    if let Err(e) = bench::figures::fig06::main() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

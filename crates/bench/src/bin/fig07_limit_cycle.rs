@@ -1,0 +1,8 @@
+//! Regenerates the paper's Fig. 7 (limit cycle).
+
+fn main() {
+    if let Err(e) = bench::figures::fig07::main() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,8 @@
+//! Regenerates the paper's Fig. 8 (Case 2 dynamics).
+
+fn main() {
+    if let Err(e) = bench::figures::fig08::main() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

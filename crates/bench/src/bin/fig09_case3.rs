@@ -1,0 +1,8 @@
+//! Regenerates the paper's Fig. 9 (Case 3 dynamics).
+
+fn main() {
+    if let Err(e) = bench::figures::fig09::main() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

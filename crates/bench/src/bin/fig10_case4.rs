@@ -1,0 +1,8 @@
+//! Regenerates the paper's Fig. 10 (Case 4 dynamics).
+
+fn main() {
+    if let Err(e) = bench::figures::fig10::main() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

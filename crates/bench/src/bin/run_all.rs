@@ -1,0 +1,41 @@
+//! Regenerates every figure and experiment artifact in one run.
+
+type Job = (&'static str, fn(&std::path::Path) -> bench::ExpResult);
+
+fn main() {
+    let out = bench::common::out_dir();
+    let jobs: Vec<Job> = vec![
+        ("fig03", bench::figures::fig03::run),
+        ("fig04", bench::figures::fig04::run),
+        ("fig05", bench::figures::fig05::run),
+        ("fig06", bench::figures::fig06::run),
+        ("fig07", bench::figures::fig07::run),
+        ("fig08", bench::figures::fig08::run),
+        ("fig09", bench::figures::fig09::run),
+        ("fig10", bench::figures::fig10::run),
+        ("thm1", bench::figures::thm1::run),
+        ("criterion_sweep", bench::experiments::criterion_sweep::run),
+        ("fluid_vs_packet", bench::experiments::fluid_vs_packet::run),
+        ("warmup", bench::experiments::warmup::run),
+        ("w_pm_transients", bench::experiments::w_pm_transients::run),
+        ("delay_ablation", bench::experiments::delay_ablation::run),
+        ("bcn_vs_qcn", bench::experiments::bcn_vs_qcn::run),
+        ("pause_hol", bench::experiments::pause_hol::run),
+        ("hetero_fairness", bench::experiments::hetero_fairness::run),
+        ("transient_frontier", bench::experiments::transient_frontier::run),
+        ("incast", bench::experiments::incast::run),
+        ("fb_quantization", bench::experiments::fb_quantization::run),
+    ];
+    let mut failures = 0;
+    for (name, job) in jobs {
+        if let Err(e) = job(&out) {
+            eprintln!("{name} FAILED: {e}");
+            failures += 1;
+        }
+    }
+    if failures > 0 {
+        eprintln!("{failures} generator(s) failed");
+        std::process::exit(1);
+    }
+    println!("\nall artifacts regenerated under {}", out.display());
+}

@@ -1,0 +1,8 @@
+//! Regenerates the Theorem 1 worked example and sweeps.
+
+fn main() {
+    if let Err(e) = bench::figures::thm1::main() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,124 @@
+//! Shared helpers for the experiment binaries.
+
+use std::path::{Path, PathBuf};
+
+use bcn::simulate::{fluid_trajectory, FluidOptions};
+use bcn::{BcnFluid, BcnParams};
+use plotkit::{Series, SvgPlot};
+
+/// Where artifacts go: `$DCE_BCN_RESULTS` or `./results`.
+#[must_use]
+pub fn out_dir() -> PathBuf {
+    std::env::var_os("DCE_BCN_RESULTS")
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("results"))
+}
+
+/// A traced trajectory decomposed into plottable series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Traced {
+    /// Times (s).
+    pub ts: Vec<f64>,
+    /// Queue deviation `x = q - q0` (bits).
+    pub xs: Vec<f64>,
+    /// Rate deviation `y = N r - C` (bit/s).
+    pub ys: Vec<f64>,
+    /// Number of region switches.
+    pub switches: usize,
+}
+
+/// Integrates the switched fluid system and returns plottable arrays.
+///
+/// # Panics
+///
+/// Panics if the integration fails (experiment configurations are fixed
+/// and known-good; a failure is a bug worth crashing on).
+#[must_use]
+pub fn trace(sys: &BcnFluid, p0: [f64; 2], t_end: f64, samples: usize) -> Traced {
+    let opts = FluidOptions::default()
+        .with_t_end(t_end)
+        .with_record_dt(t_end / samples as f64);
+    let sol = fluid_trajectory(sys, p0, &opts).expect("fluid integration");
+    Traced {
+        ts: sol.solution.times().to_vec(),
+        xs: sol.solution.component(0),
+        ys: sol.solution.component(1),
+        switches: sol.switch_count(),
+    }
+}
+
+/// Builds the standard phase-plane plot: trajectory series plus the
+/// switching line `x + k y = 0` and the buffer walls `x = -q0`,
+/// `x = B - q0`.
+#[must_use]
+pub fn phase_plot(title: &str, params: &BcnParams, series: Vec<Series>) -> SvgPlot {
+    let mut plot = SvgPlot::new(title, "x = q - q0 (bits)", "y = N r - C (bit/s)");
+    // The switching line across the y-range of the first series.
+    let k = params.k();
+    if let Some(s) = series.first() {
+        let y_lo = s.ys.iter().copied().fold(f64::INFINITY, f64::min);
+        let y_hi = s.ys.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+        if y_lo.is_finite() {
+            let line = Series::line(
+                "switching line",
+                &[-k * y_lo, -k * y_hi],
+                &[y_lo, y_hi],
+                "#999999",
+            );
+            plot = plot.with_series(line);
+        }
+    }
+    for s in series {
+        plot = plot.with_series(s);
+    }
+    plot.with_vline(-params.q0, "#d62728")
+        .with_vline(params.buffer - params.q0, "#d62728")
+}
+
+/// Prints a section banner for the console output.
+pub fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Saves an SVG plot and reports the path.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn save_plot(plot: &SvgPlot, out: &Path, name: &str) -> std::io::Result<()> {
+    let path = out.join(name);
+    plot.save(&path)?;
+    println!("wrote {}", path.display());
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn out_dir_defaults_to_results() {
+        if std::env::var_os("DCE_BCN_RESULTS").is_none() {
+            assert_eq!(out_dir(), PathBuf::from("results"));
+        }
+    }
+
+    #[test]
+    fn trace_produces_matching_lengths() {
+        let params = BcnParams::test_defaults();
+        let sys = BcnFluid::linearized(params.clone());
+        let tr = trace(&sys, params.initial_point(), 0.5, 100);
+        assert_eq!(tr.ts.len(), tr.xs.len());
+        assert_eq!(tr.ts.len(), tr.ys.len());
+        assert!(tr.ts.len() >= 100);
+    }
+
+    #[test]
+    fn phase_plot_renders_with_walls() {
+        let params = BcnParams::test_defaults();
+        let s = Series::line("t", &[0.0, 1.0], &[0.0, 1.0], "#000000");
+        let svg = phase_plot("demo", &params, vec![s]).render();
+        assert!(svg.contains("switching line"));
+        assert!(svg.contains("stroke-dasharray"));
+    }
+}

@@ -1,0 +1,198 @@
+//! Criterion atlas over the gain plane `(Gi, Gd)`.
+//!
+//! For a grid of gain pairs, compares four verdicts:
+//!
+//! 1. the prior **linear baseline** of Lu et al. \[4\] (always "stable" —
+//!    Proposition 1);
+//! 2. the paper's **Theorem 1** sufficient condition;
+//! 3. the paper's sharper **case criterion** (Propositions 2–4);
+//! 4. the **exact** switched-trajectory verdict (ground truth for the
+//!    linearised model) cross-checked against the drop count of the
+//!    buffer-saturating fluid run.
+//!
+//! The expected shape: baseline ⊇ exact ⊇ criterion ⊇ Theorem 1 — the
+//! baseline over-approves (its verdict is blind to `B`), the paper's
+//! criteria are sound (never approve an unstable cell) and increasingly
+//! conservative.
+
+use std::path::Path;
+
+use bcn::cases::classify_params;
+use bcn::simulate::SaturatingFluid;
+use bcn::stability::{criterion, exact_verdict, theorem1_holds};
+use bcn::{linear_baseline, BcnParams};
+use plotkit::{Csv, Table};
+
+use crate::common::{banner, out_dir};
+use crate::ExpResult;
+
+/// One grid cell's verdicts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cell {
+    /// Additive-increase gain.
+    pub gi: f64,
+    /// Multiplicative-decrease gain.
+    pub gd: f64,
+    /// Case id (1–5) as a number.
+    pub case_no: u8,
+    /// Baseline \[4\] approves.
+    pub baseline: bool,
+    /// Theorem 1 approves.
+    pub theorem1: bool,
+    /// Case criterion (Props. 2–4) approves.
+    pub case_criterion: bool,
+    /// Exact trace is strongly stable.
+    pub exact: bool,
+    /// The saturating fluid run dropped bits.
+    pub fluid_drops: bool,
+}
+
+/// Computes the atlas on an `n x n` log-spaced gain grid.
+#[must_use]
+pub fn compute_atlas(base: &BcnParams, n: usize) -> Vec<Cell> {
+    let mut cells = Vec::with_capacity(n * n);
+    for i in 0..n {
+        // Gi from 0.05x to 20x the base; Gd likewise.
+        let gi = base.gi * 0.05 * (400.0_f64).powf(i as f64 / (n - 1) as f64);
+        for j in 0..n {
+            let gd = (base.gd * 0.05 * (400.0_f64).powf(j as f64 / (n - 1) as f64)).min(1.0);
+            let p = base.clone().with_gi(gi).with_gd(gd);
+            let case_no = match classify_params(&p).case {
+                bcn::CaseId::Case1 => 1,
+                bcn::CaseId::Case2 => 2,
+                bcn::CaseId::Case3 => 3,
+                bcn::CaseId::Case4 => 4,
+                bcn::CaseId::Case5 => 5,
+            };
+            let exact = exact_verdict(&p, 40);
+            let run = SaturatingFluid::linearized(p.clone()).run_canonical(fluid_horizon(&p));
+            cells.push(Cell {
+                gi,
+                gd,
+                case_no,
+                baseline: linear_baseline::analyze(&p).overall_stable,
+                theorem1: theorem1_holds(&p),
+                case_criterion: criterion(&p).is_guaranteed(),
+                exact: exact.strongly_stable,
+                fluid_drops: run.has_drops(),
+            });
+        }
+    }
+    cells
+}
+
+fn fluid_horizon(p: &BcnParams) -> f64 {
+    // A few rounds of the slowest oscillation covers the transient peak.
+    let beta_slow = (p.a().min(p.b() * p.capacity)).sqrt();
+    (8.0 * std::f64::consts::PI / beta_slow).min(5.0)
+}
+
+/// Runs the experiment; artifacts land under `out`.
+///
+/// # Errors
+///
+/// Propagates I/O failures while writing artifacts.
+pub fn run(out: &Path) -> ExpResult {
+    banner("Criterion atlas over (Gi, Gd)");
+    let base = BcnParams::test_defaults().with_buffer(1.5e5);
+    let cells = compute_atlas(&base, 13);
+
+    let mut csv = Csv::new(&[
+        "gi", "gd", "case", "baseline", "theorem1", "case_criterion", "exact", "fluid_drops",
+    ]);
+    for c in &cells {
+        csv.row(&[
+            c.gi,
+            c.gd,
+            f64::from(c.case_no),
+            f64::from(u8::from(c.baseline)),
+            f64::from(u8::from(c.theorem1)),
+            f64::from(u8::from(c.case_criterion)),
+            f64::from(u8::from(c.exact)),
+            f64::from(u8::from(c.fluid_drops)),
+        ]);
+    }
+    csv.save(out.join("exp_criterion_sweep.csv"))?;
+    println!("wrote {}", out.join("exp_criterion_sweep.csv").display());
+
+    // Aggregate shape checks.
+    let total = cells.len();
+    let count = |f: &dyn Fn(&Cell) -> bool| cells.iter().filter(|c| f(c)).count();
+    let baseline_ok = count(&|c| c.baseline);
+    let thm1_ok = count(&|c| c.theorem1);
+    let crit_ok = count(&|c| c.case_criterion);
+    let exact_ok = count(&|c| c.exact);
+    let unsound_crit = count(&|c| c.case_criterion && !c.exact);
+    let unsound_thm1 = count(&|c| c.theorem1 && !c.exact);
+    let baseline_false_pos = count(&|c| c.baseline && !c.exact);
+    let drops_agree = count(&|c| c.exact != c.fluid_drops);
+
+    let mut table = Table::new(&["metric", "count", "of"]);
+    table.row(&["baseline [4] approves".into(), baseline_ok.to_string(), total.to_string()]);
+    table.row(&["Theorem 1 approves".into(), thm1_ok.to_string(), total.to_string()]);
+    table.row(&["case criterion approves".into(), crit_ok.to_string(), total.to_string()]);
+    table.row(&["exactly strongly stable".into(), exact_ok.to_string(), total.to_string()]);
+    table.row(&["criterion unsound cells".into(), unsound_crit.to_string(), "0 expected".into()]);
+    table.row(&["Theorem 1 unsound cells".into(), unsound_thm1.to_string(), "0 expected".into()]);
+    table.row(&[
+        "baseline false positives".into(),
+        baseline_false_pos.to_string(),
+        "the paper's motivating gap".into(),
+    ]);
+    table.row(&[
+        "exact verdict == fluid no-drop".into(),
+        (total - drops_agree).to_string(),
+        total.to_string(),
+    ]);
+    print!("{table}");
+
+    if unsound_crit > 0 || unsound_thm1 > 0 {
+        return Err("criterion approved an unstable cell — soundness violation".into());
+    }
+    Ok(())
+}
+
+/// Runs with the default output directory.
+///
+/// # Errors
+///
+/// See [`run`].
+pub fn main() -> ExpResult {
+    run(&out_dir())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atlas_orderings_hold_on_a_small_grid() {
+        let base = BcnParams::test_defaults().with_buffer(1.5e5);
+        let cells = compute_atlas(&base, 5);
+        for c in &cells {
+            // Baseline approves everything (Proposition 1).
+            assert!(c.baseline, "{c:?}");
+            // Soundness: criterion implies exact; Theorem 1 implies exact.
+            assert!(!c.case_criterion || c.exact, "criterion unsound: {c:?}");
+            assert!(!c.theorem1 || c.exact, "theorem 1 unsound: {c:?}");
+            // Theorem 1 is at most as permissive as the case criterion.
+            assert!(!c.theorem1 || c.case_criterion, "ordering broke: {c:?}");
+        }
+        // The gap exists: some exact-stable cells and some unstable ones.
+        assert!(cells.iter().any(|c| c.exact));
+        assert!(cells.iter().any(|c| !c.exact), "grid too easy");
+    }
+
+    #[test]
+    fn fluid_drops_track_exact_verdict_mostly() {
+        let base = BcnParams::test_defaults().with_buffer(1.5e5);
+        let cells = compute_atlas(&base, 4);
+        let mismatches = cells.iter().filter(|c| c.exact == c.fluid_drops).count();
+        // exact stable <=> no drops; allow a small boundary fringe.
+        assert!(
+            mismatches * 5 <= cells.len(),
+            "fluid/exact disagreement on {mismatches}/{} cells",
+            cells.len()
+        );
+    }
+}

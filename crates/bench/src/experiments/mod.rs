@@ -1,0 +1,13 @@
+//! Generators for the evaluation experiments beyond the literal figures.
+
+pub mod bcn_vs_qcn;
+pub mod criterion_sweep;
+pub mod delay_ablation;
+pub mod fb_quantization;
+pub mod fluid_vs_packet;
+pub mod hetero_fairness;
+pub mod incast;
+pub mod pause_hol;
+pub mod transient_frontier;
+pub mod w_pm_transients;
+pub mod warmup;

@@ -1,0 +1,136 @@
+//! `w` and `pm` ablation (paper Section IV-C remark): the control
+//! parameters `w` and `pm` do **not** appear in Theorem 1 — they cannot
+//! make or break strong stability — but they set the switching-line slope
+//! `k = w/(pm C)` and with it the damping, i.e. the convergence speed and
+//! the distance to the limit-cycle boundary.
+
+use std::path::Path;
+
+use bcn::rounds::{first_round, round_ratio, steady_leg_duration};
+use bcn::stability::theorem1_required_buffer;
+use bcn::{BcnParams, Region};
+use plotkit::svg::COLOR_CYCLE;
+use plotkit::{Csv, Series, SvgPlot, Table};
+
+use crate::common::{banner, out_dir, save_plot};
+use crate::ExpResult;
+
+/// Estimated 95%-settling time: rounds needed for the amplitude to decay
+/// below 5%, times the round duration.
+fn settling_time(params: &BcnParams) -> Option<f64> {
+    let rho = round_ratio(params)?;
+    if rho >= 1.0 {
+        return None;
+    }
+    let rounds = (0.05_f64).ln() / rho.ln();
+    let t_round = steady_leg_duration(params, Region::Increase)?
+        + steady_leg_duration(params, Region::Decrease)?;
+    Some(rounds * t_round)
+}
+
+/// Runs the experiment; artifacts land under `out`.
+///
+/// # Errors
+///
+/// Propagates I/O failures while writing artifacts.
+pub fn run(out: &Path) -> ExpResult {
+    banner("w / pm ablation: transients change, the stability bound does not");
+    let base = BcnParams::test_defaults();
+    let req_base = theorem1_required_buffer(&base);
+
+    let mut table = Table::new(&[
+        "sweep",
+        "value",
+        "rho (round ratio)",
+        "settling time (s)",
+        "max_1(x) (bits)",
+        "Theorem-1 buffer (bits)",
+    ]);
+    let mut csv = Csv::new(&["sweep", "value", "rho", "settling", "max1", "thm1_buffer"]);
+
+    let mut w_vals = Vec::new();
+    let mut w_settle = Vec::new();
+    for mult in [0.25, 0.5, 1.0, 2.0, 4.0, 8.0] {
+        let p = base.clone().with_w(mult * base.w);
+        record(&mut table, &mut csv, "w", mult * base.w, &p);
+        if let Some(s) = settling_time(&p) {
+            w_vals.push(mult * base.w);
+            w_settle.push(s);
+        }
+        // The invariant the paper states: the Theorem-1 bound is w-free.
+        assert!((theorem1_required_buffer(&p) - req_base).abs() < 1e-9 * req_base);
+    }
+    let mut pm_vals = Vec::new();
+    let mut pm_settle = Vec::new();
+    for mult in [0.25, 0.5, 1.0, 2.0, 4.0] {
+        let pm = (mult * base.pm).min(1.0);
+        let p = base.clone().with_pm(pm);
+        record(&mut table, &mut csv, "pm", pm, &p);
+        if let Some(s) = settling_time(&p) {
+            pm_vals.push(pm);
+            pm_settle.push(s);
+        }
+        assert!((theorem1_required_buffer(&p) - req_base).abs() < 1e-9 * req_base);
+    }
+    print!("{table}");
+    println!("Theorem-1 requirement constant at {req_base:.3e} bits across both sweeps ✓");
+
+    csv.save(out.join("exp_w_pm_transients.csv"))?;
+    println!("wrote {}", out.join("exp_w_pm_transients.csv").display());
+
+    let plot = SvgPlot::new("Settling time vs w (pm fixed)", "w", "settling time (s)")
+        .with_series(Series::line("settling", &w_vals, &w_settle, COLOR_CYCLE[0]));
+    save_plot(&plot, out, "exp_settling_vs_w.svg")?;
+    let plot = SvgPlot::new("Settling time vs pm (w fixed)", "pm", "settling time (s)")
+        .with_series(Series::line("settling", &pm_vals, &pm_settle, COLOR_CYCLE[1]));
+    save_plot(&plot, out, "exp_settling_vs_pm.svg")?;
+    Ok(())
+}
+
+fn record(table: &mut Table, csv: &mut Csv, sweep: &str, value: f64, p: &BcnParams) {
+    let rho = round_ratio(p).unwrap_or(f64::NAN);
+    let settle = settling_time(p).unwrap_or(f64::NAN);
+    let max1 = first_round(p).map_or(f64::NAN, |fr| fr.max1_x);
+    let req = theorem1_required_buffer(p);
+    table.row(&[
+        sweep.to_string(),
+        format!("{value:.4}"),
+        format!("{rho:.6}"),
+        format!("{settle:.4}"),
+        format!("{max1:.1}"),
+        format!("{req:.4e}"),
+    ]);
+    let sweep_id = if sweep == "w" { 0.0 } else { 1.0 };
+    csv.row(&[sweep_id, value, rho, settle, max1, req]);
+}
+
+/// Runs with the default output directory.
+///
+/// # Errors
+///
+/// See [`run`].
+pub fn main() -> ExpResult {
+    run(&out_dir())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn settling_time_shrinks_with_more_damping() {
+        let base = BcnParams::test_defaults();
+        let slow = settling_time(&base.clone().with_w(0.5)).unwrap();
+        let fast = settling_time(&base.clone().with_w(8.0)).unwrap();
+        assert!(fast < slow, "fast {fast} vs slow {slow}");
+    }
+
+    #[test]
+    fn generator_runs_and_writes_artifacts() {
+        let dir = std::env::temp_dir().join("wpm_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        run(&dir).unwrap();
+        assert!(dir.join("exp_w_pm_transients.csv").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

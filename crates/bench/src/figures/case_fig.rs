@@ -1,0 +1,91 @@
+//! Shared generator for the per-case dynamics figures (Figs. 8–10):
+//! phase trajectory + time-series panels + the case's stability headline.
+
+use std::path::Path;
+
+use bcn::cases::{classify_params, exemplar};
+use bcn::rounds::trace_legs;
+use bcn::stability::{criterion, exact_verdict};
+use bcn::{BcnFluid, BcnParams, CaseId};
+use plotkit::svg::COLOR_CYCLE;
+use plotkit::{Csv, Series, SvgPlot};
+
+use crate::common::{banner, phase_plot, save_plot, trace};
+use crate::ExpResult;
+
+/// Generates the standard three-panel case figure.
+///
+/// # Errors
+///
+/// Propagates I/O failures, or reports a parameter set that landed in the
+/// wrong case.
+pub fn run_case(out: &Path, case: CaseId, stem: &str, title: &str) -> ExpResult {
+    banner(title);
+    let params = exemplar(&BcnParams::test_defaults().with_buffer(4.0e5), case);
+    let analysis = classify_params(&params);
+    if analysis.case != case {
+        return Err(format!("exemplar landed in {} instead of {case}", analysis.case).into());
+    }
+    println!(
+        "shapes: increase = {}, decrease = {}; thresholds a* = {:.3e}, b* = {:.3e}",
+        analysis.increase, analysis.decrease, analysis.a_threshold, analysis.b_threshold
+    );
+
+    // Headline: the paper's per-case stability statement.
+    let verdict = criterion(&params);
+    let exact = exact_verdict(&params, 40);
+    println!("criterion: {verdict:?}");
+    println!(
+        "exact trace: strongly stable = {}, max x = {:.1}, min x = {:.1}",
+        exact.strongly_stable, exact.max_x, exact.min_x
+    );
+
+    // Leg structure.
+    let legs = trace_legs(&params, params.initial_point(), 8);
+    for (i, leg) in legs.iter().enumerate() {
+        println!(
+            "leg {}: {:?}, duration {}, extremum {}",
+            i + 1,
+            leg.region,
+            leg.duration.map_or("open (asymptotic)".to_string(), |d| format!("{d:.5} s")),
+            leg.extremum.map_or("-".to_string(), |e| format!("x = {:.1} @ t = {:.5}", e.x, e.t)),
+        );
+    }
+
+    // Panels.
+    let sys = BcnFluid::linearized(params.clone());
+    let horizon = horizon_for(&params, &legs);
+    let tr = trace(&sys, params.initial_point(), horizon, 2500);
+
+    let mut csv = Csv::new(&["t", "x", "y"]);
+    for i in 0..tr.ts.len() {
+        csv.row(&[tr.ts[i], tr.xs[i], tr.ys[i]]);
+    }
+    csv.save(out.join(format!("{stem}.csv")))?;
+    println!("wrote {}", out.join(format!("{stem}.csv")).display());
+
+    let plot_a = phase_plot(
+        &format!("{title} - phase trajectory"),
+        &params,
+        vec![Series::line("trajectory", &tr.xs, &tr.ys, COLOR_CYCLE[0])],
+    );
+    save_plot(&plot_a, out, &format!("{stem}_phase.svg"))?;
+
+    let plot_b = SvgPlot::new(&format!("{title} - x(t)"), "t (s)", "x (bits)")
+        .with_series(Series::line("x(t)", &tr.ts, &tr.xs, COLOR_CYCLE[0]))
+        .with_hline(0.0, "#999999");
+    save_plot(&plot_b, out, &format!("{stem}_queue.svg"))?;
+
+    let plot_c = SvgPlot::new(&format!("{title} - y(t)"), "t (s)", "y (bit/s)")
+        .with_series(Series::line("y(t)", &tr.ts, &tr.ys, COLOR_CYCLE[1]))
+        .with_hline(0.0, "#999999");
+    save_plot(&plot_c, out, &format!("{stem}_rate.svg"))?;
+    Ok(())
+}
+
+fn horizon_for(params: &BcnParams, legs: &[bcn::rounds::Leg]) -> f64 {
+    // Cover the closed legs plus a tail for the asymptotic approach.
+    let closed: f64 = legs.iter().filter_map(|l| l.duration).sum();
+    let slow_scale = 6.0 / (params.b() * params.capacity).sqrt().min(params.a().sqrt());
+    (2.0 * closed).max(slow_scale)
+}

@@ -1,0 +1,42 @@
+//! Fig. 8: Case 2 (node increase, spiral decrease) — generated through the shared per-case harness
+//! (see [`crate::figures::case_fig`] for the panel layout).
+
+use std::path::Path;
+
+use bcn::CaseId;
+
+use crate::common::out_dir;
+use crate::figures::case_fig::run_case;
+use crate::ExpResult;
+
+/// Runs the generator; artifacts land under `out`.
+///
+/// # Errors
+///
+/// Propagates I/O failures while writing artifacts.
+pub fn run(out: &Path) -> ExpResult {
+    run_case(out, CaseId::Case2, "fig08_case", "Fig. 8: Case 2 (node increase, spiral decrease)")
+}
+
+/// Runs with the default output directory.
+///
+/// # Errors
+///
+/// See [`run`].
+pub fn main() -> ExpResult {
+    run(&out_dir())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_runs_and_writes_artifacts() {
+        let dir = std::env::temp_dir().join("fig08_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        run(&dir).unwrap();
+        assert!(dir.join("fig08_case_phase.svg").exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,12 @@
+//! Generators for the paper's figures.
+
+pub mod case_fig;
+pub mod fig03;
+pub mod fig04;
+pub mod fig05;
+pub mod fig06;
+pub mod fig07;
+pub mod fig08;
+pub mod fig09;
+pub mod fig10;
+pub mod thm1;

@@ -1,0 +1,34 @@
+//! Experiment harness: one module per paper figure / table, each
+//! regenerating its artifact (console rows + CSV + SVG under `results/`).
+//!
+//! | Module | Paper artifact |
+//! |--------|----------------|
+//! | [`figures::fig03`] | Fig. 3 — taxonomy of phase trajectories vs strong stability |
+//! | [`figures::fig04`] | Fig. 4 — logarithmic-spiral trajectories with extrema |
+//! | [`figures::fig05`] | Fig. 5 — stable-node trajectories with eigenline asymptotes |
+//! | [`figures::fig06`] | Fig. 6 — Case 1 round dynamics (trajectory, `q(t)`, `dq/dt`) |
+//! | [`figures::fig07`] | Fig. 7 — the limit cycle |
+//! | [`figures::fig08`] | Fig. 8 — Case 2 |
+//! | [`figures::fig09`] | Fig. 9 — Case 3 |
+//! | [`figures::fig10`] | Fig. 10 — Case 4 |
+//! | [`figures::thm1`]  | Theorem 1 worked example + buffer-sizing sweeps |
+//! | [`experiments::criterion_sweep`] | criterion tightness/soundness atlas over `(Gi, Gd)` |
+//! | [`experiments::fluid_vs_packet`] | fluid model vs packet-level DES validation |
+//! | [`experiments::warmup`] | start-up duration `T0` and the `q0` trade-off |
+//! | [`experiments::w_pm_transients`] | `w`, `pm` shape transients but not stability |
+//! | [`experiments::delay_ablation`] | propagation-delay assumption ablation |
+//! | [`experiments::bcn_vs_qcn`] | BCN vs QCN at packet level |
+//!
+//! Each module exposes `run(out_dir) -> Result<(), Box<dyn Error>>`; the
+//! matching binaries (`cargo run -p bench --bin fig06_case1`) call it with
+//! the default `results/` directory, and `--bin run_all` regenerates
+//! everything.
+
+#![forbid(unsafe_code)]
+
+pub mod common;
+pub mod experiments;
+pub mod figures;
+
+/// Convenient alias used by every experiment entry point.
+pub type ExpResult = Result<(), Box<dyn std::error::Error>>;

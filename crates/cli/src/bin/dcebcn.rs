@@ -1,0 +1,12 @@
+//! The `dcebcn` binary: thin wrapper over the `cli` library.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cli::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    }
+}

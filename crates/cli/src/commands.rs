@@ -1,0 +1,306 @@
+//! The subcommand implementations; each renders a human-readable report
+//! string (and may write CSV artifacts when `--out` is given).
+
+use std::fmt::Write as _;
+
+use bcn::cases::classify_params;
+use bcn::simulate::{fluid_trajectory, FluidOptions};
+use bcn::stability::{
+    criterion, exact_verdict, theorem1_holds, theorem1_required_buffer, StabilityVerdict,
+};
+use bcn::transient;
+use bcn::{linear_baseline, BcnFluid};
+use dcesim::sim::{SimConfig, Simulation};
+use dcesim::time::Duration;
+use plotkit::Csv;
+
+use crate::flags::{params_from, Flags, PARAM_FLAGS};
+use crate::CliError;
+
+fn with_param_flags(extra: &[&str]) -> Vec<&'static str> {
+    // Leaking tiny strings is fine for a CLI's static flag tables.
+    let mut v: Vec<&'static str> = PARAM_FLAGS.to_vec();
+    for e in extra {
+        v.push(Box::leak(e.to_string().into_boxed_str()));
+    }
+    v
+}
+
+/// `dcebcn analyze`: classification + criteria + transient metrics.
+///
+/// # Errors
+///
+/// Propagates flag and validation failures.
+pub fn analyze(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args)?;
+    flags.ensure_known(&with_param_flags(&[]))?;
+    let p = params_from(&flags)?;
+
+    let mut out = String::new();
+    let analysis = classify_params(&p);
+    let _ = writeln!(out, "case:           {}", analysis.case);
+    let _ = writeln!(
+        out,
+        "region shapes:  increase = {}, decrease = {}",
+        analysis.increase, analysis.decrease
+    );
+    let _ = writeln!(
+        out,
+        "thresholds:     a = {:.4e} vs a* = {:.4e}; b = {:.4e} vs b* = {:.4e}",
+        p.a(),
+        analysis.a_threshold,
+        p.b(),
+        analysis.b_threshold
+    );
+    let _ = writeln!(
+        out,
+        "linear baseline [Lu et al. 2006]: {}",
+        if linear_baseline::analyze(&p).overall_stable { "stable (always; blind to B)" } else { "unstable" }
+    );
+    match criterion(&p) {
+        StabilityVerdict::StronglyStable(j) => {
+            let _ = writeln!(out, "strong stability: GUARANTEED ({j:?})");
+        }
+        StabilityVerdict::NotGuaranteed(reason) => {
+            let _ = writeln!(out, "strong stability: NOT guaranteed — {reason}");
+        }
+    }
+    let exact = exact_verdict(&p, 40);
+    let _ = writeln!(
+        out,
+        "exact trace:    strongly stable = {}, q in [{:.4e}, {:.4e}] bits",
+        exact.strongly_stable,
+        p.q0 + exact.min_x,
+        p.q0 + exact.max_x
+    );
+    let m = transient::analyze(&p);
+    let _ = writeln!(
+        out,
+        "transients:     overshoot = {:.1}% of q0, round = {} s, rho = {}, settle(5%) = {} s",
+        m.overshoot_ratio * 100.0,
+        m.round_period.map_or("-".into(), |v| format!("{v:.5}")),
+        m.rho.map_or("-".into(), |v| format!("{v:.5}")),
+        m.settling_time.map_or("-".into(), |v| format!("{v:.3}")),
+    );
+    Ok(out)
+}
+
+/// `dcebcn buffer`: Theorem 1 vs the exact requirement.
+///
+/// # Errors
+///
+/// Propagates flag and validation failures.
+pub fn buffer(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args)?;
+    flags.ensure_known(&with_param_flags(&[]))?;
+    let p = params_from(&flags)?;
+    let exact = exact_verdict(&p, 40);
+    let exact_need = p.q0 + exact.max_x;
+    let thm = theorem1_required_buffer(&p);
+    let mut out = String::new();
+    let _ = writeln!(out, "configured buffer:        {:.4e} bits", p.buffer);
+    let _ = writeln!(out, "Theorem 1 requires:       {thm:.4e} bits");
+    let _ = writeln!(out, "exact trajectory needs:   {exact_need:.4e} bits");
+    let _ = writeln!(
+        out,
+        "Theorem 1 verdict:        {}",
+        if theorem1_holds(&p) { "buffer sufficient" } else { "buffer INSUFFICIENT" }
+    );
+    let _ = writeln!(
+        out,
+        "conservatism:             Theorem 1 asks {:.2}% above the exact need",
+        (thm / exact_need - 1.0) * 100.0
+    );
+    Ok(out)
+}
+
+/// `dcebcn simulate`: integrate the switched fluid model; optional CSV.
+///
+/// # Errors
+///
+/// Propagates flag, validation, integration, and I/O failures.
+pub fn simulate(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args)?;
+    flags.ensure_known(&with_param_flags(&["t-end", "out", "nonlinear"]))?;
+    let p = params_from(&flags)?;
+    let t_end = flags.get_f64("t-end")?.unwrap_or(0.01);
+    if t_end <= 0.0 {
+        return Err(CliError::Usage("--t-end must be positive".into()));
+    }
+    let sys = if flags.get_bool("nonlinear") {
+        BcnFluid::new(p.clone())
+    } else {
+        BcnFluid::linearized(p.clone())
+    };
+    let opts = FluidOptions::default()
+        .with_t_end(t_end)
+        .with_record_dt(t_end / 2000.0);
+    let run = fluid_trajectory(&sys, p.initial_point(), &opts)
+        .map_err(|e| CliError::Analysis(e.to_string()))?;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "integrated {t_end} s: {} region switches, q in [{:.4e}, {:.4e}] bits",
+        run.switch_count(),
+        p.q0 + run.solution.min_component(0),
+        p.q0 + run.solution.max_component(0),
+    );
+    if let Some(path) = flags.get("out") {
+        let mut csv = Csv::new(&["t", "q_bits", "aggregate_rate"]);
+        for (t, z) in run.solution.times().iter().zip(run.solution.states()) {
+            csv.row(&[*t, z[0] + p.q0, z[1] + p.capacity]);
+        }
+        csv.save(path)?;
+        let _ = writeln!(out, "wrote {path} ({} samples)", run.solution.len());
+    }
+    Ok(out)
+}
+
+/// `dcebcn atlas`: the (Gi, Gd) criterion atlas as CSV + summary.
+///
+/// # Errors
+///
+/// Propagates flag, validation, and I/O failures.
+pub fn atlas(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args)?;
+    flags.ensure_known(&with_param_flags(&["grid", "out"]))?;
+    let base = params_from(&flags)?;
+    let grid = flags.get_usize("grid")?.unwrap_or(9);
+    if grid < 2 {
+        return Err(CliError::Usage("--grid must be at least 2".into()));
+    }
+    let mut csv = Csv::new(&["gi", "gd", "criterion", "theorem1", "exact"]);
+    let mut granted = 0usize;
+    let mut exact_ok = 0usize;
+    for i in 0..grid {
+        let gi = base.gi * 0.05 * 400.0_f64.powf(i as f64 / (grid - 1) as f64);
+        for j in 0..grid {
+            let gd = (base.gd * 0.05 * 400.0_f64.powf(j as f64 / (grid - 1) as f64)).min(1.0);
+            let p = base.clone().with_gi(gi).with_gd(gd);
+            let c = criterion(&p).is_guaranteed();
+            let t = theorem1_holds(&p);
+            let e = exact_verdict(&p, 40).strongly_stable;
+            granted += usize::from(c);
+            exact_ok += usize::from(e);
+            csv.row(&[gi, gd, f64::from(u8::from(c)), f64::from(u8::from(t)), f64::from(u8::from(e))]);
+        }
+    }
+    let mut out = String::new();
+    let total = grid * grid;
+    let _ = writeln!(
+        out,
+        "atlas {grid}x{grid}: {exact_ok}/{total} strongly stable, criterion certifies {granted}"
+    );
+    if let Some(path) = flags.get("out") {
+        csv.save(path)?;
+        let _ = writeln!(out, "wrote {path}");
+    }
+    Ok(out)
+}
+
+/// `dcebcn packet`: packet-level run summary.
+///
+/// # Errors
+///
+/// Propagates flag and validation failures.
+pub fn packet(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args)?;
+    flags.ensure_known(&with_param_flags(&["t-end", "frame-bits"]))?;
+    let p = params_from(&flags)?;
+    let t_end = flags.get_f64("t-end")?.unwrap_or(0.2);
+    let frame_bits = flags.get_f64("frame-bits")?.unwrap_or(8_000.0);
+    if t_end <= 0.0 || frame_bits <= 0.0 {
+        return Err(CliError::Usage("--t-end and --frame-bits must be positive".into()));
+    }
+    let cfg = SimConfig::from_fluid(&p, frame_bits, Duration::from_secs(2e-6), t_end);
+    let report = Simulation::new(cfg).run();
+    let m = &report.metrics;
+    let mut out = String::new();
+    let _ = writeln!(out, "packet-level run over {t_end} s ({} flows):", p.n_flows);
+    let _ = writeln!(out, "  delivered frames:   {}", m.delivered_frames);
+    let _ = writeln!(out, "  dropped frames:     {}", m.dropped_frames);
+    let _ = writeln!(out, "  utilisation:        {:.4}", m.utilization(p.capacity, t_end));
+    let _ = writeln!(out, "  fairness (bytes):   {:.4}", m.fairness());
+    let _ = writeln!(out, "  max queue:          {:.4e} bits", m.queue.max());
+    let _ = writeln!(
+        out,
+        "  queueing delay:     p50 {:.1} us, p99 {:.1} us",
+        m.queueing_delay.percentile(0.5) * 1e6,
+        m.queueing_delay.percentile(0.99) * 1e6
+    );
+    let _ = writeln!(out, "  feedback messages:  {}", m.feedback_messages);
+    let _ = writeln!(out, "  PAUSE events:       {}", m.pause_events);
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn analyze_reports_the_worked_example() {
+        let out = analyze(&argv("")).unwrap();
+        assert!(out.contains("case 1"), "{out}");
+        assert!(out.contains("NOT guaranteed"), "{out}");
+        // And with the Theorem-1 buffer it passes.
+        let out = analyze(&argv("--buffer 14e6")).unwrap();
+        assert!(out.contains("GUARANTEED"), "{out}");
+    }
+
+    #[test]
+    fn buffer_quantifies_conservatism() {
+        let out = buffer(&argv("")).unwrap();
+        assert!(out.contains("Theorem 1 requires"), "{out}");
+        assert!(out.contains("INSUFFICIENT"), "{out}");
+    }
+
+    #[test]
+    fn simulate_writes_csv() {
+        let path = std::env::temp_dir().join("dcebcn_sim_test.csv");
+        let _ = std::fs::remove_file(&path);
+        let out = simulate(&argv(&format!(
+            "--t-end 0.002 --out {}",
+            path.display()
+        )))
+        .unwrap();
+        assert!(out.contains("region switches"), "{out}");
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.starts_with("t,q_bits,aggregate_rate"));
+        assert!(body.lines().count() > 1000);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn simulate_rejects_bad_horizon() {
+        assert!(simulate(&argv("--t-end -1")).is_err());
+    }
+
+    #[test]
+    fn atlas_counts_are_consistent() {
+        // Small grid on the fast test scale.
+        let out = atlas(&argv("--grid 4 --capacity 1e6 --q0 2e4 --buffer 1.5e5 --ru 1e4 --gi 1 --gd 0.015625 --pm 0.05"))
+            .unwrap();
+        assert!(out.contains("atlas 4x4"), "{out}");
+    }
+
+    #[test]
+    fn packet_summary_has_all_sections() {
+        let out = packet(&argv(
+            "--n 5 --capacity 1e9 --q0 1e6 --buffer 8e6 --qsc 7.2e6 --ru 1e4 --gi 1.2 --gd 0.00006103515625 --pm 0.2 --w 3e5 --t-end 0.05",
+        ))
+        .unwrap();
+        assert!(out.contains("delivered frames"), "{out}");
+        assert!(out.contains("queueing delay"), "{out}");
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected_per_command() {
+        assert!(analyze(&argv("--bogus 1")).is_err());
+        assert!(buffer(&argv("--t-end 1")).is_err(), "buffer takes no t-end");
+    }
+}

@@ -1,0 +1,204 @@
+//! Hand-rolled `--flag value` parsing (the workspace's dependency policy
+//! excludes an argument-parsing crate; the grammar here is a flat list
+//! of `--key value` pairs, which this covers completely).
+
+use std::collections::BTreeMap;
+
+use bcn::BcnParams;
+
+use crate::CliError;
+
+/// Parsed `--key value` pairs with typed accessors.
+#[derive(Debug, Clone, Default)]
+pub struct Flags {
+    values: BTreeMap<String, String>,
+}
+
+impl Flags {
+    /// Parses an argument list of `--key value` pairs.
+    ///
+    /// # Errors
+    ///
+    /// Rejects positional arguments, repeated keys, and keys without a
+    /// value.
+    pub fn parse(args: &[String]) -> Result<Self, CliError> {
+        let mut values = BTreeMap::new();
+        let mut it = args.iter();
+        while let Some(arg) = it.next() {
+            let Some(key) = arg.strip_prefix("--") else {
+                return Err(CliError::Usage(format!(
+                    "unexpected positional argument `{arg}`"
+                )));
+            };
+            // Boolean flags: present without a value when the next token
+            // is another flag or the list ends.
+            let value = match it.clone().next() {
+                Some(v) if !v.starts_with("--") => {
+                    it.next();
+                    v.clone()
+                }
+                _ => "true".to_string(),
+            };
+            if values.insert(key.to_string(), value).is_some() {
+                return Err(CliError::Usage(format!("flag --{key} given twice")));
+            }
+        }
+        Ok(Self { values })
+    }
+
+    /// A string flag.
+    #[must_use]
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.values.get(key).map(String::as_str)
+    }
+
+    /// A float flag (scientific notation accepted).
+    ///
+    /// # Errors
+    ///
+    /// Rejects unparsable numbers.
+    pub fn get_f64(&self, key: &str) -> Result<Option<f64>, CliError> {
+        self.values
+            .get(key)
+            .map(|v| {
+                v.parse::<f64>()
+                    .map_err(|_| CliError::Usage(format!("--{key} expects a number, got `{v}`")))
+            })
+            .transpose()
+    }
+
+    /// An integer flag.
+    ///
+    /// # Errors
+    ///
+    /// Rejects unparsable integers.
+    pub fn get_usize(&self, key: &str) -> Result<Option<usize>, CliError> {
+        self.values
+            .get(key)
+            .map(|v| {
+                v.parse::<usize>()
+                    .map_err(|_| CliError::Usage(format!("--{key} expects an integer, got `{v}`")))
+            })
+            .transpose()
+    }
+
+    /// Whether a boolean flag is present and truthy.
+    #[must_use]
+    pub fn get_bool(&self, key: &str) -> bool {
+        matches!(self.get(key), Some("true" | "1" | "yes"))
+    }
+
+    /// Verifies every provided key is in the allowed set.
+    ///
+    /// # Errors
+    ///
+    /// Names the first unknown flag.
+    pub fn ensure_known(&self, allowed: &[&str]) -> Result<(), CliError> {
+        for key in self.values.keys() {
+            if !allowed.contains(&key.as_str()) {
+                return Err(CliError::Usage(format!("unknown flag --{key}")));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// The parameter flags shared by every subcommand.
+pub const PARAM_FLAGS: &[&str] = &[
+    "n", "capacity", "q0", "buffer", "gi", "gd", "ru", "w", "pm", "qsc",
+];
+
+/// Builds a [`BcnParams`] from the paper defaults overridden by flags.
+///
+/// # Errors
+///
+/// Propagates flag-parse failures and parameter-validation failures.
+pub fn params_from(flags: &Flags) -> Result<BcnParams, CliError> {
+    let mut p = BcnParams::paper_defaults();
+    if let Some(n) = flags.get_usize("n")? {
+        p.n_flows = u32::try_from(n)
+            .map_err(|_| CliError::Usage(format!("--n {n} out of range")))?;
+    }
+    if let Some(v) = flags.get_f64("capacity")? {
+        p.capacity = v;
+    }
+    if let Some(v) = flags.get_f64("q0")? {
+        p.q0 = v;
+    }
+    if let Some(v) = flags.get_f64("buffer")? {
+        p = p.with_buffer(v);
+    }
+    if let Some(v) = flags.get_f64("gi")? {
+        p.gi = v;
+    }
+    if let Some(v) = flags.get_f64("gd")? {
+        p.gd = v;
+    }
+    if let Some(v) = flags.get_f64("ru")? {
+        p.ru = v;
+    }
+    if let Some(v) = flags.get_f64("w")? {
+        p.w = v;
+    }
+    if let Some(v) = flags.get_f64("pm")? {
+        p.pm = v;
+    }
+    if let Some(v) = flags.get_f64("qsc")? {
+        p.qsc = v;
+    }
+    p.validate().map_err(|e| CliError::Analysis(e.to_string()))?;
+    Ok(p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn parses_key_value_pairs() {
+        let f = Flags::parse(&argv("--n 10 --capacity 1e9 --nonlinear")).unwrap();
+        assert_eq!(f.get_usize("n").unwrap(), Some(10));
+        assert_eq!(f.get_f64("capacity").unwrap(), Some(1e9));
+        assert!(f.get_bool("nonlinear"));
+        assert!(!f.get_bool("absent"));
+    }
+
+    #[test]
+    fn rejects_positional_and_duplicates() {
+        assert!(Flags::parse(&argv("stray")).is_err());
+        assert!(Flags::parse(&argv("--n 1 --n 2")).is_err());
+    }
+
+    #[test]
+    fn rejects_bad_numbers() {
+        let f = Flags::parse(&argv("--n abc")).unwrap();
+        assert!(f.get_usize("n").is_err());
+    }
+
+    #[test]
+    fn unknown_flags_are_caught() {
+        let f = Flags::parse(&argv("--bogus 1")).unwrap();
+        assert!(f.ensure_known(&["n"]).is_err());
+        assert!(f.ensure_known(&["bogus"]).is_ok());
+    }
+
+    #[test]
+    fn params_default_to_paper_and_override() {
+        let f = Flags::parse(&argv("--n 100 --buffer 2e7")).unwrap();
+        let p = params_from(&f).unwrap();
+        assert_eq!(p.n_flows, 100);
+        assert_eq!(p.buffer, 2e7);
+        assert_eq!(p.capacity, 10e9); // untouched default
+    }
+
+    #[test]
+    fn invalid_params_are_reported() {
+        let f = Flags::parse(&argv("--q0 1e9")).unwrap(); // q0 above buffer
+        let err = params_from(&f).unwrap_err();
+        assert!(err.to_string().contains("q0"));
+    }
+}

@@ -1,0 +1,129 @@
+//! The `dcebcn` command-line tool: the DCE-BCN analysis library from the
+//! shell.
+//!
+//! ```console
+//! $ dcebcn analyze --n 50 --capacity 10e9 --q0 2.5e6 --buffer 5e6
+//! $ dcebcn buffer  --n 100 --capacity 10e9
+//! $ dcebcn simulate --t-end 0.1 --out trace.csv
+//! $ dcebcn atlas --grid 9 --out atlas.csv
+//! $ dcebcn packet --t-end 0.5
+//! ```
+//!
+//! Every subcommand starts from the paper's default parameterisation and
+//! overrides fields from flags (see [`flags::PARAM_FLAGS`]). The library
+//! half of the crate (this module tree) carries all logic so it is
+//! testable without spawning processes; the `dcebcn` binary is a thin
+//! wrapper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod commands;
+pub mod flags;
+
+use std::fmt;
+
+/// CLI-level errors (bad flags, unknown commands, I/O).
+#[derive(Debug)]
+pub enum CliError {
+    /// The user asked for something the tool does not understand.
+    Usage(String),
+    /// Parameter validation or analysis failure.
+    Analysis(String),
+    /// Filesystem output failure.
+    Io(std::io::Error),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::Usage(msg) => write!(f, "usage error: {msg}"),
+            CliError::Analysis(msg) => write!(f, "analysis error: {msg}"),
+            CliError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError::Io(e)
+    }
+}
+
+/// Entry point shared by the binary and the tests: runs the tool on
+/// `args` (without the program name) and returns the rendered output.
+///
+/// # Errors
+///
+/// Returns [`CliError`] for unknown commands, malformed flags, invalid
+/// parameters, or output failures.
+pub fn run(args: &[String]) -> Result<String, CliError> {
+    let Some((command, rest)) = args.split_first() else {
+        return Ok(usage());
+    };
+    match command.as_str() {
+        "analyze" => commands::analyze(rest),
+        "buffer" => commands::buffer(rest),
+        "simulate" => commands::simulate(rest),
+        "atlas" => commands::atlas(rest),
+        "packet" => commands::packet(rest),
+        "help" | "--help" | "-h" => Ok(usage()),
+        other => Err(CliError::Usage(format!(
+            "unknown command `{other}`; run `dcebcn help`"
+        ))),
+    }
+}
+
+/// The top-level usage text.
+#[must_use]
+pub fn usage() -> String {
+    "dcebcn — BCN congestion-control analysis (Ren & Jiang, ICDCS 2010)\n\
+     \n\
+     commands:\n\
+     \x20 analyze   classify the system and apply the strong-stability criteria\n\
+     \x20 buffer    buffer sizing: Theorem 1 vs the exact trajectory need\n\
+     \x20 simulate  integrate the switched fluid model, write a CSV trace\n\
+     \x20 atlas     criterion atlas over the (Gi, Gd) gain plane, as CSV\n\
+     \x20 packet    run the packet-level simulator and summarise\n\
+     \n\
+     common flags (defaults = the paper's worked example):\n\
+     \x20 --n <flows> --capacity <bit/s> --q0 <bits> --buffer <bits>\n\
+     \x20 --gi <gain> --gd <gain> --ru <bit/s> --w <weight> --pm <prob>\n\
+     \n\
+     command flags:\n\
+     \x20 simulate: --t-end <s> --out <path.csv> [--nonlinear]\n\
+     \x20 atlas:    --grid <n> --out <path.csv>\n\
+     \x20 packet:   --t-end <s> --frame-bits <bits>\n"
+        .to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(s: &str) -> Vec<String> {
+        s.split_whitespace().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn no_args_prints_usage() {
+        let out = run(&[]).unwrap();
+        assert!(out.contains("commands:"));
+    }
+
+    #[test]
+    fn unknown_command_is_a_usage_error() {
+        let err = run(&argv("frobnicate")).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)));
+        assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn help_variants() {
+        for h in ["help", "--help", "-h"] {
+            assert!(run(&argv(h)).unwrap().contains("dcebcn"));
+        }
+    }
+}

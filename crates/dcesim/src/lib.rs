@@ -1,0 +1,55 @@
+//! Packet-level discrete-event simulator of a Data Center Ethernet
+//! bottleneck under BCN / QCN congestion management.
+//!
+//! The reproduced paper analyses BCN through a fluid-flow model; this
+//! crate provides the *physical substrate* that model abstracts: discrete
+//! frames, a finite shared buffer, deterministic packet sampling at the
+//! congestion point, backward notification messages with propagation
+//! delay, per-source rate regulators running the AIMD law of paper Eq. 2,
+//! and the IEEE 802.3x PAUSE escape hatch above the severe-congestion
+//! threshold. Every analytic claim of the `bcn` crate can be
+//! cross-validated against this simulator.
+//!
+//! # Architecture
+//!
+//! * [`time`] — integer nanosecond simulation time.
+//! * [`frame`] — data frames, BCN messages (paper Fig. 2 fields), PAUSE.
+//! * [`cp`] — the congestion point: queue monitoring, deterministic
+//!   sampling, the congestion measure `sigma`, BCN message generation.
+//! * [`rp`] — the reaction point: the BCN AIMD rate regulator with rate
+//!   regulator tags (RRT/CPID association).
+//! * [`qcn`] — the QCN (802.1Qau) congestion point and reaction point,
+//!   the BCN-paradigm successor, for comparison experiments.
+//! * [`sim`] — the event-driven engine wiring N sources through a single
+//!   bottleneck queue to a sink (the paper's Fig. 1 dumbbell).
+//! * [`metrics`] — queue/rate time series, drop counters, throughput and
+//!   Jain fairness.
+//! * [`workload`] — flow descriptors: start/stop times, initial rates.
+//! * [`wire`] — the BCN message wire format of the paper's Fig. 2
+//!   (encode/decode, FB fixed-point quantization).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use dcesim::sim::{Simulation, SimConfig};
+//!
+//! let cfg = SimConfig::fluid_validation_default();
+//! let report = Simulation::new(cfg).run();
+//! // The bottleneck stays busy and nothing is dropped with a roomy buffer.
+//! assert!(report.metrics.dropped_frames == 0);
+//! assert!(report.metrics.delivered_frames > 100);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cp;
+pub mod frame;
+pub mod metrics;
+pub mod net;
+pub mod qcn;
+pub mod rp;
+pub mod sim;
+pub mod time;
+pub mod wire;
+pub mod workload;

@@ -1,0 +1,204 @@
+//! The BCN reaction point (source-side rate regulator, paper Eq. 2).
+//!
+//! Located conceptually in the edge-switch / NIC, the reaction point
+//! shapes one source's sending rate with the modified AIMD law:
+//!
+//! ```text
+//! r <- r + Gi * Ru * sigma      sigma > 0   (additive increase)
+//! r <- r * (1 + Gd * sigma)     sigma < 0   (multiplicative decrease)
+//! ```
+//!
+//! A negative BCN message also *associates* the reaction point with the
+//! congestion point (CPID): subsequent frames carry a rate-regulator tag
+//! so the congestion point can send positive feedback when the queue
+//! drains (paper Section II-B).
+
+use crate::frame::{BcnMessage, CpId};
+
+/// Configuration of a reaction point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RpConfig {
+    /// Additive-increase gain `Gi`.
+    pub gi: f64,
+    /// Multiplicative-decrease gain `Gd`.
+    pub gd: f64,
+    /// Rate increase unit `Ru` (bit/s per unit of positive feedback).
+    pub ru: f64,
+    /// Dimensionless scale applied to both gains so that the discrete
+    /// per-message updates integrate to the paper's fluid law. One
+    /// message arrives per `1/pm` frames of this source, i.e. at rate
+    /// `pm * r / frame_bits`, so matching `dr/dt = Gi Ru sigma` at the
+    /// fair share requires `gain_scale = frame_bits * N / (pm * C)`
+    /// (see `sim::SimConfig::from_fluid`). Use `1.0` for raw
+    /// protocol-unit gains.
+    pub gain_scale: f64,
+    /// Rate floor (bit/s) — the regulator never strangles a source to
+    /// zero (the real BCN has a minimum rate too).
+    pub r_min: f64,
+    /// Rate ceiling (bit/s) — the access line rate.
+    pub r_max: f64,
+}
+
+impl RpConfig {
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive gains or an empty rate range.
+    pub fn assert_valid(&self) {
+        assert!(self.gi > 0.0 && self.gd > 0.0 && self.ru > 0.0, "gains must be positive");
+        assert!(self.gain_scale > 0.0, "gain scale must be positive");
+        assert!(
+            self.r_min > 0.0 && self.r_min < self.r_max,
+            "need 0 < r_min < r_max"
+        );
+    }
+}
+
+/// Runtime state of a reaction point.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReactionPoint {
+    cfg: RpConfig,
+    rate: f64,
+    associated: Option<CpId>,
+    increases: u64,
+    decreases: u64,
+}
+
+impl ReactionPoint {
+    /// Creates a reaction point with the given initial rate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is invalid.
+    #[must_use]
+    pub fn new(cfg: RpConfig, initial_rate: f64) -> Self {
+        cfg.assert_valid();
+        let rate = initial_rate.clamp(cfg.r_min, cfg.r_max);
+        Self { cfg, rate, associated: None, increases: 0, decreases: 0 }
+    }
+
+    /// Current sending rate in bit/s.
+    #[must_use]
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+
+    /// The congestion point this regulator is currently associated with
+    /// (frames are tagged with this CPID).
+    #[must_use]
+    pub fn associated_cp(&self) -> Option<CpId> {
+        self.associated
+    }
+
+    /// Applies a received BCN message (paper Eq. 2).
+    pub fn on_bcn(&mut self, msg: &BcnMessage) {
+        let sigma = msg.sigma * self.cfg.gain_scale;
+        if msg.sigma > 0.0 {
+            // Positive feedback only reaches us when tagged (the CP
+            // enforces that); apply the additive increase.
+            self.rate += self.cfg.gi * self.cfg.ru * sigma;
+            self.increases += 1;
+        } else if msg.sigma < 0.0 {
+            self.associated = Some(msg.cpid);
+            let factor = 1.0 + self.cfg.gd * sigma;
+            // A severely negative sigma must not turn the rate negative.
+            self.rate *= factor.max(0.0);
+            self.decreases += 1;
+        }
+        self.rate = self.rate.clamp(self.cfg.r_min, self.cfg.r_max);
+    }
+
+    /// Number of additive increases applied.
+    #[must_use]
+    pub fn increase_count(&self) -> u64 {
+        self.increases
+    }
+
+    /// Number of multiplicative decreases applied.
+    #[must_use]
+    pub fn decrease_count(&self) -> u64 {
+        self.decreases
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::SourceId;
+
+    fn cfg() -> RpConfig {
+        RpConfig {
+            gi: 1.0,
+            gd: 1.0 / 64.0,
+            ru: 1_000.0,
+            gain_scale: 1.0,
+            r_min: 100.0,
+            r_max: 1.0e6,
+        }
+    }
+
+    fn msg(sigma: f64) -> BcnMessage {
+        BcnMessage { dst: SourceId(0), cpid: CpId(42), sigma }
+    }
+
+    #[test]
+    fn additive_increase() {
+        let mut rp = ReactionPoint::new(cfg(), 10_000.0);
+        rp.on_bcn(&msg(3.0));
+        assert!((rp.rate() - 13_000.0).abs() < 1e-9);
+        assert_eq!(rp.increase_count(), 1);
+    }
+
+    #[test]
+    fn multiplicative_decrease_and_association() {
+        let mut rp = ReactionPoint::new(cfg(), 64_000.0);
+        assert!(rp.associated_cp().is_none());
+        rp.on_bcn(&msg(-16.0));
+        // factor = 1 - 16/64 = 0.75.
+        assert!((rp.rate() - 48_000.0).abs() < 1e-9);
+        assert_eq!(rp.associated_cp(), Some(CpId(42)));
+        assert_eq!(rp.decrease_count(), 1);
+    }
+
+    #[test]
+    fn rate_clamped_to_floor_and_ceiling() {
+        let mut rp = ReactionPoint::new(cfg(), 1_000.0);
+        // Violent negative feedback: factor clamps at 0, rate at r_min.
+        rp.on_bcn(&msg(-1.0e9));
+        assert_eq!(rp.rate(), 100.0);
+        // Violent positive feedback: rate caps at r_max.
+        rp.on_bcn(&msg(1.0e9));
+        assert_eq!(rp.rate(), 1.0e6);
+    }
+
+    #[test]
+    fn gain_scale_multiplies_feedback() {
+        let mut a = ReactionPoint::new(cfg(), 10_000.0);
+        let mut b = ReactionPoint::new(RpConfig { gain_scale: 2.0, ..cfg() }, 10_000.0);
+        a.on_bcn(&msg(3.0));
+        b.on_bcn(&msg(3.0));
+        assert!((b.rate() - 10_000.0) / (a.rate() - 10_000.0) - 2.0 < 1e-9);
+    }
+
+    #[test]
+    fn zero_sigma_is_a_no_op() {
+        let mut rp = ReactionPoint::new(cfg(), 10_000.0);
+        rp.on_bcn(&msg(0.0));
+        assert_eq!(rp.rate(), 10_000.0);
+        assert_eq!(rp.increase_count() + rp.decrease_count(), 0);
+    }
+
+    #[test]
+    fn initial_rate_is_clamped() {
+        let rp = ReactionPoint::new(cfg(), 1.0e12);
+        assert_eq!(rp.rate(), 1.0e6);
+    }
+
+    #[test]
+    #[should_panic(expected = "r_min < r_max")]
+    fn rejects_empty_rate_range() {
+        let bad = RpConfig { r_min: 10.0, r_max: 5.0, ..cfg() };
+        let _ = ReactionPoint::new(bad, 1.0);
+    }
+}

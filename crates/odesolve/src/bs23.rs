@@ -1,0 +1,258 @@
+//! Adaptive Bogacki–Shampine 3(2) embedded Runge–Kutta pair.
+
+use crate::stepper::{StepOutcome, Stepper};
+use crate::vecn::{all_finite, axpy, axpy_mut, error_norm};
+use crate::{Ode, SolveError};
+
+/// Adaptive Bogacki–Shampine 3(2) stepper (the method behind MATLAB's
+/// `ode23`).
+///
+/// A lower-order, cheaper alternative to [`crate::Dopri5`]: three
+/// derivative evaluations per step (four with FSAL reuse), third-order
+/// accurate with an embedded second-order error estimate. The right tool
+/// when the requested tolerance is loose (1e-4 .. 1e-6) or the right-hand
+/// side is expensive; also used by this workspace as an *independent
+/// implementation* to cross-check Dormand–Prince results in tests.
+///
+/// # Example
+///
+/// ```
+/// use odesolve::{integrate, Bs23, Options};
+///
+/// let sol = integrate(
+///     &|_t: f64, y: &[f64; 1]| [-y[0]],
+///     0.0,
+///     [1.0],
+///     2.0,
+///     &mut Bs23::with_tolerances(1e-8, 1e-8),
+///     &Options::default(),
+/// )
+/// .unwrap();
+/// assert!((sol.last_state()[0] - (-2.0f64).exp()).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bs23 {
+    atol: f64,
+    rtol: f64,
+    safety: f64,
+    min_factor: f64,
+    max_factor: f64,
+}
+
+impl Bs23 {
+    /// Creates a stepper with default tolerances `atol = rtol = 1e-6`.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_tolerances(1e-6, 1e-6)
+    }
+
+    /// Creates a stepper with the given tolerances.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either tolerance is not strictly positive and finite.
+    #[must_use]
+    pub fn with_tolerances(atol: f64, rtol: f64) -> Self {
+        assert!(atol.is_finite() && atol > 0.0, "atol must be positive");
+        assert!(rtol.is_finite() && rtol > 0.0, "rtol must be positive");
+        Self { atol, rtol, safety: 0.9, min_factor: 0.2, max_factor: 5.0 }
+    }
+
+    fn try_step<const N: usize>(
+        &self,
+        ode: &dyn Ode<N>,
+        t: f64,
+        y: &[f64; N],
+        f: &[f64; N],
+        h: f64,
+    ) -> ([f64; N], [f64; N], f64) {
+        let k1 = *f;
+        let k2 = ode.rhs(t + 0.5 * h, &axpy(y, 0.5 * h, &k1));
+        let k3 = ode.rhs(t + 0.75 * h, &axpy(y, 0.75 * h, &k2));
+        // 3rd-order solution.
+        let mut y3 = *y;
+        axpy_mut(&mut y3, h * 2.0 / 9.0, &k1);
+        axpy_mut(&mut y3, h * 1.0 / 3.0, &k2);
+        axpy_mut(&mut y3, h * 4.0 / 9.0, &k3);
+        // FSAL stage at the new point doubles as the 2nd-order estimate's
+        // last stage.
+        let k4 = ode.rhs(t + h, &y3);
+        // Error = y3 - y2 with b2 = (7/24, 1/4, 1/3, 1/8).
+        let mut err = [0.0; N];
+        axpy_mut(&mut err, h * (2.0 / 9.0 - 7.0 / 24.0), &k1);
+        axpy_mut(&mut err, h * (1.0 / 3.0 - 1.0 / 4.0), &k2);
+        axpy_mut(&mut err, h * (4.0 / 9.0 - 1.0 / 3.0), &k3);
+        axpy_mut(&mut err, h * (-1.0 / 8.0), &k4);
+        let en = error_norm(&err, y, &y3, self.atol, self.rtol);
+        (y3, k4, en)
+    }
+}
+
+impl Default for Bs23 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<const N: usize> Stepper<N> for Bs23 {
+    fn step(
+        &mut self,
+        ode: &dyn Ode<N>,
+        t: f64,
+        y: &[f64; N],
+        f: &[f64; N],
+        h: f64,
+    ) -> Result<StepOutcome<N>, SolveError> {
+        if !(h.is_finite() && h > 0.0) {
+            return Err(SolveError::BadInput(format!("non-positive step {h}")));
+        }
+        let mut h_try = h;
+        for _ in 0..64 {
+            let (y_new, f_new, en) = self.try_step(ode, t, y, f, h_try);
+            if !all_finite(&y_new) || !en.is_finite() {
+                h_try *= 0.25;
+                if t + h_try == t {
+                    return Err(SolveError::NonFiniteState { t });
+                }
+                continue;
+            }
+            if en <= 1.0 {
+                let factor = (self.safety * en.max(1e-10).powf(-1.0 / 3.0))
+                    .clamp(self.min_factor, self.max_factor);
+                return Ok(StepOutcome { t_new: t + h_try, y_new, f_new, h_next: h_try * factor });
+            }
+            let factor = (self.safety * en.powf(-1.0 / 3.0)).clamp(self.min_factor, 1.0);
+            h_try *= factor;
+            if t + h_try == t {
+                return Err(SolveError::StepSizeUnderflow { t, h: h_try });
+            }
+        }
+        Err(SolveError::StepSizeUnderflow { t, h: h_try })
+    }
+
+    fn initial_step(&self, t0: f64, y0: &[f64; N], f0: &[f64; N], t_end: f64) -> f64 {
+        let span = (t_end - t0).abs();
+        if span == 0.0 {
+            return f64::MIN_POSITIVE;
+        }
+        let mut d0 = 0.0_f64;
+        let mut d1 = 0.0_f64;
+        for i in 0..N {
+            let sc = self.atol + self.rtol * y0[i].abs();
+            d0 = d0.max((y0[i] / sc).abs());
+            d1 = d1.max((f0[i] / sc).abs());
+        }
+        let h0 = if d0 < 1e-5 || d1 < 1e-5 { 1e-6 * span } else { 0.01 * d0 / d1 };
+        h0.min(span)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{integrate, Options};
+
+    #[test]
+    fn exponential_decay() {
+        let sol = integrate(
+            &|_t: f64, y: &[f64; 1]| [-y[0]],
+            0.0,
+            [1.0],
+            3.0,
+            &mut Bs23::with_tolerances(1e-9, 1e-9),
+            &Options::default(),
+        )
+        .unwrap();
+        assert!((sol.last_state()[0] - (-3.0f64).exp()).abs() < 1e-7);
+    }
+
+    #[test]
+    fn agrees_with_dopri5() {
+        // Independent implementations agreeing is a strong correctness
+        // signal for both.
+        let ode = |t: f64, y: &[f64; 2]| [y[1], -y[0] - 0.1 * y[1] + t.sin()];
+        let a = integrate(
+            &ode,
+            0.0,
+            [1.0, 0.0],
+            10.0,
+            &mut Bs23::with_tolerances(1e-10, 1e-10),
+            &Options::default(),
+        )
+        .unwrap();
+        let b = integrate(
+            &ode,
+            0.0,
+            [1.0, 0.0],
+            10.0,
+            &mut crate::Dopri5::with_tolerances(1e-10, 1e-10),
+            &Options::default(),
+        )
+        .unwrap();
+        for i in 0..2 {
+            assert!(
+                (a.last_state()[i] - b.last_state()[i]).abs() < 1e-7,
+                "component {i}: {:?} vs {:?}",
+                a.last_state(),
+                b.last_state()
+            );
+        }
+    }
+
+    #[test]
+    fn fsal_derivative_matches_rhs() {
+        let ode = |_t: f64, y: &[f64; 1]| [-3.0 * y[0]];
+        let mut st = Bs23::new();
+        let f0 = ode(0.0, &[2.0]);
+        let out = <Bs23 as Stepper<1>>::step(&mut st, &ode, 0.0, &[2.0], &f0, 0.01).unwrap();
+        let direct = ode(out.t_new, &out.y_new);
+        assert!((out.f_new[0] - direct[0]).abs() < 1e-14);
+    }
+
+    #[test]
+    fn takes_fewer_accepted_steps_than_dopri5_demands_at_loose_tol() {
+        // At loose tolerance the 3rd-order method is competitive: it
+        // completes within a small multiple of DP5's step count.
+        let ode = |_t: f64, y: &[f64; 2]| [y[1], -y[0]];
+        let run = |st: &mut dyn Stepper<2>| {
+            integrate(&ode, 0.0, [1.0, 0.0], 20.0, st, &Options::default())
+                .unwrap()
+                .len()
+        };
+        let n23 = run(&mut Bs23::with_tolerances(1e-4, 1e-4));
+        let n45 = run(&mut crate::Dopri5::with_tolerances(1e-4, 1e-4));
+        assert!(n23 < 6 * n45, "bs23 {n23} steps vs dopri5 {n45}");
+    }
+
+    #[test]
+    #[should_panic(expected = "atol must be positive")]
+    fn rejects_bad_tolerances() {
+        let _ = Bs23::with_tolerances(-1.0, 1e-6);
+    }
+
+    #[test]
+    fn convergence_order_is_three() {
+        // Fixed-size steps through the trait at forced h: halving the
+        // error tolerance is indirect; instead check global error decays
+        // ~h^3 by forcing max_step.
+        let exact = (-2.0f64).exp();
+        let run = |hmax: f64| {
+            let sol = integrate(
+                &|_t: f64, y: &[f64; 1]| [-y[0]],
+                0.0,
+                [1.0],
+                2.0,
+                // Huge tolerance: the controller never rejects, so the
+                // step is pinned at hmax.
+                &mut Bs23::with_tolerances(1.0, 1.0),
+                &Options::default().with_max_step(hmax),
+            )
+            .unwrap();
+            (sol.last_state()[0] - exact).abs()
+        };
+        let e1 = run(0.05);
+        let e2 = run(0.025);
+        let order = (e1 / e2).log2();
+        assert!((order - 3.0).abs() < 0.4, "observed order {order}");
+    }
+}

@@ -1,0 +1,184 @@
+//! Classical fixed-step fourth-order Runge–Kutta.
+
+use crate::stepper::{StepOutcome, Stepper};
+use crate::vecn::{all_finite, axpy, axpy_mut, scale};
+use crate::{Ode, SolveError};
+
+/// The classical RK4 method.
+///
+/// Takes exactly the step it is given (no error control), which makes it the
+/// right tool for delay systems integrated by the method of steps and for
+/// convergence-order studies. For production integration of the BCN phase
+/// plane prefer [`crate::Dopri5`].
+///
+/// # Example
+///
+/// ```
+/// use odesolve::{integrate, Options, Rk4};
+///
+/// // Harmonic oscillator x'' = -x integrated over one period.
+/// let sol = integrate(
+///     &|_t: f64, y: &[f64; 2]| [y[1], -y[0]],
+///     0.0,
+///     [1.0, 0.0],
+///     std::f64::consts::TAU,
+///     &mut Rk4::with_step(1e-3),
+///     &Options::default(),
+/// )
+/// .unwrap();
+/// assert!((sol.last_state()[0] - 1.0).abs() < 1e-9);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Rk4 {
+    h: f64,
+}
+
+impl Rk4 {
+    /// Creates an RK4 stepper with a default step of `1e-3`.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_step(1e-3)
+    }
+
+    /// Creates an RK4 stepper that takes steps of size `h`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `h` is not strictly positive and finite.
+    #[must_use]
+    pub fn with_step(h: f64) -> Self {
+        assert!(h.is_finite() && h > 0.0, "RK4 step must be positive and finite");
+        Self { h }
+    }
+
+    /// The configured step size.
+    #[must_use]
+    pub fn step_size(&self) -> f64 {
+        self.h
+    }
+
+    /// Performs one raw RK4 update of size `h` (no finiteness checks).
+    #[must_use]
+    pub fn advance<const N: usize>(
+        ode: &dyn Ode<N>,
+        t: f64,
+        y: &[f64; N],
+        f: &[f64; N],
+        h: f64,
+    ) -> [f64; N] {
+        let k1 = *f;
+        let k2 = ode.rhs(t + 0.5 * h, &axpy(y, 0.5 * h, &k1));
+        let k3 = ode.rhs(t + 0.5 * h, &axpy(y, 0.5 * h, &k2));
+        let k4 = ode.rhs(t + h, &axpy(y, h, &k3));
+        let mut incr = scale(1.0, &k1);
+        axpy_mut(&mut incr, 2.0, &k2);
+        axpy_mut(&mut incr, 2.0, &k3);
+        axpy_mut(&mut incr, 1.0, &k4);
+        axpy(y, h / 6.0, &incr)
+    }
+}
+
+impl Default for Rk4 {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<const N: usize> Stepper<N> for Rk4 {
+    fn step(
+        &mut self,
+        ode: &dyn Ode<N>,
+        t: f64,
+        y: &[f64; N],
+        f: &[f64; N],
+        h: f64,
+    ) -> Result<StepOutcome<N>, SolveError> {
+        let h_eff = h.min(self.h);
+        if h_eff <= 0.0 {
+            return Err(SolveError::BadInput(format!("non-positive step {h_eff}")));
+        }
+        let y_new = Self::advance(ode, t, y, f, h_eff);
+        if !all_finite(&y_new) {
+            return Err(SolveError::NonFiniteState { t: t + h_eff });
+        }
+        let t_new = t + h_eff;
+        let f_new = ode.rhs(t_new, &y_new);
+        Ok(StepOutcome { t_new, y_new, f_new, h_next: self.h })
+    }
+
+    fn initial_step(&self, _t0: f64, _y0: &[f64; N], _f0: &[f64; N], _t_end: f64) -> f64 {
+        self.h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// dy/dt = y, y(0) = 1 -> y(1) = e.
+    #[test]
+    fn exponential_growth() {
+        let ode = |_t: f64, y: &[f64; 1]| [y[0]];
+        let mut t = 0.0;
+        let mut y = [1.0];
+        let h = 1e-3;
+        while t < 1.0 - 1e-12 {
+            let f = ode(t, &y);
+            y = Rk4::advance(&ode, t, &y, &f, h);
+            t += h;
+        }
+        assert!((y[0] - 1.0f64.exp()).abs() < 1e-10);
+    }
+
+    /// Halving the step should shrink the global error ~16x (order 4).
+    #[test]
+    fn convergence_order_is_four() {
+        let ode = |t: f64, y: &[f64; 1]| [t * y[0]];
+        let exact = (0.5_f64).exp(); // y' = t*y, y(0)=1 -> y(1)=e^{1/2}
+        let run = |h: f64| {
+            let mut t = 0.0;
+            let mut y = [1.0];
+            let n = (1.0 / h).round() as usize;
+            for _ in 0..n {
+                let f = ode(t, &y);
+                y = Rk4::advance(&ode, t, &y, &f, h);
+                t += h;
+            }
+            (y[0] - exact).abs()
+        };
+        let e1 = run(0.02);
+        let e2 = run(0.01);
+        let order = (e1 / e2).log2();
+        assert!(
+            (order - 4.0).abs() < 0.3,
+            "observed order {order}, errors {e1} {e2}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_bad_step() {
+        let _ = Rk4::with_step(0.0);
+    }
+
+    #[test]
+    fn stepper_trait_clamps_to_configured_step() {
+        let ode = |_t: f64, y: &[f64; 1]| [-y[0]];
+        let mut rk = Rk4::with_step(0.5);
+        let f = ode(0.0, &[1.0]);
+        let out = <Rk4 as Stepper<1>>::step(&mut rk, &ode, 0.0, &[1.0], &f, 10.0).unwrap();
+        assert!((out.t_new - 0.5).abs() < 1e-15);
+        // But a smaller remaining interval shortens the step.
+        let out = <Rk4 as Stepper<1>>::step(&mut rk, &ode, 0.0, &[1.0], &f, 0.25).unwrap();
+        assert!((out.t_new - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn detects_non_finite() {
+        let ode = |_t: f64, _y: &[f64; 1]| [f64::NAN];
+        let mut rk = Rk4::new();
+        let err = <Rk4 as Stepper<1>>::step(&mut rk, &ode, 0.0, &[1.0], &[f64::NAN], 0.1)
+            .unwrap_err();
+        assert!(matches!(err, SolveError::NonFiniteState { .. }));
+    }
+}

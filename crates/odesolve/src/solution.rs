@@ -1,0 +1,189 @@
+//! Recorded integration output.
+
+use crate::event::EventOccurrence;
+
+/// The recorded output of an integration run: accepted step points plus any
+/// located events.
+///
+/// Points are stored in increasing time order; the first point is the
+/// initial condition and the last is where the driver stopped (end time or
+/// terminal event).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Solution<const N: usize> {
+    ts: Vec<f64>,
+    ys: Vec<[f64; N]>,
+    events: Vec<EventOccurrence<N>>,
+}
+
+impl<const N: usize> Solution<N> {
+    /// Creates a solution seeded with the initial condition.
+    #[must_use]
+    pub fn new(t0: f64, y0: [f64; N]) -> Self {
+        Self { ts: vec![t0], ys: vec![y0], events: Vec::new() }
+    }
+
+    /// Appends an accepted point. Times must be non-decreasing.
+    pub fn push(&mut self, t: f64, y: [f64; N]) {
+        debug_assert!(t >= *self.ts.last().expect("solution is never empty"));
+        self.ts.push(t);
+        self.ys.push(y);
+    }
+
+    /// Records a located event.
+    pub fn push_event(&mut self, ev: EventOccurrence<N>) {
+        self.events.push(ev);
+    }
+
+    /// The recorded times.
+    #[must_use]
+    pub fn times(&self) -> &[f64] {
+        &self.ts
+    }
+
+    /// The recorded states (same length as [`Self::times`]).
+    #[must_use]
+    pub fn states(&self) -> &[[f64; N]] {
+        &self.ys
+    }
+
+    /// All located events in time order.
+    #[must_use]
+    pub fn events(&self) -> &[EventOccurrence<N>] {
+        &self.events
+    }
+
+    /// Number of recorded points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.ts.len()
+    }
+
+    /// Whether the solution holds only the initial point.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.ts.len() <= 1
+    }
+
+    /// The final recorded time.
+    #[must_use]
+    pub fn last_time(&self) -> f64 {
+        *self.ts.last().expect("solution is never empty")
+    }
+
+    /// The final recorded state.
+    #[must_use]
+    pub fn last_state(&self) -> [f64; N] {
+        *self.ys.last().expect("solution is never empty")
+    }
+
+    /// Component `i` of every recorded state, in time order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= N`.
+    #[must_use]
+    pub fn component(&self, i: usize) -> Vec<f64> {
+        assert!(i < N, "component index {i} out of range for dimension {N}");
+        self.ys.iter().map(|y| y[i]).collect()
+    }
+
+    /// Linearly interpolates the state at an arbitrary time inside the
+    /// recorded range. Returns `None` outside the range.
+    #[must_use]
+    pub fn sample(&self, t: f64) -> Option<[f64; N]> {
+        if t < self.ts[0] || t > self.last_time() {
+            return None;
+        }
+        let idx = match self.ts.binary_search_by(|v| v.partial_cmp(&t).expect("finite times")) {
+            Ok(i) => return Some(self.ys[i]),
+            Err(i) => i,
+        };
+        let (t0, t1) = (self.ts[idx - 1], self.ts[idx]);
+        let w = if t1 > t0 { (t - t0) / (t1 - t0) } else { 0.0 };
+        let (y0, y1) = (&self.ys[idx - 1], &self.ys[idx]);
+        let mut out = [0.0; N];
+        for k in 0..N {
+            out[k] = y0[k] + w * (y1[k] - y0[k]);
+        }
+        Some(out)
+    }
+
+    /// Maximum of component `i` over the recorded points.
+    #[must_use]
+    pub fn max_component(&self, i: usize) -> f64 {
+        self.ys.iter().map(|y| y[i]).fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Minimum of component `i` over the recorded points.
+    #[must_use]
+    pub fn min_component(&self, i: usize) -> f64 {
+        self.ys.iter().map(|y| y[i]).fold(f64::INFINITY, f64::min)
+    }
+
+    /// Appends another solution that continues this one (its first point
+    /// must coincide in time with this solution's last point; the duplicate
+    /// junction point is dropped).
+    pub fn extend_with(&mut self, other: &Solution<N>) {
+        for (i, (&t, y)) in other.ts.iter().zip(other.ys.iter()).enumerate() {
+            if i == 0 {
+                continue;
+            }
+            self.push(t, *y);
+        }
+        self.events.extend(other.events.iter().cloned());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_and_accessors() {
+        let mut s = Solution::new(0.0, [1.0, 2.0]);
+        s.push(1.0, [3.0, 4.0]);
+        assert_eq!(s.len(), 2);
+        assert!(!s.is_empty());
+        assert_eq!(s.last_time(), 1.0);
+        assert_eq!(s.last_state(), [3.0, 4.0]);
+        assert_eq!(s.component(0), vec![1.0, 3.0]);
+        assert_eq!(s.component(1), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn sampling_interpolates_linearly() {
+        let mut s = Solution::new(0.0, [0.0]);
+        s.push(2.0, [4.0]);
+        assert_eq!(s.sample(1.0), Some([2.0]));
+        assert_eq!(s.sample(0.0), Some([0.0]));
+        assert_eq!(s.sample(2.0), Some([4.0]));
+        assert_eq!(s.sample(-0.1), None);
+        assert_eq!(s.sample(2.1), None);
+    }
+
+    #[test]
+    fn extrema_over_components() {
+        let mut s = Solution::new(0.0, [0.0]);
+        s.push(1.0, [5.0]);
+        s.push(2.0, [-3.0]);
+        assert_eq!(s.max_component(0), 5.0);
+        assert_eq!(s.min_component(0), -3.0);
+    }
+
+    #[test]
+    fn extend_drops_junction_duplicate() {
+        let mut a = Solution::new(0.0, [0.0]);
+        a.push(1.0, [1.0]);
+        let mut b = Solution::new(1.0, [1.0]);
+        b.push(2.0, [2.0]);
+        a.extend_with(&b);
+        assert_eq!(a.times(), &[0.0, 1.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn component_bound_check() {
+        let s = Solution::new(0.0, [0.0]);
+        let _ = s.component(1);
+    }
+}

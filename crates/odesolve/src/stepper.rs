@@ -1,0 +1,59 @@
+//! The [`Stepper`] abstraction: one accepted integration step at a time.
+
+use crate::{Ode, SolveError};
+
+/// Result of attempting a single step from `(t, y)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StepOutcome<const N: usize> {
+    /// Time at the end of the accepted step.
+    pub t_new: f64,
+    /// State at the end of the accepted step.
+    pub y_new: [f64; N],
+    /// Derivative `f(t_new, y_new)` at the end of the step (used for
+    /// Hermite dense output and FSAL steppers).
+    pub f_new: [f64; N],
+    /// Step size the stepper suggests for the next attempt.
+    pub h_next: f64,
+}
+
+/// A one-step integration method.
+///
+/// A `Stepper` holds only numerical-control state (e.g. error-controller
+/// memory); the problem itself is passed to every call so one stepper can be
+/// reused across systems of the same dimension.
+pub trait Stepper<const N: usize> {
+    /// Advances the solution by one *accepted* step of size at most `h`,
+    /// starting from `(t, y)` with known derivative `f = rhs(t, y)`.
+    ///
+    /// Adaptive implementations may internally retry with smaller sizes
+    /// until the local error estimate passes; the step actually taken is
+    /// `outcome.t_new - t` which is `<= h` but always `> 0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SolveError::StepSizeUnderflow`] if no acceptable step
+    /// exists above the floating-point resolution, and
+    /// [`SolveError::NonFiniteState`] if the RHS produced NaN/inf.
+    fn step(
+        &mut self,
+        ode: &dyn Ode<N>,
+        t: f64,
+        y: &[f64; N],
+        f: &[f64; N],
+        h: f64,
+    ) -> Result<StepOutcome<N>, SolveError>;
+
+    /// Resets any internal controller memory (call when the vector field
+    /// changes discontinuously, e.g. after a hybrid-mode switch).
+    fn reset(&mut self) {}
+
+    /// An initial step-size guess for a problem starting at `(t0, y0)` with
+    /// derivative `f0`, integrating towards `t_end`.
+    fn initial_step(&self, t0: f64, y0: &[f64; N], f0: &[f64; N], t_end: f64) -> f64 {
+        let span = (t_end - t0).abs().max(f64::MIN_POSITIVE);
+        let ynorm = crate::vecn::norm_inf(y0).max(1e-6);
+        let fnorm = crate::vecn::norm_inf(f0);
+        let by_slope = if fnorm > 0.0 { 0.01 * ynorm / fnorm } else { span / 100.0 };
+        by_slope.min(span / 10.0).max(span * 1e-12)
+    }
+}

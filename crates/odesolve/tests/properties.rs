@@ -1,0 +1,115 @@
+//! Property-based tests of the solver substrate: randomized linear and
+//! oscillator problems with known closed forms, tolerance adherence,
+//! event-location accuracy, and cross-stepper agreement.
+
+use odesolve::{
+    integrate, integrate_with_events, Bs23, Direction, Dopri5, EventSpec, Options, Rk4,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Scalar linear ODE: every stepper lands on the closed form within
+    /// its tolerance class.
+    #[test]
+    fn linear_decay_all_steppers(
+        lambda in 0.05f64..4.0,
+        y0 in 0.1f64..10.0,
+        t_end in 0.1f64..5.0,
+    ) {
+        let ode = move |_t: f64, y: &[f64; 1]| [-lambda * y[0]];
+        let exact = y0 * (-lambda * t_end).exp();
+        let d5 = integrate(&ode, 0.0, [y0], t_end,
+            &mut Dopri5::with_tolerances(1e-10, 1e-10), &Options::default()).unwrap();
+        prop_assert!((d5.last_state()[0] - exact).abs() < 1e-7 * y0,
+            "dopri5: {} vs {}", d5.last_state()[0], exact);
+        let b23 = integrate(&ode, 0.0, [y0], t_end,
+            &mut Bs23::with_tolerances(1e-9, 1e-9), &Options::default()).unwrap();
+        prop_assert!((b23.last_state()[0] - exact).abs() < 1e-5 * y0,
+            "bs23: {} vs {}", b23.last_state()[0], exact);
+        let rk4 = integrate(&ode, 0.0, [y0], t_end,
+            &mut Rk4::with_step(t_end / 2000.0), &Options::default()).unwrap();
+        prop_assert!((rk4.last_state()[0] - exact).abs() < 1e-6 * y0,
+            "rk4: {} vs {}", rk4.last_state()[0], exact);
+    }
+
+    /// Harmonic oscillator with random frequency: energy conservation
+    /// within tolerance.
+    #[test]
+    fn oscillator_energy(omega in 0.2f64..6.0, amp in 0.1f64..5.0) {
+        let ode = move |_t: f64, y: &[f64; 2]| [y[1], -omega * omega * y[0]];
+        let sol = integrate(&ode, 0.0, [amp, 0.0], 10.0,
+            &mut Dopri5::with_tolerances(1e-11, 1e-11), &Options::default()).unwrap();
+        let e0 = omega * omega * amp * amp;
+        for y in sol.states() {
+            let e = omega * omega * y[0] * y[0] + y[1] * y[1];
+            prop_assert!((e - e0).abs() < 1e-5 * e0, "energy drift {e} vs {e0}");
+        }
+    }
+
+    /// The located event time of a linear crossing is exact to ~1e-9
+    /// relative.
+    #[test]
+    fn event_location_accuracy(slope in 0.1f64..5.0, level in 0.1f64..3.0) {
+        // y' = slope, y(0) = 0 crosses `level` at exactly level/slope.
+        let ode = move |_t: f64, _y: &[f64; 1]| [slope];
+        let guard = move |_t: f64, y: &[f64; 1]| y[0] - level;
+        let events = [EventSpec::terminal(&guard).with_direction(Direction::Rising)];
+        let horizon = 2.0 * level / slope;
+        let sol = integrate_with_events(&ode, 0.0, [0.0], horizon,
+            &mut Dopri5::new(), &events, &Options::default()).unwrap();
+        let t_hit = level / slope;
+        prop_assert!(!sol.events().is_empty());
+        prop_assert!((sol.last_time() - t_hit).abs() < 1e-9 * t_hit.max(1.0),
+            "hit at {} vs {}", sol.last_time(), t_hit);
+    }
+
+    /// Dense recording never loses accuracy: sampled points lie on the
+    /// true solution of a linear system.
+    #[test]
+    fn dense_output_on_solution(lambda in 0.1f64..2.0) {
+        let ode = move |_t: f64, y: &[f64; 1]| [-lambda * y[0]];
+        let sol = integrate(&ode, 0.0, [1.0], 3.0,
+            &mut Dopri5::with_tolerances(1e-9, 1e-9),
+            &Options::default().with_record_dt(0.01)).unwrap();
+        for (t, y) in sol.times().iter().zip(sol.states()) {
+            let exact = (-lambda * t).exp();
+            prop_assert!((y[0] - exact).abs() < 1e-5, "at t={t}: {} vs {exact}", y[0]);
+        }
+    }
+
+    /// Two independent adaptive implementations agree on a random damped
+    /// driven oscillator.
+    #[test]
+    fn cross_stepper_agreement(
+        damping in 0.0f64..1.0,
+        omega in 0.5f64..3.0,
+        y0 in -2.0f64..2.0,
+    ) {
+        let ode = move |t: f64, y: &[f64; 2]| {
+            [y[1], -omega * omega * y[0] - damping * y[1] + (0.7 * t).cos()]
+        };
+        let a = integrate(&ode, 0.0, [y0, 0.0], 8.0,
+            &mut Dopri5::with_tolerances(1e-11, 1e-11), &Options::default()).unwrap();
+        let b = integrate(&ode, 0.0, [y0, 0.0], 8.0,
+            &mut Bs23::with_tolerances(1e-11, 1e-11), &Options::default()).unwrap();
+        for i in 0..2 {
+            prop_assert!((a.last_state()[i] - b.last_state()[i]).abs() < 1e-6,
+                "{:?} vs {:?}", a.last_state(), b.last_state());
+        }
+    }
+
+    /// Time monotonicity and max-step respect hold for every run.
+    #[test]
+    fn recorded_times_are_monotone(max_step in 0.001f64..0.5) {
+        let ode = |_t: f64, y: &[f64; 1]| [-y[0]];
+        let sol = integrate(&ode, 0.0, [1.0], 2.0,
+            &mut Dopri5::new(), &Options::default().with_max_step(max_step)).unwrap();
+        for w in sol.times().windows(2) {
+            prop_assert!(w[1] >= w[0]);
+            prop_assert!(w[1] - w[0] <= max_step + 1e-12);
+        }
+        prop_assert!((sol.last_time() - 2.0).abs() < 1e-12);
+    }
+}

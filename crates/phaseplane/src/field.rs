@@ -1,0 +1,85 @@
+//! Vector-field grid sampling for quiver-style phase-plane figures.
+
+use crate::system::PlaneSystem;
+
+/// One sampled arrow of a vector field.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FieldSample {
+    /// Sample point.
+    pub point: [f64; 2],
+    /// Raw field value at the point.
+    pub value: [f64; 2],
+    /// Field value normalised to unit length (zero where the field
+    /// vanishes), convenient for drawing equally sized arrows.
+    pub unit: [f64; 2],
+}
+
+/// Samples `sys` on a uniform `nx` × `ny` grid over the rectangle
+/// `[x0, x1] × [y0, y1]`.
+///
+/// Points are produced row by row (y-major), `nx * ny` of them.
+///
+/// # Panics
+///
+/// Panics if either grid dimension is below 2 or the rectangle is empty.
+#[must_use]
+pub fn sample_grid<S: PlaneSystem>(
+    sys: &S,
+    x_range: (f64, f64),
+    y_range: (f64, f64),
+    nx: usize,
+    ny: usize,
+) -> Vec<FieldSample> {
+    let (x0, x1) = x_range;
+    let (y0, y1) = y_range;
+    assert!(nx >= 2 && ny >= 2, "grid must be at least 2x2");
+    assert!(x1 > x0 && y1 > y0, "rectangle must be non-empty");
+    let mut out = Vec::with_capacity(nx * ny);
+    for j in 0..ny {
+        let y = y0 + (y1 - y0) * j as f64 / (ny - 1) as f64;
+        for i in 0..nx {
+            let x = x0 + (x1 - x0) * i as f64 / (nx - 1) as f64;
+            let p = [x, y];
+            let v = sys.deriv(p);
+            let n = (v[0] * v[0] + v[1] * v[1]).sqrt();
+            let unit = if n > 0.0 { [v[0] / n, v[1] / n] } else { [0.0, 0.0] };
+            out.push(FieldSample { point: p, value: v, unit });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_has_expected_size_and_corners() {
+        let sys = |p: [f64; 2]| [p[1], -p[0]];
+        let grid = sample_grid(&sys, (-1.0, 1.0), (0.0, 2.0), 3, 5);
+        assert_eq!(grid.len(), 15);
+        assert_eq!(grid[0].point, [-1.0, 0.0]);
+        assert_eq!(grid.last().unwrap().point, [1.0, 2.0]);
+    }
+
+    #[test]
+    fn unit_vectors_are_unit_or_zero() {
+        let sys = |p: [f64; 2]| [p[0], p[1]]; // vanishes at origin
+        let grid = sample_grid(&sys, (-1.0, 1.0), (-1.0, 1.0), 3, 3);
+        for s in &grid {
+            let n = (s.unit[0] * s.unit[0] + s.unit[1] * s.unit[1]).sqrt();
+            if s.point == [0.0, 0.0] {
+                assert_eq!(s.unit, [0.0, 0.0]);
+            } else {
+                assert!((n - 1.0).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2x2")]
+    fn rejects_degenerate_grid() {
+        let sys = |p: [f64; 2]| p;
+        let _ = sample_grid(&sys, (0.0, 1.0), (0.0, 1.0), 1, 5);
+    }
+}

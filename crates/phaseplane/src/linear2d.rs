@@ -1,0 +1,368 @@
+//! 2×2 linear systems: eigenstructure and singular-point classification.
+
+use std::fmt;
+
+/// A real 2×2 matrix `[[a, b], [c, d]]`, the Jacobian of a planar system at
+/// a singular point.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Mat2 {
+    /// Row 1, column 1.
+    pub a: f64,
+    /// Row 1, column 2.
+    pub b: f64,
+    /// Row 2, column 1.
+    pub c: f64,
+    /// Row 2, column 2.
+    pub d: f64,
+}
+
+impl Mat2 {
+    /// Creates the matrix `[[a, b], [c, d]]`.
+    #[must_use]
+    pub fn new(a: f64, b: f64, c: f64, d: f64) -> Self {
+        Self { a, b, c, d }
+    }
+
+    /// The companion matrix of `lambda^2 + m*lambda + n = 0` in phase
+    /// variables `(x, y = dx/dt)`: `[[0, 1], [-n, -m]]`.
+    ///
+    /// This is the form every subsystem of the BCN model takes (paper
+    /// Eq. 9/10).
+    #[must_use]
+    pub fn companion(m: f64, n: f64) -> Self {
+        Self::new(0.0, 1.0, -n, -m)
+    }
+
+    /// Trace `a + d`.
+    #[must_use]
+    pub fn trace(&self) -> f64 {
+        self.a + self.d
+    }
+
+    /// Determinant `ad - bc`.
+    #[must_use]
+    pub fn det(&self) -> f64 {
+        self.a * self.d - self.b * self.c
+    }
+
+    /// Discriminant of the characteristic polynomial, `trace^2 - 4 det`.
+    #[must_use]
+    pub fn discriminant(&self) -> f64 {
+        let t = self.trace();
+        t * t - 4.0 * self.det()
+    }
+
+    /// The identity matrix.
+    #[must_use]
+    pub fn identity() -> Self {
+        Self::new(1.0, 0.0, 0.0, 1.0)
+    }
+
+    /// Matrix–vector product.
+    #[must_use]
+    pub fn mul_vec(&self, v: [f64; 2]) -> [f64; 2] {
+        [self.a * v[0] + self.b * v[1], self.c * v[0] + self.d * v[1]]
+    }
+
+    /// Element-wise sum `self + other`.
+    #[must_use]
+    pub fn add(&self, other: &Mat2) -> Self {
+        Self::new(self.a + other.a, self.b + other.b, self.c + other.c, self.d + other.d)
+    }
+
+    /// Scalar multiple `s * self`.
+    #[must_use]
+    pub fn scale(&self, s: f64) -> Self {
+        Self::new(s * self.a, s * self.b, s * self.c, s * self.d)
+    }
+
+    /// Eigenvalues and (for real spectra) eigenvectors.
+    #[must_use]
+    pub fn eigen(&self) -> Eigen2 {
+        let t = self.trace();
+        let disc = self.discriminant();
+        if disc > 0.0 {
+            let s = disc.sqrt();
+            let l1 = 0.5 * (t - s);
+            let l2 = 0.5 * (t + s);
+            Eigen2::RealDistinct {
+                l1,
+                l2,
+                v1: self.eigenvector(l1),
+                v2: self.eigenvector(l2),
+            }
+        } else if disc == 0.0 {
+            let l = 0.5 * t;
+            Eigen2::RealRepeated { l, v: self.eigenvector(l) }
+        } else {
+            Eigen2::Complex { re: 0.5 * t, im: 0.5 * (-disc).sqrt() }
+        }
+    }
+
+    /// An eigenvector (unit norm) for a real eigenvalue `l`.
+    ///
+    /// For `(A - l I) v = 0`, pick the more numerically robust row.
+    #[must_use]
+    pub fn eigenvector(&self, l: f64) -> [f64; 2] {
+        // Rows of A - l I: [a - l, b] and [c, d - l]; v is orthogonal to
+        // the larger row.
+        let r1 = [self.a - l, self.b];
+        let r2 = [self.c, self.d - l];
+        let n1 = r1[0].abs() + r1[1].abs();
+        let n2 = r2[0].abs() + r2[1].abs();
+        let r = if n1 >= n2 { r1 } else { r2 };
+        let v = [-r[1], r[0]];
+        let n = (v[0] * v[0] + v[1] * v[1]).sqrt();
+        if n == 0.0 {
+            // A = l I: every vector is an eigenvector.
+            [1.0, 0.0]
+        } else {
+            [v[0] / n, v[1] / n]
+        }
+    }
+}
+
+/// Eigenstructure of a [`Mat2`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Eigen2 {
+    /// Two distinct real eigenvalues `l1 < l2` with unit eigenvectors.
+    RealDistinct {
+        /// Smaller eigenvalue.
+        l1: f64,
+        /// Larger eigenvalue.
+        l2: f64,
+        /// Unit eigenvector for `l1`.
+        v1: [f64; 2],
+        /// Unit eigenvector for `l2`.
+        v2: [f64; 2],
+    },
+    /// A repeated real eigenvalue.
+    RealRepeated {
+        /// The eigenvalue.
+        l: f64,
+        /// A unit eigenvector.
+        v: [f64; 2],
+    },
+    /// A complex-conjugate pair `re ± i*im` with `im > 0`.
+    Complex {
+        /// Real part.
+        re: f64,
+        /// Imaginary part (positive).
+        im: f64,
+    },
+}
+
+/// Qualitative type of an isolated singular point of a planar linear
+/// system, per the classical trace–determinant classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum FixedPointKind {
+    /// Complex eigenvalues with negative real part: trajectories are
+    /// inward logarithmic spirals.
+    StableFocus,
+    /// Complex eigenvalues with positive real part: outward spirals.
+    UnstableFocus,
+    /// Purely imaginary eigenvalues: closed orbits around the point.
+    Center,
+    /// Two distinct negative real eigenvalues: parabola-like inward
+    /// trajectories.
+    StableNode,
+    /// Two distinct positive real eigenvalues.
+    UnstableNode,
+    /// Repeated negative real eigenvalue (critical damping boundary).
+    DegenerateStableNode,
+    /// Repeated positive real eigenvalue.
+    DegenerateUnstableNode,
+    /// Real eigenvalues of opposite sign.
+    Saddle,
+    /// Zero determinant: the singular point is not isolated.
+    NonIsolated,
+}
+
+impl FixedPointKind {
+    /// Whether trajectories near the point converge to it.
+    #[must_use]
+    pub fn is_attracting(self) -> bool {
+        matches!(
+            self,
+            FixedPointKind::StableFocus
+                | FixedPointKind::StableNode
+                | FixedPointKind::DegenerateStableNode
+        )
+    }
+
+    /// Whether nearby trajectories wind around the point (oscillatory
+    /// approach/escape).
+    #[must_use]
+    pub fn is_rotational(self) -> bool {
+        matches!(
+            self,
+            FixedPointKind::StableFocus | FixedPointKind::UnstableFocus | FixedPointKind::Center
+        )
+    }
+}
+
+impl fmt::Display for FixedPointKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FixedPointKind::StableFocus => "stable focus",
+            FixedPointKind::UnstableFocus => "unstable focus",
+            FixedPointKind::Center => "center",
+            FixedPointKind::StableNode => "stable node",
+            FixedPointKind::UnstableNode => "unstable node",
+            FixedPointKind::DegenerateStableNode => "degenerate stable node",
+            FixedPointKind::DegenerateUnstableNode => "degenerate unstable node",
+            FixedPointKind::Saddle => "saddle",
+            FixedPointKind::NonIsolated => "non-isolated singular point",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Classifies the singular point at the origin of `dz/dt = J z`.
+///
+/// Exact zero comparisons are deliberate: callers working with measured
+/// parameters should compare the discriminant against their own tolerance
+/// before relying on the degenerate variants.
+#[must_use]
+pub fn classify(j: &Mat2) -> FixedPointKind {
+    let det = j.det();
+    let tr = j.trace();
+    if det == 0.0 {
+        return FixedPointKind::NonIsolated;
+    }
+    if det < 0.0 {
+        return FixedPointKind::Saddle;
+    }
+    let disc = j.discriminant();
+    if disc < 0.0 {
+        if tr < 0.0 {
+            FixedPointKind::StableFocus
+        } else if tr > 0.0 {
+            FixedPointKind::UnstableFocus
+        } else {
+            FixedPointKind::Center
+        }
+    } else if disc > 0.0 {
+        if tr < 0.0 {
+            FixedPointKind::StableNode
+        } else {
+            FixedPointKind::UnstableNode
+        }
+    } else if tr < 0.0 {
+        FixedPointKind::DegenerateStableNode
+    } else {
+        FixedPointKind::DegenerateUnstableNode
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_det_disc() {
+        let m = Mat2::new(1.0, 2.0, 3.0, 4.0);
+        assert_eq!(m.trace(), 5.0);
+        assert_eq!(m.det(), -2.0);
+        assert_eq!(m.discriminant(), 33.0);
+    }
+
+    #[test]
+    fn companion_matches_characteristic_polynomial() {
+        // lambda^2 + 3 lambda + 2 = 0 -> roots -1, -2.
+        let m = Mat2::companion(3.0, 2.0);
+        match m.eigen() {
+            Eigen2::RealDistinct { l1, l2, v1, v2 } => {
+                assert!((l1 + 2.0).abs() < 1e-12);
+                assert!((l2 + 1.0).abs() < 1e-12);
+                // Check A v = l v.
+                for (l, v) in [(l1, v1), (l2, v2)] {
+                    let av = m.mul_vec(v);
+                    assert!((av[0] - l * v[0]).abs() < 1e-12);
+                    assert!((av[1] - l * v[1]).abs() < 1e-12);
+                }
+                // Companion-form eigenvectors are (1, lambda) up to scale.
+                assert!((v1[1] / v1[0] - l1).abs() < 1e-9);
+                assert!((v2[1] / v2[0] - l2).abs() < 1e-9);
+            }
+            other => panic!("expected distinct real eigenvalues, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn complex_eigenvalues() {
+        // lambda^2 + 2 lambda + 10 = 0 -> -1 ± 3i.
+        let m = Mat2::companion(2.0, 10.0);
+        match m.eigen() {
+            Eigen2::Complex { re, im } => {
+                assert!((re + 1.0).abs() < 1e-12);
+                assert!((im - 3.0).abs() < 1e-12);
+            }
+            other => panic!("expected complex pair, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn repeated_eigenvalue() {
+        // lambda^2 + 4 lambda + 4 -> -2 twice.
+        let m = Mat2::companion(4.0, 4.0);
+        match m.eigen() {
+            Eigen2::RealRepeated { l, v } => {
+                assert!((l + 2.0).abs() < 1e-12);
+                let av = m.mul_vec(v);
+                assert!((av[0] - l * v[0]).abs() < 1e-12);
+                assert!((av[1] - l * v[1]).abs() < 1e-12);
+            }
+            other => panic!("expected repeated eigenvalue, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn classification_covers_all_regions() {
+        use FixedPointKind::*;
+        let cases = [
+            (Mat2::companion(2.0, 10.0), StableFocus),
+            (Mat2::companion(-2.0, 10.0), UnstableFocus),
+            (Mat2::companion(0.0, 4.0), Center),
+            (Mat2::companion(3.0, 2.0), StableNode),
+            (Mat2::companion(-3.0, 2.0), UnstableNode),
+            (Mat2::companion(4.0, 4.0), DegenerateStableNode),
+            (Mat2::companion(-4.0, 4.0), DegenerateUnstableNode),
+            (Mat2::companion(1.0, -2.0), Saddle),
+            (Mat2::companion(1.0, 0.0), NonIsolated),
+        ];
+        for (m, want) in cases {
+            assert_eq!(classify(&m), want, "matrix {m:?}");
+        }
+    }
+
+    #[test]
+    fn attracting_and_rotational_flags() {
+        assert!(FixedPointKind::StableFocus.is_attracting());
+        assert!(FixedPointKind::StableFocus.is_rotational());
+        assert!(FixedPointKind::StableNode.is_attracting());
+        assert!(!FixedPointKind::StableNode.is_rotational());
+        assert!(!FixedPointKind::Saddle.is_attracting());
+        assert!(!FixedPointKind::UnstableFocus.is_attracting());
+        assert!(FixedPointKind::Center.is_rotational());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(FixedPointKind::StableFocus.to_string(), "stable focus");
+        assert_eq!(FixedPointKind::NonIsolated.to_string(), "non-isolated singular point");
+    }
+
+    #[test]
+    fn identity_matrix_eigenvector_fallback() {
+        let m = Mat2::new(2.0, 0.0, 0.0, 2.0);
+        match m.eigen() {
+            Eigen2::RealRepeated { l, v } => {
+                assert_eq!(l, 2.0);
+                assert_eq!(v, [1.0, 0.0]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,43 @@
+//! The planar autonomous system abstraction.
+
+/// An autonomous vector field on the plane: `d(x, y)/dt = f(x, y)`.
+///
+/// Implemented for any `Fn([f64; 2]) -> [f64; 2]` closure. Piecewise-smooth
+/// fields (like the BCN variable-structure law) can implement this directly
+/// by branching on the state; for accurate integration across the
+/// discontinuity use `odesolve::hybrid` instead of a plain trajectory
+/// trace.
+pub trait PlaneSystem {
+    /// Evaluates the vector field at point `p = (x, y)`.
+    fn deriv(&self, p: [f64; 2]) -> [f64; 2];
+}
+
+impl<F> PlaneSystem for F
+where
+    F: Fn([f64; 2]) -> [f64; 2],
+{
+    fn deriv(&self, p: [f64; 2]) -> [f64; 2] {
+        self(p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closures_are_plane_systems() {
+        fn takes_system<S: PlaneSystem>(s: &S, p: [f64; 2]) -> [f64; 2] {
+            s.deriv(p)
+        }
+        let rotation = |p: [f64; 2]| [-p[1], p[0]];
+        assert_eq!(takes_system(&rotation, [1.0, 0.0]), [0.0, 1.0]);
+    }
+
+    #[test]
+    fn trait_objects_work() {
+        let damped = |p: [f64; 2]| [p[1], -p[0] - 0.1 * p[1]];
+        let obj: &dyn PlaneSystem = &damped;
+        assert_eq!(obj.deriv([0.0, 1.0]), [1.0, -0.1]);
+    }
+}

@@ -1,0 +1,136 @@
+//! Trajectory tracing for planar systems.
+
+use odesolve::{integrate_with_events, Dopri5, EventSpec, Options, Solution, SolveError};
+
+use crate::system::PlaneSystem;
+
+/// Options for [`trajectory`] tracing.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrajectoryOptions {
+    /// Integration horizon (time units of the system).
+    pub t_end: f64,
+    /// Absolute/relative tolerance of the adaptive integrator.
+    pub tol: f64,
+    /// Spacing of recorded points (`None` records accepted steps only).
+    pub record_dt: Option<f64>,
+    /// Accepted-step budget.
+    pub max_steps: usize,
+}
+
+impl Default for TrajectoryOptions {
+    fn default() -> Self {
+        Self { t_end: 10.0, tol: 1e-9, record_dt: None, max_steps: 1_000_000 }
+    }
+}
+
+impl TrajectoryOptions {
+    /// Sets the integration horizon.
+    #[must_use]
+    pub fn with_t_end(mut self, t_end: f64) -> Self {
+        self.t_end = t_end;
+        self
+    }
+
+    /// Sets the integrator tolerance.
+    #[must_use]
+    pub fn with_tol(mut self, tol: f64) -> Self {
+        self.tol = tol;
+        self
+    }
+
+    /// Records points at roughly this spacing.
+    #[must_use]
+    pub fn with_record_dt(mut self, dt: f64) -> Self {
+        self.record_dt = Some(dt);
+        self
+    }
+}
+
+/// Traces the trajectory of `sys` starting at `p0` for `opts.t_end` time
+/// units.
+///
+/// # Errors
+///
+/// Propagates integration failures from `odesolve`.
+pub fn trajectory<S: PlaneSystem>(
+    sys: &S,
+    p0: [f64; 2],
+    opts: &TrajectoryOptions,
+) -> Result<Solution<2>, SolveError> {
+    trajectory_with_events(sys, p0, &[], opts)
+}
+
+/// Traces a trajectory while watching the given guard events (e.g. a
+/// Poincaré section crossing); a terminal event stops the trace exactly on
+/// the guard zero.
+///
+/// # Errors
+///
+/// Propagates integration failures from `odesolve`.
+pub fn trajectory_with_events<S: PlaneSystem>(
+    sys: &S,
+    p0: [f64; 2],
+    events: &[EventSpec<'_, 2>],
+    opts: &TrajectoryOptions,
+) -> Result<Solution<2>, SolveError> {
+    let ode = |_t: f64, y: &[f64; 2]| sys.deriv(*y);
+    let mut stepper = Dopri5::with_tolerances(opts.tol, opts.tol);
+    let mut o = Options::default().with_max_steps(opts.max_steps);
+    if let Some(dt) = opts.record_dt {
+        o = o.with_record_dt(dt);
+    }
+    integrate_with_events(&ode, 0.0, p0, opts.t_end, &mut stepper, events, &o)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use odesolve::Direction;
+
+    #[test]
+    fn circle_trajectory_stays_on_circle() {
+        let rotation = |p: [f64; 2]| [-p[1], p[0]];
+        let sol = trajectory(
+            &rotation,
+            [1.0, 0.0],
+            &TrajectoryOptions::default().with_t_end(std::f64::consts::TAU).with_tol(1e-11),
+        )
+        .unwrap();
+        for p in sol.states() {
+            let r = (p[0] * p[0] + p[1] * p[1]).sqrt();
+            assert!((r - 1.0).abs() < 1e-8);
+        }
+        let end = sol.last_state();
+        assert!((end[0] - 1.0).abs() < 1e-7 && end[1].abs() < 1e-7);
+    }
+
+    #[test]
+    fn damped_oscillator_converges_to_origin() {
+        let damped = |p: [f64; 2]| [p[1], -p[0] - 0.5 * p[1]];
+        let sol = trajectory(
+            &damped,
+            [2.0, 0.0],
+            &TrajectoryOptions::default().with_t_end(60.0),
+        )
+        .unwrap();
+        let end = sol.last_state();
+        assert!(end[0].abs() < 1e-4 && end[1].abs() < 1e-4, "end {end:?}");
+    }
+
+    #[test]
+    fn event_stops_on_axis_crossing() {
+        let rotation = |p: [f64; 2]| [-p[1], p[0]];
+        let guard = |_t: f64, p: &[f64; 2]| p[0]; // x = 0 at quarter turn
+        let events = [EventSpec::terminal(&guard).with_direction(Direction::Falling)];
+        let sol = trajectory_with_events(
+            &rotation,
+            [1.0, 0.0],
+            &events,
+            &TrajectoryOptions::default().with_t_end(10.0).with_tol(1e-11),
+        )
+        .unwrap();
+        assert!((sol.last_time() - std::f64::consts::FRAC_PI_2).abs() < 1e-8);
+        let end = sol.last_state();
+        assert!(end[0].abs() < 1e-9 && (end[1] - 1.0).abs() < 1e-7);
+    }
+}

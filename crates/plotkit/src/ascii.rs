@@ -1,0 +1,139 @@
+//! Terminal-friendly scatter/line rendering.
+
+/// A character-grid chart of one or more `(x, y)` series.
+///
+/// Each series is drawn with its own glyph; axes are annotated with the
+/// data ranges. Intended for quick looks at experiment output without
+/// leaving the terminal.
+///
+/// # Example
+///
+/// ```
+/// use plotkit::AsciiChart;
+///
+/// let xs: Vec<f64> = (0..50).map(|i| i as f64 * 0.2).collect();
+/// let ys: Vec<f64> = xs.iter().map(|x| x.sin()).collect();
+/// let chart = AsciiChart::new(60, 12).with_series(&xs, &ys, '*');
+/// let out = chart.render();
+/// assert!(out.contains('*'));
+/// ```
+#[derive(Debug, Clone)]
+pub struct AsciiChart {
+    width: usize,
+    height: usize,
+    series: Vec<(Vec<f64>, Vec<f64>, char)>,
+}
+
+impl AsciiChart {
+    /// Creates an empty chart of the given character dimensions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is below 8 characters.
+    #[must_use]
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width >= 8 && height >= 8, "chart must be at least 8x8");
+        Self { width, height, series: Vec::new() }
+    }
+
+    /// Adds a series drawn with `glyph`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` and `ys` lengths differ.
+    #[must_use]
+    pub fn with_series(mut self, xs: &[f64], ys: &[f64], glyph: char) -> Self {
+        assert_eq!(xs.len(), ys.len(), "series coordinates must pair up");
+        self.series.push((xs.to_vec(), ys.to_vec(), glyph));
+        self
+    }
+
+    /// Renders the chart to a string.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut grid = vec![vec![' '; self.width]; self.height];
+        let (mut x_min, mut x_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        let (mut y_min, mut y_max) = (f64::INFINITY, f64::NEG_INFINITY);
+        for (xs, ys, _) in &self.series {
+            for (&x, &y) in xs.iter().zip(ys) {
+                if x.is_finite() && y.is_finite() {
+                    x_min = x_min.min(x);
+                    x_max = x_max.max(x);
+                    y_min = y_min.min(y);
+                    y_max = y_max.max(y);
+                }
+            }
+        }
+        if !x_min.is_finite() {
+            return String::from("(empty chart)\n");
+        }
+        let x_span = (x_max - x_min).max(f64::MIN_POSITIVE);
+        let y_span = (y_max - y_min).max(f64::MIN_POSITIVE);
+        for (xs, ys, glyph) in &self.series {
+            for (&x, &y) in xs.iter().zip(ys) {
+                if !(x.is_finite() && y.is_finite()) {
+                    continue;
+                }
+                let col = ((x - x_min) / x_span * (self.width - 1) as f64).round() as usize;
+                let row = ((y - y_min) / y_span * (self.height - 1) as f64).round() as usize;
+                grid[self.height - 1 - row][col] = *glyph;
+            }
+        }
+        let mut out = String::new();
+        out.push_str(&format!("y: [{y_min:.4e}, {y_max:.4e}]\n"));
+        for row in &grid {
+            out.push('|');
+            out.extend(row.iter());
+            out.push('\n');
+        }
+        out.push('+');
+        out.extend(std::iter::repeat_n('-', self.width));
+        out.push('\n');
+        out.push_str(&format!("x: [{x_min:.4e}, {x_max:.4e}]\n"));
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_extremes_at_edges() {
+        let chart = AsciiChart::new(10, 8).with_series(&[0.0, 1.0], &[0.0, 1.0], 'o');
+        let out = chart.render();
+        let lines: Vec<&str> = out.lines().collect();
+        // First grid line (top) holds the max-y point at the right edge.
+        assert!(lines[1].ends_with('o'), "top line: {:?}", lines[1]);
+        // Last grid line holds the min-y point at the left edge.
+        assert_eq!(&lines[8][1..2], "o", "bottom line: {:?}", lines[8]);
+    }
+
+    #[test]
+    fn empty_chart_is_handled() {
+        let chart = AsciiChart::new(10, 8);
+        assert_eq!(chart.render(), "(empty chart)\n");
+    }
+
+    #[test]
+    fn multiple_series_use_their_glyphs() {
+        let chart = AsciiChart::new(12, 8)
+            .with_series(&[0.0], &[0.0], 'a')
+            .with_series(&[1.0], &[1.0], 'b');
+        let out = chart.render();
+        assert!(out.contains('a') && out.contains('b'));
+    }
+
+    #[test]
+    fn non_finite_points_are_skipped() {
+        let chart = AsciiChart::new(10, 8).with_series(&[0.0, f64::NAN, 1.0], &[0.0, 1.0, 1.0], '*');
+        let out = chart.render();
+        assert!(out.contains('*'));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 8x8")]
+    fn rejects_tiny_grid() {
+        let _ = AsciiChart::new(2, 2);
+    }
+}

@@ -1,0 +1,136 @@
+//! Minimal CSV writing.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// An in-memory CSV document with a fixed column set.
+///
+/// # Example
+///
+/// ```
+/// use plotkit::Csv;
+///
+/// let mut csv = Csv::new(&["t", "queue"]);
+/// csv.row(&[0.0, 100.0]);
+/// csv.row(&[0.1, 150.0]);
+/// assert!(csv.to_string().starts_with("t,queue\n0,100\n"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Csv {
+    header: Vec<String>,
+    rows: Vec<Vec<f64>>,
+}
+
+impl Csv {
+    /// Creates a document with the given column names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no columns are given.
+    #[must_use]
+    pub fn new(columns: &[&str]) -> Self {
+        assert!(!columns.is_empty(), "need at least one column");
+        Self {
+            header: columns.iter().map(ToString::to_string).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count does not match the column count.
+    pub fn row(&mut self, values: &[f64]) {
+        assert_eq!(
+            values.len(),
+            self.header.len(),
+            "row width must match the header"
+        );
+        self.rows.push(values.to_vec());
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the document has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Writes the document to a file, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_string())
+    }
+}
+
+impl std::fmt::Display for Csv {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "{}", self.header.join(","))?;
+        let mut line = String::new();
+        for row in &self.rows {
+            line.clear();
+            for (i, v) in row.iter().enumerate() {
+                if i > 0 {
+                    line.push(',');
+                }
+                // Trim trailing zeros for readability while keeping full
+                // precision for non-round values.
+                if v.fract() == 0.0 && v.abs() < 1e15 {
+                    let _ = write!(line, "{}", *v as i64);
+                } else {
+                    let _ = write!(line, "{v}");
+                }
+            }
+            writeln!(f, "{line}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_header_and_rows() {
+        let mut c = Csv::new(&["a", "b"]);
+        c.row(&[1.0, 2.5]);
+        assert_eq!(c.to_string(), "a,b\n1,2.5\n");
+        assert_eq!(c.len(), 1);
+        assert!(!c.is_empty());
+    }
+
+    #[test]
+    fn saves_to_nested_path() {
+        let dir = std::env::temp_dir().join("plotkit_csv_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("sub/out.csv");
+        let mut c = Csv::new(&["x"]);
+        c.row(&[9.0]);
+        c.save(&path).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(body, "x\n9\n");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut c = Csv::new(&["a", "b"]);
+        c.row(&[1.0]);
+    }
+}

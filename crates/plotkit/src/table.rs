@@ -1,0 +1,139 @@
+//! Aligned text tables for printing paper-style result rows.
+
+/// A simple aligned text table.
+///
+/// # Example
+///
+/// ```
+/// use plotkit::Table;
+///
+/// let mut t = Table::new(&["case", "verdict"]);
+/// t.row(&["case 1".into(), "stable".into()]);
+/// let s = t.to_string();
+/// assert!(s.contains("case 1"));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column names.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no columns are given.
+    #[must_use]
+    pub fn new(columns: &[&str]) -> Self {
+        assert!(!columns.is_empty(), "need at least one column");
+        Self {
+            header: columns.iter().map(ToString::to_string).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row of pre-formatted cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the cell count does not match the column count.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row width must match the header");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Convenience: formats each `f64` with engineering-style precision.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count does not match the column count.
+    pub fn row_f64(&mut self, cells: &[f64]) {
+        let formatted: Vec<String> = cells.iter().map(|v| format_value(*v)).collect();
+        self.row(&formatted);
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the table has no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+fn format_value(v: f64) -> String {
+    let a = v.abs();
+    if v == 0.0 {
+        "0".into()
+    } else if !(1e-3..1e7).contains(&a) {
+        format!("{v:.4e}")
+    } else if a >= 100.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.4}")
+    }
+}
+
+impl std::fmt::Display for Table {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let print_row = |f: &mut std::fmt::Formatter<'_>, cells: &[String]| {
+            let line: Vec<String> = cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:width$}", c, width = widths[i]))
+                .collect();
+            writeln!(f, "| {} |", line.join(" | "))
+        };
+        print_row(f, &self.header)?;
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        writeln!(f, "|-{}-|", sep.join("-|-"))?;
+        for row in &self.rows {
+            print_row(f, row)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aligns_columns() {
+        let mut t = Table::new(&["a", "long header"]);
+        t.row(&["xxxx".into(), "y".into()]);
+        let s = t.to_string();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines[0].len(), lines[2].len(), "{s}");
+        assert!(lines[1].starts_with("|-"));
+    }
+
+    #[test]
+    fn f64_rows_are_formatted() {
+        let mut t = Table::new(&["v"]);
+        t.row_f64(&[1.25e9]);
+        t.row_f64(&[0.5]);
+        t.row_f64(&[0.0]);
+        let s = t.to_string();
+        assert!(s.contains("1.2500e9"));
+        assert!(s.contains("0.5000"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn rejects_ragged_rows() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only one".into()]);
+    }
+}

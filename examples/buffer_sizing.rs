@@ -1,0 +1,59 @@
+//! Buffer sizing for a lossless fabric: how much switch buffer does a
+//! BCN deployment need, and how does that compare to the classical
+//! bandwidth-delay-product rule?
+//!
+//! This walks a capacity-planning scenario: a storage cluster scales from
+//! 25 to 400 parallel writers over one 10 Gbit/s uplink, and the operator
+//! wants zero drops (Fibre-Channel-over-Ethernet storage traffic).
+//!
+//! Run with `cargo run --example buffer_sizing`.
+
+use bcn::buffer::{bandwidth_delay_product, paper_example, required_vs_n};
+use bcn::stability::exact_verdict;
+use bcn::units::{MBIT, USEC};
+use bcn::BcnParams;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's headline numbers first.
+    let ex = paper_example();
+    println!("paper worked example:");
+    println!("  bandwidth-delay product: {:.2} Mbit", ex.bdp / MBIT);
+    println!("  Theorem 1 requirement:  {:.2} Mbit", ex.required / MBIT);
+    println!("  ratio: {:.2}x the BDP rule\n", ex.ratio);
+
+    // Scaling the writer count.
+    let params = BcnParams::paper_defaults();
+    let rtt = 2.0 * 0.5 * 250.0 * USEC; // 250 us of end-to-end headroom
+    println!("scaling parallel writers on a 10 Gbit/s uplink:");
+    println!("{:>8} {:>16} {:>16} {:>12}", "writers", "required (Mbit)", "BDP rule (Mbit)", "exact need");
+    for (n, required) in required_vs_n(&params, &[25, 50, 100, 200, 400]) {
+        let p = params.clone().with_n_flows(n);
+        let exact = exact_verdict(&p, 30);
+        let exact_need = p.q0 + exact.max_x;
+        println!(
+            "{n:>8} {:>16.2} {:>16.2} {:>12.2}",
+            required / MBIT,
+            bandwidth_delay_product(p.capacity, rtt) / MBIT,
+            exact_need / MBIT,
+        );
+    }
+
+    println!("\nthe requirement grows with sqrt(N); the BDP rule does not see N at all.");
+
+    // What if we can't add buffer? Retune the gains instead: shrinking
+    // Gi (or growing Gd) shrinks a/(b C) and with it the overshoot.
+    let base = params.clone().with_n_flows(200);
+    println!("\ngain retuning at N = 200 (buffer fixed at 5 Mbit):");
+    for gi in [4.0, 1.0, 0.25, 0.0625, 0.03125] {
+        let p = base.clone().with_gi(gi);
+        let needed = bcn::stability::theorem1_required_buffer(&p);
+        let settles = bcn::rounds::round_ratio(&p).unwrap_or(f64::NAN);
+        println!(
+            "  Gi = {gi:<7}: requires {:>7.2} Mbit, round ratio {settles:.4} {}",
+            needed / MBIT,
+            if needed < p.buffer { "<- fits" } else { "" }
+        );
+    }
+    println!("smaller Gi fits the buffer but slows convergence (the paper's trade-off).");
+    Ok(())
+}

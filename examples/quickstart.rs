@@ -1,0 +1,60 @@
+//! Quickstart: classify a BCN parameter set, check strong stability, and
+//! simulate the fluid trajectory.
+//!
+//! Run with `cargo run --example quickstart`.
+
+use bcn::cases::classify_params;
+use bcn::simulate::{fluid_trajectory, FluidOptions};
+use bcn::stability::{criterion, exact_verdict, theorem1_holds, theorem1_required_buffer};
+use bcn::units::MBIT;
+use bcn::{BcnFluid, BcnParams};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The paper's worked example: 50 flows on a 10 Gbit/s bottleneck.
+    let params = BcnParams::paper_defaults();
+    params.validate()?;
+
+    // 1. Which of the paper's cases are we in?
+    let analysis = classify_params(&params);
+    println!("case analysis: {}", analysis.case);
+    println!("  increase region: {}", analysis.increase);
+    println!("  decrease region: {}", analysis.decrease);
+
+    // 2. Does the configured buffer satisfy Theorem 1?
+    println!(
+        "Theorem 1 requires {:.2} Mbit of buffer; configured {:.2} Mbit -> sufficient: {}",
+        theorem1_required_buffer(&params) / MBIT,
+        params.buffer / MBIT,
+        theorem1_holds(&params),
+    );
+
+    // 3. The case-by-case criterion (sharper than Theorem 1).
+    println!("case criterion: {:?}", criterion(&params));
+
+    // 4. Ground truth from the exact switched trajectory.
+    let exact = exact_verdict(&params, 30);
+    println!(
+        "exact trace: strongly stable = {} (max q = {:.2} Mbit, min q = {:.2} Mbit)",
+        exact.strongly_stable,
+        (params.q0 + exact.max_x) / MBIT,
+        (params.q0 + exact.min_x) / MBIT,
+    );
+
+    // 5. Fix it: give the switch the buffer Theorem 1 asks for.
+    let fixed = params.clone().with_buffer(14.0 * MBIT);
+    println!(
+        "with a 14 Mbit buffer: criterion guarantees stability = {}",
+        criterion(&fixed).is_guaranteed()
+    );
+
+    // 6. Integrate the fluid model and report the first milliseconds.
+    let sys = BcnFluid::linearized(fixed.clone());
+    let opts = FluidOptions::default().with_t_end(2e-3).with_record_dt(1e-5);
+    let run = fluid_trajectory(&sys, fixed.initial_point(), &opts)?;
+    println!(
+        "fluid run: {} region switches in 2 ms, queue peaked at {:.2} Mbit",
+        run.switch_count(),
+        (fixed.q0 + run.solution.max_component(0)) / MBIT,
+    );
+    Ok(())
+}

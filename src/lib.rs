@@ -1,0 +1,18 @@
+//! Umbrella crate for the DCE-BCN reproduction.
+//!
+//! Re-exports the workspace crates so integration tests and examples can
+//! use a single dependency:
+//!
+//! * [`odesolve`] — ODE solvers with event location and hybrid integration.
+//! * [`phaseplane`] — 2-D phase-plane analysis toolkit.
+//! * [`bcn`] — the BCN fluid model, closed forms, and stability theory
+//!   (the paper's core contribution).
+//! * [`dcesim`] — packet-level Data Center Ethernet simulator with BCN and
+//!   QCN protocol implementations.
+//! * [`plotkit`] — CSV/SVG/ASCII reporting used by the figure generators.
+
+pub use bcn;
+pub use dcesim;
+pub use odesolve;
+pub use phaseplane;
+pub use plotkit;

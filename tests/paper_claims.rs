@@ -1,0 +1,184 @@
+//! Integration tests asserting the paper's headline claims end-to-end,
+//! across the analysis (`bcn`), numerics (`odesolve`/`phaseplane`), and
+//! packet (`dcesim`) layers.
+
+use bcn::cases::{classify_params, exemplar};
+use bcn::rounds::{first_round, round_ratio};
+use bcn::simulate::SaturatingFluid;
+use bcn::stability::{
+    criterion, exact_verdict, theorem1_holds, theorem1_required_buffer, StabilityVerdict,
+};
+use bcn::units::MBIT;
+use bcn::{linear_baseline, BcnParams, CaseId};
+
+/// Section IV-C worked example: required buffer ~13.75-13.85 Mbit,
+/// nearly 3x the 5 Mbit BDP.
+#[test]
+fn worked_example_numbers() {
+    let p = BcnParams::paper_defaults();
+    let req = theorem1_required_buffer(&p);
+    assert!((13.7 * MBIT..13.9 * MBIT).contains(&req), "required {req}");
+    let ratio = req / (5.0 * MBIT);
+    assert!((2.7..2.85).contains(&ratio), "ratio {ratio}");
+    assert!(!theorem1_holds(&p));
+}
+
+/// Proposition 1: the isolated linear subsystems are stable for any
+/// positive parameters — the baseline's verdict is vacuous.
+#[test]
+fn proposition1_baseline_always_passes() {
+    for gi in [0.01, 1.0, 100.0] {
+        for gd in [1.0 / 1024.0, 0.125, 0.9] {
+            let p = BcnParams::paper_defaults().with_gi(gi).with_gd(gd);
+            assert!(linear_baseline::analyze(&p).overall_stable);
+        }
+    }
+}
+
+/// The paper's motivating gap: the baseline approves the worked example
+/// while the exact trajectory overflows the BDP buffer — and the
+/// physical (saturating) fluid model actually drops.
+#[test]
+fn motivating_gap_baseline_vs_drops() {
+    let p = BcnParams::paper_defaults();
+    assert!(linear_baseline::analyze(&p).overall_stable);
+    assert!(!exact_verdict(&p, 20).strongly_stable);
+
+    // Physical confirmation on the faster test scale (the paper-scale
+    // system oscillates for minutes of model time).
+    let t = BcnParams::test_defaults();
+    let fr = first_round(&t).unwrap();
+    let tight = t.clone().with_buffer(t.q0 + 0.5 * fr.max1_x);
+    assert!(linear_baseline::analyze(&tight).overall_stable);
+    let run = SaturatingFluid::linearized(tight).run_canonical(3.0);
+    assert!(run.has_drops(), "physical model must drop packets");
+}
+
+/// Propositions 2-4 dispatch: each case is judged by its own rule and
+/// all verdicts are sound against the exact trace.
+#[test]
+fn case_criteria_dispatch_and_soundness() {
+    let base = BcnParams::test_defaults().with_buffer(4.0e5);
+    for case in [CaseId::Case1, CaseId::Case2, CaseId::Case3, CaseId::Case4, CaseId::Case5] {
+        let p = exemplar(&base, case);
+        assert_eq!(classify_params(&p).case, case);
+        let v = criterion(&p);
+        if v.is_guaranteed() {
+            let exact = exact_verdict(&p, 40);
+            assert!(exact.strongly_stable, "{case}: criterion unsound ({v:?}, {exact:?})");
+        }
+    }
+}
+
+/// Cases 3 and 4 are unconditionally strongly stable (Proposition 4) —
+/// even with the most absurdly tight legal buffer. Case 5 splits (paper
+/// erratum, see `bcn::CaseId::Case5`): the decrease-critical branch is
+/// unconditional, the increase-critical branch is not.
+#[test]
+fn cases_3_to_4_stable_with_tight_buffers() {
+    let base = BcnParams::test_defaults();
+    for case in [CaseId::Case3, CaseId::Case4] {
+        let p = exemplar(&base, case).with_buffer(base.q0 * 1.05);
+        let v = criterion(&p);
+        assert!(v.is_guaranteed(), "{case}: {v:?}");
+        assert!(exact_verdict(&p, 40).strongly_stable, "{case}");
+    }
+}
+
+/// The Case-5 erratum, both branches: the decrease-critical branch
+/// matches the paper's unconditional claim; the increase-critical branch
+/// genuinely overshoots past tight buffers (the paper's printed
+/// Proposition 4 would wrongly approve it).
+#[test]
+fn case5_erratum_both_branches() {
+    let base = BcnParams::test_defaults();
+
+    // Decrease-critical: unconditional, like Case 3.
+    let dec = bcn::cases::exemplar_case5_decrease(&base).with_buffer(base.q0 * 1.05);
+    assert_eq!(classify_params(&dec).case, CaseId::Case5);
+    assert!(criterion(&dec).is_guaranteed());
+    assert!(exact_verdict(&dec, 40).strongly_stable);
+
+    // Increase-critical with a roomy buffer: conditional approval...
+    let inc = exemplar(&base, CaseId::Case5).with_buffer(1.0e7);
+    assert_eq!(classify_params(&inc).case, CaseId::Case5);
+    let exact_roomy = exact_verdict(&inc, 40);
+    assert!(exact_roomy.strongly_stable, "{exact_roomy:?}");
+    assert!(criterion(&inc).is_guaranteed());
+
+    // ...but with the paper-scale buffer the trajectory escapes, and the
+    // amended criterion correctly refuses where the printed Proposition 4
+    // would approve.
+    let tight = exemplar(&base, CaseId::Case5).with_buffer(4.0e5);
+    let exact_tight = exact_verdict(&tight, 40);
+    assert!(!exact_tight.strongly_stable, "{exact_tight:?}");
+    assert!(!criterion(&tight).is_guaranteed());
+}
+
+/// Theorem 1's remark: max overshoot scales as sqrt(N/C) and
+/// proportionally to q0, and is independent of w and pm.
+#[test]
+fn overshoot_scaling_remarks() {
+    let p = BcnParams::test_defaults();
+    let over = |p: &BcnParams| {
+        let fr = first_round(p).expect("case 1");
+        fr.max1_x
+    };
+    let base = over(&p);
+    // q0 doubling doubles the overshoot (exactly: linear flows).
+    let q2 = over(&p.clone().with_q0(2.0 * p.q0).with_buffer(4.0e5));
+    assert!((q2 / base - 2.0).abs() < 1e-9, "q0 scaling {q2} vs {base}");
+    // N quadrupling doubles it approximately (the sqrt law is the bound's
+    // shape; the exact first-round max also shifts with the damping).
+    let n4 = over(&p.clone().with_n_flows(4 * p.n_flows));
+    assert!((n4 / base - 2.0).abs() < 0.1, "N scaling ratio {}", n4 / base);
+    // w and pm leave the Theorem-1 requirement untouched.
+    let r = theorem1_required_buffer(&p);
+    assert_eq!(r, theorem1_required_buffer(&p.clone().with_w(17.0)));
+    assert_eq!(r, theorem1_required_buffer(&p.clone().with_pm(0.5)));
+}
+
+/// The limit cycle (Fig. 7): rho -> 1 as w -> 0, and at w ~ 0 the orbit
+/// neither grows nor decays across many rounds.
+#[test]
+fn limit_cycle_at_vanishing_w() {
+    let base = BcnParams::test_defaults();
+    let rho_normal = round_ratio(&base).unwrap();
+    assert!(rho_normal < 1.0);
+    let rho_degenerate = round_ratio(&base.clone().with_w(1e-12)).unwrap();
+    assert!((rho_degenerate - 1.0).abs() < 1e-6, "rho = {rho_degenerate}");
+    // Monotone in w.
+    let rho_mid = round_ratio(&base.clone().with_w(0.5)).unwrap();
+    assert!(rho_degenerate > rho_mid && rho_mid > rho_normal * 0.999);
+}
+
+/// Theorem 1 is sufficient *and* conservative: whenever it passes, the
+/// exact trace confirms; and there exist buffers where the exact trace
+/// passes but Theorem 1 refuses.
+#[test]
+fn theorem1_sufficient_but_conservative() {
+    let p = BcnParams::test_defaults();
+    let exact = exact_verdict(&p, 40);
+    let exact_need = p.q0 + exact.max_x;
+    let thm_need = theorem1_required_buffer(&p);
+    assert!(thm_need > exact_need, "thm {thm_need} vs exact {exact_need}");
+    // A buffer between the two: exactly the conservatism gap.
+    let mid = 0.5 * (exact_need + thm_need);
+    let gap = p.clone().with_buffer(mid);
+    assert!(!theorem1_holds(&gap));
+    assert!(exact_verdict(&gap, 40).strongly_stable);
+}
+
+/// The criterion verdict explains its refusals.
+#[test]
+fn refusals_carry_reasons() {
+    let p = BcnParams::test_defaults();
+    let fr = first_round(&p).unwrap();
+    let tight = p.clone().with_buffer(p.q0 + 0.5 * fr.max1_x);
+    match criterion(&tight) {
+        StabilityVerdict::NotGuaranteed(reason) => {
+            assert!(reason.contains("maximum"), "reason: {reason}");
+        }
+        v => panic!("expected refusal, got {v:?}"),
+    }
+}

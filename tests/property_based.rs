@@ -1,0 +1,188 @@
+//! Property-based tests (proptest) over randomly drawn, valid BCN
+//! parameterisations: the paper's structural invariants must hold on all
+//! of them, not just the hand-picked examples.
+
+use bcn::cases::{classify_params, region_shape};
+use bcn::closed_form::RegionFlow;
+use bcn::extrema::region_extremum;
+use bcn::model::Region;
+use bcn::rounds::{round_ratio, round_ratio_analytic, trace_legs};
+use bcn::stability::{criterion, exact_verdict, theorem1_holds, theorem1_required_buffer};
+use bcn::{BcnFluid, BcnParams, CaseId};
+use phaseplane::{classify, FixedPointKind, Mat2};
+use proptest::prelude::*;
+
+/// Strategy: a random valid parameter set around the test scale.
+fn params_strategy() -> impl Strategy<Value = BcnParams> {
+    (
+        1u32..60,              // n_flows
+        1e5..1e8f64,           // capacity
+        0.05f64..0.45,         // q0 as a fraction of buffer
+        1e4..1e7f64,           // buffer
+        0.01f64..20.0,         // gi
+        1e-4f64..0.9,          // gd
+        1e2..1e6f64,           // ru
+        1e-3f64..50.0,         // w
+        0.005f64..1.0,         // pm
+    )
+        .prop_map(|(n, c, q0_frac, buffer, gi, gd, ru, w, pm)| BcnParams {
+            n_flows: n,
+            capacity: c,
+            q0: q0_frac * buffer,
+            buffer,
+            gi,
+            gd,
+            ru,
+            w,
+            pm,
+            qsc: 0.9 * buffer,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Every drawn parameter set validates, classifies into exactly one
+    /// case, and that case matches the per-region shapes.
+    #[test]
+    fn classification_is_consistent(p in params_strategy()) {
+        p.validate().unwrap();
+        let analysis = classify_params(&p);
+        let inc = region_shape(&p, Region::Increase);
+        let dec = region_shape(&p, Region::Decrease);
+        prop_assert_eq!(analysis.increase, inc);
+        prop_assert_eq!(analysis.decrease, dec);
+        use bcn::RegionShape::*;
+        let expect = match (inc, dec) {
+            (Critical, _) | (_, Critical) => CaseId::Case5,
+            (Spiral, Spiral) => CaseId::Case1,
+            (Node, Spiral) => CaseId::Case2,
+            (Spiral, Node) => CaseId::Case3,
+            (Node, Node) => CaseId::Case4,
+        };
+        prop_assert_eq!(analysis.case, expect);
+    }
+
+    /// Proposition 1 holds everywhere: both region Jacobians are
+    /// attracting.
+    #[test]
+    fn regions_are_always_attracting(p in params_strategy()) {
+        let sys = BcnFluid::linearized(p.clone());
+        for r in [Region::Increase, Region::Decrease] {
+            let kind = classify(&sys.jacobian(r));
+            prop_assert!(kind.is_attracting(), "{:?} gave {}", r, kind);
+            prop_assert!(kind != FixedPointKind::Saddle);
+        }
+    }
+
+    /// The matrix exponential obeys the semigroup property and the flow
+    /// solves the ODE (finite-difference check) for every region.
+    #[test]
+    fn region_flow_is_a_flow(p in params_strategy()) {
+        let sys = BcnFluid::linearized(p.clone());
+        for r in [Region::Increase, Region::Decrease] {
+            let flow = RegionFlow::from_kn(p.k(), sys.region_n(r));
+            let z0 = [0.3 * p.q0, -0.05 * p.capacity];
+            // Time scale proportional to the region's frequency.
+            let t1 = 0.2 / sys.region_n(r).sqrt();
+            let t2 = 0.35 / sys.region_n(r).sqrt();
+            let direct = flow.at(t1 + t2, z0);
+            let hops = flow.at(t2, flow.at(t1, z0));
+            for i in 0..2 {
+                let scale = direct[i].abs().max(p.q0);
+                prop_assert!((direct[i] - hops[i]).abs() < 1e-8 * scale,
+                    "{:?}: {:?} vs {:?}", r, direct, hops);
+            }
+        }
+    }
+
+    /// Any extremum reported by the analytic machinery is a genuine
+    /// stationary point of x(t) along the region flow.
+    #[test]
+    fn extrema_have_zero_velocity(p in params_strategy()) {
+        let sys = BcnFluid::linearized(p.clone());
+        for r in [Region::Increase, Region::Decrease] {
+            let flow = RegionFlow::from_kn(p.k(), sys.region_n(r));
+            let z0 = [-0.7 * p.q0, 0.1 * p.capacity];
+            if let Some(e) = region_extremum(&flow, z0) {
+                let z = flow.at(e.t, z0);
+                let y_scale = p.capacity.max(z0[1].abs());
+                prop_assert!(z[1].abs() < 1e-6 * y_scale,
+                    "{:?}: y({}) = {}", r, e.t, z[1]);
+                prop_assert!((z[0] - e.x).abs() < 1e-6 * e.x.abs().max(p.q0));
+            }
+        }
+    }
+
+    /// Case-1 round ratios: numeric == closed form, and contained in
+    /// (0, 1] (strict contraction for w > 0).
+    #[test]
+    fn round_ratio_contracts(p in params_strategy()) {
+        if classify_params(&p).case == CaseId::Case1 {
+            if let (Some(num), Some(ana)) = (round_ratio(&p), round_ratio_analytic(&p)) {
+                prop_assert!(num > 0.0 && num < 1.0, "rho = {}", num);
+                prop_assert!((num - ana).abs() < 1e-4 * ana,
+                    "numeric {} vs analytic {}", num, ana);
+            }
+        }
+    }
+
+    /// Criterion soundness: a granted verdict is confirmed by the exact
+    /// trace, and Theorem 1 never out-permits the case criterion.
+    #[test]
+    fn criterion_soundness(p in params_strategy()) {
+        let granted = criterion(&p).is_guaranteed();
+        let thm1 = theorem1_holds(&p);
+        if thm1 {
+            prop_assert!(granted, "Theorem 1 passed but criterion refused: {:?}", p);
+        }
+        if granted {
+            let exact = exact_verdict(&p, 60);
+            prop_assert!(exact.strongly_stable,
+                "criterion unsound on {:?}: {:?}", p, exact);
+        }
+    }
+
+    /// Theorem 1's requirement dominates the exact trajectory's need.
+    #[test]
+    fn theorem1_dominates_exact_need(p in params_strategy()) {
+        let exact = exact_verdict(&p, 60);
+        let exact_need = p.q0 + exact.max_x;
+        let thm_need = theorem1_required_buffer(&p);
+        prop_assert!(thm_need >= exact_need * (1.0 - 1e-9),
+            "theorem1 {} below exact need {}", thm_need, exact_need);
+    }
+
+    /// Leg tracing never leaves the switching line inconsistently: every
+    /// closed leg ends on the line and legs alternate regions.
+    #[test]
+    fn legs_alternate_and_end_on_line(p in params_strategy()) {
+        let legs = trace_legs(&p, p.initial_point(), 10);
+        let k = p.k();
+        for pair in legs.windows(2) {
+            prop_assert!(pair[0].region != pair[1].region);
+        }
+        for leg in &legs {
+            if let Some(end) = leg.end {
+                let scale = end[1].abs().max(p.q0);
+                prop_assert!((end[0] + k * end[1]).abs() < 1e-6 * scale.max(1.0),
+                    "end off line: {:?}", end);
+            }
+        }
+    }
+
+    /// Generic phase-plane classifier: trace/det signs decide the kind.
+    #[test]
+    fn trace_det_classification(m in -5.0..5.0f64, n in -5.0..5.0f64) {
+        let j = Mat2::companion(m, n);
+        let kind = classify(&j);
+        if n < 0.0 {
+            prop_assert_eq!(kind, FixedPointKind::Saddle);
+        } else if n > 0.0 && m > 0.0 {
+            prop_assert!(kind.is_attracting());
+        } else if n > 0.0 && m < 0.0 {
+            prop_assert!(!kind.is_attracting());
+            prop_assert!(kind != FixedPointKind::Saddle);
+        }
+    }
+}
