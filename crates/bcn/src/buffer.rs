@@ -42,9 +42,7 @@ pub fn paper_example() -> WorkedExample {
 /// Required buffer as a function of flow count (all else fixed).
 #[must_use]
 pub fn required_vs_n(params: &BcnParams, ns: &[u32]) -> Vec<(u32, f64)> {
-    ns.iter()
-        .map(|&n| (n, theorem1_required_buffer(&params.clone().with_n_flows(n))))
-        .collect()
+    ns.iter().map(|&n| (n, theorem1_required_buffer(&params.clone().with_n_flows(n)))).collect()
 }
 
 /// Required buffer as a function of link capacity (all else fixed).
@@ -59,9 +57,7 @@ pub fn required_vs_capacity(params: &BcnParams, capacities: &[f64]) -> Vec<(f64,
 /// Required buffer as a function of the reference point `q0`.
 #[must_use]
 pub fn required_vs_q0(params: &BcnParams, q0s: &[f64]) -> Vec<(f64, f64)> {
-    q0s.iter()
-        .map(|&q| (q, theorem1_required_buffer(&params.clone().with_q0(q))))
-        .collect()
+    q0s.iter().map(|&q| (q, theorem1_required_buffer(&params.clone().with_q0(q)))).collect()
 }
 
 #[cfg(test)]
@@ -74,11 +70,7 @@ mod tests {
         assert_eq!(ex.bdp, 5.0e6);
         // Paper: "13.75 Mbits ... nearly three times" (we compute the
         // unrounded 13.81).
-        assert!(
-            (ex.required - 13.81e6).abs() < 0.05e6,
-            "required {}",
-            ex.required
-        );
+        assert!((ex.required - 13.81e6).abs() < 0.05e6, "required {}", ex.required);
         assert!(ex.ratio > 2.7 && ex.ratio < 2.8, "ratio {}", ex.ratio);
     }
 

@@ -197,22 +197,10 @@ pub fn exemplar(base: &BcnParams, case: CaseId) -> BcnParams {
     let gi_for = |target_a: f64| target_a / (base.ru * n);
     let gd_for = |target_b: f64| target_b;
     match case {
-        CaseId::Case1 => base
-            .clone()
-            .with_gi(gi_for(0.25 * a_thr))
-            .with_gd(gd_for(0.25 * b_thr)),
-        CaseId::Case2 => base
-            .clone()
-            .with_gi(gi_for(4.0 * a_thr))
-            .with_gd(gd_for(0.25 * b_thr)),
-        CaseId::Case3 => base
-            .clone()
-            .with_gi(gi_for(0.25 * a_thr))
-            .with_gd(gd_for(4.0 * b_thr)),
-        CaseId::Case4 => base
-            .clone()
-            .with_gi(gi_for(4.0 * a_thr))
-            .with_gd(gd_for(4.0 * b_thr)),
+        CaseId::Case1 => base.clone().with_gi(gi_for(0.25 * a_thr)).with_gd(gd_for(0.25 * b_thr)),
+        CaseId::Case2 => base.clone().with_gi(gi_for(4.0 * a_thr)).with_gd(gd_for(0.25 * b_thr)),
+        CaseId::Case3 => base.clone().with_gi(gi_for(0.25 * a_thr)).with_gd(gd_for(4.0 * b_thr)),
+        CaseId::Case4 => base.clone().with_gi(gi_for(4.0 * a_thr)).with_gd(gd_for(4.0 * b_thr)),
         CaseId::Case5 => base.clone().with_gi(gi_for(a_thr)).with_gd(base.gd),
     }
 }
@@ -227,9 +215,7 @@ pub fn exemplar_case5_decrease(base: &BcnParams) -> BcnParams {
     let n = f64::from(base.n_flows);
     // Keep the increase region spiral, put the decrease region exactly on
     // its boundary.
-    base.clone()
-        .with_gi(0.25 * a_thr / (base.ru * n))
-        .with_gd(b_threshold(base))
+    base.clone().with_gi(0.25 * a_thr / (base.ru * n)).with_gd(b_threshold(base))
 }
 
 #[cfg(test)]

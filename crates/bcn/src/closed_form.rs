@@ -153,7 +153,12 @@ impl RegionFlow {
     ///
     /// Returns `None` if no crossing occurs before `t_max` (e.g. an
     /// asymptotic node approach, the paper's Case 3 decrease leg).
-    pub fn first_zero<G: Fn([f64; 2]) -> f64>(&self, z0: [f64; 2], g: G, t_max: f64) -> Option<f64> {
+    pub fn first_zero<G: Fn([f64; 2]) -> f64>(
+        &self,
+        z0: [f64; 2],
+        g: G,
+        t_max: f64,
+    ) -> Option<f64> {
         let dt = self.scan_step();
         let mut t_prev = 0.0;
         let mut g_prev = g(z0);
@@ -315,10 +320,7 @@ impl NodeForm {
     pub fn at(&self, t: f64) -> [f64; 2] {
         let e1 = (self.l1 * t).exp();
         let e2 = (self.l2 * t).exp();
-        [
-            self.a1 * e1 + self.a2 * e2,
-            self.a1 * self.l1 * e1 + self.a2 * self.l2 * e2,
-        ]
+        [self.a1 * e1 + self.a2 * e2, self.a1 * self.l1 * e1 + self.a2 * self.l2 * e2]
     }
 
     /// Whether the initial point lies on one of the straight-line
@@ -355,10 +357,7 @@ impl CriticalForm {
     #[must_use]
     pub fn at(&self, t: f64) -> [f64; 2] {
         let e = (self.l * t).exp();
-        [
-            (self.a3 + self.a4 * t) * e,
-            (self.a3 * self.l + self.a4 + self.a4 * self.l * t) * e,
-        ]
+        [(self.a3 + self.a4 * t) * e, (self.a3 * self.l + self.a4 + self.a4 * self.l * t) * e]
     }
 }
 
@@ -418,9 +417,7 @@ mod tests {
     fn spiral_form_matches_matrix_exponential() {
         let (m, n) = (2.0, 10.0); // alpha = -1, beta = 3
         let f = RegionFlow::from_mn(m, n);
-        let Spectrum::Focus { alpha, beta } = f.spectrum() else {
-            panic!("expected focus")
-        };
+        let Spectrum::Focus { alpha, beta } = f.spectrum() else { panic!("expected focus") };
         // Include the troublesome x0 <= 0 starts the paper's printed
         // arctan form mishandles.
         for z0 in [[1.0, 0.0], [-1.0, 0.0], [-2.0, 3.0], [0.5, -4.0], [0.0, 1.0], [0.0, -2.0]] {

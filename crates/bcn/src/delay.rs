@@ -155,17 +155,8 @@ impl DelayedBcn {
         let initial_amp = amp(&p0).max(1e-30);
         // Compare the last tenth of the run against the start.
         let tail_start = states.len() * 9 / 10;
-        let tail_amp = states[tail_start..]
-            .iter()
-            .map(amp)
-            .fold(0.0_f64, f64::max);
-        DelayRun {
-            times,
-            states,
-            max_x,
-            min_x,
-            contracting: tail_amp < initial_amp,
-        }
+        let tail_amp = states[tail_start..].iter().map(amp).fold(0.0_f64, f64::max);
+        DelayRun { times, states, max_x, min_x, contracting: tail_amp < initial_amp }
     }
 
     /// Convenience sweep: the largest queue deviation `max x` for each
@@ -176,11 +167,8 @@ impl DelayedBcn {
             .map(|&tau| {
                 let dt_base = 0.002 / (params.a().max(params.b() * params.capacity)).sqrt();
                 let dt = if tau > 0.0 { dt_base.min(tau / 8.0) } else { dt_base };
-                let run = DelayedBcn::new(params.clone(), tau).run(
-                    params.initial_point(),
-                    t_end,
-                    dt,
-                );
+                let run =
+                    DelayedBcn::new(params.clone(), tau).run(params.initial_point(), t_end, dt);
                 (tau, run.max_x)
             })
             .collect()
@@ -226,9 +214,11 @@ mod tests {
         let period = std::f64::consts::TAU / params.a().sqrt();
         let tau = period / 500.0;
         let one_round = fr.t_i1 + fr.t_d1 + 0.25 * period;
-        let run = DelayedBcn::new(params.clone(), tau)
-            .linearized()
-            .run(params.initial_point(), one_round, tau / 8.0);
+        let run = DelayedBcn::new(params.clone(), tau).linearized().run(
+            params.initial_point(),
+            one_round,
+            tau / 8.0,
+        );
         assert!(
             (run.max_x - fr.max1_x).abs() < 0.02 * fr.max1_x,
             "delayed({tau}) first-round max {} vs {}",
@@ -244,9 +234,11 @@ mod tests {
         let fr = first_round(&params).unwrap();
         let period = std::f64::consts::TAU / params.a().sqrt();
         let tau = 0.5 * period;
-        let run = DelayedBcn::new(params.clone(), tau)
-            .linearized()
-            .run(params.initial_point(), 3.0, tau / 64.0);
+        let run = DelayedBcn::new(params.clone(), tau).linearized().run(
+            params.initial_point(),
+            3.0,
+            tau / 64.0,
+        );
         assert!(
             run.max_x > 1.3 * fr.max1_x,
             "expected inflated overshoot: {} vs {}",

@@ -52,7 +52,10 @@ mod tests {
     fn display_messages() {
         let e = BcnError::InvalidParameter { name: "gi", reason: "must be positive".into() };
         assert_eq!(e.to_string(), "invalid parameter gi: must be positive");
-        let e = BcnError::WrongCase { expected: "a spiral increase region".into(), actual: "node".into() };
+        let e = BcnError::WrongCase {
+            expected: "a spiral increase region".into(),
+            actual: "node".into(),
+        };
         assert!(e.to_string().contains("requires"));
         let e = BcnError::Numerical("no sign change".into());
         assert!(e.to_string().contains("numerical failure"));

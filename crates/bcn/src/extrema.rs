@@ -94,11 +94,7 @@ pub fn spiral_extremum_paper(alpha: f64, beta: f64, z0: [f64; 2]) -> Option<Extr
     }
     // Eq. 18 with principal arctangents.
     let base = ((alpha / beta).atan() + ((y0 - alpha * x0) / (beta * x0)).atan()) / beta;
-    let mut t_star = if x0 * y0 >= 0.0 {
-        base
-    } else {
-        base + std::f64::consts::PI / beta
-    };
+    let mut t_star = if x0 * y0 >= 0.0 { base } else { base + std::f64::consts::PI / beta };
     // The printed two-branch rule still lands one half-period early for
     // some quadrant combinations (it was derived for the round-analysis
     // entry points); normalise to the first non-negative root.
@@ -109,8 +105,7 @@ pub fn spiral_extremum_paper(alpha: f64, beta: f64, z0: [f64; 2]) -> Option<Extr
     // Eq. 12's amplitude A (paper definition) and Eqs. 19/20.
     let a_coef =
         ((alpha * alpha + beta * beta) * x0 * x0 - 2.0 * alpha * x0 * y0 + y0 * y0).sqrt() / beta;
-    let magnitude =
-        a_coef * beta / (alpha * alpha + beta * beta).sqrt() * (alpha * t_star).exp();
+    let magnitude = a_coef * beta / (alpha * alpha + beta * beta).sqrt() * (alpha * t_star).exp();
     let x = if y0 > 0.0 { magnitude } else { -magnitude };
     Some(Extremum { t: t_star, x })
 }
@@ -162,10 +157,8 @@ pub fn node_extremum_paper(l1: f64, l2: f64, z0: [f64; 2]) -> Option<Extremum> {
         return None;
     }
     // |mump| = [ (-l1)^{l1} |u2|^{l2} / ( (-l2)^{l2} |u1|^{l1} ) ]^{1/(l2-l1)}
-    let log_mag = (l1 * (-l1).ln() + l2 * u2.abs().ln()
-        - l2 * (-l2).ln()
-        - l1 * u1.abs().ln())
-        / (l2 - l1);
+    let log_mag =
+        (l1 * (-l1).ln() + l2 * u2.abs().ln() - l2 * (-l2).ln() - l1 * u1.abs().ln()) / (l2 - l1);
     let x = y0.signum() * log_mag.exp();
     Some(Extremum { t: robust.t, x })
 }

@@ -110,11 +110,7 @@ impl HeteroBcn {
         record_every: usize,
     ) -> HeteroRun {
         let p = &self.params;
-        assert_eq!(
-            rates_init.len(),
-            p.n_flows as usize,
-            "need one initial rate per flow"
-        );
+        assert_eq!(rates_init.len(), p.n_flows as usize, "need one initial rate per flow");
         assert!(rates_init.iter().all(|r| *r >= 0.0), "rates must be non-negative");
         assert!(dt > 0.0 && t_end > 0.0, "dt and t_end must be positive");
         assert!(record_every > 0, "record_every must be at least 1");
@@ -167,11 +163,8 @@ impl HeteroBcn {
                         }
                     }
                 };
-                let dr = if sigma > 0.0 {
-                    weight * gi_ru * sigma
-                } else {
-                    weight * gd * sigma * *r
-                };
+                let dr =
+                    if sigma > 0.0 { weight * gi_ru * sigma } else { weight * gd * sigma * *r };
                 *r = (*r + dr * dt).max(0.0);
                 let _ = i;
             }
@@ -221,8 +214,8 @@ fn jain(rates: &[f64]) -> f64 {
 pub fn reduction_error(params: &BcnParams, t_end: f64) -> f64 {
     let n = params.n_flows as usize;
     let fair = params.capacity / n as f64;
-    let hetero = HeteroBcn::new(params.clone(), FeedbackModel::Uniform)
-        .run_canonical(&vec![fair; n], t_end);
+    let hetero =
+        HeteroBcn::new(params.clone(), FeedbackModel::Uniform).run_canonical(&vec![fair; n], t_end);
     let planar = crate::simulate::SaturatingFluid::new(params.clone()).run_canonical(t_end);
     // Compare max queue (the strong-stability-relevant statistic).
     (hetero.max_queue - planar.max_queue).abs() / planar.max_queue.max(1.0)
@@ -283,11 +276,7 @@ mod tests {
         init[0] = 0.8 * params.capacity;
         let sys = HeteroBcn::new(params.clone(), FeedbackModel::RateProportional);
         let run = sys.run_canonical(&init, 25.0);
-        assert!(
-            run.final_fairness() > 0.85,
-            "end fairness {}",
-            run.final_fairness()
-        );
+        assert!(run.final_fairness() > 0.85, "end fairness {}", run.final_fairness());
     }
 
     #[test]

@@ -110,10 +110,7 @@ mod tests {
         let p = BcnParams::paper_defaults();
         assert!(analyze(&p).overall_stable);
         let exact = stability::exact_verdict(&p, 20);
-        assert!(
-            !exact.strongly_stable,
-            "the 5 Mbit buffer should overflow: {exact:?}"
-        );
+        assert!(!exact.strongly_stable, "the 5 Mbit buffer should overflow: {exact:?}");
         assert!(!stability::theorem1_holds(&p));
     }
 }

@@ -282,15 +282,9 @@ mod tests {
     fn plane_system_picks_region_by_sigma() {
         let s = sys();
         let pt_inc = [-1000.0, 0.0];
-        assert_eq!(
-            PlaneSystem::deriv(&s, pt_inc),
-            s.deriv_in(Region::Increase, pt_inc)
-        );
+        assert_eq!(PlaneSystem::deriv(&s, pt_inc), s.deriv_in(Region::Increase, pt_inc));
         let pt_dec = [1000.0, 0.0];
-        assert_eq!(
-            PlaneSystem::deriv(&s, pt_dec),
-            s.deriv_in(Region::Decrease, pt_dec)
-        );
+        assert_eq!(PlaneSystem::deriv(&s, pt_dec), s.deriv_in(Region::Decrease, pt_dec));
     }
 
     #[test]

@@ -20,6 +20,7 @@ use crate::closed_form::{RegionFlow, Spectrum};
 use crate::extrema::{region_extremum, Extremum};
 use crate::model::Region;
 use crate::params::BcnParams;
+use telemetry::{ExtremumKind, Telemetry};
 
 /// One maximal sojourn in a control region.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -40,10 +41,7 @@ pub struct Leg {
 /// The region flows of the linearised system.
 fn flows(params: &BcnParams) -> (RegionFlow, RegionFlow) {
     let k = params.k();
-    (
-        RegionFlow::from_kn(k, params.a()),
-        RegionFlow::from_kn(k, params.b() * params.capacity),
-    )
+    (RegionFlow::from_kn(k, params.a()), RegionFlow::from_kn(k, params.b() * params.capacity))
 }
 
 fn flow_of(params: &BcnParams, region: Region) -> RegionFlow {
@@ -79,9 +77,25 @@ pub fn departing_region(params: &BcnParams, p: [f64; 2]) -> Region {
 /// state has contracted to within `1e-12` of the equilibrium.
 #[must_use]
 pub fn trace_legs(params: &BcnParams, start: [f64; 2], max_legs: usize) -> Vec<Leg> {
+    trace_legs_telemetry(params, start, max_legs, None)
+}
+
+/// Like [`trace_legs`], recording a region-switch event at every leg
+/// boundary and a queue-extremum event for every interior extremum into
+/// `tel` when provided. Event times are absolute (cumulative over legs);
+/// queue values are physical bits (`q0 + x`).
+#[must_use]
+pub fn trace_legs_telemetry(
+    params: &BcnParams,
+    start: [f64; 2],
+    max_legs: usize,
+    mut tel: Option<&mut Telemetry>,
+) -> Vec<Leg> {
     let k = params.k();
     let mut legs = Vec::new();
     let mut p = start;
+    let mut t_abs = 0.0;
+    let mut prev_region: Option<Region> = None;
     for _ in 0..max_legs {
         // Stop once the state has contracted to numerical noise relative
         // to the problem's own scales (q0 for x, C for y).
@@ -89,6 +103,12 @@ pub fn trace_legs(params: &BcnParams, start: [f64; 2], max_legs: usize) -> Vec<L
             break;
         }
         let region = departing_region(params, p);
+        if let (Some(tel), Some(prev)) = (tel.as_deref_mut(), prev_region) {
+            if prev != region {
+                tel.region_switch(t_abs, prev.mode_index() as u32, region.mode_index() as u32);
+            }
+        }
+        prev_region = Some(region);
         let flow = flow_of(params, region);
         let t_max = leg_horizon(&flow);
         let duration = flow.time_to_switching_line(p, k, t_max);
@@ -103,9 +123,21 @@ pub fn trace_legs(params: &BcnParams, start: [f64; 2], max_legs: usize) -> Vec<L
             Some(d) => e.t > 0.0 && e.t <= d,
             None => e.t > 0.0,
         });
+        if let (Some(tel), Some(e)) = (tel.as_deref_mut(), extremum) {
+            // Queue maxima happen while the rate decays (decrease region),
+            // minima while it recovers (increase region).
+            let kind = match region {
+                Region::Decrease => ExtremumKind::Max,
+                Region::Increase => ExtremumKind::Min,
+            };
+            tel.queue_extremum(t_abs + e.t, params.q0 + e.x, kind);
+        }
         legs.push(Leg { region, start: p, end, duration, extremum });
         match end {
-            Some(z) => p = z,
+            Some(z) => {
+                p = z;
+                t_abs += duration.unwrap_or(0.0);
+            }
             None => break,
         }
     }
@@ -270,10 +302,7 @@ mod tests {
             }
             let expect = if leg.region == Region::Increase { ti } else { td };
             let got = leg.duration.unwrap();
-            assert!(
-                (got - expect).abs() < 1e-6 * expect,
-                "leg {i} duration {got} vs {expect}"
-            );
+            assert!((got - expect).abs() < 1e-6 * expect, "leg {i} duration {got} vs {expect}");
         }
         // And the paper's printed form for T_d.
         let (b, c, k) = (params.b(), params.capacity, params.k());
@@ -303,10 +332,7 @@ mod tests {
         let num = round_ratio(&params).expect("case 1 rounds repeat");
         let ana = round_ratio_analytic(&params).expect("case 1");
         assert!(num > 0.0 && num < 1.0, "rho = {num}");
-        assert!(
-            (num - ana).abs() < 1e-6 * ana,
-            "numeric {num} vs analytic {ana}"
-        );
+        assert!((num - ana).abs() < 1e-6 * ana, "numeric {num} vs analytic {ana}");
     }
 
     #[test]

@@ -13,8 +13,9 @@
 //!   it provides the drop/underflow ground truth for the criterion
 //!   experiments.
 
-use odesolve::hybrid::{integrate_hybrid, HybridSolution};
+use odesolve::hybrid::{integrate_hybrid_telemetry, HybridSolution};
 use odesolve::{Dopri5, Options, SolveError};
+use telemetry::{ExtremumKind, Telemetry};
 
 use crate::model::{BcnFluid, Linearity};
 use crate::params::BcnParams;
@@ -65,12 +66,73 @@ pub fn fluid_trajectory(
     p0: [f64; 2],
     opts: &FluidOptions,
 ) -> Result<HybridSolution<2>, SolveError> {
+    fluid_trajectory_telemetry(sys, p0, opts, None)
+}
+
+/// Like [`fluid_trajectory`], recording solver telemetry (step sizes,
+/// region switches, event-location iterations) plus queue occupancy
+/// samples and queue extrema into `tel` when provided.
+///
+/// The fluid state is in deviation coordinates `x = q - q0`; queue
+/// telemetry is reported in physical bits (`q0 + x`). Extrema are found
+/// by scanning the recorded trajectory for sign changes of `y = dq/dt`,
+/// so their resolution follows `opts.record_dt` (or the accepted solver
+/// steps when dense recording is off).
+///
+/// # Errors
+///
+/// Propagates [`SolveError`] from the integrator.
+pub fn fluid_trajectory_telemetry(
+    sys: &BcnFluid,
+    p0: [f64; 2],
+    opts: &FluidOptions,
+    mut tel: Option<&mut Telemetry>,
+) -> Result<HybridSolution<2>, SolveError> {
     let mut stepper = Dopri5::with_tolerances(opts.tol, opts.tol);
     let mut o = Options::default();
     if let Some(dt) = opts.record_dt {
         o = o.with_record_dt(dt);
     }
-    integrate_hybrid(sys, 0.0, p0, opts.t_end, opts.max_switches, &mut stepper, &o)
+    let out = integrate_hybrid_telemetry(
+        sys,
+        0.0,
+        p0,
+        opts.t_end,
+        opts.max_switches,
+        &mut stepper,
+        &o,
+        tel.as_deref_mut(),
+    )?;
+    if let Some(tel) = tel {
+        if tel.enabled() {
+            record_queue_telemetry(sys, &out, tel);
+        }
+    }
+    Ok(out)
+}
+
+/// Replays the recorded trajectory into queue-occupancy samples and
+/// extremum events (sign changes of `y = dq/dt` between samples).
+fn record_queue_telemetry(sys: &BcnFluid, out: &HybridSolution<2>, tel: &mut Telemetry) {
+    let q0 = sys.params().q0;
+    let times = out.solution.times();
+    let states = out.solution.states();
+    let mut prev: Option<(f64, [f64; 2])> = None;
+    for (&t, &s) in times.iter().zip(states.iter()) {
+        tel.queue_sample(t, q0 + s[0]);
+        if let Some((tp, sp)) = prev {
+            // A y sign change between samples brackets dq/dt = 0: a queue
+            // extremum. Locate it by linear interpolation of y.
+            if sp[1] > 0.0 && s[1] <= 0.0 || sp[1] < 0.0 && s[1] >= 0.0 {
+                let frac = if s[1] == sp[1] { 0.0 } else { sp[1] / (sp[1] - s[1]) };
+                let te = tp + frac * (t - tp);
+                let xe = sp[0] + frac * (s[0] - sp[0]);
+                let kind = if sp[1] > 0.0 { ExtremumKind::Max } else { ExtremumKind::Min };
+                tel.queue_extremum(te, q0 + xe, kind);
+            }
+        }
+        prev = Some((t, s));
+    }
 }
 
 /// Result of a saturating (physical) fluid run.
@@ -183,7 +245,8 @@ impl SaturatingFluid {
             let rate_dot = if sigma > 0.0 {
                 p.a() * sigma
             } else {
-                p.b() * sigma
+                p.b()
+                    * sigma
                     * match self.linearity {
                         Linearity::FullNonlinear => rate,
                         Linearity::Linearized => cap,
@@ -269,7 +332,8 @@ mod tests {
         let p = params();
         let sys = BcnFluid::linearized(p.clone());
         let fr = crate::rounds::first_round(&p).unwrap();
-        let opts = FluidOptions { t_end: 10.0, tol: 1e-11, max_switches: 100, record_dt: Some(1e-3) };
+        let opts =
+            FluidOptions { t_end: 10.0, tol: 1e-11, max_switches: 100, record_dt: Some(1e-3) };
         let out = fluid_trajectory(&sys, p.initial_point(), &opts).unwrap();
         let max_x = out.solution.max_component(0);
         assert!(

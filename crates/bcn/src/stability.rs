@@ -17,10 +17,10 @@
 //! ground-truth check obtained by tracing the actual switched trajectory,
 //! used by the criterion-tightness experiments.
 
-use crate::cases::{classify_params, region_shape, CaseId};
 use crate::cases::RegionShape;
-use crate::closed_form::Spectrum;
+use crate::cases::{classify_params, region_shape, CaseId};
 use crate::closed_form::RegionFlow;
+use crate::closed_form::Spectrum;
 use crate::params::BcnParams;
 use crate::rounds::{first_round, trace_legs, FirstRound};
 
@@ -139,8 +139,7 @@ pub fn proposition2_bounds_paper(params: &BcnParams) -> Option<(f64, f64)> {
     // Decrease leg: Eq. 36.
     let phi_d1 = ((2.0 - params.b() * k * k * params.capacity) / (k * root_d)).atan();
     let max1 = x_d1.abs() / (k * bc.sqrt())
-        * (alpha_d_over_beta_d
-            * (std::f64::consts::PI + alpha_d_over_beta_d.atan() - phi_d1))
+        * (alpha_d_over_beta_d * (std::f64::consts::PI + alpha_d_over_beta_d.atan() - phi_d1))
             .exp();
 
     // Second increase leg: Eq. 37.
@@ -149,8 +148,7 @@ pub fn proposition2_bounds_paper(params: &BcnParams) -> Option<(f64, f64)> {
     let x_i2 = -a_d1 * k * root_d / 2.0 * (-bc * k / 2.0 * t_d1).exp();
     let phi_i2 = ((2.0 - a * k * k) / (k * root_i)).atan();
     let min1 = -(x_i2.abs() / (k * a.sqrt()))
-        * (alpha_i_over_beta_i
-            * (std::f64::consts::PI + alpha_i_over_beta_i.atan() - phi_i2))
+        * (alpha_i_over_beta_i * (std::f64::consts::PI + alpha_i_over_beta_i.atan() - phi_i2))
             .exp();
     Some((max1, min1))
 }
@@ -191,8 +189,7 @@ pub fn proposition3_max_paper(params: &BcnParams) -> Option<f64> {
     let alpha_d_over_beta_d = -bc * k / root_d;
     let phi_d1 = ((2.0 - params.b() * k * k * params.capacity) / (k * root_d)).atan();
     let max2 = y_d1 / bc.sqrt()
-        * (alpha_d_over_beta_d
-            * (std::f64::consts::PI + alpha_d_over_beta_d.atan() - phi_d1))
+        * (alpha_d_over_beta_d * (std::f64::consts::PI + alpha_d_over_beta_d.atan() - phi_d1))
             .exp();
     Some(max2)
 }
@@ -224,9 +221,7 @@ pub fn criterion(params: &BcnParams) -> StabilityVerdict {
                     ))
                 }
             }
-            None => StabilityVerdict::NotGuaranteed(
-                "first-round analysis did not complete".into(),
-            ),
+            None => StabilityVerdict::NotGuaranteed("first-round analysis did not complete".into()),
         },
         CaseId::Case2 => match proposition3_max(params) {
             Some(max2) if max2 < wall_hi => {
@@ -251,7 +246,9 @@ pub fn criterion(params: &BcnParams) -> StabilityVerdict {
             // threshold behaves like Case 2 and needs the overshoot
             // check.
             if region_shape(params, crate::model::Region::Increase) == RegionShape::Spiral {
-                StabilityVerdict::StronglyStable(Justification::Proposition4 { case: CaseId::Case5 })
+                StabilityVerdict::StronglyStable(Justification::Proposition4 {
+                    case: CaseId::Case5,
+                })
             } else {
                 let legs = trace_legs(params, params.initial_point(), 3);
                 let max2 = legs
@@ -387,10 +384,7 @@ mod tests {
         let exact = proposition3_max(&p).expect("case-2 overshoot");
         let paper = proposition3_max_paper(&p).expect("case-2 paper bound");
         // Eq. 38 describes the same decrease-leg maximum.
-        assert!(
-            (exact - paper).abs() < 1e-6 * exact.abs(),
-            "exact {exact} vs paper {paper}"
-        );
+        assert!((exact - paper).abs() < 1e-6 * exact.abs(), "exact {exact} vs paper {paper}");
     }
 
     #[test]
@@ -491,9 +485,6 @@ mod tests {
         let ev = exact_verdict(&p, 40);
         let exact_needed = p.q0 + ev.max_x;
         let thm1_needed = theorem1_required_buffer(&p);
-        assert!(
-            thm1_needed >= exact_needed,
-            "theorem1 {thm1_needed} vs exact {exact_needed}"
-        );
+        assert!(thm1_needed >= exact_needed, "theorem1 {thm1_needed} vs exact {exact_needed}");
     }
 }

@@ -63,13 +63,8 @@ pub fn analyze(params: &BcnParams) -> TransientMetrics {
     } else {
         (None, None)
     };
-    let rounds_to_settle = rho.and_then(|r| {
-        if r > 0.0 && r < 1.0 {
-            Some((0.05_f64).ln() / r.ln())
-        } else {
-            None
-        }
-    });
+    let rounds_to_settle =
+        rho.and_then(|r| if r > 0.0 && r < 1.0 { Some((0.05_f64).ln() / r.ln()) } else { None });
     let settling_time = match (rounds_to_settle, round_period) {
         (Some(n), Some(t)) => Some(n * t),
         _ => None,
@@ -95,7 +90,12 @@ pub fn analyze(params: &BcnParams) -> TransientMetrics {
 ///
 /// Panics if `gi_lo >= gi_hi` or either is non-positive.
 #[must_use]
-pub fn max_gi_for_overshoot(params: &BcnParams, target_ratio: f64, gi_lo: f64, gi_hi: f64) -> Option<f64> {
+pub fn max_gi_for_overshoot(
+    params: &BcnParams,
+    target_ratio: f64,
+    gi_lo: f64,
+    gi_hi: f64,
+) -> Option<f64> {
     assert!(gi_lo > 0.0 && gi_lo < gi_hi, "need 0 < gi_lo < gi_hi");
     let over = |gi: f64| analyze(&params.clone().with_gi(gi)).overshoot_ratio;
     if over(gi_lo) > target_ratio {

@@ -140,9 +140,6 @@ mod tests {
         assert!(run.max_queue < 1e-6 * p.q0, "queue built early: {}", run.max_queue);
         // Aggregate rate reaches ~C at the end.
         let end_rate = *run.rate.last().unwrap();
-        assert!(
-            (end_rate - p.capacity).abs() < 5e-3 * p.capacity,
-            "end rate {end_rate}"
-        );
+        assert!((end_rate - p.capacity).abs() < 5e-3 * p.capacity, "end rate {end_rate}");
     }
 }

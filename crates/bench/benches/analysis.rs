@@ -33,15 +33,9 @@ fn bench_stability(c: &mut Criterion) {
     group.bench_function("theorem1", |b| {
         b.iter(|| black_box(theorem1_required_buffer(black_box(&params))))
     });
-    group.bench_function("first_round", |b| {
-        b.iter(|| black_box(first_round(black_box(&params))))
-    });
-    group.bench_function("round_ratio", |b| {
-        b.iter(|| black_box(round_ratio(black_box(&params))))
-    });
-    group.bench_function("criterion", |b| {
-        b.iter(|| black_box(criterion(black_box(&params))))
-    });
+    group.bench_function("first_round", |b| b.iter(|| black_box(first_round(black_box(&params)))));
+    group.bench_function("round_ratio", |b| b.iter(|| black_box(round_ratio(black_box(&params)))));
+    group.bench_function("criterion", |b| b.iter(|| black_box(criterion(black_box(&params)))));
     group.bench_function("exact_verdict_20_legs", |b| {
         b.iter(|| black_box(exact_verdict(black_box(&params), 20)))
     });

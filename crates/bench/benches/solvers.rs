@@ -58,15 +58,8 @@ fn bench_event_location(c: &mut Criterion) {
     let mut group = c.benchmark_group("events");
     group.bench_function("integrate_plain_10ms", |b| {
         b.iter(|| {
-            integrate(
-                &ode,
-                0.0,
-                black_box(p0),
-                0.01,
-                &mut Dopri5::new(),
-                &Options::default(),
-            )
-            .unwrap()
+            integrate(&ode, 0.0, black_box(p0), 0.01, &mut Dopri5::new(), &Options::default())
+                .unwrap()
         })
     });
     group.bench_function("integrate_with_guard_10ms", |b| {

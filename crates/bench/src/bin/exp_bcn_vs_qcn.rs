@@ -2,7 +2,7 @@
 
 fn main() {
     if let Err(e) = bench::experiments::bcn_vs_qcn::main() {
-        eprintln!("error: {e}");
+        telemetry::log_line!("error: {e}");
         std::process::exit(1);
     }
 }

@@ -2,7 +2,7 @@
 
 fn main() {
     if let Err(e) = bench::experiments::fluid_vs_packet::main() {
-        eprintln!("error: {e}");
+        telemetry::log_line!("error: {e}");
         std::process::exit(1);
     }
 }

@@ -2,7 +2,7 @@
 
 fn main() {
     if let Err(e) = bench::figures::fig05::main() {
-        eprintln!("error: {e}");
+        telemetry::log_line!("error: {e}");
         std::process::exit(1);
     }
 }

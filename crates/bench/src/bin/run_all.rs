@@ -29,12 +29,12 @@ fn main() {
     let mut failures = 0;
     for (name, job) in jobs {
         if let Err(e) = job(&out) {
-            eprintln!("{name} FAILED: {e}");
+            telemetry::log_line!("{name} FAILED: {e}");
             failures += 1;
         }
     }
     if failures > 0 {
-        eprintln!("{failures} generator(s) failed");
+        telemetry::log_line!("{failures} generator(s) failed");
         std::process::exit(1);
     }
     println!("\nall artifacts regenerated under {}", out.display());

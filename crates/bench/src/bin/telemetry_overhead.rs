@@ -1,0 +1,84 @@
+//! Offline telemetry-overhead check.
+//!
+//! The Criterion benches (`benches/solvers.rs`) need a network fetch,
+//! so this binary provides the no-dependency version of the same
+//! guarantee: it integrates the paper's worked example repeatedly with
+//! (a) no telemetry argument, (b) an `Off` sink, (c) a `Summary` sink,
+//! and (d) a `Full` sink, and reports median wall times. The contract
+//! is that (b) stays within 2% of (a).
+//!
+//! Run release builds only — debug timings are meaningless:
+//!
+//! ```console
+//! $ cargo run --release -p bench --bin telemetry_overhead
+//! ```
+
+use std::time::Instant;
+
+use bcn::simulate::{fluid_trajectory_telemetry, FluidOptions};
+use bcn::{BcnFluid, BcnParams};
+use telemetry::{Telemetry, TelemetryLevel};
+
+const T_END: f64 = 0.1;
+const REPS: usize = 21;
+
+/// One timed integration with the requested sink (constructed outside
+/// the timed region, as the CLI does).
+fn one_run_secs(sys: &BcnFluid, p0: [f64; 2], level: Option<TelemetryLevel>) -> f64 {
+    let opts = FluidOptions::default().with_t_end(T_END);
+    let mut tel = level.map(Telemetry::new);
+    let t0 = Instant::now();
+    let run = fluid_trajectory_telemetry(sys, p0, &opts, tel.as_mut()).expect("fluid integration");
+    let dt = t0.elapsed().as_secs_f64();
+    assert!(!run.solution.is_empty(), "integration produced no samples");
+    dt
+}
+
+fn best(samples: Vec<f64>) -> f64 {
+    // The minimum is the robust estimator for "how fast can this code
+    // go" — every slower sample is the same code plus scheduler or
+    // clock noise.
+    samples.into_iter().fold(f64::INFINITY, f64::min)
+}
+
+fn main() {
+    let p = BcnParams::paper_defaults();
+    let sys = BcnFluid::linearized(p.clone());
+    let p0 = p.initial_point();
+
+    // Warm up caches and the allocator before timing.
+    for _ in 0..3 {
+        let _ = one_run_secs(&sys, p0, None);
+    }
+
+    // Interleave the configurations, rotating the starting one each
+    // round, so clock-frequency drift, scheduler noise, and
+    // position-in-round effects hit all of them equally.
+    let mut samples: [Vec<f64>; 4] = Default::default();
+    let levels = [
+        None,
+        Some(TelemetryLevel::Off),
+        Some(TelemetryLevel::Summary),
+        Some(TelemetryLevel::Full),
+    ];
+    for rep in 0..REPS {
+        for k in 0..levels.len() {
+            let i = (rep + k) % levels.len();
+            samples[i].push(one_run_secs(&sys, p0, levels[i]));
+        }
+    }
+    let [base, off, summary, full] = samples.map(best);
+
+    let pct = |t: f64| (t / base - 1.0) * 100.0;
+    println!("telemetry overhead on fluid_trajectory ({T_END} s horizon, best of {REPS}):");
+    println!("  none (baseline):  {:.3} ms", base * 1e3);
+    println!("  level off:        {:.3} ms  ({:+.2}%)", off * 1e3, pct(off));
+    println!("  level summary:    {:.3} ms  ({:+.2}%)", summary * 1e3, pct(summary));
+    println!("  level full:       {:.3} ms  ({:+.2}%)", full * 1e3, pct(full));
+
+    if pct(off) > 2.0 {
+        telemetry::log_line!("FAIL: off-level overhead {:.2}% exceeds the 2% budget", pct(off));
+        std::process::exit(1);
+    }
+    println!("off-level overhead within the 2% budget");
+}

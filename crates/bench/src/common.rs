@@ -35,9 +35,7 @@ pub struct Traced {
 /// and known-good; a failure is a bug worth crashing on).
 #[must_use]
 pub fn trace(sys: &BcnFluid, p0: [f64; 2], t_end: f64, samples: usize) -> Traced {
-    let opts = FluidOptions::default()
-        .with_t_end(t_end)
-        .with_record_dt(t_end / samples as f64);
+    let opts = FluidOptions::default().with_t_end(t_end).with_record_dt(t_end / samples as f64);
     let sol = fluid_trajectory(sys, p0, &opts).expect("fluid integration");
     Traced {
         ts: sol.solution.times().to_vec(),
@@ -59,20 +57,15 @@ pub fn phase_plot(title: &str, params: &BcnParams, series: Vec<Series>) -> SvgPl
         let y_lo = s.ys.iter().copied().fold(f64::INFINITY, f64::min);
         let y_hi = s.ys.iter().copied().fold(f64::NEG_INFINITY, f64::max);
         if y_lo.is_finite() {
-            let line = Series::line(
-                "switching line",
-                &[-k * y_lo, -k * y_hi],
-                &[y_lo, y_hi],
-                "#999999",
-            );
+            let line =
+                Series::line("switching line", &[-k * y_lo, -k * y_hi], &[y_lo, y_hi], "#999999");
             plot = plot.with_series(line);
         }
     }
     for s in series {
         plot = plot.with_series(s);
     }
-    plot.with_vline(-params.q0, "#d62728")
-        .with_vline(params.buffer - params.q0, "#d62728")
+    plot.with_vline(-params.q0, "#d62728").with_vline(params.buffer - params.q0, "#d62728")
 }
 
 /// Prints a section banner for the console output.

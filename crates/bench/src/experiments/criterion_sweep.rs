@@ -98,7 +98,14 @@ pub fn run(out: &Path) -> ExpResult {
     let cells = compute_atlas(&base, 13);
 
     let mut csv = Csv::new(&[
-        "gi", "gd", "case", "baseline", "theorem1", "case_criterion", "exact", "fluid_drops",
+        "gi",
+        "gd",
+        "case",
+        "baseline",
+        "theorem1",
+        "case_criterion",
+        "exact",
+        "fluid_drops",
     ]);
     for c in &cells {
         csv.row(&[

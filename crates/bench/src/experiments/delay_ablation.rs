@@ -32,10 +32,19 @@ pub fn run(out: &Path) -> ExpResult {
     let params = BcnParams::test_defaults();
     let fr = first_round(&params).expect("case 1");
     let period = std::f64::consts::TAU / params.a().sqrt();
-    println!("loop period (increase region): {period:.5} s; zero-delay max_1(x) = {:.1} bits", fr.max1_x);
+    println!(
+        "loop period (increase region): {period:.5} s; zero-delay max_1(x) = {:.1} bits",
+        fr.max1_x
+    );
 
     let fracs = [0.0, 0.002, 0.01, 0.05, 0.1, 0.2, 0.35, 0.5];
-    let mut table = Table::new(&["tau / period", "tau (s)", "max x (bits)", "inflation %", "still contracting"]);
+    let mut table = Table::new(&[
+        "tau / period",
+        "tau (s)",
+        "max x (bits)",
+        "inflation %",
+        "still contracting",
+    ]);
     let mut csv = Csv::new(&["tau", "max_x", "contracting"]);
     let mut taus = Vec::new();
     let mut maxes = Vec::new();
@@ -43,9 +52,8 @@ pub fn run(out: &Path) -> ExpResult {
         let tau = frac * period;
         let dt_base = 0.002 / params.a().sqrt();
         let dt = if tau > 0.0 { dt_base.min(tau / 8.0) } else { dt_base };
-        let run = DelayedBcn::new(params.clone(), tau)
-            .linearized()
-            .run(params.initial_point(), 3.0, dt);
+        let run =
+            DelayedBcn::new(params.clone(), tau).linearized().run(params.initial_point(), 3.0, dt);
         // Once the loop diverges the raw supremum is astronomically
         // large; cap reporting at 100x the buffer ("diverged").
         let cap = 100.0 * params.buffer;

@@ -66,8 +66,7 @@ pub fn run(out: &Path) -> ExpResult {
             .map(|(_, q)| *q)
             .collect();
         let mean = tail.iter().sum::<f64>() / tail.len() as f64;
-        let rms = (tail.iter().map(|q| (q - mean).powi(2)).sum::<f64>() / tail.len() as f64)
-            .sqrt();
+        let rms = (tail.iter().map(|q| (q - mean).powi(2)).sum::<f64>() / tail.len() as f64).sqrt();
         table.row(&[
             if bits == 32 { "full".into() } else { bits.to_string() },
             format!("{:.3}", mean / params.q0),

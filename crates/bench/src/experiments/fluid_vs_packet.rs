@@ -30,7 +30,8 @@ pub fn run(out: &Path) -> ExpResult {
     let frame_bits = 8_000.0;
 
     // Packet-level run.
-    let cfg = SimConfig::from_fluid(&params, frame_bits, dcesim::time::Duration::from_secs(2e-6), t_end);
+    let cfg =
+        SimConfig::from_fluid(&params, frame_bits, dcesim::time::Duration::from_secs(2e-6), t_end);
     let report = Simulation::new(cfg).run();
     let des_t = report.metrics.queue.times().to_vec();
     let des_q = report.metrics.queue.values().to_vec();
@@ -66,7 +67,8 @@ pub fn run(out: &Path) -> ExpResult {
     csv.save(out.join("exp_fluid_vs_packet.csv"))?;
     println!("wrote {}", out.join("exp_fluid_vs_packet.csv").display());
 
-    let mut table = Table::new(&["model", "max queue (bits)", "min queue tail", "drops", "RMS vs DES (bits)"]);
+    let mut table =
+        Table::new(&["model", "max queue (bits)", "min queue tail", "drops", "RMS vs DES (bits)"]);
     table.row(&[
         "packet-level DES".into(),
         format!("{:.3e}", report.metrics.queue.max()),

@@ -29,13 +29,10 @@ pub fn run(out: &Path) -> ExpResult {
     // 2. Fairness convergence from a skewed start under both models.
     let mut init = vec![0.02 * params.capacity / n as f64; n];
     init[0] = 0.8 * params.capacity;
-    let mut plot = SvgPlot::new(
-        "Jain fairness over time from a skewed start",
-        "t (s)",
-        "fairness",
-    );
+    let mut plot = SvgPlot::new("Jain fairness over time from a skewed start", "t (s)", "fairness");
     let mut csv = Csv::new(&["model", "t", "fairness", "queue"]);
-    let mut table = Table::new(&["feedback model", "fairness t=0", "fairness end", "max queue (bits)"]);
+    let mut table =
+        Table::new(&["feedback model", "fairness t=0", "fairness end", "max queue (bits)"]);
     for (i, (name, model)) in [
         ("uniform (paper Eq. 7)", FeedbackModel::Uniform),
         ("rate-proportional (protocol)", FeedbackModel::RateProportional),

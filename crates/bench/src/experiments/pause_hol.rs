@@ -80,12 +80,7 @@ pub fn run(out: &Path) -> ExpResult {
             None,
             0,
         ),
-        (
-            "PAUSE only",
-            PauseConfig { enabled: true, hold, per_priority: false },
-            None,
-            0,
-        ),
+        ("PAUSE only", PauseConfig { enabled: true, hold, per_priority: false }, None, 0),
         (
             "PFC, victim on its own class",
             PauseConfig { enabled: true, hold, per_priority: true },
@@ -114,23 +109,13 @@ pub fn run(out: &Path) -> ExpResult {
         "trunk PAUSEs",
         "lossless",
     ]);
-    let mut plot = SvgPlot::new(
-        "S2 backlog under the three policies",
-        "t (s)",
-        "S2 total backlog (bits)",
-    );
+    let mut plot =
+        SvgPlot::new("S2 backlog under the three policies", "t (s)", "S2 total backlog (bits)");
     let mut csv = Csv::new(&["scenario", "victim_throughput", "culprit_drops", "trunk_pauses"]);
 
     for (i, (name, pause, bcn, victim_class)) in scenarios.into_iter().enumerate() {
-        let (mut cfg, victim) = victim_topology(
-            N_CULPRITS,
-            TRUNK,
-            FRAME,
-            Duration::from_secs(1e-6),
-            T_END,
-            pause,
-            bcn,
-        );
+        let (mut cfg, victim) =
+            victim_topology(N_CULPRITS, TRUNK, FRAME, Duration::from_secs(1e-6), T_END, pause, bcn);
         cfg.flows[victim].priority = victim_class;
         let trunk_link = N_CULPRITS + 1;
         let report = NetSim::new(cfg).run();

@@ -25,7 +25,8 @@ pub fn run(out: &Path) -> ExpResult {
     let params = BcnParams::test_defaults();
 
     // 1. Formula vs simulation across initial rates.
-    let mut table = Table::new(&["mu / fair share", "T0 formula (s)", "T0 simulated (s)", "error %"]);
+    let mut table =
+        Table::new(&["mu / fair share", "T0 formula (s)", "T0 simulated (s)", "error %"]);
     let mut csv = Csv::new(&["mu_fraction", "t0_formula", "t0_simulated"]);
     for frac in [0.0, 0.25, 0.5, 0.75, 0.9] {
         let mu = frac * params.fair_share();

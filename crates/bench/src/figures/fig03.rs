@@ -41,11 +41,7 @@ pub fn run(out: &Path) -> ExpResult {
     };
     let reps: Vec<(&str, BcnParams, f64)> = vec![
         ("l6: strongly stable spiral", base.clone(), 1.2),
-        (
-            "l3/l4: overshoot hits the walls",
-            base.clone().with_buffer(tight_buffer),
-            1.2,
-        ),
+        ("l3/l4: overshoot hits the walls", base.clone().with_buffer(tight_buffer), 1.2),
         ("l5/l7: limit cycle (w -> 0)", base.clone().with_w(1e-9), 1.2),
         ("l8/l9: node approach (case 4)", exemplar(&base, CaseId::Case4), 4.0),
     ];
@@ -65,13 +61,16 @@ pub fn run(out: &Path) -> ExpResult {
 
         let verdict = criterion(params);
         let exact = exact_verdict(params, 40);
-        let drops = SaturatingFluid::linearized(params.clone())
-            .run_canonical(*horizon)
-            .dropped_bits;
+        let drops =
+            SaturatingFluid::linearized(params.clone()).run_canonical(*horizon).dropped_bits;
         table.row(&[
             (*label).to_string(),
             classify_params(params).case.to_string(),
-            if verdict.is_guaranteed() { "strongly stable".into() } else { "not guaranteed".into() },
+            if verdict.is_guaranteed() {
+                "strongly stable".into()
+            } else {
+                "not guaranteed".into()
+            },
             exact.strongly_stable.to_string(),
             format!("{drops:.0}"),
         ]);

@@ -41,13 +41,11 @@ pub fn run(out: &Path) -> ExpResult {
         ("start y(0) > 0", [-0.8 * params.q0, 0.12 * params.capacity]),
     ];
 
-    let mut plot = SvgPlot::new(
-        "Fig. 4: spiral trajectories (m^2 - 4n < 0)",
-        "x (bits)",
-        "y (bit/s)",
-    );
+    let mut plot =
+        SvgPlot::new("Fig. 4: spiral trajectories (m^2 - 4n < 0)", "x (bits)", "y (bit/s)");
     let mut csv = Csv::new(&["trajectory", "t", "x", "y"]);
-    let mut table = Table::new(&["start", "t* (robust)", "t* (Eq.18)", "x* (robust)", "x* (Eq.19/20)"]);
+    let mut table =
+        Table::new(&["start", "t* (robust)", "t* (Eq.18)", "x* (robust)", "x* (Eq.19/20)"]);
 
     for (idx, (label, z0)) in starts.iter().enumerate() {
         let span = 3.0 * std::f64::consts::TAU / beta;

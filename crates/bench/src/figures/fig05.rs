@@ -33,7 +33,10 @@ pub fn run(out: &Path) -> ExpResult {
     let Spectrum::Node { l1, l2 } = flow.spectrum() else {
         return Err("increase region is not node-shaped".into());
     };
-    println!("node eigenvalues: lambda1 = {l1:.4}, lambda2 = {l2:.4} (both < -1/k = {:.4})", -1.0 / params.k());
+    println!(
+        "node eigenvalues: lambda1 = {l1:.4}, lambda2 = {l2:.4} (both < -1/k = {:.4})",
+        -1.0 / params.k()
+    );
 
     let q0 = params.q0;
     let starts = [
@@ -42,11 +45,8 @@ pub fn run(out: &Path) -> ExpResult {
         ("between eigenlines", [0.9 * q0, 0.5 * (l1 + l2) * 0.9 * q0]),
     ];
 
-    let mut plot = SvgPlot::new(
-        "Fig. 5: node trajectories (m^2 - 4n > 0)",
-        "x (bits)",
-        "y (bit/s)",
-    );
+    let mut plot =
+        SvgPlot::new("Fig. 5: node trajectories (m^2 - 4n > 0)", "x (bits)", "y (bit/s)");
     let mut csv = Csv::new(&["trajectory", "t", "x", "y"]);
     let mut table = Table::new(&["x(0)", "y(0)", "x* robust", "x* Eq.28", "on eigenline"]);
 
@@ -79,7 +79,9 @@ pub fn run(out: &Path) -> ExpResult {
     }
     // Draw the eigenlines as asymptote references.
     let x_ref = [-q0, q0];
-    for (l, name, color) in [(l1, "y = lambda1 x (fast)", "#aaaaaa"), (l2, "y = lambda2 x (slow)", "#666666")] {
+    for (l, name, color) in
+        [(l1, "y = lambda1 x (fast)", "#aaaaaa"), (l2, "y = lambda2 x (slow)", "#666666")]
+    {
         let ys: Vec<f64> = x_ref.iter().map(|x| l * x).collect();
         plot = plot.with_series(Series::line(name, &x_ref, &ys, color));
     }

@@ -7,7 +7,9 @@ use std::path::Path;
 
 use bcn::cases::classify_params;
 use bcn::model::Region;
-use bcn::rounds::{first_round, round_ratio, round_ratio_analytic, steady_leg_duration, trace_legs};
+use bcn::rounds::{
+    first_round, round_ratio, round_ratio_analytic, steady_leg_duration, trace_legs,
+};
 use bcn::{BcnFluid, BcnParams, CaseId};
 use plotkit::svg::COLOR_CYCLE;
 use plotkit::{Csv, Series, SvgPlot, Table};
@@ -30,7 +32,8 @@ pub fn run(out: &Path) -> ExpResult {
 
     // Round table from the exact leg analysis.
     let legs = trace_legs(&params, params.initial_point(), 8);
-    let mut table = Table::new(&["leg", "region", "duration (s)", "extremum x (bits)", "exit y (bit/s)"]);
+    let mut table =
+        Table::new(&["leg", "region", "duration (s)", "extremum x (bits)", "exit y (bit/s)"]);
     for (i, leg) in legs.iter().enumerate() {
         table.row(&[
             format!("{}", i + 1),

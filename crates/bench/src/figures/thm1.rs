@@ -37,14 +37,8 @@ pub fn run(out: &Path) -> ExpResult {
     table.row(&["bandwidth-delay product (bits)".into(), format!("{:.3e}", ex.bdp)]);
     table.row(&["Theorem 1 required buffer (bits)".into(), format!("{:.3e}", ex.required)]);
     table.row(&["ratio required / BDP".into(), format!("{:.3}", ex.ratio)]);
-    table.row(&[
-        "paper quotes".into(),
-        "13.75 Mbit, 'nearly three times' the 5 Mbit BDP".into(),
-    ]);
-    table.row(&[
-        "BDP buffer passes Theorem 1?".into(),
-        theorem1_holds(&params).to_string(),
-    ]);
+    table.row(&["paper quotes".into(), "13.75 Mbit, 'nearly three times' the 5 Mbit BDP".into()]);
+    table.row(&["BDP buffer passes Theorem 1?".into(), theorem1_holds(&params).to_string()]);
     print!("{table}");
 
     // Criterion vs exact trajectory (tightness of the bound).
@@ -81,21 +75,27 @@ pub fn run(out: &Path) -> ExpResult {
 
     let xs: Vec<f64> = sweep_n.iter().map(|(n, _)| f64::from(*n)).collect();
     let ys: Vec<f64> = sweep_n.iter().map(|(_, b)| *b).collect();
-    let plot_n = SvgPlot::new("Theorem 1: required buffer vs N", "flows N", "required buffer (bits)")
-        .with_series(Series::line("required", &xs, &ys, COLOR_CYCLE[0]))
-        .with_hline(ex.bdp, "#d62728");
+    let plot_n =
+        SvgPlot::new("Theorem 1: required buffer vs N", "flows N", "required buffer (bits)")
+            .with_series(Series::line("required", &xs, &ys, COLOR_CYCLE[0]))
+            .with_hline(ex.bdp, "#d62728");
     save_plot(&plot_n, out, "thm1_required_vs_n.svg")?;
 
     let xs: Vec<f64> = sweep_c.iter().map(|(c, _)| *c).collect();
     let ys: Vec<f64> = sweep_c.iter().map(|(_, b)| *b).collect();
-    let plot_c = SvgPlot::new("Theorem 1: required buffer vs C", "capacity (bit/s)", "required buffer (bits)")
-        .with_series(Series::line("required", &xs, &ys, COLOR_CYCLE[1]));
+    let plot_c = SvgPlot::new(
+        "Theorem 1: required buffer vs C",
+        "capacity (bit/s)",
+        "required buffer (bits)",
+    )
+    .with_series(Series::line("required", &xs, &ys, COLOR_CYCLE[1]));
     save_plot(&plot_c, out, "thm1_required_vs_c.svg")?;
 
     let xs: Vec<f64> = sweep_q.iter().map(|(q, _)| *q).collect();
     let ys: Vec<f64> = sweep_q.iter().map(|(_, b)| *b).collect();
-    let plot_q = SvgPlot::new("Theorem 1: required buffer vs q0", "q0 (bits)", "required buffer (bits)")
-        .with_series(Series::line("required", &xs, &ys, COLOR_CYCLE[2]));
+    let plot_q =
+        SvgPlot::new("Theorem 1: required buffer vs q0", "q0 (bits)", "required buffer (bits)")
+            .with_series(Series::line("required", &xs, &ys, COLOR_CYCLE[2]));
     save_plot(&plot_q, out, "thm1_required_vs_q0.svg")?;
     Ok(())
 }

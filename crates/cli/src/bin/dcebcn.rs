@@ -5,7 +5,7 @@ fn main() {
     match cli::run(&args) {
         Ok(output) => print!("{output}"),
         Err(e) => {
-            eprintln!("{e}");
+            telemetry::log_line!("{e}");
             std::process::exit(2);
         }
     }

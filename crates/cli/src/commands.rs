@@ -4,7 +4,7 @@
 use std::fmt::Write as _;
 
 use bcn::cases::classify_params;
-use bcn::simulate::{fluid_trajectory, FluidOptions};
+use bcn::simulate::{fluid_trajectory_telemetry, FluidOptions};
 use bcn::stability::{
     criterion, exact_verdict, theorem1_holds, theorem1_required_buffer, StabilityVerdict,
 };
@@ -12,18 +12,70 @@ use bcn::transient;
 use bcn::{linear_baseline, BcnFluid};
 use dcesim::sim::{SimConfig, Simulation};
 use dcesim::time::Duration;
-use plotkit::Csv;
+use plotkit::{Csv, Table};
+use telemetry::{Telemetry, TelemetryLevel};
 
-use crate::flags::{params_from, Flags, PARAM_FLAGS};
+use crate::flags::{params_from, telemetry_level, Flags, PARAM_FLAGS};
 use crate::CliError;
 
 fn with_param_flags(extra: &[&str]) -> Vec<&'static str> {
     // Leaking tiny strings is fine for a CLI's static flag tables.
     let mut v: Vec<&'static str> = PARAM_FLAGS.to_vec();
+    // `--telemetry` is global: every subcommand accepts it.
+    v.push("telemetry");
     for e in extra {
         v.push(Box::leak(e.to_string().into_boxed_str()));
     }
     v
+}
+
+/// Renders the counters and histograms a run collected as aligned
+/// tables (empty metrics are omitted).
+fn render_summary(tel: &Telemetry) -> String {
+    let mut out = String::new();
+    if !tel.enabled() {
+        let _ = writeln!(out, "telemetry: off (nothing recorded)");
+        return out;
+    }
+    let _ = writeln!(out, "telemetry summary (level = {}):", tel.level());
+    let mut counters = Table::new(&["counter", "value"]);
+    for (name, v) in tel.metrics.counters() {
+        if v > 0 {
+            counters.row(&[name.to_string(), v.to_string()]);
+        }
+    }
+    if !counters.is_empty() {
+        let _ = write!(out, "{counters}");
+    }
+    let mut hists = Table::new(&["histogram", "count", "p50", "p90", "p99", "max"]);
+    for (name, h) in tel.metrics.histograms() {
+        if h.count() > 0 {
+            hists.row(&[
+                name.to_string(),
+                h.count().to_string(),
+                format!("{:.4e}", h.p50()),
+                format!("{:.4e}", h.p90()),
+                format!("{:.4e}", h.p99()),
+                format!("{:.4e}", h.max()),
+            ]);
+        }
+    }
+    if !hists.is_empty() {
+        let _ = write!(out, "{hists}");
+    }
+    if tel.level().traces() {
+        let _ = writeln!(
+            out,
+            "trace: {} events{}",
+            tel.trace.len(),
+            if tel.trace.overwritten() > 0 {
+                format!(" ({} oldest overwritten)", tel.trace.overwritten())
+            } else {
+                String::new()
+            }
+        );
+    }
+    out
 }
 
 /// `dcebcn analyze`: classification + criteria + transient metrics.
@@ -55,7 +107,11 @@ pub fn analyze(args: &[String]) -> Result<String, CliError> {
     let _ = writeln!(
         out,
         "linear baseline [Lu et al. 2006]: {}",
-        if linear_baseline::analyze(&p).overall_stable { "stable (always; blind to B)" } else { "unstable" }
+        if linear_baseline::analyze(&p).overall_stable {
+            "stable (always; blind to B)"
+        } else {
+            "unstable"
+        }
     );
     match criterion(&p) {
         StabilityVerdict::StronglyStable(j) => {
@@ -132,10 +188,10 @@ pub fn simulate(args: &[String]) -> Result<String, CliError> {
     } else {
         BcnFluid::linearized(p.clone())
     };
-    let opts = FluidOptions::default()
-        .with_t_end(t_end)
-        .with_record_dt(t_end / 2000.0);
-    let run = fluid_trajectory(&sys, p.initial_point(), &opts)
+    let opts = FluidOptions::default().with_t_end(t_end).with_record_dt(t_end / 2000.0);
+    let level = telemetry_level(&flags, TelemetryLevel::Off)?;
+    let mut tel = Telemetry::new(level);
+    let run = fluid_trajectory_telemetry(&sys, p.initial_point(), &opts, Some(&mut tel))
         .map_err(|e| CliError::Analysis(e.to_string()))?;
 
     let mut out = String::new();
@@ -153,6 +209,9 @@ pub fn simulate(args: &[String]) -> Result<String, CliError> {
         }
         csv.save(path)?;
         let _ = writeln!(out, "wrote {path} ({} samples)", run.solution.len());
+    }
+    if level.enabled() {
+        out.push_str(&render_summary(&tel));
     }
     Ok(out)
 }
@@ -183,7 +242,13 @@ pub fn atlas(args: &[String]) -> Result<String, CliError> {
             let e = exact_verdict(&p, 40).strongly_stable;
             granted += usize::from(c);
             exact_ok += usize::from(e);
-            csv.row(&[gi, gd, f64::from(u8::from(c)), f64::from(u8::from(t)), f64::from(u8::from(e))]);
+            csv.row(&[
+                gi,
+                gd,
+                f64::from(u8::from(c)),
+                f64::from(u8::from(t)),
+                f64::from(u8::from(e)),
+            ]);
         }
     }
     let mut out = String::new();
@@ -213,8 +278,9 @@ pub fn packet(args: &[String]) -> Result<String, CliError> {
     if t_end <= 0.0 || frame_bits <= 0.0 {
         return Err(CliError::Usage("--t-end and --frame-bits must be positive".into()));
     }
+    let level = telemetry_level(&flags, TelemetryLevel::Off)?;
     let cfg = SimConfig::from_fluid(&p, frame_bits, Duration::from_secs(2e-6), t_end);
-    let report = Simulation::new(cfg).run();
+    let report = Simulation::with_telemetry(cfg, Telemetry::new(level)).run();
     let m = &report.metrics;
     let mut out = String::new();
     let _ = writeln!(out, "packet-level run over {t_end} s ({} flows):", p.n_flows);
@@ -231,6 +297,93 @@ pub fn packet(args: &[String]) -> Result<String, CliError> {
     );
     let _ = writeln!(out, "  feedback messages:  {}", m.feedback_messages);
     let _ = writeln!(out, "  PAUSE events:       {}", m.pause_events);
+    if let Some(tel) = &report.telemetry {
+        if tel.enabled() {
+            out.push_str(&render_summary(tel));
+        }
+    }
+    Ok(out)
+}
+
+/// `dcebcn trace <scenario>`: run an instrumented scenario, print the
+/// telemetry summary, and optionally dump the event trace as JSONL.
+///
+/// Scenarios:
+///
+/// * `thm1` (default) — the paper's worked example with the buffer set
+///   to exactly what Theorem 1 requires, integrated as the switched
+///   fluid model;
+/// * `limit-cycle` — the worked example with its original (too small)
+///   buffer, which sustains the PAUSE-driven oscillation;
+/// * `packet` — the packet-level simulator on the same parameters.
+///
+/// # Errors
+///
+/// Propagates flag, validation, integration, and I/O failures.
+pub fn trace(args: &[String]) -> Result<String, CliError> {
+    let (scenario, rest) = match args.split_first() {
+        Some((s, rest)) if !s.starts_with("--") => (s.as_str(), rest),
+        _ => ("thm1", args),
+    };
+    let flags = Flags::parse(rest)?;
+    flags.ensure_known(&with_param_flags(&["t-end", "out", "frame-bits"]))?;
+    let mut p = params_from(&flags)?;
+    let level = telemetry_level(&flags, TelemetryLevel::Full)?;
+    let t_end = flags.get_f64("t-end")?.unwrap_or(0.01);
+    if t_end <= 0.0 {
+        return Err(CliError::Usage("--t-end must be positive".into()));
+    }
+
+    let mut tel = Telemetry::new(level);
+    let mut out = String::new();
+    match scenario {
+        "thm1" | "limit-cycle" => {
+            if scenario == "thm1" && flags.get_f64("buffer")?.is_none() {
+                // Size the buffer to exactly the Theorem-1 requirement so
+                // the trace shows the certified-stable regime.
+                let required = theorem1_required_buffer(&p);
+                p = p.with_buffer(required);
+            }
+            let sys = BcnFluid::linearized(p.clone());
+            let opts = FluidOptions::default().with_t_end(t_end).with_record_dt(t_end / 2000.0);
+            let run = fluid_trajectory_telemetry(&sys, p.initial_point(), &opts, Some(&mut tel))
+                .map_err(|e| CliError::Analysis(e.to_string()))?;
+            let _ = writeln!(
+                out,
+                "scenario {scenario}: buffer = {:.4e} bits, {} region switches over {t_end} s, \
+                 q in [{:.4e}, {:.4e}] bits",
+                p.buffer,
+                run.switch_count(),
+                p.q0 + run.solution.min_component(0),
+                p.q0 + run.solution.max_component(0),
+            );
+        }
+        "packet" => {
+            let frame_bits = flags.get_f64("frame-bits")?.unwrap_or(8_000.0);
+            if frame_bits <= 0.0 {
+                return Err(CliError::Usage("--frame-bits must be positive".into()));
+            }
+            let cfg = SimConfig::from_fluid(&p, frame_bits, Duration::from_secs(2e-6), t_end);
+            let report = Simulation::with_telemetry(cfg, tel).run();
+            let m = &report.metrics;
+            let _ = writeln!(
+                out,
+                "scenario packet: {} flows over {t_end} s, {} frames delivered, {} dropped",
+                p.n_flows, m.delivered_frames, m.dropped_frames,
+            );
+            tel = report.telemetry.unwrap_or_default();
+        }
+        other => {
+            return Err(CliError::Usage(format!(
+                "unknown trace scenario `{other}`; expected thm1, limit-cycle, or packet"
+            )));
+        }
+    }
+    out.push_str(&render_summary(&tel));
+    if let Some(path) = flags.get("out") {
+        std::fs::write(path, tel.trace_to_jsonl())?;
+        let _ = writeln!(out, "wrote {path} ({} events)", tel.trace.len());
+    }
     Ok(out)
 }
 
@@ -263,11 +416,7 @@ mod tests {
     fn simulate_writes_csv() {
         let path = std::env::temp_dir().join("dcebcn_sim_test.csv");
         let _ = std::fs::remove_file(&path);
-        let out = simulate(&argv(&format!(
-            "--t-end 0.002 --out {}",
-            path.display()
-        )))
-        .unwrap();
+        let out = simulate(&argv(&format!("--t-end 0.002 --out {}", path.display()))).unwrap();
         assert!(out.contains("region switches"), "{out}");
         let body = std::fs::read_to_string(&path).unwrap();
         assert!(body.starts_with("t,q_bits,aggregate_rate"));
@@ -302,5 +451,51 @@ mod tests {
     fn unknown_flags_are_rejected_per_command() {
         assert!(analyze(&argv("--bogus 1")).is_err());
         assert!(buffer(&argv("--t-end 1")).is_err(), "buffer takes no t-end");
+    }
+
+    #[test]
+    fn trace_thm1_emits_summary_and_jsonl() {
+        let path = std::env::temp_dir().join("dcebcn_trace_test.jsonl");
+        let _ = std::fs::remove_file(&path);
+        let out = trace(&argv(&format!("thm1 --t-end 0.01 --out {}", path.display()))).unwrap();
+        assert!(out.contains("telemetry summary"), "{out}");
+        assert!(out.contains("solver.steps_accepted"), "{out}");
+        assert!(out.contains("solver.step_size_s"), "{out}");
+        assert!(out.contains("queue.occupancy_bits"), "{out}");
+        let body = std::fs::read_to_string(&path).unwrap();
+        let mut kinds = std::collections::BTreeSet::new();
+        for line in body.lines() {
+            kinds.insert(telemetry::event_from_jsonl(line).unwrap().type_name());
+        }
+        for required in ["solver_step_accepted", "region_switch", "queue_extremum"] {
+            assert!(kinds.contains(required), "missing {required} in {kinds:?}");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn trace_defaults_to_thm1_and_respects_off() {
+        let out = trace(&argv("--telemetry off --t-end 0.002")).unwrap();
+        assert!(out.contains("scenario thm1"), "{out}");
+        assert!(out.contains("telemetry: off"), "{out}");
+        assert!(!out.contains("telemetry summary"), "{out}");
+    }
+
+    #[test]
+    fn trace_packet_scenario_counts_messages() {
+        let out = trace(&argv(
+            "packet --telemetry summary --n 5 --capacity 1e9 --q0 1e6 --buffer 8e6 \
+             --qsc 7.2e6 --ru 1e4 --gi 1.2 --gd 0.00006103515625 --pm 0.2 --w 3e5 --t-end 0.02",
+        ))
+        .unwrap();
+        assert!(out.contains("scenario packet"), "{out}");
+        assert!(out.contains("sim.bcn_messages"), "{out}");
+        assert!(out.contains("queue.occupancy_bits"), "{out}");
+    }
+
+    #[test]
+    fn trace_rejects_unknown_scenario_and_level() {
+        assert!(trace(&argv("bogus")).is_err());
+        assert!(trace(&argv("thm1 --telemetry verbose")).is_err());
     }
 }

@@ -5,6 +5,7 @@
 use std::collections::BTreeMap;
 
 use bcn::BcnParams;
+use telemetry::TelemetryLevel;
 
 use crate::CliError;
 
@@ -26,9 +27,7 @@ impl Flags {
         let mut it = args.iter();
         while let Some(arg) = it.next() {
             let Some(key) = arg.strip_prefix("--") else {
-                return Err(CliError::Usage(format!(
-                    "unexpected positional argument `{arg}`"
-                )));
+                return Err(CliError::Usage(format!("unexpected positional argument `{arg}`")));
             };
             // Boolean flags: present without a value when the next token
             // is another flag or the list ends.
@@ -104,9 +103,21 @@ impl Flags {
 }
 
 /// The parameter flags shared by every subcommand.
-pub const PARAM_FLAGS: &[&str] = &[
-    "n", "capacity", "q0", "buffer", "gi", "gd", "ru", "w", "pm", "qsc",
-];
+pub const PARAM_FLAGS: &[&str] =
+    &["n", "capacity", "q0", "buffer", "gi", "gd", "ru", "w", "pm", "qsc"];
+
+/// Resolves the global `--telemetry <off|summary|full>` flag, falling
+/// back to `default` when absent.
+///
+/// # Errors
+///
+/// Rejects unknown level names.
+pub fn telemetry_level(flags: &Flags, default: TelemetryLevel) -> Result<TelemetryLevel, CliError> {
+    match flags.get("telemetry") {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(CliError::Usage),
+    }
+}
 
 /// Builds a [`BcnParams`] from the paper defaults overridden by flags.
 ///
@@ -116,8 +127,8 @@ pub const PARAM_FLAGS: &[&str] = &[
 pub fn params_from(flags: &Flags) -> Result<BcnParams, CliError> {
     let mut p = BcnParams::paper_defaults();
     if let Some(n) = flags.get_usize("n")? {
-        p.n_flows = u32::try_from(n)
-            .map_err(|_| CliError::Usage(format!("--n {n} out of range")))?;
+        p.n_flows =
+            u32::try_from(n).map_err(|_| CliError::Usage(format!("--n {n} out of range")))?;
     }
     if let Some(v) = flags.get_f64("capacity")? {
         p.capacity = v;
@@ -193,6 +204,16 @@ mod tests {
         assert_eq!(p.n_flows, 100);
         assert_eq!(p.buffer, 2e7);
         assert_eq!(p.capacity, 10e9); // untouched default
+    }
+
+    #[test]
+    fn telemetry_level_parses_and_defaults() {
+        let f = Flags::parse(&argv("--telemetry summary")).unwrap();
+        assert_eq!(telemetry_level(&f, TelemetryLevel::Off).unwrap(), TelemetryLevel::Summary);
+        let f = Flags::parse(&argv("")).unwrap();
+        assert_eq!(telemetry_level(&f, TelemetryLevel::Full).unwrap(), TelemetryLevel::Full);
+        let f = Flags::parse(&argv("--telemetry verbose")).unwrap();
+        assert!(telemetry_level(&f, TelemetryLevel::Off).is_err());
     }
 
     #[test]

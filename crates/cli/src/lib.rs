@@ -7,6 +7,7 @@
 //! $ dcebcn simulate --t-end 0.1 --out trace.csv
 //! $ dcebcn atlas --grid 9 --out atlas.csv
 //! $ dcebcn packet --t-end 0.5
+//! $ dcebcn trace thm1 --out trace.jsonl
 //! ```
 //!
 //! Every subcommand starts from the paper's default parameterisation and
@@ -60,6 +61,13 @@ impl From<std::io::Error> for CliError {
 /// Returns [`CliError`] for unknown commands, malformed flags, invalid
 /// parameters, or output failures.
 pub fn run(args: &[String]) -> Result<String, CliError> {
+    // The global `--telemetry` flag also gates `log_line!` diagnostics;
+    // each command still parses and validates it like any other flag.
+    if let Some(i) = args.iter().position(|a| a == "--telemetry") {
+        if let Some(Ok(level)) = args.get(i + 1).map(|v| v.parse::<telemetry::TelemetryLevel>()) {
+            telemetry::set_quiet(!level.enabled());
+        }
+    }
     let Some((command, rest)) = args.split_first() else {
         return Ok(usage());
     };
@@ -69,10 +77,9 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "simulate" => commands::simulate(rest),
         "atlas" => commands::atlas(rest),
         "packet" => commands::packet(rest),
+        "trace" => commands::trace(rest),
         "help" | "--help" | "-h" => Ok(usage()),
-        other => Err(CliError::Usage(format!(
-            "unknown command `{other}`; run `dcebcn help`"
-        ))),
+        other => Err(CliError::Usage(format!("unknown command `{other}`; run `dcebcn help`"))),
     }
 }
 
@@ -87,15 +94,18 @@ pub fn usage() -> String {
      \x20 simulate  integrate the switched fluid model, write a CSV trace\n\
      \x20 atlas     criterion atlas over the (Gi, Gd) gain plane, as CSV\n\
      \x20 packet    run the packet-level simulator and summarise\n\
+     \x20 trace     instrumented run: telemetry summary + JSONL event trace\n\
      \n\
      common flags (defaults = the paper's worked example):\n\
      \x20 --n <flows> --capacity <bit/s> --q0 <bits> --buffer <bits>\n\
      \x20 --gi <gain> --gd <gain> --ru <bit/s> --w <weight> --pm <prob>\n\
+     \x20 --telemetry <off|summary|full>   (accepted by every command)\n\
      \n\
      command flags:\n\
      \x20 simulate: --t-end <s> --out <path.csv> [--nonlinear]\n\
      \x20 atlas:    --grid <n> --out <path.csv>\n\
-     \x20 packet:   --t-end <s> --frame-bits <bits>\n"
+     \x20 packet:   --t-end <s> --frame-bits <bits>\n\
+     \x20 trace:    <thm1|limit-cycle|packet> --t-end <s> --out <path.jsonl>\n"
         .to_string()
 }
 

@@ -275,11 +275,8 @@ mod tests {
 
     #[test]
     fn ungated_mode_sends_positive_feedback_to_anyone() {
-        let mut cp = CongestionPoint::new(CpConfig {
-            sample_every: 1,
-            gate_positive: false,
-            ..cfg()
-        });
+        let mut cp =
+            CongestionPoint::new(CpConfig { sample_every: 1, gate_positive: false, ..cfg() });
         let msg = cp.on_arrival(&frame(1, None), 1_000.0).expect("ungated positive");
         assert!(msg.is_positive());
     }

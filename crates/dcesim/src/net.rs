@@ -454,12 +454,7 @@ impl NetSim {
             return;
         }
         let rrt = self.rps[fi].as_ref().and_then(ReactionPoint::associated_cp);
-        let frame = NetFrame {
-            flow: fi,
-            bits: self.cfg.frame_bits,
-            rrt,
-            priority: flow.priority,
-        };
+        let frame = NetFrame { flow: fi, bits: self.cfg.frame_bits, rrt, priority: flow.priority };
         let delay = Duration::serialization(self.cfg.frame_bits, self.cfg.links[uplink].capacity)
             + self.cfg.links[uplink].delay;
         self.schedule(self.now + delay, Ev::Arrive { link: uplink, frame });
@@ -469,7 +464,8 @@ impl NetSim {
         // every cycle) — the discrete analogue of real NIC clock skew.
         let jitter = {
             let st = &mut self.jitter_state[fi];
-            *st = st.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1_442_695_040_888_963_407);
+            *st =
+                st.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(1_442_695_040_888_963_407);
             0.98 + 0.04 * ((*st >> 11) as f64 / (1u64 << 53) as f64)
         };
         let gap_secs = self.cfg.frame_bits / self.flow_rate(fi).max(1.0) * jitter;
@@ -510,11 +506,8 @@ impl NetSim {
             port.backlog_by_class[cls] += frame.bits;
             port_backlog = port.backlog_bits();
             class_backlog = port.backlog_by_class[cls];
-            let df = DataFrame {
-                src: SourceId(frame.flow as u32),
-                bits: frame.bits,
-                rrt: frame.rrt,
-            };
+            let df =
+                DataFrame { src: SourceId(frame.flow as u32), bits: frame.bits, rrt: frame.rrt };
             if let Some(cp) = &mut port.cp {
                 feedback = cp.on_arrival(&df, port_backlog);
             }
@@ -924,7 +917,10 @@ mod tests {
         (cp, rp)
     }
 
-    fn run_victim(pause_enabled: bool, bcn: Option<(CpConfig, RpConfig)>) -> (NetReport, usize, f64) {
+    fn run_victim(
+        pause_enabled: bool,
+        bcn: Option<(CpConfig, RpConfig)>,
+    ) -> (NetReport, usize, f64) {
         let t_end = 0.25;
         let pause = PauseConfig {
             enabled: pause_enabled,
@@ -953,10 +949,7 @@ mod tests {
         // PAUSE keeps the loss down but stalls the shared trunk: the
         // innocent victim loses throughput (head-of-line blocking).
         let vt = report.throughput(victim, t_end);
-        assert!(
-            vt < 0.2 * TRUNK,
-            "victim should be collateral damage under PAUSE: {vt}"
-        );
+        assert!(vt < 0.2 * TRUNK, "victim should be collateral damage under PAUSE: {vt}");
         // And PAUSE propagated upstream: both S2's and S1's ingress links
         // got paused.
         assert!(report.pause_counts.iter().sum::<u64>() > 0);
@@ -968,19 +961,12 @@ mod tests {
     fn bcn_shields_the_victim() {
         let (report, victim, t_end) = run_victim(true, Some(bcn_pair()));
         let vt = report.throughput(victim, t_end);
-        assert!(
-            vt > 0.22 * TRUNK,
-            "BCN should shield the victim: {vt} vs 0.25 target"
-        );
+        assert!(vt > 0.22 * TRUNK, "BCN should shield the victim: {vt} vs 0.25 target");
         // Culprit sources got regulated towards the bottleneck fair
         // share (TRUNK/8 each).
         assert!(report.feedback_messages > 0);
         for f in &report.flows[..victim] {
-            assert!(
-                f.final_rate < 0.3 * TRUNK,
-                "culprit not regulated: {}",
-                f.final_rate
-            );
+            assert!(f.final_rate < 0.3 * TRUNK, "culprit not regulated: {}", f.final_rate);
         }
     }
 
@@ -1046,10 +1032,7 @@ mod tests {
         cfg.flows[victim].priority = 1;
         let report = NetSim::new(cfg).run();
         let vt = report.throughput(victim, t_end);
-        assert!(
-            vt > 0.22 * TRUNK,
-            "PFC should isolate the victim's class: {vt}"
-        );
+        assert!(vt > 0.22 * TRUNK, "PFC should isolate the victim's class: {vt}");
         let total_drops: u64 = report.flows.iter().map(|f| f.dropped_frames).sum();
         assert_eq!(total_drops, 0, "PFC run must stay lossless");
         assert!(report.pause_counts.iter().sum::<u64>() > 0, "culprit class was paused");
@@ -1081,9 +1064,8 @@ mod tests {
             hold: Duration::from_secs(40.0 * FRAME / TRUNK),
             per_priority: false,
         };
-        let (cfg, victim) = parking_lot_topology(
-            4, TRUNK, FRAME, Duration::from_secs(1e-6), t_end, pause, None,
-        );
+        let (cfg, victim) =
+            parking_lot_topology(4, TRUNK, FRAME, Duration::from_secs(1e-6), t_end, pause, None);
         let trunk0 = 5; // per the builder's link layout with 4 culprits
         let trunk1 = 6;
         let report = NetSim::new(cfg).run();
@@ -1105,7 +1087,12 @@ mod tests {
             per_priority: false,
         };
         let (cfg, victim) = parking_lot_topology(
-            4, TRUNK, FRAME, Duration::from_secs(1e-6), t_end, pause,
+            4,
+            TRUNK,
+            FRAME,
+            Duration::from_secs(1e-6),
+            t_end,
+            pause,
             Some(bcn_pair()),
         );
         let report = NetSim::new(cfg).run();

@@ -48,10 +48,7 @@ impl RpConfig {
     pub fn assert_valid(&self) {
         assert!(self.gi > 0.0 && self.gd > 0.0 && self.ru > 0.0, "gains must be positive");
         assert!(self.gain_scale > 0.0, "gain scale must be positive");
-        assert!(
-            self.r_min > 0.0 && self.r_min < self.r_max,
-            "need 0 < r_min < r_max"
-        );
+        assert!(self.r_min > 0.0 && self.r_min < self.r_max, "need 0 < r_min < r_max");
     }
 }
 

@@ -17,6 +17,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
 use bcn::BcnParams;
+use telemetry::Telemetry;
 
 use crate::cp::{CongestionPoint, CpConfig};
 use crate::frame::{BcnMessage, CpId, DataFrame, SourceId};
@@ -80,7 +81,12 @@ impl SimConfig {
     /// feedback message per `1/pm` frames integrates to
     /// `dr/dt = Gi Ru sigma` at the fair share.
     #[must_use]
-    pub fn from_fluid(params: &BcnParams, frame_bits: f64, prop_delay: Duration, t_end: f64) -> Self {
+    pub fn from_fluid(
+        params: &BcnParams,
+        frame_bits: f64,
+        prop_delay: Duration,
+        t_end: f64,
+    ) -> Self {
         let n = f64::from(params.n_flows);
         let gain_scale = frame_bits * n / (params.pm * params.capacity);
         let cp = CpConfig {
@@ -199,6 +205,9 @@ pub struct SimReport {
     pub metrics: SimMetrics,
     /// Final per-source regulator rates (bit/s).
     pub final_rates: Vec<f64>,
+    /// The telemetry sink passed to [`Simulation::with_telemetry`], with
+    /// its metrics and trace populated; `None` for untelemetered runs.
+    pub telemetry: Option<Telemetry>,
 }
 
 /// A configured, runnable simulation.
@@ -217,6 +226,7 @@ pub struct Simulation {
     scheme: SchemeState,
     metrics: SimMetrics,
     last_pause: Option<Time>,
+    telemetry: Option<Telemetry>,
 }
 
 impl std::fmt::Debug for Simulation {
@@ -254,11 +264,7 @@ impl Simulation {
             },
             Control::Qcn { cp, rp } => SchemeState::Qcn {
                 cp: QcnCp::new(cp.clone()),
-                rps: cfg
-                    .flows
-                    .iter()
-                    .map(|f| QcnRp::new(rp.clone(), f.initial_rate))
-                    .collect(),
+                rps: cfg.flows.iter().map(|f| QcnRp::new(rp.clone(), f.initial_rate)).collect(),
             },
             Control::None => SchemeState::None,
         };
@@ -276,6 +282,7 @@ impl Simulation {
             scheme,
             metrics: SimMetrics::default(),
             last_pause: None,
+            telemetry: None,
             cfg,
         };
         sim.metrics.per_source_bits = vec![0.0; n];
@@ -288,6 +295,21 @@ impl Simulation {
             }
         }
         sim.schedule(Time::ZERO, Ev::Record);
+        sim
+    }
+
+    /// Builds the engine with a telemetry sink. The sink collects queue
+    /// occupancy samples, threshold crossings, feedback-message and PAUSE
+    /// events, and frame drops; it is returned in
+    /// [`SimReport::telemetry`] when the run completes.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`Simulation::new`].
+    #[must_use]
+    pub fn with_telemetry(cfg: SimConfig, tel: Telemetry) -> Self {
+        let mut sim = Self::new(cfg);
+        sim.telemetry = Some(tel);
         sim
     }
 
@@ -305,10 +327,7 @@ impl Simulation {
     }
 
     fn aggregate_rate(&self) -> f64 {
-        (0..self.cfg.flows.len())
-            .filter(|&i| self.active[i])
-            .map(|i| self.source_rate(i))
-            .sum()
+        (0..self.cfg.flows.len()).filter(|&i| self.active[i]).map(|i| self.source_rate(i)).sum()
     }
 
     /// Runs to completion and returns the report.
@@ -322,7 +341,7 @@ impl Simulation {
             self.dispatch(entry.ev);
         }
         let final_rates = (0..self.cfg.flows.len()).map(|i| self.source_rate(i)).collect();
-        SimReport { metrics: self.metrics, final_rates }
+        SimReport { metrics: self.metrics, final_rates, telemetry: self.telemetry }
     }
 
     fn dispatch(&mut self, ev: Ev) {
@@ -359,6 +378,9 @@ impl Simulation {
                 }
             }
             Ev::Record => {
+                if let Some(tel) = self.telemetry.as_mut() {
+                    tel.queue_sample(self.now.as_secs(), self.q_bits);
+                }
                 self.metrics.queue.push(self.now, self.q_bits);
                 self.metrics.aggregate_rate.push(self.now, self.aggregate_rate());
                 for i in 0..self.cfg.flows.len() {
@@ -408,9 +430,14 @@ impl Simulation {
     fn on_arrival(&mut self, frame: DataFrame) {
         if self.q_bits + frame.bits > self.cfg.buffer_bits {
             self.metrics.dropped_frames += 1;
+            if let Some(tel) = self.telemetry.as_mut() {
+                tel.frame_dropped(self.now.as_secs(), frame.src.0);
+            }
             return;
         }
+        let prev_q = self.q_bits;
         self.q_bits += frame.bits;
+        self.note_queue_threshold(prev_q);
         self.queue.push_back((frame, self.now));
         // Collect scheme reactions first, then schedule (borrow split).
         let mut bcn_msg = None;
@@ -427,9 +454,15 @@ impl Simulation {
             SchemeState::None => {}
         }
         if let Some(msg) = bcn_msg {
+            if let Some(tel) = self.telemetry.as_mut() {
+                tel.bcn_message(self.now.as_secs(), msg.sigma, msg.dst.0);
+            }
             self.schedule(self.now + self.cfg.prop_delay, Ev::BcnDeliver(msg));
         }
         if let Some(fb) = qcn_fb {
+            if let Some(tel) = self.telemetry.as_mut() {
+                tel.qcn_message(self.now.as_secs(), fb.fb, fb.dst.0);
+            }
             self.schedule(self.now + self.cfg.prop_delay, Ev::QcnDeliver(fb));
         }
         if want_pause {
@@ -451,21 +484,43 @@ impl Simulation {
         if can_fire {
             self.last_pause = Some(self.now);
             self.metrics.pause_events += 1;
-            let until = self.now + self.cfg.prop_delay + self.cfg.pause_hold;
-            self.schedule(self.now + self.cfg.prop_delay, Ev::PauseDeliver { until });
+            let deliver = self.now + self.cfg.prop_delay;
+            let until = deliver + self.cfg.pause_hold;
+            if let Some(tel) = self.telemetry.as_mut() {
+                // PAUSE silences every source; port 0 stands for the
+                // bottleneck ingress. The deassert event is emitted
+                // eagerly, stamped with the scheduled expiry.
+                tel.pause(deliver.as_secs(), until.as_secs(), 0);
+            }
+            self.schedule(deliver, Ev::PauseDeliver { until });
+        }
+    }
+
+    /// Emits a threshold-crossing event when the queue moves across the
+    /// BCN severe-congestion threshold `q_sc` (the PAUSE trigger level).
+    fn note_queue_threshold(&mut self, prev_q: f64) {
+        let Some(tel) = self.telemetry.as_mut() else { return };
+        let thr = match &self.cfg.control {
+            Control::Bcn { cp, .. } => cp.qsc_bits,
+            _ => return,
+        };
+        let q = self.q_bits;
+        if prev_q < thr && q >= thr {
+            tel.queue_threshold(self.now.as_secs(), q, thr, true);
+        } else if prev_q >= thr && q < thr {
+            tel.queue_threshold(self.now.as_secs(), q, thr, false);
         }
     }
 
     fn on_departure(&mut self) {
-        let (frame, enqueued_at) =
-            self.queue.pop_front().expect("departure from empty queue");
+        let (frame, enqueued_at) = self.queue.pop_front().expect("departure from empty queue");
+        let prev_q = self.q_bits;
         self.q_bits -= frame.bits;
+        self.note_queue_threshold(prev_q);
         self.metrics.delivered_frames += 1;
         self.metrics.delivered_bits += frame.bits;
         self.metrics.per_source_bits[frame.src.0 as usize] += frame.bits;
-        self.metrics
-            .queueing_delay
-            .push(self.now.saturating_sub(enqueued_at).as_secs());
+        self.metrics.queueing_delay.push(self.now.saturating_sub(enqueued_at).as_secs());
         if let SchemeState::Bcn { cp, .. } = &mut self.scheme {
             cp.on_departure(frame.bits);
         }
@@ -671,18 +726,71 @@ mod tests {
         let report = Simulation::new(cfg.clone()).run();
         // Every source sent exactly its block (delivered + dropped).
         for (i, bits) in report.metrics.per_source_bits.iter().enumerate() {
-            assert!(
-                *bits <= block + 1e-6,
-                "flow {i} delivered {bits} > block {block}"
-            );
+            assert!(*bits <= block + 1e-6, "flow {i} delivered {bits} > block {block}");
         }
         let total_offered = block * cfg.flows.len() as f64;
-        let accounted = report.metrics.delivered_bits
-            + report.metrics.dropped_frames as f64 * cfg.frame_bits;
+        let accounted =
+            report.metrics.delivered_bits + report.metrics.dropped_frames as f64 * cfg.frame_bits;
         assert!(
             (accounted - total_offered).abs() <= cfg.frame_bits * cfg.flows.len() as f64 * 2.0,
             "accounted {accounted} vs offered {total_offered}"
         );
+    }
+
+    #[test]
+    fn telemetry_queue_gauge_matches_metrics_time_series() {
+        use telemetry::{Telemetry, TelemetryLevel};
+        let report =
+            Simulation::with_telemetry(base_cfg(), Telemetry::new(TelemetryLevel::Summary)).run();
+        let tel = report.telemetry.expect("telemetry returned in report");
+        let g = tel.metrics.gauge_by_name("queue.occupancy_bits").unwrap();
+        let series = &report.metrics.queue;
+        // Every Record tick fed both the gauge and the metrics series, so
+        // they agree sample for sample on count, envelope, and last value.
+        assert_eq!(g.samples, series.len() as u64);
+        assert_eq!(g.last, *series.values().last().unwrap());
+        assert_eq!(g.max, series.max());
+        let series_min = series.values().iter().copied().fold(f64::INFINITY, f64::min);
+        assert_eq!(g.min, series_min);
+        let h = tel.metrics.histogram_by_name("queue.occupancy_bits").unwrap();
+        assert_eq!(h.count(), series.len() as u64);
+        // BCN messages flowed and were counted.
+        assert_eq!(
+            tel.metrics.counter_by_name("sim.bcn_messages"),
+            Some(report.metrics.feedback_messages)
+        );
+        // Summary level keeps no per-event trace.
+        assert!(tel.trace.is_empty());
+    }
+
+    #[test]
+    fn telemetry_traces_drops_and_pauses_under_overload() {
+        use telemetry::{Event, Telemetry, TelemetryLevel};
+        let mut cfg = base_cfg();
+        cfg.control = Control::None;
+        for f in &mut cfg.flows {
+            f.initial_rate = cfg.capacity / 2.0;
+        }
+        cfg.t_end = Time::from_secs(0.05);
+        let report = Simulation::with_telemetry(cfg, Telemetry::new(TelemetryLevel::Full)).run();
+        let tel = report.telemetry.unwrap();
+        assert_eq!(
+            tel.metrics.counter_by_name("sim.frames_dropped"),
+            Some(report.metrics.dropped_frames)
+        );
+        let dropped_in_trace =
+            tel.trace.iter().filter(|e| matches!(e, Event::FrameDropped { .. })).count() as u64
+                + tel.trace.overwritten();
+        assert!(dropped_in_trace >= report.metrics.dropped_frames.min(1));
+        // Timestamps in the trace are non-decreasing (except the eagerly
+        // emitted PAUSE deasserts, which carry future expiry stamps).
+        let ts: Vec<f64> = tel
+            .trace
+            .iter()
+            .filter(|e| !matches!(e, Event::PauseDeasserted { .. }))
+            .map(Event::time)
+            .collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]));
     }
 
     #[test]

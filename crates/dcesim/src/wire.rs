@@ -86,9 +86,8 @@ pub fn encode(msg: &BcnMessage) -> [u8; BCN_FRAME_BYTES] {
     // CPID, 8 bytes.
     out[18..26].copy_from_slice(&cpid);
     // FB: sigma quantized to signed fixed point, saturating.
-    let fb = (msg.sigma / FB_UNIT_BITS)
-        .round()
-        .clamp(f64::from(i32::MIN), f64::from(i32::MAX)) as i32;
+    let fb =
+        (msg.sigma / FB_UNIT_BITS).round().clamp(f64::from(i32::MIN), f64::from(i32::MAX)) as i32;
     out[26..30].copy_from_slice(&fb.to_be_bytes());
     out
 }

@@ -37,6 +37,10 @@ pub struct Bs23 {
     safety: f64,
     min_factor: f64,
     max_factor: f64,
+    /// Trial steps rejected since the last `take_rejections` drain.
+    rejections: u32,
+    /// Error norm of the most recent accepted step.
+    last_en: f64,
 }
 
 impl Bs23 {
@@ -55,7 +59,15 @@ impl Bs23 {
     pub fn with_tolerances(atol: f64, rtol: f64) -> Self {
         assert!(atol.is_finite() && atol > 0.0, "atol must be positive");
         assert!(rtol.is_finite() && rtol > 0.0, "rtol must be positive");
-        Self { atol, rtol, safety: 0.9, min_factor: 0.2, max_factor: 5.0 }
+        Self {
+            atol,
+            rtol,
+            safety: 0.9,
+            min_factor: 0.2,
+            max_factor: 5.0,
+            rejections: 0,
+            last_en: f64::NAN,
+        }
     }
 
     fn try_step<const N: usize>(
@@ -110,6 +122,7 @@ impl<const N: usize> Stepper<N> for Bs23 {
         for _ in 0..64 {
             let (y_new, f_new, en) = self.try_step(ode, t, y, f, h_try);
             if !all_finite(&y_new) || !en.is_finite() {
+                self.rejections += 1;
                 h_try *= 0.25;
                 if t + h_try == t {
                     return Err(SolveError::NonFiniteState { t });
@@ -119,8 +132,10 @@ impl<const N: usize> Stepper<N> for Bs23 {
             if en <= 1.0 {
                 let factor = (self.safety * en.max(1e-10).powf(-1.0 / 3.0))
                     .clamp(self.min_factor, self.max_factor);
+                self.last_en = en;
                 return Ok(StepOutcome { t_new: t + h_try, y_new, f_new, h_next: h_try * factor });
             }
+            self.rejections += 1;
             let factor = (self.safety * en.powf(-1.0 / 3.0)).clamp(self.min_factor, 1.0);
             h_try *= factor;
             if t + h_try == t {
@@ -128,6 +143,18 @@ impl<const N: usize> Stepper<N> for Bs23 {
             }
         }
         Err(SolveError::StepSizeUnderflow { t, h: h_try })
+    }
+
+    fn reset(&mut self) {
+        self.last_en = f64::NAN;
+    }
+
+    fn take_rejections(&mut self) -> u32 {
+        std::mem::take(&mut self.rejections)
+    }
+
+    fn last_error_estimate(&self) -> f64 {
+        self.last_en
     }
 
     fn initial_step(&self, t0: f64, y0: &[f64; N], f0: &[f64; N], t_end: f64) -> f64 {
@@ -215,9 +242,7 @@ mod tests {
         // completes within a small multiple of DP5's step count.
         let ode = |_t: f64, y: &[f64; 2]| [y[1], -y[0]];
         let run = |st: &mut dyn Stepper<2>| {
-            integrate(&ode, 0.0, [1.0, 0.0], 20.0, st, &Options::default())
-                .unwrap()
-                .len()
+            integrate(&ode, 0.0, [1.0, 0.0], 20.0, st, &Options::default()).unwrap().len()
         };
         let n23 = run(&mut Bs23::with_tolerances(1e-4, 1e-4));
         let n45 = run(&mut crate::Dopri5::with_tolerances(1e-4, 1e-4));

@@ -12,41 +12,13 @@ const A: [[f64; 6]; 7] = [
     [1.0 / 5.0, 0.0, 0.0, 0.0, 0.0, 0.0],
     [3.0 / 40.0, 9.0 / 40.0, 0.0, 0.0, 0.0, 0.0],
     [44.0 / 45.0, -56.0 / 15.0, 32.0 / 9.0, 0.0, 0.0, 0.0],
-    [
-        19372.0 / 6561.0,
-        -25360.0 / 2187.0,
-        64448.0 / 6561.0,
-        -212.0 / 729.0,
-        0.0,
-        0.0,
-    ],
-    [
-        9017.0 / 3168.0,
-        -355.0 / 33.0,
-        46732.0 / 5247.0,
-        49.0 / 176.0,
-        -5103.0 / 18656.0,
-        0.0,
-    ],
-    [
-        35.0 / 384.0,
-        0.0,
-        500.0 / 1113.0,
-        125.0 / 192.0,
-        -2187.0 / 6784.0,
-        11.0 / 84.0,
-    ],
+    [19372.0 / 6561.0, -25360.0 / 2187.0, 64448.0 / 6561.0, -212.0 / 729.0, 0.0, 0.0],
+    [9017.0 / 3168.0, -355.0 / 33.0, 46732.0 / 5247.0, 49.0 / 176.0, -5103.0 / 18656.0, 0.0],
+    [35.0 / 384.0, 0.0, 500.0 / 1113.0, 125.0 / 192.0, -2187.0 / 6784.0, 11.0 / 84.0],
 ];
 /// 5th-order solution weights (identical to the last row of `A`: FSAL).
-const B5: [f64; 7] = [
-    35.0 / 384.0,
-    0.0,
-    500.0 / 1113.0,
-    125.0 / 192.0,
-    -2187.0 / 6784.0,
-    11.0 / 84.0,
-    0.0,
-];
+const B5: [f64; 7] =
+    [35.0 / 384.0, 0.0, 500.0 / 1113.0, 125.0 / 192.0, -2187.0 / 6784.0, 11.0 / 84.0, 0.0];
 /// Error weights `b5 - b4`.
 const E: [f64; 7] = [
     71.0 / 57600.0,
@@ -91,6 +63,10 @@ pub struct Dopri5 {
     safety: f64,
     min_factor: f64,
     max_factor: f64,
+    /// Trial steps rejected since the last `take_rejections` drain.
+    rejections: u32,
+    /// Error norm of the most recent accepted step.
+    last_en: f64,
 }
 
 impl Dopri5 {
@@ -116,6 +92,8 @@ impl Dopri5 {
             safety: 0.9,
             min_factor: 0.2,
             max_factor: 5.0,
+            rejections: 0,
+            last_en: f64::NAN,
         }
     }
 
@@ -190,6 +168,7 @@ impl<const N: usize> Stepper<N> for Dopri5 {
         for _ in 0..64 {
             let (y_new, f_last, en) = self.try_step(ode, t, y, f, h_try);
             if !all_finite(&y_new) || !en.is_finite() {
+                self.rejections += 1;
                 h_try *= 0.25;
                 if t + h_try == t {
                     return Err(SolveError::NonFiniteState { t });
@@ -203,6 +182,7 @@ impl<const N: usize> Stepper<N> for Dopri5 {
                 let factor = self.safety * e.powf(-0.7 / 5.0) * self.prev_err.powf(0.4 / 5.0);
                 let factor = factor.clamp(self.min_factor, self.max_factor);
                 self.prev_err = e;
+                self.last_en = en;
                 // FSAL: k7 was evaluated at (t + h, y_new) and B5 row ==
                 // A[6], so f_last IS rhs(t_new, y_new).
                 return Ok(StepOutcome {
@@ -212,6 +192,7 @@ impl<const N: usize> Stepper<N> for Dopri5 {
                     h_next: h_try * factor,
                 });
             }
+            self.rejections += 1;
             let factor = (self.safety * en.powf(-0.2)).clamp(self.min_factor, 1.0);
             h_try *= factor;
             if t + h_try == t {
@@ -223,6 +204,15 @@ impl<const N: usize> Stepper<N> for Dopri5 {
 
     fn reset(&mut self) {
         self.prev_err = 1.0;
+        self.last_en = f64::NAN;
+    }
+
+    fn take_rejections(&mut self) -> u32 {
+        std::mem::take(&mut self.rejections)
+    }
+
+    fn last_error_estimate(&self) -> f64 {
+        self.last_en
     }
 
     fn initial_step(&self, t0: f64, y0: &[f64; N], f0: &[f64; N], t_end: f64) -> f64 {
@@ -324,18 +314,12 @@ mod tests {
         // Moderately stiff: y' = -50(y - cos t). Explicit RK must shrink
         // steps but should still finish correctly.
         let mut st = Dopri5::with_tolerances(1e-8, 1e-8);
-        let y = drive(
-            |t: f64, y: &[f64; 1]| [-50.0 * (y[0] - t.cos())],
-            0.0,
-            [0.0],
-            1.5,
-            &mut st,
-        );
+        let y = drive(|t: f64, y: &[f64; 1]| [-50.0 * (y[0] - t.cos())], 0.0, [0.0], 1.5, &mut st);
         // Reference from the exact solution of the linear ODE:
         // y = (2500 cos t + 50 sin t)/2501 - (2500/2501) e^{-50 t}
         let t = 1.5_f64;
-        let exact = (2500.0 * t.cos() + 50.0 * t.sin()) / 2501.0
-            - 2500.0 / 2501.0 * (-50.0 * t).exp();
+        let exact =
+            (2500.0 * t.cos() + 50.0 * t.sin()) / 2501.0 - 2500.0 / 2501.0 * (-50.0 * t).exp();
         assert!((y[0] - exact).abs() < 1e-6);
     }
 }

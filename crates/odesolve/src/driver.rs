@@ -1,10 +1,11 @@
 //! One-shot integration drivers.
 
-use crate::event::{locate_zero, EventOccurrence, EventSpec};
+use crate::event::{locate_zero_counted, EventOccurrence, EventSpec};
 use crate::interp::CubicHermite;
 use crate::solution::Solution;
 use crate::stepper::Stepper;
 use crate::{Ode, SolveError};
+use telemetry::Telemetry;
 
 /// Driver-level configuration shared by all integration runs.
 #[derive(Debug, Clone, PartialEq)]
@@ -87,13 +88,35 @@ pub fn integrate_with_events<const N: usize>(
     events: &[EventSpec<'_, N>],
     opts: &Options,
 ) -> Result<Solution<N>, SolveError> {
+    integrate_with_events_telemetry(ode, t0, y0, t_end, stepper, events, opts, None)
+}
+
+/// Like [`integrate_with_events`], recording per-step telemetry (accepted
+/// and rejected step counts, step sizes, error estimates, event-location
+/// iterations) into `tel` when provided.
+///
+/// With `tel = None` (or a sink at level `Off`) the instrumentation is a
+/// near-no-op, so the plain entry points delegate here at no cost.
+///
+/// # Errors
+///
+/// Same as [`integrate`].
+#[allow(clippy::too_many_arguments)]
+pub fn integrate_with_events_telemetry<const N: usize>(
+    ode: &dyn Ode<N>,
+    t0: f64,
+    y0: [f64; N],
+    t_end: f64,
+    stepper: &mut dyn Stepper<N>,
+    events: &[EventSpec<'_, N>],
+    opts: &Options,
+    mut tel: Option<&mut Telemetry>,
+) -> Result<Solution<N>, SolveError> {
     if !t0.is_finite() || !t_end.is_finite() {
         return Err(SolveError::BadInput("non-finite time bounds".into()));
     }
     if t_end < t0 {
-        return Err(SolveError::BadInput(format!(
-            "t_end ({t_end}) must not precede t0 ({t0})"
-        )));
+        return Err(SolveError::BadInput(format!("t_end ({t_end}) must not precede t0 ({t0})")));
     }
     if !crate::vecn::all_finite(&y0) {
         return Err(SolveError::BadInput("non-finite initial state".into()));
@@ -119,6 +142,11 @@ pub fn integrate_with_events<const N: usize>(
             h = h.min(opts.max_step);
         }
         let out = stepper.step(ode, t, &y, &f, h)?;
+        if let Some(tel) = tel.as_deref_mut() {
+            let rejected = stepper.take_rejections();
+            tel.steps_rejected(t, h, rejected);
+            tel.step_accepted(out.t_new, out.t_new - t, stepper.last_error_estimate());
+        }
         let interp = CubicHermite::new(t, y, f, out.t_new, out.y_new, out.f_new);
 
         // Check guards across this step; find the earliest triggering event.
@@ -126,13 +154,18 @@ pub fn integrate_with_events<const N: usize>(
         for (idx, spec) in events.iter().enumerate() {
             let g_new = spec.guard.guard(out.t_new, &out.y_new);
             if spec.direction.matches(g[idx], g_new) {
-                let (te, ye) = locate_zero(spec.guard, &interp, g[idx], g_new, spec.direction);
+                let (te, ye, iters) =
+                    locate_zero_counted(spec.guard, &interp, g[idx], g_new, spec.direction);
+                if let Some(tel) = tel.as_deref_mut() {
+                    tel.event_located(te, iters);
+                }
                 let better = match &hit {
                     Some(prev) => te < prev.t,
                     None => true,
                 };
                 if better {
-                    hit = Some(EventOccurrence { index: idx, t: te, y: ye, terminal: spec.terminal });
+                    hit =
+                        Some(EventOccurrence { index: idx, t: te, y: ye, terminal: spec.terminal });
                 }
             }
         }

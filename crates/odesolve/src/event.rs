@@ -108,12 +108,27 @@ pub fn locate_zero<const N: usize>(
     guard: &dyn EventFn<N>,
     interp: &CubicHermite<N>,
     g0: f64,
-    _g1: f64,
+    g1: f64,
     direction: Direction,
 ) -> (f64, [f64; N]) {
+    let (t, y, _) = locate_zero_counted(guard, interp, g0, g1, direction);
+    (t, y)
+}
+
+/// Like [`locate_zero`], additionally returning the number of bisection
+/// iterations spent converging (for instrumentation).
+#[must_use]
+pub fn locate_zero_counted<const N: usize>(
+    guard: &dyn EventFn<N>,
+    interp: &CubicHermite<N>,
+    g0: f64,
+    _g1: f64,
+    direction: Direction,
+) -> (f64, [f64; N], u32) {
     let mut lo = interp.t_start();
     let mut hi = interp.t_end();
     let mut g_lo = g0;
+    let mut iterations = 0;
     // Bisect on the interpolant. We keep the invariant that (g_lo, g at hi)
     // brackets a directional crossing.
     for _ in 0..60 {
@@ -121,6 +136,7 @@ pub fn locate_zero<const N: usize>(
         if mid <= lo || mid >= hi {
             break; // f64 resolution reached
         }
+        iterations += 1;
         let y_mid = interp.eval(mid);
         let g_mid = guard.guard(mid, &y_mid);
         if direction.matches(g_lo, g_mid) {
@@ -131,7 +147,7 @@ pub fn locate_zero<const N: usize>(
         }
     }
     let y = interp.eval(hi);
-    (hi, y)
+    (hi, y, iterations)
 }
 
 #[cfg(test)]

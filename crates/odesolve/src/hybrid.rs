@@ -11,11 +11,12 @@
 //! guard, applies the transition, resets the stepper (the vector field is
 //! discontinuous across the guard), and repeats.
 
+use crate::driver::{integrate_with_events_telemetry, Options};
 use crate::event::{Direction, EventSpec};
-use crate::driver::{integrate_with_events, Options};
 use crate::solution::Solution;
 use crate::stepper::Stepper;
 use crate::SolveError;
+use telemetry::Telemetry;
 
 /// A piecewise-smooth dynamical system with a finite set of modes.
 ///
@@ -95,6 +96,26 @@ pub fn integrate_hybrid<const N: usize, S: HybridSystem<N>>(
     stepper: &mut dyn Stepper<N>,
     opts: &Options,
 ) -> Result<HybridSolution<N>, SolveError> {
+    integrate_hybrid_telemetry(sys, t0, y0, t_end, max_switches, stepper, opts, None)
+}
+
+/// Like [`integrate_hybrid`], recording solver telemetry for every leg and
+/// a region-switch event at every mode transition into `tel` when provided.
+///
+/// # Errors
+///
+/// Propagates any [`SolveError`] from the underlying smooth integrations.
+#[allow(clippy::too_many_arguments)]
+pub fn integrate_hybrid_telemetry<const N: usize, S: HybridSystem<N>>(
+    sys: &S,
+    t0: f64,
+    y0: [f64; N],
+    t_end: f64,
+    max_switches: usize,
+    stepper: &mut dyn Stepper<N>,
+    opts: &Options,
+    mut tel: Option<&mut Telemetry>,
+) -> Result<HybridSolution<N>, SolveError> {
     let mut mode = sys.mode_at(t0, &y0);
     let mut t = t0;
     let mut y = y0;
@@ -107,7 +128,16 @@ pub fn integrate_hybrid<const N: usize, S: HybridSystem<N>>(
         let guard = |tt: f64, yy: &[f64; N]| sys.guard(mode, tt, yy);
         let events = [EventSpec::terminal(&guard).with_direction(sys.guard_direction(mode))];
         stepper.reset();
-        let leg = integrate_with_events(&ode, t, y, t_end, stepper, &events, opts)?;
+        let leg = integrate_with_events_telemetry(
+            &ode,
+            t,
+            y,
+            t_end,
+            stepper,
+            &events,
+            opts,
+            tel.as_deref_mut(),
+        )?;
         let hit_guard = !leg.events().is_empty();
         intervals.push(ModeInterval { mode, t_start: t, t_end: leg.last_time() });
         t = leg.last_time();
@@ -115,13 +145,20 @@ pub fn integrate_hybrid<const N: usize, S: HybridSystem<N>>(
         total.extend_with(&leg);
 
         if !hit_guard || t >= t_end {
-            return Ok(HybridSolution { solution: total, intervals, switch_budget_exhausted: false });
+            return Ok(HybridSolution {
+                solution: total,
+                intervals,
+                switch_budget_exhausted: false,
+            });
         }
         if switch == max_switches {
             budget_exhausted = true;
             break;
         }
         let (next_mode, next_y) = sys.transition(mode, t, &y);
+        if let Some(tel) = tel.as_deref_mut() {
+            tel.region_switch(t, mode as u32, next_mode as u32);
+        }
         mode = next_mode;
         y = next_y;
         // Nudge past the guard so the next leg does not immediately
@@ -205,10 +242,18 @@ mod tests {
 
     impl HybridSystem<1> for Relay {
         fn rhs(&self, mode: usize, _t: f64, _y: &[f64; 1]) -> [f64; 1] {
-            if mode == 0 { [1.0] } else { [-1.0] }
+            if mode == 0 {
+                [1.0]
+            } else {
+                [-1.0]
+            }
         }
         fn guard(&self, mode: usize, _t: f64, y: &[f64; 1]) -> f64 {
-            if mode == 0 { y[0] - 1.0 } else { y[0] + 1.0 }
+            if mode == 0 {
+                y[0] - 1.0
+            } else {
+                y[0] + 1.0
+            }
         }
         fn transition(&self, mode: usize, _t: f64, y: &[f64; 1]) -> (usize, [f64; 1]) {
             (1 - mode, *y)
@@ -302,6 +347,72 @@ mod tests {
         for w in out.intervals.windows(2) {
             assert_ne!(w[0].mode, w[1].mode);
         }
+    }
+
+    #[test]
+    fn telemetry_records_steps_switches_and_event_locations() {
+        use telemetry::{Telemetry, TelemetryLevel};
+        let mut tel = Telemetry::new(TelemetryLevel::Full);
+        let out = integrate_hybrid_telemetry(
+            &Relay,
+            0.0,
+            [0.0],
+            10.0,
+            100,
+            &mut Dopri5::new(),
+            &Options::default(),
+            Some(&mut tel),
+        )
+        .unwrap();
+        assert_eq!(out.switch_count(), 5);
+        assert_eq!(tel.metrics.counter_by_name("hybrid.region_switches"), Some(5));
+        // Every accepted step was counted and its size recorded.
+        let steps = tel.metrics.counter_by_name("solver.steps_accepted").unwrap();
+        assert!(steps > 0);
+        let sizes = tel.metrics.histogram_by_name("solver.step_size_s").unwrap();
+        assert_eq!(sizes.count(), steps);
+        // Each of the 5 guard hits went through event location.
+        assert_eq!(tel.metrics.counter_by_name("solver.events_located"), Some(5));
+        assert!(tel.metrics.histogram_by_name("solver.event_location_iters").unwrap().p50() >= 1.0);
+        // The trace holds the region switches in time order.
+        let switches: Vec<f64> = tel
+            .trace
+            .iter()
+            .filter(|e| matches!(e, telemetry::Event::RegionSwitch { .. }))
+            .map(|e| e.time())
+            .collect();
+        assert_eq!(switches.len(), 5);
+        assert!(switches.windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn telemetry_off_sink_matches_untelemetered_run() {
+        use telemetry::{Telemetry, TelemetryLevel};
+        let mut tel = Telemetry::new(TelemetryLevel::Off);
+        let a = integrate_hybrid_telemetry(
+            &Relay,
+            0.0,
+            [0.0],
+            10.0,
+            100,
+            &mut Dopri5::new(),
+            &Options::default(),
+            Some(&mut tel),
+        )
+        .unwrap();
+        let b = integrate_hybrid(
+            &Relay,
+            0.0,
+            [0.0],
+            10.0,
+            100,
+            &mut Dopri5::new(),
+            &Options::default(),
+        )
+        .unwrap();
+        assert_eq!(a.solution.last_state(), b.solution.last_state());
+        assert!(tel.trace.is_empty());
+        assert_eq!(tel.metrics.counter_by_name("solver.steps_accepted"), Some(0));
     }
 
     #[test]

@@ -54,8 +54,7 @@ impl<const N: usize> CubicHermite<N> {
         let h11 = s3 - s2;
         let mut out = [0.0; N];
         for (i, o) in out.iter_mut().enumerate() {
-            *o = h00 * self.y0[i] + h10 * h * self.f0[i] + h01 * self.y1[i]
-                + h11 * h * self.f1[i];
+            *o = h00 * self.y0[i] + h10 * h * self.f0[i] + h01 * self.y1[i] + h11 * h * self.f1[i];
         }
         out
     }
@@ -72,8 +71,7 @@ impl<const N: usize> CubicHermite<N> {
         let dh11 = 3.0 * s2 - 2.0 * s;
         let mut out = [0.0; N];
         for (i, o) in out.iter_mut().enumerate() {
-            *o = dh00 * self.y0[i] + dh10 * self.f0[i] + dh01 * self.y1[i]
-                + dh11 * self.f1[i];
+            *o = dh00 * self.y0[i] + dh10 * self.f0[i] + dh01 * self.y1[i] + dh11 * self.f1[i];
         }
         out
     }

@@ -62,9 +62,9 @@ pub mod vecn;
 
 pub use bs23::Bs23;
 pub use dopri5::Dopri5;
-pub use driver::{integrate, integrate_with_events, Options};
+pub use driver::{integrate, integrate_with_events, integrate_with_events_telemetry, Options};
 pub use error::SolveError;
-pub use event::{Direction, EventFn, EventOccurrence, EventSpec};
+pub use event::{locate_zero, locate_zero_counted, Direction, EventFn, EventOccurrence, EventSpec};
 pub use interp::CubicHermite;
 pub use rk4::Rk4;
 pub use solution::Solution;

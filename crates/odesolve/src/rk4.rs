@@ -149,10 +149,7 @@ mod tests {
         let e1 = run(0.02);
         let e2 = run(0.01);
         let order = (e1 / e2).log2();
-        assert!(
-            (order - 4.0).abs() < 0.3,
-            "observed order {order}, errors {e1} {e2}"
-        );
+        assert!((order - 4.0).abs() < 0.3, "observed order {order}, errors {e1} {e2}");
     }
 
     #[test]
@@ -177,8 +174,8 @@ mod tests {
     fn detects_non_finite() {
         let ode = |_t: f64, _y: &[f64; 1]| [f64::NAN];
         let mut rk = Rk4::new();
-        let err = <Rk4 as Stepper<1>>::step(&mut rk, &ode, 0.0, &[1.0], &[f64::NAN], 0.1)
-            .unwrap_err();
+        let err =
+            <Rk4 as Stepper<1>>::step(&mut rk, &ode, 0.0, &[1.0], &[f64::NAN], 0.1).unwrap_err();
         assert!(matches!(err, SolveError::NonFiniteState { .. }));
     }
 }

@@ -47,6 +47,19 @@ pub trait Stepper<const N: usize> {
     /// changes discontinuously, e.g. after a hybrid-mode switch).
     fn reset(&mut self) {}
 
+    /// Returns the number of trial steps rejected since the last call and
+    /// resets the counter. Fixed-step methods never reject (default 0).
+    fn take_rejections(&mut self) -> u32 {
+        0
+    }
+
+    /// Scaled error-norm estimate of the most recent accepted step
+    /// (`<= 1` means the step passed the tolerance test), or NaN for
+    /// methods without an embedded error estimate.
+    fn last_error_estimate(&self) -> f64 {
+        f64::NAN
+    }
+
     /// An initial step-size guess for a problem starting at `(t0, y0)` with
     /// derivative `f0`, integrating towards `t_end`.
     fn initial_step(&self, t0: f64, y0: &[f64; N], f0: &[f64; N], t_end: f64) -> f64 {

@@ -85,12 +85,7 @@ impl Mat2 {
             let s = disc.sqrt();
             let l1 = 0.5 * (t - s);
             let l2 = 0.5 * (t + s);
-            Eigen2::RealDistinct {
-                l1,
-                l2,
-                v1: self.eigenvector(l1),
-                v2: self.eigenvector(l2),
-            }
+            Eigen2::RealDistinct { l1, l2, v1: self.eigenvector(l1), v2: self.eigenvector(l2) }
         } else if disc == 0.0 {
             let l = 0.5 * t;
             Eigen2::RealRepeated { l, v: self.eigenvector(l) }

@@ -134,9 +134,7 @@ impl<'a, S: PlaneSystem> ReturnMap<'a, S> {
         let line = self.line;
         let guard = move |_t: f64, p: &[f64; 2]| line.signed_value(*p);
         let events = [EventSpec::terminal(&guard).with_direction(dir)];
-        let opts = TrajectoryOptions::default()
-            .with_t_end(self.horizon)
-            .with_tol(self.tol);
+        let opts = TrajectoryOptions::default().with_t_end(self.horizon).with_tol(self.tol);
         let sol = trajectory_with_events(self.sys, p0, &events, &opts)?;
         if sol.events().is_empty() {
             return Err(PoincareError::NoReturn { horizon: self.horizon });
@@ -249,12 +247,7 @@ fn finish<S: PlaneSystem>(
     let p_plus = map.apply(s + ds)?.s;
     let p_minus = map.apply(s - ds)?.s;
     let multiplier = (p_plus - p_minus) / (2.0 * ds);
-    Ok(Some(LimitCycle {
-        s,
-        point: map.line().point_at(s),
-        period: crossing.period,
-        multiplier,
-    }))
+    Ok(Some(LimitCycle { s, point: map.line().point_at(s), period: crossing.period, multiplier }))
 }
 
 #[cfg(test)]

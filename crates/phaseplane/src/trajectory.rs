@@ -107,12 +107,8 @@ mod tests {
     #[test]
     fn damped_oscillator_converges_to_origin() {
         let damped = |p: [f64; 2]| [p[1], -p[0] - 0.5 * p[1]];
-        let sol = trajectory(
-            &damped,
-            [2.0, 0.0],
-            &TrajectoryOptions::default().with_t_end(60.0),
-        )
-        .unwrap();
+        let sol = trajectory(&damped, [2.0, 0.0], &TrajectoryOptions::default().with_t_end(60.0))
+            .unwrap();
         let end = sol.last_state();
         assert!(end[0].abs() < 1e-4 && end[1].abs() < 1e-4, "end {end:?}");
     }

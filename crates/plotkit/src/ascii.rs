@@ -117,16 +117,19 @@ mod tests {
 
     #[test]
     fn multiple_series_use_their_glyphs() {
-        let chart = AsciiChart::new(12, 8)
-            .with_series(&[0.0], &[0.0], 'a')
-            .with_series(&[1.0], &[1.0], 'b');
+        let chart = AsciiChart::new(12, 8).with_series(&[0.0], &[0.0], 'a').with_series(
+            &[1.0],
+            &[1.0],
+            'b',
+        );
         let out = chart.render();
         assert!(out.contains('a') && out.contains('b'));
     }
 
     #[test]
     fn non_finite_points_are_skipped() {
-        let chart = AsciiChart::new(10, 8).with_series(&[0.0, f64::NAN, 1.0], &[0.0, 1.0, 1.0], '*');
+        let chart =
+            AsciiChart::new(10, 8).with_series(&[0.0, f64::NAN, 1.0], &[0.0, 1.0, 1.0], '*');
         let out = chart.render();
         assert!(out.contains('*'));
     }

@@ -31,10 +31,7 @@ impl Csv {
     #[must_use]
     pub fn new(columns: &[&str]) -> Self {
         assert!(!columns.is_empty(), "need at least one column");
-        Self {
-            header: columns.iter().map(ToString::to_string).collect(),
-            rows: Vec::new(),
-        }
+        Self { header: columns.iter().map(ToString::to_string).collect(), rows: Vec::new() }
     }
 
     /// Appends a row.
@@ -43,11 +40,7 @@ impl Csv {
     ///
     /// Panics if the value count does not match the column count.
     pub fn row(&mut self, values: &[f64]) {
-        assert_eq!(
-            values.len(),
-            self.header.len(),
-            "row width must match the header"
-        );
+        assert_eq!(values.len(), self.header.len(), "row width must match the header");
         self.rows.push(values.to_vec());
     }
 

@@ -83,9 +83,8 @@ const MARGIN_T: f64 = 36.0;
 const MARGIN_B: f64 = 48.0;
 
 /// A pleasant default color cycle (matplotlib "tab10" flavoured).
-pub const COLOR_CYCLE: [&str; 8] = [
-    "#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd", "#8c564b", "#e377c2", "#7f7f7f",
-];
+pub const COLOR_CYCLE: [&str; 8] =
+    ["#1f77b4", "#ff7f0e", "#2ca02c", "#d62728", "#9467bd", "#8c564b", "#e377c2", "#7f7f7f"];
 
 impl SvgPlot {
     /// Creates an empty plot with the given title and axis labels.
@@ -172,7 +171,11 @@ impl SvgPlot {
             w = self.width,
             h = self.height
         );
-        let _ = write!(out, r##"<rect width="{}" height="{}" fill="white"/>"##, self.width, self.height);
+        let _ = write!(
+            out,
+            r##"<rect width="{}" height="{}" fill="white"/>"##,
+            self.width, self.height
+        );
         // Frame.
         let _ = write!(
             out,

@@ -27,10 +27,7 @@ impl Table {
     #[must_use]
     pub fn new(columns: &[&str]) -> Self {
         assert!(!columns.is_empty(), "need at least one column");
-        Self {
-            header: columns.iter().map(ToString::to_string).collect(),
-            rows: Vec::new(),
-        }
+        Self { header: columns.iter().map(ToString::to_string).collect(), rows: Vec::new() }
     }
 
     /// Appends a row of pre-formatted cells.

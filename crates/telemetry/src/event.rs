@@ -1,0 +1,185 @@
+//! Typed trace events with monotonic sim-time stamps.
+
+/// Whether a queue extremum is a local maximum or minimum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExtremumKind {
+    /// Local maximum of the queue occupancy.
+    Max,
+    /// Local minimum of the queue occupancy.
+    Min,
+}
+
+/// One instrumentation event.
+///
+/// Every variant carries the simulation time `t` (seconds) at which it
+/// occurred; within a single producer the stamps are monotonic. The
+/// enum is `Copy` so pushing into the ring trace is a plain store.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Event {
+    /// An adaptive solver accepted a step of size `h` with error-norm
+    /// estimate `err` (NaN for fixed-step methods).
+    SolverStepAccepted {
+        /// Time at the end of the accepted step.
+        t: f64,
+        /// Accepted step size.
+        h: f64,
+        /// Scaled error-norm estimate of the step (≤ 1 means accepted).
+        err: f64,
+    },
+    /// An adaptive solver rejected a trial step of size `h`.
+    SolverStepRejected {
+        /// Time at the start of the rejected trial step.
+        t: f64,
+        /// Rejected trial step size.
+        h: f64,
+    },
+    /// Event location (bisection on the dense interpolant) converged on
+    /// a switching-surface crossing.
+    SwitchCrossingLocated {
+        /// Located crossing time.
+        t: f64,
+        /// Bisection iterations spent locating it.
+        iterations: u32,
+    },
+    /// A hybrid system transitioned between dynamics regions.
+    RegionSwitch {
+        /// Switch time.
+        t: f64,
+        /// Mode index before the switch.
+        from: u32,
+        /// Mode index after the switch.
+        to: u32,
+    },
+    /// The queue occupancy crossed a configured threshold.
+    QueueThresholdCrossed {
+        /// Crossing time.
+        t: f64,
+        /// Queue occupancy at the crossing.
+        q: f64,
+        /// The threshold that was crossed.
+        threshold: f64,
+        /// `true` when crossing upward (filling), `false` when draining.
+        rising: bool,
+    },
+    /// The queue occupancy passed through a local extremum.
+    QueueExtremum {
+        /// Time of the extremum.
+        t: f64,
+        /// Queue occupancy at the extremum.
+        q: f64,
+        /// Maximum or minimum.
+        kind: ExtremumKind,
+    },
+    /// A congestion point emitted a BCN feedback message.
+    BcnMessageEmitted {
+        /// Emission time.
+        t: f64,
+        /// Feedback value Fb carried by the message.
+        fb: f64,
+        /// Index of the destination source.
+        source: u32,
+    },
+    /// A congestion point emitted a QCN feedback message.
+    QcnMessageEmitted {
+        /// Emission time.
+        t: f64,
+        /// Feedback value Fb carried by the message.
+        fb: f64,
+        /// Index of the destination source.
+        source: u32,
+    },
+    /// A PAUSE frame took effect at a port.
+    PauseAsserted {
+        /// Assertion time.
+        t: f64,
+        /// Port (source index) that was paused.
+        port: u32,
+    },
+    /// A PAUSE expired at a port (stamped with the scheduled expiry,
+    /// emitted eagerly at assertion time).
+    PauseDeasserted {
+        /// Scheduled deassertion time.
+        t: f64,
+        /// Port (source index) that resumes.
+        port: u32,
+    },
+    /// A frame was dropped on arrival at a full buffer.
+    FrameDropped {
+        /// Drop time.
+        t: f64,
+        /// Port (source index) whose frame was dropped.
+        port: u32,
+    },
+}
+
+impl Event {
+    /// The simulation-time stamp carried by this event.
+    #[must_use]
+    pub fn time(&self) -> f64 {
+        match *self {
+            Event::SolverStepAccepted { t, .. }
+            | Event::SolverStepRejected { t, .. }
+            | Event::SwitchCrossingLocated { t, .. }
+            | Event::RegionSwitch { t, .. }
+            | Event::QueueThresholdCrossed { t, .. }
+            | Event::QueueExtremum { t, .. }
+            | Event::BcnMessageEmitted { t, .. }
+            | Event::QcnMessageEmitted { t, .. }
+            | Event::PauseAsserted { t, .. }
+            | Event::PauseDeasserted { t, .. }
+            | Event::FrameDropped { t, .. } => t,
+        }
+    }
+
+    /// Stable snake_case tag used as the JSONL `type` field.
+    #[must_use]
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Event::SolverStepAccepted { .. } => "solver_step_accepted",
+            Event::SolverStepRejected { .. } => "solver_step_rejected",
+            Event::SwitchCrossingLocated { .. } => "switch_crossing_located",
+            Event::RegionSwitch { .. } => "region_switch",
+            Event::QueueThresholdCrossed { .. } => "queue_threshold_crossed",
+            Event::QueueExtremum { .. } => "queue_extremum",
+            Event::BcnMessageEmitted { .. } => "bcn_message_emitted",
+            Event::QcnMessageEmitted { .. } => "qcn_message_emitted",
+            Event::PauseAsserted { .. } => "pause_asserted",
+            Event::PauseDeasserted { .. } => "pause_deasserted",
+            Event::FrameDropped { .. } => "frame_dropped",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_extracts_the_stamp() {
+        let e = Event::RegionSwitch { t: 1.5, from: 0, to: 1 };
+        assert_eq!(e.time(), 1.5);
+        let e = Event::FrameDropped { t: 0.25, port: 3 };
+        assert_eq!(e.time(), 0.25);
+    }
+
+    #[test]
+    fn type_names_are_unique() {
+        let events = [
+            Event::SolverStepAccepted { t: 0.0, h: 0.1, err: 0.5 },
+            Event::SolverStepRejected { t: 0.0, h: 0.1 },
+            Event::SwitchCrossingLocated { t: 0.0, iterations: 3 },
+            Event::RegionSwitch { t: 0.0, from: 0, to: 1 },
+            Event::QueueThresholdCrossed { t: 0.0, q: 1.0, threshold: 1.0, rising: true },
+            Event::QueueExtremum { t: 0.0, q: 1.0, kind: ExtremumKind::Max },
+            Event::BcnMessageEmitted { t: 0.0, fb: -1.0, source: 0 },
+            Event::QcnMessageEmitted { t: 0.0, fb: -1.0, source: 0 },
+            Event::PauseAsserted { t: 0.0, port: 0 },
+            Event::PauseDeasserted { t: 0.0, port: 0 },
+            Event::FrameDropped { t: 0.0, port: 0 },
+        ];
+        let mut names: Vec<&str> = events.iter().map(Event::type_name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), events.len());
+    }
+}

@@ -1,0 +1,311 @@
+//! Hand-rolled JSONL serialization for [`Event`]s.
+//!
+//! Each event becomes one flat JSON object per line, e.g.
+//! `{"type":"region_switch","t":0.125,"from":0,"to":1}`. Floats are
+//! written with Rust's `{:?}` formatting (shortest representation that
+//! round-trips exactly); the extension tokens `NaN`, `inf`, and `-inf`
+//! are accepted and produced for non-finite values so every event
+//! round-trips bit-for-bit.
+
+use crate::event::{Event, ExtremumKind};
+
+/// Error produced when a JSONL line cannot be parsed back to an event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JsonlError(pub String);
+
+impl std::fmt::Display for JsonlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "jsonl parse error: {}", self.0)
+    }
+}
+
+impl std::error::Error for JsonlError {}
+
+fn fmt_f64(v: f64) -> String {
+    if v.is_nan() {
+        "NaN".to_string()
+    } else if v == f64::INFINITY {
+        "inf".to_string()
+    } else if v == f64::NEG_INFINITY {
+        "-inf".to_string()
+    } else {
+        format!("{v:?}")
+    }
+}
+
+/// Serializes one event to a single JSONL line (no trailing newline).
+#[must_use]
+pub fn event_to_jsonl(e: &Event) -> String {
+    let ty = e.type_name();
+    match *e {
+        Event::SolverStepAccepted { t, h, err } => format!(
+            r#"{{"type":"{ty}","t":{},"h":{},"err":{}}}"#,
+            fmt_f64(t),
+            fmt_f64(h),
+            fmt_f64(err)
+        ),
+        Event::SolverStepRejected { t, h } => {
+            format!(r#"{{"type":"{ty}","t":{},"h":{}}}"#, fmt_f64(t), fmt_f64(h))
+        }
+        Event::SwitchCrossingLocated { t, iterations } => {
+            format!(r#"{{"type":"{ty}","t":{},"iterations":{iterations}}}"#, fmt_f64(t))
+        }
+        Event::RegionSwitch { t, from, to } => {
+            format!(r#"{{"type":"{ty}","t":{},"from":{from},"to":{to}}}"#, fmt_f64(t))
+        }
+        Event::QueueThresholdCrossed { t, q, threshold, rising } => format!(
+            r#"{{"type":"{ty}","t":{},"q":{},"threshold":{},"rising":{rising}}}"#,
+            fmt_f64(t),
+            fmt_f64(q),
+            fmt_f64(threshold)
+        ),
+        Event::QueueExtremum { t, q, kind } => format!(
+            r#"{{"type":"{ty}","t":{},"q":{},"kind":"{}"}}"#,
+            fmt_f64(t),
+            fmt_f64(q),
+            match kind {
+                ExtremumKind::Max => "max",
+                ExtremumKind::Min => "min",
+            }
+        ),
+        Event::BcnMessageEmitted { t, fb, source } | Event::QcnMessageEmitted { t, fb, source } => {
+            format!(
+                r#"{{"type":"{ty}","t":{},"fb":{},"source":{source}}}"#,
+                fmt_f64(t),
+                fmt_f64(fb)
+            )
+        }
+        Event::PauseAsserted { t, port }
+        | Event::PauseDeasserted { t, port }
+        | Event::FrameDropped { t, port } => {
+            format!(r#"{{"type":"{ty}","t":{},"port":{port}}}"#, fmt_f64(t))
+        }
+    }
+}
+
+/// One parsed JSON scalar.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Num(f64),
+    Str(String),
+    Bool(bool),
+}
+
+impl Value {
+    fn as_f64(&self, key: &str) -> Result<f64, JsonlError> {
+        match self {
+            Value::Num(v) => Ok(*v),
+            _ => Err(JsonlError(format!("field `{key}` is not a number"))),
+        }
+    }
+
+    fn as_u32(&self, key: &str) -> Result<u32, JsonlError> {
+        let v = self.as_f64(key)?;
+        if v.fract() == 0.0 && (0.0..=u32::MAX as f64).contains(&v) {
+            Ok(v as u32)
+        } else {
+            Err(JsonlError(format!("field `{key}` is not a u32: {v}")))
+        }
+    }
+
+    fn as_bool(&self, key: &str) -> Result<bool, JsonlError> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(JsonlError(format!("field `{key}` is not a bool"))),
+        }
+    }
+
+    fn as_str(&self, key: &str) -> Result<&str, JsonlError> {
+        match self {
+            Value::Str(s) => Ok(s),
+            _ => Err(JsonlError(format!("field `{key}` is not a string"))),
+        }
+    }
+}
+
+/// Minimal parser for the flat objects this module emits: one level of
+/// `"key": scalar` pairs, scalars being numbers (with `NaN`/`inf`
+/// extensions), strings without escapes, or booleans.
+fn parse_flat_object(line: &str) -> Result<Vec<(String, Value)>, JsonlError> {
+    let s = line.trim();
+    let inner = s
+        .strip_prefix('{')
+        .and_then(|s| s.strip_suffix('}'))
+        .ok_or_else(|| JsonlError("line is not a JSON object".into()))?;
+    let mut fields = Vec::new();
+    let mut rest = inner.trim();
+    while !rest.is_empty() {
+        // Key.
+        rest = rest
+            .strip_prefix('"')
+            .ok_or_else(|| JsonlError(format!("expected quoted key at `{rest}`")))?;
+        let kq = rest.find('"').ok_or_else(|| JsonlError("unterminated key".into()))?;
+        let key = rest[..kq].to_string();
+        rest = rest[kq + 1..].trim_start();
+        rest = rest
+            .strip_prefix(':')
+            .ok_or_else(|| JsonlError(format!("expected `:` after key `{key}`")))?
+            .trim_start();
+        // Value.
+        let (value, tail) = if let Some(r) = rest.strip_prefix('"') {
+            let vq = r.find('"').ok_or_else(|| JsonlError("unterminated string value".into()))?;
+            (Value::Str(r[..vq].to_string()), &r[vq + 1..])
+        } else {
+            let end = rest.find(',').unwrap_or(rest.len());
+            let token = rest[..end].trim();
+            let v =
+                match token {
+                    "true" => Value::Bool(true),
+                    "false" => Value::Bool(false),
+                    "NaN" => Value::Num(f64::NAN),
+                    "inf" => Value::Num(f64::INFINITY),
+                    "-inf" => Value::Num(f64::NEG_INFINITY),
+                    _ => Value::Num(token.parse::<f64>().map_err(|_| {
+                        JsonlError(format!("bad scalar `{token}` for key `{key}`"))
+                    })?),
+                };
+            (v, &rest[end..])
+        };
+        fields.push((key, value));
+        rest = tail.trim_start();
+        if let Some(r) = rest.strip_prefix(',') {
+            rest = r.trim_start();
+        } else if !rest.is_empty() {
+            return Err(JsonlError(format!("unexpected trailing content `{rest}`")));
+        }
+    }
+    Ok(fields)
+}
+
+/// Parses one JSONL line back into an [`Event`].
+pub fn event_from_jsonl(line: &str) -> Result<Event, JsonlError> {
+    let fields = parse_flat_object(line)?;
+    let get = |key: &str| -> Result<&Value, JsonlError> {
+        fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| JsonlError(format!("missing field `{key}`")))
+    };
+    let ty = get("type")?.as_str("type")?.to_string();
+    let t = get("t")?.as_f64("t")?;
+    match ty.as_str() {
+        "solver_step_accepted" => Ok(Event::SolverStepAccepted {
+            t,
+            h: get("h")?.as_f64("h")?,
+            err: get("err")?.as_f64("err")?,
+        }),
+        "solver_step_rejected" => Ok(Event::SolverStepRejected { t, h: get("h")?.as_f64("h")? }),
+        "switch_crossing_located" => Ok(Event::SwitchCrossingLocated {
+            t,
+            iterations: get("iterations")?.as_u32("iterations")?,
+        }),
+        "region_switch" => Ok(Event::RegionSwitch {
+            t,
+            from: get("from")?.as_u32("from")?,
+            to: get("to")?.as_u32("to")?,
+        }),
+        "queue_threshold_crossed" => Ok(Event::QueueThresholdCrossed {
+            t,
+            q: get("q")?.as_f64("q")?,
+            threshold: get("threshold")?.as_f64("threshold")?,
+            rising: get("rising")?.as_bool("rising")?,
+        }),
+        "queue_extremum" => Ok(Event::QueueExtremum {
+            t,
+            q: get("q")?.as_f64("q")?,
+            kind: match get("kind")?.as_str("kind")? {
+                "max" => ExtremumKind::Max,
+                "min" => ExtremumKind::Min,
+                other => return Err(JsonlError(format!("unknown extremum kind `{other}`"))),
+            },
+        }),
+        "bcn_message_emitted" => Ok(Event::BcnMessageEmitted {
+            t,
+            fb: get("fb")?.as_f64("fb")?,
+            source: get("source")?.as_u32("source")?,
+        }),
+        "qcn_message_emitted" => Ok(Event::QcnMessageEmitted {
+            t,
+            fb: get("fb")?.as_f64("fb")?,
+            source: get("source")?.as_u32("source")?,
+        }),
+        "pause_asserted" => Ok(Event::PauseAsserted { t, port: get("port")?.as_u32("port")? }),
+        "pause_deasserted" => Ok(Event::PauseDeasserted { t, port: get("port")?.as_u32("port")? }),
+        "frame_dropped" => Ok(Event::FrameDropped { t, port: get("port")?.as_u32("port")? }),
+        other => Err(JsonlError(format!("unknown event type `{other}`"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_variant_round_trips() {
+        let events = [
+            Event::SolverStepAccepted { t: 0.125, h: 1e-3, err: 0.42 },
+            Event::SolverStepRejected { t: 0.25, h: 0.5 },
+            Event::SwitchCrossingLocated { t: 1.0 / 3.0, iterations: 17 },
+            Event::RegionSwitch { t: 2.0, from: 0, to: 1 },
+            Event::QueueThresholdCrossed { t: 3.5, q: 1.2e6, threshold: 1e6, rising: true },
+            Event::QueueExtremum { t: 4.0, q: 0.0, kind: ExtremumKind::Min },
+            Event::QueueExtremum { t: 4.5, q: 2.5e6, kind: ExtremumKind::Max },
+            Event::BcnMessageEmitted { t: 5.0, fb: -123.75, source: 7 },
+            Event::QcnMessageEmitted { t: 6.0, fb: 64.0, source: 0 },
+            Event::PauseAsserted { t: 7.0, port: 2 },
+            Event::PauseDeasserted { t: 7.5, port: 2 },
+            Event::FrameDropped { t: 8.0, port: u32::MAX },
+        ];
+        for e in events {
+            let line = event_to_jsonl(&e);
+            let back = event_from_jsonl(&line).unwrap_or_else(|err| panic!("{line}: {err}"));
+            assert_eq!(back, e, "line: {line}");
+        }
+    }
+
+    #[test]
+    fn non_finite_floats_round_trip() {
+        let e = Event::SolverStepAccepted { t: 1.0, h: 0.1, err: f64::NAN };
+        let line = event_to_jsonl(&e);
+        match event_from_jsonl(&line).unwrap() {
+            Event::SolverStepAccepted { err, .. } => assert!(err.is_nan()),
+            other => panic!("wrong variant {other:?}"),
+        }
+        let e = Event::SolverStepAccepted { t: 1.0, h: f64::INFINITY, err: f64::NEG_INFINITY };
+        let line = event_to_jsonl(&e);
+        match event_from_jsonl(&line).unwrap() {
+            Event::SolverStepAccepted { h, err, .. } => {
+                assert_eq!(h, f64::INFINITY);
+                assert_eq!(err, f64::NEG_INFINITY);
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected() {
+        for bad in [
+            "",
+            "not json",
+            "{}",
+            r#"{"type":"region_switch"}"#,
+            r#"{"type":"no_such_event","t":1.0}"#,
+            r#"{"type":"frame_dropped","t":1.0,"port":-1}"#,
+            r#"{"type":"frame_dropped","t":1.0,"port":1.5}"#,
+        ] {
+            assert!(event_from_jsonl(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn floats_round_trip_exactly() {
+        // {:?} emits the shortest representation that parses back to the
+        // same bits; verify on awkward values.
+        for v in [0.1, 1.0 / 3.0, f64::MIN_POSITIVE, 1e308, 123_456_789.123_456_79] {
+            let e = Event::SolverStepRejected { t: v, h: v };
+            let back = event_from_jsonl(&event_to_jsonl(&e)).unwrap();
+            assert_eq!(back, e);
+        }
+    }
+}

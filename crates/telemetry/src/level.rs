@@ -1,0 +1,83 @@
+//! The telemetry verbosity ladder.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// How much instrumentation a run collects.
+///
+/// * [`Off`](TelemetryLevel::Off) — every hook is a single branch; no
+///   metric or event is recorded.
+/// * [`Summary`](TelemetryLevel::Summary) — counters, gauges, and
+///   histograms accumulate, but no per-event trace is kept.
+/// * [`Full`](TelemetryLevel::Full) — metrics plus the bounded
+///   ring-buffer event trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum TelemetryLevel {
+    /// No collection at all (the hot-path default).
+    #[default]
+    Off,
+    /// Aggregate metrics only.
+    Summary,
+    /// Aggregate metrics plus the typed event trace.
+    Full,
+}
+
+impl TelemetryLevel {
+    /// Whether any collection happens at this level.
+    #[must_use]
+    pub fn enabled(self) -> bool {
+        self != TelemetryLevel::Off
+    }
+
+    /// Whether per-event tracing happens at this level.
+    #[must_use]
+    pub fn traces(self) -> bool {
+        self == TelemetryLevel::Full
+    }
+}
+
+impl fmt::Display for TelemetryLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TelemetryLevel::Off => "off",
+            TelemetryLevel::Summary => "summary",
+            TelemetryLevel::Full => "full",
+        })
+    }
+}
+
+impl FromStr for TelemetryLevel {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "off" => Ok(TelemetryLevel::Off),
+            "summary" => Ok(TelemetryLevel::Summary),
+            "full" => Ok(TelemetryLevel::Full),
+            other => {
+                Err(format!("unknown telemetry level `{other}` (expected off, summary, or full)"))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_every_level() {
+        for level in [TelemetryLevel::Off, TelemetryLevel::Summary, TelemetryLevel::Full] {
+            assert_eq!(level.to_string().parse::<TelemetryLevel>().unwrap(), level);
+        }
+        assert!("verbose".parse::<TelemetryLevel>().is_err());
+    }
+
+    #[test]
+    fn ladder_predicates() {
+        assert!(!TelemetryLevel::Off.enabled());
+        assert!(TelemetryLevel::Summary.enabled());
+        assert!(!TelemetryLevel::Summary.traces());
+        assert!(TelemetryLevel::Full.traces());
+    }
+}

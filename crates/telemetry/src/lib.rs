@@ -1,0 +1,354 @@
+//! Zero-dependency observability layer for the DCE-BCN workspace.
+//!
+//! Three pieces, all allocation-light and cheap enough for solver and
+//! simulator hot loops:
+//!
+//! * a [`Registry`] of named counters, gauges, and log-linear
+//!   [`Histogram`]s (p50/p90/p99/max at ~4.4% relative resolution);
+//! * a bounded ring-buffer [`EventTrace`] of typed [`Event`]s with
+//!   monotonic sim-time stamps;
+//! * JSONL export ([`event_to_jsonl`]/[`event_from_jsonl`]) so traces
+//!   can be dumped, diffed, and parsed back losslessly.
+//!
+//! The [`Telemetry`] facade bundles them behind a [`TelemetryLevel`]:
+//! `Off` turns every hook into a single branch, `Summary` keeps only
+//! aggregates, `Full` also records the event trace. Instrumented code
+//! threads an `Option<&mut Telemetry>` so the disabled path stays a
+//! near-no-op:
+//!
+//! ```
+//! use telemetry::{Telemetry, TelemetryLevel};
+//!
+//! let mut tel = Telemetry::new(TelemetryLevel::Full);
+//! tel.step_accepted(0.1, 1e-3, 0.4);
+//! tel.region_switch(0.2, 0, 1);
+//! assert_eq!(tel.metrics.counter_by_name("hybrid.region_switches"), Some(1));
+//! assert_eq!(tel.trace.len(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod event;
+mod histogram;
+mod jsonl;
+mod level;
+mod logging;
+mod metrics;
+mod trace;
+
+pub use event::{Event, ExtremumKind};
+pub use histogram::Histogram;
+pub use jsonl::{event_from_jsonl, event_to_jsonl, JsonlError};
+pub use level::TelemetryLevel;
+pub use logging::{quiet, set_quiet};
+pub use metrics::{CounterId, Gauge, GaugeId, HistogramId, Registry};
+pub use trace::{EventTrace, DEFAULT_TRACE_CAPACITY};
+
+/// Pre-registered handles for the core instrumentation points, so hot
+/// loops never pay a name lookup.
+#[derive(Debug, Clone, PartialEq)]
+struct CoreIds {
+    steps_accepted: CounterId,
+    steps_rejected: CounterId,
+    events_located: CounterId,
+    region_switches: CounterId,
+    queue_threshold_crossings: CounterId,
+    queue_extrema: CounterId,
+    bcn_messages: CounterId,
+    qcn_messages: CounterId,
+    pause_events: CounterId,
+    frames_dropped: CounterId,
+    step_size: HistogramId,
+    step_error: HistogramId,
+    event_iters: HistogramId,
+    queue_occupancy: HistogramId,
+    fb_value: HistogramId,
+    queue_gauge: GaugeId,
+}
+
+/// The facade instrumented code records into.
+///
+/// Construct with a [`TelemetryLevel`]; pass as `Option<&mut Telemetry>`
+/// (use `None` or level `Off` to disable). The `metrics` registry and
+/// `trace` ring are public for custom metrics and post-run inspection.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Telemetry {
+    level: TelemetryLevel,
+    /// The metrics registry (public for custom metrics and summaries).
+    pub metrics: Registry,
+    /// The bounded event trace (populated only at level `Full`).
+    pub trace: EventTrace,
+    ids: CoreIds,
+}
+
+impl Telemetry {
+    /// Creates a telemetry sink at the given level with the default
+    /// trace capacity.
+    #[must_use]
+    pub fn new(level: TelemetryLevel) -> Self {
+        Self::with_trace_capacity(level, DEFAULT_TRACE_CAPACITY)
+    }
+
+    /// Creates a telemetry sink with an explicit trace capacity.
+    #[must_use]
+    pub fn with_trace_capacity(level: TelemetryLevel, capacity: usize) -> Self {
+        let mut metrics = Registry::new();
+        let ids = CoreIds {
+            steps_accepted: metrics.counter("solver.steps_accepted"),
+            steps_rejected: metrics.counter("solver.steps_rejected"),
+            events_located: metrics.counter("solver.events_located"),
+            region_switches: metrics.counter("hybrid.region_switches"),
+            queue_threshold_crossings: metrics.counter("queue.threshold_crossings"),
+            queue_extrema: metrics.counter("queue.extrema"),
+            bcn_messages: metrics.counter("sim.bcn_messages"),
+            qcn_messages: metrics.counter("sim.qcn_messages"),
+            pause_events: metrics.counter("sim.pause_events"),
+            frames_dropped: metrics.counter("sim.frames_dropped"),
+            step_size: metrics.histogram("solver.step_size_s"),
+            step_error: metrics.histogram("solver.step_error"),
+            event_iters: metrics.histogram("solver.event_location_iters"),
+            queue_occupancy: metrics.histogram("queue.occupancy_bits"),
+            fb_value: metrics.histogram("sim.fb_value"),
+            queue_gauge: metrics.gauge("queue.occupancy_bits"),
+        };
+        Self { level, metrics, trace: EventTrace::with_capacity(capacity), ids }
+    }
+
+    /// The configured collection level.
+    #[must_use]
+    pub fn level(&self) -> TelemetryLevel {
+        self.level
+    }
+
+    /// Whether any collection is enabled.
+    #[inline]
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.level.enabled()
+    }
+
+    #[inline]
+    fn push(&mut self, e: Event) {
+        if self.level.traces() {
+            self.trace.push(e);
+        }
+    }
+
+    /// Records an accepted solver step of size `h` ending at time `t`
+    /// with scaled error-norm estimate `err` (NaN for fixed-step
+    /// methods).
+    #[inline]
+    pub fn step_accepted(&mut self, t: f64, h: f64, err: f64) {
+        if !self.enabled() {
+            return;
+        }
+        self.metrics.inc(self.ids.steps_accepted, 1);
+        self.metrics.record(self.ids.step_size, h);
+        if err.is_finite() {
+            self.metrics.record(self.ids.step_error, err);
+        }
+        self.push(Event::SolverStepAccepted { t, h, err });
+    }
+
+    /// Records `n` rejected trial steps at time `t`, the last of size `h`.
+    #[inline]
+    pub fn steps_rejected(&mut self, t: f64, h: f64, n: u32) {
+        if !self.enabled() || n == 0 {
+            return;
+        }
+        self.metrics.inc(self.ids.steps_rejected, u64::from(n));
+        self.push(Event::SolverStepRejected { t, h });
+    }
+
+    /// Records a located switching-surface crossing at `t` after
+    /// `iterations` bisection iterations.
+    #[inline]
+    pub fn event_located(&mut self, t: f64, iterations: u32) {
+        if !self.enabled() {
+            return;
+        }
+        self.metrics.inc(self.ids.events_located, 1);
+        self.metrics.record(self.ids.event_iters, f64::from(iterations));
+        self.push(Event::SwitchCrossingLocated { t, iterations });
+    }
+
+    /// Records a hybrid-system region switch at `t`.
+    #[inline]
+    pub fn region_switch(&mut self, t: f64, from: u32, to: u32) {
+        if !self.enabled() {
+            return;
+        }
+        self.metrics.inc(self.ids.region_switches, 1);
+        self.push(Event::RegionSwitch { t, from, to });
+    }
+
+    /// Samples the queue occupancy `q` (bits) at time `t` into the
+    /// gauge and histogram.
+    #[inline]
+    pub fn queue_sample(&mut self, _t: f64, q: f64) {
+        if !self.enabled() {
+            return;
+        }
+        self.metrics.set_gauge(self.ids.queue_gauge, q);
+        self.metrics.record(self.ids.queue_occupancy, q);
+    }
+
+    /// Records the queue crossing `threshold` at time `t`.
+    #[inline]
+    pub fn queue_threshold(&mut self, t: f64, q: f64, threshold: f64, rising: bool) {
+        if !self.enabled() {
+            return;
+        }
+        self.metrics.inc(self.ids.queue_threshold_crossings, 1);
+        self.push(Event::QueueThresholdCrossed { t, q, threshold, rising });
+    }
+
+    /// Records a local queue extremum at time `t`.
+    #[inline]
+    pub fn queue_extremum(&mut self, t: f64, q: f64, kind: ExtremumKind) {
+        if !self.enabled() {
+            return;
+        }
+        self.metrics.inc(self.ids.queue_extrema, 1);
+        self.push(Event::QueueExtremum { t, q, kind });
+    }
+
+    /// Records a BCN feedback message with value `fb` sent to `source`.
+    #[inline]
+    pub fn bcn_message(&mut self, t: f64, fb: f64, source: u32) {
+        if !self.enabled() {
+            return;
+        }
+        self.metrics.inc(self.ids.bcn_messages, 1);
+        self.metrics.record(self.ids.fb_value, fb.abs());
+        self.push(Event::BcnMessageEmitted { t, fb, source });
+    }
+
+    /// Records a QCN feedback message with value `fb` sent to `source`.
+    #[inline]
+    pub fn qcn_message(&mut self, t: f64, fb: f64, source: u32) {
+        if !self.enabled() {
+            return;
+        }
+        self.metrics.inc(self.ids.qcn_messages, 1);
+        self.metrics.record(self.ids.fb_value, fb.abs());
+        self.push(Event::QcnMessageEmitted { t, fb, source });
+    }
+
+    /// Records a PAUSE taking effect at `port` from time `t` until
+    /// `until` (the deassert event is emitted eagerly, stamped `until`).
+    #[inline]
+    pub fn pause(&mut self, t: f64, until: f64, port: u32) {
+        if !self.enabled() {
+            return;
+        }
+        self.metrics.inc(self.ids.pause_events, 1);
+        self.push(Event::PauseAsserted { t, port });
+        self.push(Event::PauseDeasserted { t: until, port });
+    }
+
+    /// Records a frame dropped at `port` at time `t`.
+    #[inline]
+    pub fn frame_dropped(&mut self, t: f64, port: u32) {
+        if !self.enabled() {
+            return;
+        }
+        self.metrics.inc(self.ids.frames_dropped, 1);
+        self.push(Event::FrameDropped { t, port });
+    }
+
+    /// Serializes the event trace to JSONL, one event per line
+    /// (oldest first), with a trailing newline when non-empty.
+    #[must_use]
+    pub fn trace_to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for e in self.trace.iter() {
+            out.push_str(&event_to_jsonl(e));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl Default for Telemetry {
+    /// An `Off` sink: every hook short-circuits.
+    fn default() -> Self {
+        Self::new(TelemetryLevel::Off)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn off_level_records_nothing() {
+        let mut tel = Telemetry::new(TelemetryLevel::Off);
+        tel.step_accepted(0.1, 1e-3, 0.5);
+        tel.region_switch(0.2, 0, 1);
+        tel.frame_dropped(0.3, 1);
+        assert_eq!(tel.metrics.counter_by_name("solver.steps_accepted"), Some(0));
+        assert_eq!(tel.metrics.counter_by_name("hybrid.region_switches"), Some(0));
+        assert!(tel.trace.is_empty());
+    }
+
+    #[test]
+    fn summary_level_records_metrics_but_no_trace() {
+        let mut tel = Telemetry::new(TelemetryLevel::Summary);
+        tel.step_accepted(0.1, 1e-3, 0.5);
+        tel.steps_rejected(0.1, 5e-4, 2);
+        assert_eq!(tel.metrics.counter_by_name("solver.steps_accepted"), Some(1));
+        assert_eq!(tel.metrics.counter_by_name("solver.steps_rejected"), Some(2));
+        assert_eq!(tel.metrics.histogram_by_name("solver.step_size_s").unwrap().count(), 1);
+        assert!(tel.trace.is_empty());
+    }
+
+    #[test]
+    fn full_level_records_trace_in_order() {
+        let mut tel = Telemetry::new(TelemetryLevel::Full);
+        tel.step_accepted(0.1, 1e-3, 0.5);
+        tel.event_located(0.15, 12);
+        tel.region_switch(0.15, 1, 0);
+        tel.queue_extremum(0.2, 1e6, ExtremumKind::Max);
+        tel.pause(0.3, 0.4, 2);
+        let kinds: Vec<&str> = tel.trace.iter().map(Event::type_name).collect();
+        assert_eq!(
+            kinds,
+            [
+                "solver_step_accepted",
+                "switch_crossing_located",
+                "region_switch",
+                "queue_extremum",
+                "pause_asserted",
+                "pause_deasserted",
+            ]
+        );
+        let jsonl = tel.trace_to_jsonl();
+        assert_eq!(jsonl.lines().count(), 6);
+        for line in jsonl.lines() {
+            event_from_jsonl(line).unwrap();
+        }
+    }
+
+    #[test]
+    fn queue_sample_feeds_gauge_and_histogram() {
+        let mut tel = Telemetry::new(TelemetryLevel::Summary);
+        for q in [100.0, 300.0, 200.0] {
+            tel.queue_sample(0.0, q);
+        }
+        let g = tel.metrics.gauge_by_name("queue.occupancy_bits").unwrap();
+        assert_eq!(g.last, 200.0);
+        assert_eq!(g.min, 100.0);
+        assert_eq!(g.max, 300.0);
+        assert_eq!(tel.metrics.histogram_by_name("queue.occupancy_bits").unwrap().count(), 3);
+    }
+
+    #[test]
+    fn zero_rejections_are_not_counted() {
+        let mut tel = Telemetry::new(TelemetryLevel::Full);
+        tel.steps_rejected(0.1, 1e-3, 0);
+        assert_eq!(tel.metrics.counter_by_name("solver.steps_rejected"), Some(0));
+        assert!(tel.trace.is_empty());
+    }
+}

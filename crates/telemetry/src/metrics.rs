@@ -1,0 +1,215 @@
+//! Named metrics registry: counters, gauges, and histograms.
+//!
+//! Registration returns `Copy` integer handles so hot loops touch a
+//! `Vec` slot directly instead of hashing a name. Names are only used
+//! at registration time and when rendering summaries.
+
+use crate::histogram::Histogram;
+
+/// Handle to a registered counter.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CounterId(usize);
+
+/// Handle to a registered gauge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GaugeId(usize);
+
+/// Handle to a registered histogram.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HistogramId(usize);
+
+/// Last/min/max/sample-count summary of a gauge.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Gauge {
+    /// Most recently set value (NaN before the first set).
+    pub last: f64,
+    /// Smallest value ever set.
+    pub min: f64,
+    /// Largest value ever set.
+    pub max: f64,
+    /// Number of `set` calls.
+    pub samples: u64,
+}
+
+impl Gauge {
+    fn new() -> Self {
+        Self { last: f64::NAN, min: f64::INFINITY, max: f64::NEG_INFINITY, samples: 0 }
+    }
+}
+
+/// A registry of named counters, gauges, and histograms.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Registry {
+    counter_names: Vec<String>,
+    counters: Vec<u64>,
+    gauge_names: Vec<String>,
+    gauges: Vec<Gauge>,
+    histogram_names: Vec<String>,
+    histograms: Vec<Histogram>,
+}
+
+impl Registry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers (or looks up) a counter by name.
+    pub fn counter(&mut self, name: &str) -> CounterId {
+        if let Some(i) = self.counter_names.iter().position(|n| n == name) {
+            return CounterId(i);
+        }
+        self.counter_names.push(name.to_string());
+        self.counters.push(0);
+        CounterId(self.counters.len() - 1)
+    }
+
+    /// Registers (or looks up) a gauge by name.
+    pub fn gauge(&mut self, name: &str) -> GaugeId {
+        if let Some(i) = self.gauge_names.iter().position(|n| n == name) {
+            return GaugeId(i);
+        }
+        self.gauge_names.push(name.to_string());
+        self.gauges.push(Gauge::new());
+        GaugeId(self.gauges.len() - 1)
+    }
+
+    /// Registers (or looks up) a histogram by name.
+    pub fn histogram(&mut self, name: &str) -> HistogramId {
+        if let Some(i) = self.histogram_names.iter().position(|n| n == name) {
+            return HistogramId(i);
+        }
+        self.histogram_names.push(name.to_string());
+        self.histograms.push(Histogram::new());
+        HistogramId(self.histograms.len() - 1)
+    }
+
+    /// Increments a counter by `n`.
+    #[inline]
+    pub fn inc(&mut self, id: CounterId, n: u64) {
+        self.counters[id.0] += n;
+    }
+
+    /// Sets a gauge to `v`, updating its min/max envelope.
+    #[inline]
+    pub fn set_gauge(&mut self, id: GaugeId, v: f64) {
+        let g = &mut self.gauges[id.0];
+        g.last = v;
+        if v.is_finite() {
+            g.min = g.min.min(v);
+            g.max = g.max.max(v);
+        }
+        g.samples += 1;
+    }
+
+    /// Records a sample into a histogram.
+    #[inline]
+    pub fn record(&mut self, id: HistogramId, v: f64) {
+        self.histograms[id.0].record(v);
+    }
+
+    /// Current value of a counter.
+    #[must_use]
+    pub fn counter_value(&self, id: CounterId) -> u64 {
+        self.counters[id.0]
+    }
+
+    /// Current state of a gauge.
+    #[must_use]
+    pub fn gauge_value(&self, id: GaugeId) -> &Gauge {
+        &self.gauges[id.0]
+    }
+
+    /// Read access to a histogram.
+    #[must_use]
+    pub fn histogram_value(&self, id: HistogramId) -> &Histogram {
+        &self.histograms[id.0]
+    }
+
+    /// Looks up a counter's value by name (for tests and summaries).
+    #[must_use]
+    pub fn counter_by_name(&self, name: &str) -> Option<u64> {
+        let i = self.counter_names.iter().position(|n| n == name)?;
+        Some(self.counters[i])
+    }
+
+    /// Looks up a gauge by name.
+    #[must_use]
+    pub fn gauge_by_name(&self, name: &str) -> Option<&Gauge> {
+        let i = self.gauge_names.iter().position(|n| n == name)?;
+        Some(&self.gauges[i])
+    }
+
+    /// Looks up a histogram by name.
+    #[must_use]
+    pub fn histogram_by_name(&self, name: &str) -> Option<&Histogram> {
+        let i = self.histogram_names.iter().position(|n| n == name)?;
+        Some(&self.histograms[i])
+    }
+
+    /// Iterates `(name, value)` over all counters in registration order.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counter_names.iter().map(String::as_str).zip(self.counters.iter().copied())
+    }
+
+    /// Iterates `(name, gauge)` over all gauges in registration order.
+    pub fn gauges(&self) -> impl Iterator<Item = (&str, &Gauge)> {
+        self.gauge_names.iter().map(String::as_str).zip(self.gauges.iter())
+    }
+
+    /// Iterates `(name, histogram)` over all histograms in registration order.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histogram_names.iter().map(String::as_str).zip(self.histograms.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_dedups_by_name() {
+        let mut r = Registry::new();
+        let a = r.counter("x");
+        let b = r.counter("x");
+        assert_eq!(a, b);
+        r.inc(a, 2);
+        r.inc(b, 3);
+        assert_eq!(r.counter_by_name("x"), Some(5));
+    }
+
+    #[test]
+    fn gauge_tracks_envelope() {
+        let mut r = Registry::new();
+        let g = r.gauge("q");
+        r.set_gauge(g, 4.0);
+        r.set_gauge(g, -1.0);
+        r.set_gauge(g, 2.5);
+        let v = r.gauge_value(g);
+        assert_eq!(v.last, 2.5);
+        assert_eq!(v.min, -1.0);
+        assert_eq!(v.max, 4.0);
+        assert_eq!(v.samples, 3);
+    }
+
+    #[test]
+    fn histogram_roundtrip_through_registry() {
+        let mut r = Registry::new();
+        let h = r.histogram("h");
+        for v in [1.0, 2.0, 3.0] {
+            r.record(h, v);
+        }
+        assert_eq!(r.histogram_by_name("h").unwrap().count(), 3);
+        assert!(r.histogram_by_name("missing").is_none());
+    }
+
+    #[test]
+    fn iteration_preserves_registration_order() {
+        let mut r = Registry::new();
+        r.counter("first");
+        r.counter("second");
+        let names: Vec<&str> = r.counters().map(|(n, _)| n).collect();
+        assert_eq!(names, ["first", "second"]);
+    }
+}

@@ -1,0 +1,145 @@
+//! Bounded ring-buffer event trace.
+
+use crate::event::Event;
+
+/// Default trace capacity: enough for full fluid runs at paper scale
+/// while bounding memory for long packet simulations.
+pub const DEFAULT_TRACE_CAPACITY: usize = 65_536;
+
+/// A fixed-capacity ring buffer of [`Event`]s.
+///
+/// When full, pushing overwrites the oldest event and increments the
+/// [`overwritten`](EventTrace::overwritten) counter, so the trace always
+/// holds the most recent `capacity` events and callers can tell whether
+/// the window is complete.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EventTrace {
+    capacity: usize,
+    buf: Vec<Event>,
+    /// Index of the oldest event once the buffer has wrapped.
+    start: usize,
+    overwritten: u64,
+}
+
+impl Default for EventTrace {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_TRACE_CAPACITY)
+    }
+}
+
+impl EventTrace {
+    /// Creates a trace holding at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        Self { capacity, buf: Vec::new(), start: 0, overwritten: 0 }
+    }
+
+    /// Appends an event, overwriting the oldest when full.
+    #[inline]
+    pub fn push(&mut self, e: Event) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(e);
+        } else {
+            self.buf[self.start] = e;
+            self.start = (self.start + 1) % self.capacity;
+            self.overwritten += 1;
+        }
+    }
+
+    /// Number of events currently held (≤ capacity).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether no events are held.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Maximum number of events held.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// How many old events were discarded to make room for new ones.
+    #[must_use]
+    pub fn overwritten(&self) -> u64 {
+        self.overwritten
+    }
+
+    /// Iterates events from oldest to newest.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        let (tail, head) = self.buf.split_at(self.start);
+        head.iter().chain(tail.iter())
+    }
+}
+
+impl<'a> IntoIterator for &'a EventTrace {
+    type Item = &'a Event;
+    type IntoIter = std::iter::Chain<std::slice::Iter<'a, Event>, std::slice::Iter<'a, Event>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        let (tail, head) = self.buf.split_at(self.start);
+        head.iter().chain(tail.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn marker(t: f64) -> Event {
+        Event::FrameDropped { t, port: 0 }
+    }
+
+    fn times(trace: &EventTrace) -> Vec<f64> {
+        trace.iter().map(Event::time).collect()
+    }
+
+    #[test]
+    fn fills_up_to_capacity_without_loss() {
+        let mut tr = EventTrace::with_capacity(4);
+        for i in 0..4 {
+            tr.push(marker(i as f64));
+        }
+        assert_eq!(tr.len(), 4);
+        assert_eq!(tr.overwritten(), 0);
+        assert_eq!(times(&tr), [0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn overflow_keeps_newest_in_order() {
+        let mut tr = EventTrace::with_capacity(3);
+        for i in 0..7 {
+            tr.push(marker(i as f64));
+        }
+        assert_eq!(tr.len(), 3);
+        assert_eq!(tr.overwritten(), 4);
+        assert_eq!(times(&tr), [4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    fn wraparound_twice_still_ordered() {
+        let mut tr = EventTrace::with_capacity(2);
+        for i in 0..5 {
+            tr.push(marker(i as f64));
+            let ts = times(&tr);
+            assert!(ts.windows(2).all(|w| w[0] < w[1]), "unordered: {ts:?}");
+        }
+        assert_eq!(times(&tr), [3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_rejected() {
+        let _ = EventTrace::with_capacity(0);
+    }
+}

@@ -25,7 +25,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params = BcnParams::paper_defaults();
     let rtt = 2.0 * 0.5 * 250.0 * USEC; // 250 us of end-to-end headroom
     println!("scaling parallel writers on a 10 Gbit/s uplink:");
-    println!("{:>8} {:>16} {:>16} {:>12}", "writers", "required (Mbit)", "BDP rule (Mbit)", "exact need");
+    println!(
+        "{:>8} {:>16} {:>16} {:>12}",
+        "writers", "required (Mbit)", "BDP rule (Mbit)", "exact need"
+    );
     for (n, required) in required_vs_n(&params, &[25, 50, 100, 200, 400]) {
         let p = params.clone().with_n_flows(n);
         let exact = exact_verdict(&p, 30);

@@ -19,7 +19,12 @@ fn main() {
     // Fluid level: the saturating (physical) model from the same start.
     let fluid = SaturatingFluid::new(params.clone()).run_canonical(t_end);
 
-    println!("bottleneck: {} Gbit/s, {} flows, q0 = {} kbit", params.capacity / 1e9, params.n_flows, params.q0 / 1e3);
+    println!(
+        "bottleneck: {} Gbit/s, {} flows, q0 = {} kbit",
+        params.capacity / 1e9,
+        params.n_flows,
+        params.q0 / 1e3
+    );
     println!();
     println!("{:<28} {:>14} {:>14}", "metric", "packet DES", "fluid model");
     println!("{:<28} {:>14.3e} {:>14.3e}", "max queue (bits)", m.queue.max(), fluid.max_queue);
@@ -47,9 +52,5 @@ fn main() {
 }
 
 fn tail_min(ts: &[f64], qs: &[f64], t0: f64) -> f64 {
-    ts.iter()
-        .zip(qs)
-        .filter(|(t, _)| **t >= t0)
-        .map(|(_, q)| *q)
-        .fold(f64::INFINITY, f64::min)
+    ts.iter().zip(qs).filter(|(t, _)| **t >= t0).map(|(_, q)| *q).fold(f64::INFINITY, f64::min)
 }

@@ -13,7 +13,11 @@ fn main() {
     let n = 21;
 
     println!("gain-plane atlas ({}x{} cells), buffer = {:.0} bits", n, n, base.buffer);
-    println!("rows: Gd from {:.5} (bottom) x400; cols: Gi from {:.4} x400 (log-spaced)", base.gd * 0.05, base.gi * 0.05);
+    println!(
+        "rows: Gd from {:.5} (bottom) x400; cols: Gi from {:.4} x400 (log-spaced)",
+        base.gd * 0.05,
+        base.gi * 0.05
+    );
     println!();
     println!("legend:  # strongly stable (criterion proves it)");
     println!("         + strongly stable (exact trace only — criterion is conservative)");
@@ -74,6 +78,9 @@ fn main() {
         }
     }
     println!();
-    println!("of {} cells: {} strongly stable; criterion proves {}; Theorem 1 proves {}.", stats.0, stats.1, stats.2, stats.3);
+    println!(
+        "of {} cells: {} strongly stable; criterion proves {}; Theorem 1 proves {}.",
+        stats.0, stats.1, stats.2, stats.3
+    );
     println!("classical linear analysis approves all {} — blind to the buffer entirely.", stats.0);
 }

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# The offline CI gauntlet: formatting, lints, release build, full test
+# suite. Mirrors .github/workflows/ci.yml so it can run anywhere
+# without network access.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all -- --check
+
+echo "== cargo clippy (deny warnings) =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo build --release =="
+cargo build --workspace --release
+
+echo "== cargo test =="
+cargo test --workspace -q
+
+echo "CI OK"

@@ -10,9 +10,12 @@
 //! * [`dcesim`] — packet-level Data Center Ethernet simulator with BCN and
 //!   QCN protocol implementations.
 //! * [`plotkit`] — CSV/SVG/ASCII reporting used by the figure generators.
+//! * [`telemetry`] — metrics registry, event tracing, and JSONL export
+//!   shared by the solvers, the simulator, and the CLI.
 
 pub use bcn;
 pub use dcesim;
 pub use odesolve;
 pub use phaseplane;
 pub use plotkit;
+pub use telemetry;

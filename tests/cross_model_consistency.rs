@@ -53,7 +53,8 @@ fn leg_analysis_matches_hybrid_integration() {
     let legs = trace_legs(&params, params.initial_point(), 4);
     let t_total: f64 = legs.iter().filter_map(|l| l.duration).sum();
 
-    let opts = FluidOptions { t_end: t_total * 1.01, tol: 1e-11, max_switches: 20, record_dt: None };
+    let opts =
+        FluidOptions { t_end: t_total * 1.01, tol: 1e-11, max_switches: 20, record_dt: None };
     let run = fluid_trajectory(&sys, params.initial_point(), &opts).unwrap();
     let switch_times = run.switch_times();
     assert!(switch_times.len() >= 3, "switches: {switch_times:?}");
@@ -92,7 +93,8 @@ fn saturating_model_matches_exact_when_unsaturated() {
 fn packet_simulation_tracks_fluid_model() {
     let params = fluid_validation_params();
     let t_end = 0.4;
-    let cfg = SimConfig::from_fluid(&params, 8_000.0, dcesim::time::Duration::from_secs(2e-6), t_end);
+    let cfg =
+        SimConfig::from_fluid(&params, 8_000.0, dcesim::time::Duration::from_secs(2e-6), t_end);
     let report = Simulation::new(cfg).run();
     let fluid = SaturatingFluid::new(params.clone()).run_canonical(t_end);
 

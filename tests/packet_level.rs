@@ -48,10 +48,7 @@ fn departures_redistribute_capacity() {
     let report = Simulation::new(cfg).run();
     let survivors = &report.final_rates[n / 2..];
     let mean: f64 = survivors.iter().sum::<f64>() / survivors.len() as f64;
-    assert!(
-        mean > 1.3 * fair,
-        "survivors did not grow: mean {mean} vs fair {fair}"
-    );
+    assert!(mean > 1.3 * fair, "survivors did not grow: mean {mean} vs fair {fair}");
 }
 
 /// PAUSE is a last-resort guard: with BCN active and a sane q_sc it
@@ -138,13 +135,8 @@ fn queue_settles_near_reference() {
     let params = fluid_validation_params();
     let report = Simulation::new(bcn_cfg(0.6)).run();
     let q = &report.metrics.queue;
-    let tail: Vec<f64> = q
-        .times()
-        .iter()
-        .zip(q.values())
-        .filter(|(t, _)| **t > 0.3)
-        .map(|(_, v)| *v)
-        .collect();
+    let tail: Vec<f64> =
+        q.times().iter().zip(q.values()).filter(|(t, _)| **t > 0.3).map(|(_, v)| *v).collect();
     let mean = tail.iter().sum::<f64>() / tail.len() as f64;
     assert!(
         (0.5 * params.q0..2.0 * params.q0).contains(&mean),

@@ -15,15 +15,15 @@ use proptest::prelude::*;
 /// Strategy: a random valid parameter set around the test scale.
 fn params_strategy() -> impl Strategy<Value = BcnParams> {
     (
-        1u32..60,              // n_flows
-        1e5..1e8f64,           // capacity
-        0.05f64..0.45,         // q0 as a fraction of buffer
-        1e4..1e7f64,           // buffer
-        0.01f64..20.0,         // gi
-        1e-4f64..0.9,          // gd
-        1e2..1e6f64,           // ru
-        1e-3f64..50.0,         // w
-        0.005f64..1.0,         // pm
+        1u32..60,      // n_flows
+        1e5..1e8f64,   // capacity
+        0.05f64..0.45, // q0 as a fraction of buffer
+        1e4..1e7f64,   // buffer
+        0.01f64..20.0, // gi
+        1e-4f64..0.9,  // gd
+        1e2..1e6f64,   // ru
+        1e-3f64..50.0, // w
+        0.005f64..1.0, // pm
     )
         .prop_map(|(n, c, q0_frac, buffer, gi, gd, ru, w, pm)| BcnParams {
             n_flows: n,
