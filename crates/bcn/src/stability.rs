@@ -317,6 +317,20 @@ pub fn exact_verdict(params: &BcnParams, max_legs: usize) -> ExactVerdict {
     ExactVerdict { strongly_stable, max_x, min_x, legs: legs.len() }
 }
 
+/// [`exact_verdict`] over a whole frontier scan at once, fanned out
+/// across the configured `parkit` worker count.
+///
+/// Tracing a switched trajectory is the expensive cell of every atlas
+/// and buffer-frontier sweep; the scans are embarrassingly parallel, so
+/// batching them here lets every caller (criterion atlases, CLI sweeps)
+/// share one well-tested fan-out. Verdict `i` corresponds to
+/// `params_list[i]`; each verdict is a pure function of its parameters,
+/// so the output is identical to the serial loop at any thread count.
+#[must_use]
+pub fn exact_verdicts(params_list: &[BcnParams], max_legs: usize) -> Vec<ExactVerdict> {
+    parkit::par_map(params_list, |p| exact_verdict(p, max_legs))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -453,6 +467,23 @@ mod tests {
                 let ev = exact_verdict(&p, 30);
                 assert!(ev.strongly_stable, "{case}: exact says {ev:?}");
             }
+        }
+    }
+
+    #[test]
+    fn batched_verdicts_match_the_serial_loop() {
+        let base = BcnParams::test_defaults();
+        let scan: Vec<BcnParams> = (1..=6)
+            .map(|i| {
+                let mut p = base.clone();
+                p.gi = base.gi * 0.5 * f64::from(i);
+                p
+            })
+            .collect();
+        let batched = exact_verdicts(&scan, 30);
+        assert_eq!(batched.len(), scan.len());
+        for (p, got) in scan.iter().zip(&batched) {
+            assert_eq!(*got, exact_verdict(p, 30));
         }
     }
 

@@ -124,12 +124,12 @@ pub fn max_gi_for_overshoot(
 /// surface an operator tunes on.
 #[must_use]
 pub fn w_frontier(params: &BcnParams, ws: &[f64]) -> Vec<(f64, f64, Option<f64>)> {
-    ws.iter()
-        .map(|&w| {
-            let m = analyze(&params.clone().with_w(w));
-            (w, m.overshoot_ratio, m.settling_time)
-        })
-        .collect()
+    // Each frontier point re-analyzes an independent parameterisation;
+    // fan out across the configured worker count (input order kept).
+    parkit::par_map(ws, |&w| {
+        let m = analyze(&params.clone().with_w(w));
+        (w, m.overshoot_ratio, m.settling_time)
+    })
 }
 
 #[cfg(test)]

@@ -47,38 +47,66 @@ pub struct Cell {
     pub fluid_drops: bool,
 }
 
+/// The gain axis of the atlas: `n` log-spaced multipliers of `base`
+/// from 0.05x to 20x, hoisted out of the cell loop so the `powf` chain
+/// runs once per axis point instead of once per cell.
+fn gain_axis(base: f64, n: usize) -> Vec<f64> {
+    (0..n).map(|i| base * 0.05 * (400.0_f64).powf(i as f64 / (n - 1) as f64)).collect()
+}
+
 /// Computes the atlas on an `n x n` log-spaced gain grid.
+///
+/// Cells are classified in parallel across the configured `parkit`
+/// worker count, each worker reusing one scratch [`BcnParams`] instead
+/// of rebuilding the parameter struct per cell; every cell is a pure
+/// function of its grid index, so the atlas is identical (bitwise) at
+/// any thread count.
+///
+/// # Panics
+///
+/// Panics if `n < 2` — a one-point "grid" has no spacing
+/// (`(n - 1)` would divide to NaN gains) and a zero-point grid no
+/// cells; callers wanting a single point should evaluate `base`
+/// directly.
 #[must_use]
 pub fn compute_atlas(base: &BcnParams, n: usize) -> Vec<Cell> {
-    let mut cells = Vec::with_capacity(n * n);
-    for i in 0..n {
-        // Gi from 0.05x to 20x the base; Gd likewise.
-        let gi = base.gi * 0.05 * (400.0_f64).powf(i as f64 / (n - 1) as f64);
-        for j in 0..n {
-            let gd = (base.gd * 0.05 * (400.0_f64).powf(j as f64 / (n - 1) as f64)).min(1.0);
-            let p = base.clone().with_gi(gi).with_gd(gd);
-            let case_no = match classify_params(&p).case {
+    assert!(
+        n >= 2,
+        "atlas grid must be at least 2x2 (got n = {n}); evaluate the base point directly instead"
+    );
+    // Gi from 0.05x to 20x the base; Gd likewise (capped at 1).
+    let gis = gain_axis(base.gi, n);
+    let gds: Vec<f64> = gain_axis(base.gd, n).into_iter().map(|g| g.min(1.0)).collect();
+    parkit::par_map_init(
+        n * n,
+        || base.clone(),
+        |scratch, idx| {
+            let (i, j) = (idx / n, idx % n);
+            let (gi, gd) = (gis[i], gds[j]);
+            scratch.gi = gi;
+            scratch.gd = gd;
+            let p = &*scratch;
+            let case_no = match classify_params(p).case {
                 bcn::CaseId::Case1 => 1,
                 bcn::CaseId::Case2 => 2,
                 bcn::CaseId::Case3 => 3,
                 bcn::CaseId::Case4 => 4,
                 bcn::CaseId::Case5 => 5,
             };
-            let exact = exact_verdict(&p, 40);
-            let run = SaturatingFluid::linearized(p.clone()).run_canonical(fluid_horizon(&p));
-            cells.push(Cell {
+            let exact = exact_verdict(p, 40);
+            let run = SaturatingFluid::linearized(p.clone()).run_canonical(fluid_horizon(p));
+            Cell {
                 gi,
                 gd,
                 case_no,
-                baseline: linear_baseline::analyze(&p).overall_stable,
-                theorem1: theorem1_holds(&p),
-                case_criterion: criterion(&p).is_guaranteed(),
+                baseline: linear_baseline::analyze(p).overall_stable,
+                theorem1: theorem1_holds(p),
+                case_criterion: criterion(p).is_guaranteed(),
                 exact: exact.strongly_stable,
                 fluid_drops: run.has_drops(),
-            });
-        }
-    }
-    cells
+            }
+        },
+    )
 }
 
 fn fluid_horizon(p: &BcnParams) -> f64 {
@@ -188,6 +216,36 @@ mod tests {
         // The gap exists: some exact-stable cells and some unstable ones.
         assert!(cells.iter().any(|c| c.exact));
         assert!(cells.iter().any(|c| !c.exact), "grid too easy");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2x2")]
+    fn degenerate_one_point_grid_is_rejected() {
+        // Regression: n == 1 used to divide by (n - 1) and fill the
+        // atlas with NaN gains instead of failing loudly.
+        let base = BcnParams::test_defaults().with_buffer(1.5e5);
+        let _ = compute_atlas(&base, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 2x2")]
+    fn empty_grid_is_rejected() {
+        let base = BcnParams::test_defaults().with_buffer(1.5e5);
+        let _ = compute_atlas(&base, 0);
+    }
+
+    #[test]
+    fn atlas_is_identical_at_any_thread_count() {
+        let base = BcnParams::test_defaults().with_buffer(1.5e5);
+        // Pin the width through the public override; the assertion is
+        // exact equality, so any nondeterminism in placement or float
+        // paths fails loudly.
+        parkit::set_threads(1);
+        let serial = compute_atlas(&base, 4);
+        parkit::set_threads(4);
+        let parallel = compute_atlas(&base, 4);
+        parkit::set_threads(0);
+        assert_eq!(serial, parallel);
     }
 
     #[test]

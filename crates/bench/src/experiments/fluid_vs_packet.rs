@@ -37,8 +37,17 @@ pub fn run(out: &Path) -> ExpResult {
     let des_q = report.metrics.queue.values().to_vec();
 
     // Fluid runs (physical/saturating form so all three see the walls).
-    let lin = SaturatingFluid::linearized(params.clone()).run_canonical(t_end);
-    let non = SaturatingFluid::new(params.clone()).run_canonical(t_end);
+    // The linearised and nonlinear integrations are independent; run
+    // them concurrently (index 0 = linearised, 1 = nonlinear).
+    let mut fluid = parkit::par_map_indexed(2, |i| {
+        if i == 0 {
+            SaturatingFluid::linearized(params.clone()).run_canonical(t_end)
+        } else {
+            SaturatingFluid::new(params.clone()).run_canonical(t_end)
+        }
+    });
+    let non = fluid.pop().expect("two fluid runs");
+    let lin = fluid.pop().expect("two fluid runs");
 
     // Compare on the DES sampling grid.
     let sample = |ts: &[f64], qs: &[f64], t: f64| -> f64 {

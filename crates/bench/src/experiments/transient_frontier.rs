@@ -57,18 +57,21 @@ pub fn run(out: &Path) -> ExpResult {
     .with_series(Series::scatter("w sweep", &settle, &over, COLOR_CYCLE[0]));
     save_plot(&plot, out, "exp_transient_frontier.svg")?;
 
-    // Inverse design: maximum Gi for a set of overshoot budgets.
+    // Inverse design: maximum Gi for a set of overshoot budgets. Each
+    // budget runs its own bisection — independent, so fan them out.
+    let budgets = [0.5, 1.0, 2.0, 4.0];
+    let designs = parkit::par_map(&budgets, |&budget| {
+        max_gi_for_overshoot(&params, budget, 1e-3, 100.0)
+            .map(|gi| (gi, analyze(&params.clone().with_gi(gi)).settling_time))
+    });
     let mut table = Table::new(&["overshoot budget (x q0)", "max Gi", "settling at that Gi (s)"]);
-    for budget in [0.5, 1.0, 2.0, 4.0] {
-        match max_gi_for_overshoot(&params, budget, 1e-3, 100.0) {
-            Some(gi) => {
-                let mm = analyze(&params.clone().with_gi(gi));
-                table.row(&[
-                    format!("{budget}"),
-                    format!("{gi:.4}"),
-                    format!("{:.3}", mm.settling_time.unwrap_or(f64::NAN)),
-                ]);
-            }
+    for (budget, design) in budgets.iter().zip(&designs) {
+        match design {
+            Some((gi, settle)) => table.row(&[
+                format!("{budget}"),
+                format!("{gi:.4}"),
+                format!("{:.3}", settle.unwrap_or(f64::NAN)),
+            ]),
             None => table.row(&[format!("{budget}"), "unreachable".into(), "-".into()]),
         }
     }

@@ -48,29 +48,35 @@ pub fn run(out: &Path) -> ExpResult {
     ]);
     let mut csv = Csv::new(&["sweep", "value", "rho", "settling", "max1", "thm1_buffer"]);
 
+    // Both sweeps evaluate independent parameterisations; measure the
+    // points in parallel, then render the rows in sweep order.
+    let w_mults = [0.25, 0.5, 1.0, 2.0, 4.0, 8.0];
+    let w_points = parkit::par_map(&w_mults, |&mult| measure(&base.clone().with_w(mult * base.w)));
     let mut w_vals = Vec::new();
     let mut w_settle = Vec::new();
-    for mult in [0.25, 0.5, 1.0, 2.0, 4.0, 8.0] {
-        let p = base.clone().with_w(mult * base.w);
-        record(&mut table, &mut csv, "w", mult * base.w, &p);
-        if let Some(s) = settling_time(&p) {
+    for (mult, m) in w_mults.iter().zip(&w_points) {
+        record(&mut table, &mut csv, "w", mult * base.w, m);
+        if let Some(s) = m.settle {
             w_vals.push(mult * base.w);
             w_settle.push(s);
         }
         // The invariant the paper states: the Theorem-1 bound is w-free.
-        assert!((theorem1_required_buffer(&p) - req_base).abs() < 1e-9 * req_base);
+        assert!((m.req - req_base).abs() < 1e-9 * req_base);
     }
+    let pm_mults = [0.25, 0.5, 1.0, 2.0, 4.0];
+    let pm_points = parkit::par_map(&pm_mults, |&mult| {
+        measure(&base.clone().with_pm((mult * base.pm).min(1.0)))
+    });
     let mut pm_vals = Vec::new();
     let mut pm_settle = Vec::new();
-    for mult in [0.25, 0.5, 1.0, 2.0, 4.0] {
+    for (mult, m) in pm_mults.iter().zip(&pm_points) {
         let pm = (mult * base.pm).min(1.0);
-        let p = base.clone().with_pm(pm);
-        record(&mut table, &mut csv, "pm", pm, &p);
-        if let Some(s) = settling_time(&p) {
+        record(&mut table, &mut csv, "pm", pm, m);
+        if let Some(s) = m.settle {
             pm_vals.push(pm);
             pm_settle.push(s);
         }
-        assert!((theorem1_required_buffer(&p) - req_base).abs() < 1e-9 * req_base);
+        assert!((m.req - req_base).abs() < 1e-9 * req_base);
     }
     print!("{table}");
     println!("Theorem-1 requirement constant at {req_base:.3e} bits across both sweeps ✓");
@@ -87,21 +93,37 @@ pub fn run(out: &Path) -> ExpResult {
     Ok(())
 }
 
-fn record(table: &mut Table, csv: &mut Csv, sweep: &str, value: f64, p: &BcnParams) {
-    let rho = round_ratio(p).unwrap_or(f64::NAN);
-    let settle = settling_time(p).unwrap_or(f64::NAN);
-    let max1 = first_round(p).map_or(f64::NAN, |fr| fr.max1_x);
-    let req = theorem1_required_buffer(p);
+/// One sweep point's transient metrics, computed off-thread.
+struct Point {
+    rho: Option<f64>,
+    settle: Option<f64>,
+    max1: Option<f64>,
+    req: f64,
+}
+
+fn measure(p: &BcnParams) -> Point {
+    Point {
+        rho: round_ratio(p),
+        settle: settling_time(p),
+        max1: first_round(p).map(|fr| fr.max1_x),
+        req: theorem1_required_buffer(p),
+    }
+}
+
+fn record(table: &mut Table, csv: &mut Csv, sweep: &str, value: f64, m: &Point) {
+    let rho = m.rho.unwrap_or(f64::NAN);
+    let settle = m.settle.unwrap_or(f64::NAN);
+    let max1 = m.max1.unwrap_or(f64::NAN);
     table.row(&[
         sweep.to_string(),
         format!("{value:.4}"),
         format!("{rho:.6}"),
         format!("{settle:.4}"),
         format!("{max1:.1}"),
-        format!("{req:.4e}"),
+        format!("{:.4e}", m.req),
     ]);
     let sweep_id = if sweep == "w" { 0.0 } else { 1.0 };
-    csv.row(&[sweep_id, value, rho, settle, max1, req]);
+    csv.row(&[sweep_id, value, rho, settle, max1, m.req]);
 }
 
 /// Runs with the default output directory.

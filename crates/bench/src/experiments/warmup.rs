@@ -24,11 +24,14 @@ pub fn run(out: &Path) -> ExpResult {
     banner("Warm-up duration and the q0 trade-off");
     let params = BcnParams::test_defaults();
 
-    // 1. Formula vs simulation across initial rates.
+    // 1. Formula vs simulation across initial rates. Each fraction's
+    // saturating-fluid run is independent — fan them out and render the
+    // table from the ordered results.
     let mut table =
         Table::new(&["mu / fair share", "T0 formula (s)", "T0 simulated (s)", "error %"]);
     let mut csv = Csv::new(&["mu_fraction", "t0_formula", "t0_simulated"]);
-    for frac in [0.0, 0.25, 0.5, 0.75, 0.9] {
+    let fracs = [0.0, 0.25, 0.5, 0.75, 0.9];
+    let runs = parkit::par_map(&fracs, |&frac| {
         let mu = frac * params.fair_share();
         let t0 = warmup_duration(&params, mu)?;
         // Simulate: time for the aggregate rate to reach capacity.
@@ -40,6 +43,10 @@ pub fn run(out: &Path) -> ExpResult {
             .zip(&run.rate)
             .find(|(_, r)| **r >= params.capacity)
             .map_or(f64::NAN, |(t, _)| *t);
+        Ok::<_, bcn::BcnError>((frac, t0, t0_sim))
+    });
+    for r in runs {
+        let (frac, t0, t0_sim) = r?;
         table.row_f64(&[frac, t0, t0_sim, (t0_sim / t0 - 1.0).abs() * 100.0]);
         csv.row(&[frac, t0, t0_sim]);
     }
@@ -50,11 +57,14 @@ pub fn run(out: &Path) -> ExpResult {
     let mut q0s = Vec::new();
     let mut t0s = Vec::new();
     let mut reqs = Vec::new();
-    for mult in [0.25, 0.5, 1.0, 2.0, 3.0] {
+    let mults = [0.25, 0.5, 1.0, 2.0, 3.0];
+    let points = parkit::par_map(&mults, |&mult| {
         let q0 = mult * params.q0;
         let p = params.clone().with_q0(q0);
-        let t0 = warmup_duration(&p, 0.0)?;
-        let req = theorem1_required_buffer(&p);
+        Ok::<_, bcn::BcnError>((q0, warmup_duration(&p, 0.0)?, theorem1_required_buffer(&p)))
+    });
+    for point in points {
+        let (q0, t0, req) = point?;
         trade.row_f64(&[q0, t0, req]);
         q0s.push(q0);
         t0s.push(t0);

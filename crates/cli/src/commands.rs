@@ -6,10 +6,12 @@ use std::fmt::Write as _;
 use bcn::cases::classify_params;
 use bcn::simulate::{fluid_trajectory_telemetry, FluidOptions};
 use bcn::stability::{
-    criterion, exact_verdict, theorem1_holds, theorem1_required_buffer, StabilityVerdict,
+    criterion, exact_verdict, exact_verdicts, theorem1_holds, theorem1_required_buffer,
+    StabilityVerdict,
 };
 use bcn::transient;
-use bcn::{linear_baseline, BcnFluid};
+use bcn::{linear_baseline, BcnFluid, BcnParams};
+use dcesim::batch::{run_batch, BatchConfig};
 use dcesim::sim::{SimConfig, Simulation};
 use dcesim::time::Duration;
 use plotkit::{Csv, Table};
@@ -21,8 +23,11 @@ use crate::CliError;
 fn with_param_flags(extra: &[&str]) -> Vec<&'static str> {
     // Leaking tiny strings is fine for a CLI's static flag tables.
     let mut v: Vec<&'static str> = PARAM_FLAGS.to_vec();
-    // `--telemetry` is global: every subcommand accepts it.
+    // `--telemetry` and `--threads` are global: every subcommand
+    // accepts them (`--threads` is applied process-wide in `run`
+    // before the command dispatch; each command still validates it).
     v.push("telemetry");
+    v.push("threads");
     for e in extra {
         v.push(Box::leak(e.to_string().into_boxed_str()));
     }
@@ -232,24 +237,32 @@ pub fn atlas(args: &[String]) -> Result<String, CliError> {
     let mut csv = Csv::new(&["gi", "gd", "criterion", "theorem1", "exact"]);
     let mut granted = 0usize;
     let mut exact_ok = 0usize;
-    for i in 0..grid {
-        let gi = base.gi * 0.05 * 400.0_f64.powf(i as f64 / (grid - 1) as f64);
-        for j in 0..grid {
+    // The grid parameterisations, in row-major output order; the exact
+    // switched-trajectory verdict (the expensive cell) fans out across
+    // the configured worker count, the cheap closed-form criteria stay
+    // inline.
+    let points: Vec<BcnParams> = (0..grid * grid)
+        .map(|idx| {
+            let (i, j) = (idx / grid, idx % grid);
+            let gi = base.gi * 0.05 * 400.0_f64.powf(i as f64 / (grid - 1) as f64);
             let gd = (base.gd * 0.05 * 400.0_f64.powf(j as f64 / (grid - 1) as f64)).min(1.0);
-            let p = base.clone().with_gi(gi).with_gd(gd);
-            let c = criterion(&p).is_guaranteed();
-            let t = theorem1_holds(&p);
-            let e = exact_verdict(&p, 40).strongly_stable;
-            granted += usize::from(c);
-            exact_ok += usize::from(e);
-            csv.row(&[
-                gi,
-                gd,
-                f64::from(u8::from(c)),
-                f64::from(u8::from(t)),
-                f64::from(u8::from(e)),
-            ]);
-        }
+            base.clone().with_gi(gi).with_gd(gd)
+        })
+        .collect();
+    let verdicts = exact_verdicts(&points, 40);
+    for (p, v) in points.iter().zip(&verdicts) {
+        let c = criterion(p).is_guaranteed();
+        let t = theorem1_holds(p);
+        let e = v.strongly_stable;
+        granted += usize::from(c);
+        exact_ok += usize::from(e);
+        csv.row(&[
+            p.gi,
+            p.gd,
+            f64::from(u8::from(c)),
+            f64::from(u8::from(t)),
+            f64::from(u8::from(e)),
+        ]);
     }
     let mut out = String::new();
     let total = grid * grid;
@@ -301,6 +314,101 @@ pub fn packet(args: &[String]) -> Result<String, CliError> {
         if tel.enabled() {
             out.push_str(&render_summary(tel));
         }
+    }
+    Ok(out)
+}
+
+/// `dcebcn batch`: multi-seed packet-level batch — the base scenario
+/// with per-seed deterministic workload jitter, run in parallel across
+/// the configured worker count, with the per-seed telemetry shards
+/// merged into one aggregate.
+///
+/// # Errors
+///
+/// Propagates flag, validation, and I/O failures.
+pub fn batch(args: &[String]) -> Result<String, CliError> {
+    let flags = Flags::parse(args)?;
+    flags.ensure_known(&with_param_flags(&[
+        "t-end",
+        "frame-bits",
+        "seeds",
+        "start-jitter",
+        "rate-jitter",
+        "out",
+    ]))?;
+    let p = params_from(&flags)?;
+    let t_end = flags.get_f64("t-end")?.unwrap_or(0.05);
+    let frame_bits = flags.get_f64("frame-bits")?.unwrap_or(8_000.0);
+    if t_end <= 0.0 || frame_bits <= 0.0 {
+        return Err(CliError::Usage("--t-end and --frame-bits must be positive".into()));
+    }
+    let n_seeds = flags.get_usize("seeds")?.unwrap_or(8);
+    if n_seeds == 0 {
+        return Err(CliError::Usage("--seeds must be at least 1".into()));
+    }
+    let level = telemetry_level(&flags, TelemetryLevel::Off)?;
+    let base = SimConfig::from_fluid(&p, frame_bits, Duration::from_secs(2e-6), t_end);
+    let mut cfg = BatchConfig::quick(base, n_seeds as u64);
+    cfg.level = level;
+    if let Some(v) = flags.get_f64("start-jitter")? {
+        cfg.start_jitter_secs = v;
+    }
+    if let Some(v) = flags.get_f64("rate-jitter")? {
+        cfg.rate_jitter_frac = v;
+    }
+    let report = run_batch(&cfg);
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "batch: {n_seeds} seeds x {t_end} s, start jitter {:.4e} s, rate jitter {:.1}%",
+        cfg.start_jitter_secs,
+        cfg.rate_jitter_frac * 100.0
+    );
+    let mut table = Table::new(&[
+        "seed",
+        "delivered",
+        "dropped",
+        "utilisation",
+        "fairness",
+        "max queue (bits)",
+    ]);
+    let mut csv =
+        Csv::new(&["seed", "delivered", "dropped", "utilisation", "fairness", "max_queue_bits"]);
+    let mut utils = Vec::new();
+    for (seed, r) in report.seeds.iter().zip(&report.reports) {
+        let m = &r.metrics;
+        let util = m.utilization(p.capacity, t_end);
+        utils.push(util);
+        table.row(&[
+            seed.to_string(),
+            m.delivered_frames.to_string(),
+            m.dropped_frames.to_string(),
+            format!("{util:.4}"),
+            format!("{:.4}", m.fairness()),
+            format!("{:.4e}", m.queue.max()),
+        ]);
+        #[allow(clippy::cast_precision_loss)]
+        csv.row(&[
+            *seed as f64,
+            m.delivered_frames as f64,
+            m.dropped_frames as f64,
+            util,
+            m.fairness(),
+            m.queue.max(),
+        ]);
+    }
+    let _ = write!(out, "{table}");
+    let (lo, hi) = utils
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &u| (lo.min(u), hi.max(u)));
+    let _ = writeln!(out, "utilisation spread across seeds: [{lo:.4}, {hi:.4}]");
+    if let Some(path) = flags.get("out") {
+        csv.save(path)?;
+        let _ = writeln!(out, "wrote {path}");
+    }
+    if let Some(tel) = &report.telemetry {
+        out.push_str(&render_summary(tel));
     }
     Ok(out)
 }
@@ -445,6 +553,31 @@ mod tests {
         .unwrap();
         assert!(out.contains("delivered frames"), "{out}");
         assert!(out.contains("queueing delay"), "{out}");
+    }
+
+    #[test]
+    fn batch_reports_every_seed_and_writes_csv() {
+        let path = std::env::temp_dir().join("dcebcn_batch_test.csv");
+        let _ = std::fs::remove_file(&path);
+        let out = batch(&argv(&format!(
+            "--n 5 --capacity 1e9 --q0 1e6 --buffer 8e6 --qsc 7.2e6 --ru 1e4 --gi 1.2 \
+             --gd 0.00006103515625 --pm 0.2 --w 3e5 --t-end 0.02 --seeds 3 \
+             --telemetry summary --out {}",
+            path.display()
+        )))
+        .unwrap();
+        assert!(out.contains("batch: 3 seeds"), "{out}");
+        assert!(out.contains("utilisation spread"), "{out}");
+        assert!(out.contains("telemetry summary"), "{out}");
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.starts_with("seed,delivered,dropped"));
+        assert_eq!(body.lines().count(), 4, "{body}");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn batch_rejects_zero_seeds() {
+        assert!(batch(&argv("--seeds 0")).is_err());
     }
 
     #[test]

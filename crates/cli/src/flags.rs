@@ -119,6 +119,20 @@ pub fn telemetry_level(flags: &Flags, default: TelemetryLevel) -> Result<Telemet
     }
 }
 
+/// Resolves the global `--threads <n>` flag: the requested parallel
+/// worker count, or `None` to keep the `DCE_BCN_THREADS` /
+/// auto-detected default.
+///
+/// # Errors
+///
+/// Rejects zero and non-integers (a sweep needs at least one worker).
+pub fn thread_count(flags: &Flags) -> Result<Option<usize>, CliError> {
+    match flags.get_usize("threads")? {
+        Some(0) => Err(CliError::Usage("--threads must be at least 1".into())),
+        other => Ok(other),
+    }
+}
+
 /// Builds a [`BcnParams`] from the paper defaults overridden by flags.
 ///
 /// # Errors
@@ -214,6 +228,18 @@ mod tests {
         assert_eq!(telemetry_level(&f, TelemetryLevel::Full).unwrap(), TelemetryLevel::Full);
         let f = Flags::parse(&argv("--telemetry verbose")).unwrap();
         assert!(telemetry_level(&f, TelemetryLevel::Off).is_err());
+    }
+
+    #[test]
+    fn thread_count_parses_and_rejects_zero() {
+        let f = Flags::parse(&argv("--threads 4")).unwrap();
+        assert_eq!(thread_count(&f).unwrap(), Some(4));
+        let f = Flags::parse(&argv("")).unwrap();
+        assert_eq!(thread_count(&f).unwrap(), None);
+        let f = Flags::parse(&argv("--threads 0")).unwrap();
+        assert!(thread_count(&f).is_err());
+        let f = Flags::parse(&argv("--threads many")).unwrap();
+        assert!(thread_count(&f).is_err());
     }
 
     #[test]

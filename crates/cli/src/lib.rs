@@ -68,6 +68,21 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
             telemetry::set_quiet(!level.enabled());
         }
     }
+    // The global `--threads` flag sets the parallel worker count for
+    // every sweep the command runs (atlas cells, batch seeds, frontier
+    // scans). Applied process-wide up front, mirroring `--telemetry`,
+    // and validated here so a bad value fails before any work starts.
+    if let Some(i) = args.iter().position(|a| a == "--threads") {
+        match args.get(i + 1).and_then(|v| parkit::parse_threads(v)) {
+            Some(n) => parkit::set_threads(n),
+            None => {
+                return Err(CliError::Usage(format!(
+                    "--threads expects a positive integer, got `{}`",
+                    args.get(i + 1).map_or("", |v| v.as_str())
+                )));
+            }
+        }
+    }
     let Some((command, rest)) = args.split_first() else {
         return Ok(usage());
     };
@@ -77,6 +92,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "simulate" => commands::simulate(rest),
         "atlas" => commands::atlas(rest),
         "packet" => commands::packet(rest),
+        "batch" => commands::batch(rest),
         "trace" => commands::trace(rest),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(CliError::Usage(format!("unknown command `{other}`; run `dcebcn help`"))),
@@ -94,17 +110,22 @@ pub fn usage() -> String {
      \x20 simulate  integrate the switched fluid model, write a CSV trace\n\
      \x20 atlas     criterion atlas over the (Gi, Gd) gain plane, as CSV\n\
      \x20 packet    run the packet-level simulator and summarise\n\
+     \x20 batch     multi-seed packet-level batch with jittered workloads\n\
      \x20 trace     instrumented run: telemetry summary + JSONL event trace\n\
      \n\
      common flags (defaults = the paper's worked example):\n\
      \x20 --n <flows> --capacity <bit/s> --q0 <bits> --buffer <bits>\n\
      \x20 --gi <gain> --gd <gain> --ru <bit/s> --w <weight> --pm <prob>\n\
      \x20 --telemetry <off|summary|full>   (accepted by every command)\n\
+     \x20 --threads <n>                    (parallel sweep workers; default\n\
+     \x20                                   DCE_BCN_THREADS or all cores)\n\
      \n\
      command flags:\n\
      \x20 simulate: --t-end <s> --out <path.csv> [--nonlinear]\n\
      \x20 atlas:    --grid <n> --out <path.csv>\n\
      \x20 packet:   --t-end <s> --frame-bits <bits>\n\
+     \x20 batch:    --seeds <n> --t-end <s> --start-jitter <s> --rate-jitter <frac>\n\
+     \x20           --frame-bits <bits> --out <path.csv>\n\
      \x20 trace:    <thm1|limit-cycle|packet> --t-end <s> --out <path.jsonl>\n"
         .to_string()
 }
@@ -128,6 +149,15 @@ mod tests {
         let err = run(&argv("frobnicate")).unwrap_err();
         assert!(matches!(err, CliError::Usage(_)));
         assert!(err.to_string().contains("frobnicate"));
+    }
+
+    #[test]
+    fn bad_threads_value_is_a_usage_error() {
+        for bad in ["analyze --threads 0", "analyze --threads many", "analyze --threads"] {
+            let err = run(&argv(bad)).unwrap_err();
+            assert!(matches!(err, CliError::Usage(_)), "{bad}");
+            assert!(err.to_string().contains("--threads"), "{bad}: {err}");
+        }
     }
 
     #[test]

@@ -1,0 +1,200 @@
+//! Batched multi-seed simulation runs.
+//!
+//! The simulator itself is fully deterministic — same [`SimConfig`],
+//! same trajectory. Sensitivity studies instead perturb the *workload*:
+//! each seed deterministically jitters every flow's start time and
+//! initial rate (a splitmix64 hash of `(seed, flow, field)`), so a batch
+//! explores a reproducible neighbourhood of the base scenario. Seeds run
+//! in parallel across the configured worker count (see the `parkit`
+//! crate); each run carries its own [`Telemetry`] shard and the shards
+//! are merged in seed order afterwards, so the aggregate telemetry is
+//! identical at any thread count.
+
+use telemetry::{Telemetry, TelemetryLevel};
+
+use crate::sim::{SimConfig, SimReport, Simulation};
+use crate::time::Time;
+
+/// A multi-seed batch around a base scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchConfig {
+    /// The unperturbed scenario.
+    pub base: SimConfig,
+    /// One simulation per seed. Seed values are free-form; equal seeds
+    /// produce equal runs.
+    pub seeds: Vec<u64>,
+    /// Telemetry level for every run (`Off` skips the sinks entirely).
+    pub level: TelemetryLevel,
+    /// Maximum start-time jitter in seconds: each flow's start moves
+    /// forward by `u * start_jitter_secs` with `u` uniform in `[0, 1)`.
+    pub start_jitter_secs: f64,
+    /// Relative initial-rate jitter: each flow's rate is scaled by
+    /// `1 + (2u - 1) * rate_jitter_frac`.
+    pub rate_jitter_frac: f64,
+}
+
+impl BatchConfig {
+    /// A batch over `n_seeds` consecutive seeds with mild jitter (5% of
+    /// the simulated horizon in start time, 10% in initial rate).
+    #[must_use]
+    pub fn quick(base: SimConfig, n_seeds: u64) -> Self {
+        let horizon = base.t_end.as_secs();
+        Self {
+            base,
+            seeds: (0..n_seeds).collect(),
+            level: TelemetryLevel::Off,
+            start_jitter_secs: 0.05 * horizon,
+            rate_jitter_frac: 0.1,
+        }
+    }
+}
+
+/// The result of one batch: per-seed reports in seed order plus the
+/// merged telemetry aggregate.
+#[derive(Debug)]
+pub struct BatchReport {
+    /// The seeds, in the order the reports are stored.
+    pub seeds: Vec<u64>,
+    /// One report per seed, input order preserved.
+    pub reports: Vec<SimReport>,
+    /// All per-seed telemetry shards merged in seed order (counters
+    /// added, histograms combined bucket-wise, traces interleaved by
+    /// sim time); `None` when the level disables collection.
+    pub telemetry: Option<Telemetry>,
+}
+
+/// splitmix64 — the standard 64-bit finalizer; good avalanche, no state.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A deterministic uniform sample in `[0, 1)` keyed by `(seed, flow,
+/// field)`.
+fn unit(seed: u64, flow: u64, field: u64) -> f64 {
+    let h = splitmix64(seed ^ splitmix64(flow ^ splitmix64(field)));
+    // 53 high bits -> the full f64 mantissa range.
+    (h >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// The base scenario perturbed for one seed: every flow's start time and
+/// initial rate jittered deterministically. Seed-stable: the same
+/// `(cfg, seed)` pair always yields the same configuration.
+#[must_use]
+pub fn seeded_config(cfg: &BatchConfig, seed: u64) -> SimConfig {
+    let mut out = cfg.base.clone();
+    for (i, flow) in out.flows.iter_mut().enumerate() {
+        let i = i as u64;
+        let ds = unit(seed, i, 0) * cfg.start_jitter_secs;
+        let dr = 1.0 + (2.0 * unit(seed, i, 1) - 1.0) * cfg.rate_jitter_frac;
+        flow.start = Time::from_secs(flow.start.as_secs() + ds);
+        flow.initial_rate *= dr;
+    }
+    out
+}
+
+/// Runs every seed of the batch, in parallel across the configured
+/// worker count, and merges the telemetry shards in seed order.
+///
+/// Determinism: each seed's trajectory depends only on its
+/// [`seeded_config`], and results land at their seed's index, so the
+/// batch output — including the merged telemetry — is identical at any
+/// thread count (`DCE_BCN_THREADS=1` included).
+#[must_use]
+pub fn run_batch(cfg: &BatchConfig) -> BatchReport {
+    let reports = parkit::par_map(&cfg.seeds, |&seed| {
+        let sim_cfg = seeded_config(cfg, seed);
+        if cfg.level.enabled() {
+            Simulation::with_telemetry(sim_cfg, Telemetry::new(cfg.level)).run()
+        } else {
+            Simulation::new(sim_cfg).run()
+        }
+    });
+    let telemetry = cfg.level.enabled().then(|| {
+        let mut agg = Telemetry::new(cfg.level);
+        for report in &reports {
+            if let Some(shard) = &report.telemetry {
+                agg.merge(shard);
+            }
+        }
+        agg
+    });
+    BatchReport { seeds: cfg.seeds.clone(), reports, telemetry }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn batch(n: u64) -> BatchConfig {
+        let mut base = SimConfig::fluid_validation_default();
+        base.t_end = Time::from_secs(0.02);
+        BatchConfig { level: TelemetryLevel::Full, ..BatchConfig::quick(base, n) }
+    }
+
+    #[test]
+    fn seeded_configs_are_deterministic_and_distinct() {
+        let cfg = batch(2);
+        let a = seeded_config(&cfg, 7);
+        let b = seeded_config(&cfg, 7);
+        assert_eq!(a, b, "same seed must reproduce the same scenario");
+        let c = seeded_config(&cfg, 8);
+        assert_ne!(a.flows, c.flows, "different seeds must differ");
+        for (orig, jit) in cfg.base.flows.iter().zip(&a.flows) {
+            assert!(jit.start >= orig.start);
+            assert!(jit.start.as_secs() <= orig.start.as_secs() + cfg.start_jitter_secs);
+            let ratio = jit.initial_rate / orig.initial_rate;
+            assert!((ratio - 1.0).abs() <= cfg.rate_jitter_frac + 1e-12);
+        }
+    }
+
+    #[test]
+    fn zero_jitter_reproduces_the_base_scenario() {
+        let mut cfg = batch(1);
+        cfg.start_jitter_secs = 0.0;
+        cfg.rate_jitter_frac = 0.0;
+        assert_eq!(seeded_config(&cfg, 123), cfg.base);
+    }
+
+    #[test]
+    fn batch_results_are_identical_at_any_thread_count() {
+        let cfg = batch(4);
+        parkit::set_threads(1);
+        let serial = run_batch(&cfg);
+        parkit::set_threads(4);
+        let parallel = run_batch(&cfg);
+        parkit::set_threads(0);
+        assert_eq!(serial.reports.len(), 4);
+        for (s, p) in serial.reports.iter().zip(&parallel.reports) {
+            assert_eq!(s.metrics.delivered_frames, p.metrics.delivered_frames);
+            assert_eq!(s.final_rates, p.final_rates);
+            assert_eq!(s.metrics.queue.values(), p.metrics.queue.values());
+        }
+        let (st, pt) = (serial.telemetry.unwrap(), parallel.telemetry.unwrap());
+        assert_eq!(st.metrics.counters().count(), pt.metrics.counters().count());
+        for ((an, av), (bn, bv)) in st.metrics.counters().zip(pt.metrics.counters()) {
+            assert_eq!((an, av), (bn, bv));
+        }
+        assert_eq!(st.trace.len(), pt.trace.len());
+    }
+
+    #[test]
+    fn merged_trace_is_ordered_by_sim_time() {
+        let report = run_batch(&batch(3));
+        let tel = report.telemetry.expect("telemetry requested");
+        let times: Vec<f64> = tel.trace.iter().map(telemetry::Event::time).collect();
+        assert!(!times.is_empty(), "batch runs should emit events");
+        assert!(times.windows(2).all(|w| w[0] <= w[1]), "trace not time-sorted");
+    }
+
+    #[test]
+    fn telemetry_off_skips_the_aggregate() {
+        let mut cfg = batch(2);
+        cfg.level = TelemetryLevel::Off;
+        let report = run_batch(&cfg);
+        assert!(report.telemetry.is_none());
+        assert!(report.reports.iter().all(|r| r.telemetry.is_none()));
+    }
+}

@@ -27,6 +27,9 @@
 //! * [`workload`] — flow descriptors: start/stop times, initial rates.
 //! * [`wire`] — the BCN message wire format of the paper's Fig. 2
 //!   (encode/decode, FB fixed-point quantization).
+//! * [`batch`] — multi-seed batches: deterministic workload jitter per
+//!   seed, runs fanned out across the `parkit` worker pool, telemetry
+//!   shards merged in seed order.
 //!
 //! # Quickstart
 //!
@@ -43,6 +46,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod cp;
 pub mod frame;
 pub mod metrics;

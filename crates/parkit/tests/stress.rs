@@ -1,0 +1,83 @@
+//! Loom-free stress tests: spawn/steal under contention, skewed work
+//! distributions, panic propagation. These run threads for real (no
+//! model checker), leaning on repetition and skew to shake out ordering
+//! bugs in the chunk queues.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// A deliberately skewed workload: cost grows with the index, so the
+/// worker dealt the tail range finishes last and everyone else must
+/// steal to stay busy.
+fn skewed_work(i: usize) -> u64 {
+    let mut acc = i as u64;
+    for k in 0..((i % 97) * 50) as u64 {
+        acc = acc.wrapping_mul(6_364_136_223_846_793_005).wrapping_add(k);
+    }
+    acc
+}
+
+#[test]
+fn skewed_load_matches_serial_under_contention() {
+    let serial: Vec<u64> = (0..4_000).map(skewed_work).collect();
+    for threads in [2, 4, 8, 16] {
+        let par = parkit::par_map_indexed_in(threads, 4_000, skewed_work);
+        assert_eq!(par, serial, "threads={threads}");
+    }
+}
+
+#[test]
+fn repeated_small_maps_survive_spawn_churn() {
+    // Many short-lived scopes in a row: exercises worker spawn/join and
+    // queue re-dealing rather than steady-state throughput.
+    for round in 0..200 {
+        let len = round % 17;
+        let out = parkit::par_map_indexed_in(4, len, |i| i + round);
+        assert_eq!(out, (0..len).map(|i| i + round).collect::<Vec<_>>());
+    }
+}
+
+#[test]
+fn every_index_computed_exactly_once() {
+    let hits: Vec<AtomicUsize> = (0..2_048).map(|_| AtomicUsize::new(0)).collect();
+    let out = parkit::par_map_indexed_in(8, 2_048, |i| {
+        hits[i].fetch_add(1, Ordering::Relaxed);
+        i
+    });
+    assert_eq!(out.len(), 2_048);
+    for (i, h) in hits.iter().enumerate() {
+        assert_eq!(h.load(Ordering::Relaxed), 1, "index {i} computed a wrong number of times");
+    }
+}
+
+#[test]
+fn panic_in_worker_propagates_to_caller() {
+    let result = std::panic::catch_unwind(|| {
+        parkit::par_map_indexed_in(4, 500, |i| {
+            assert!(i != 257, "intentional failure at index 257");
+            i
+        })
+    });
+    assert!(result.is_err(), "worker panic must reach the caller");
+}
+
+#[test]
+fn panic_in_scratch_init_propagates() {
+    let result = std::panic::catch_unwind(|| {
+        parkit::par_map_init_in(4, 100, || panic!("intentional init failure"), |(), i: usize| i)
+    });
+    assert!(result.is_err(), "init panic must reach the caller");
+}
+
+#[test]
+fn serial_path_spawns_no_threads() {
+    // At width one the map runs inline: thread-local state set in the
+    // closure must be visible to the caller afterwards.
+    thread_local! {
+        static TOUCHED: std::cell::Cell<usize> = const { std::cell::Cell::new(0) };
+    }
+    let _ = parkit::par_map_indexed_in(1, 25, |i| {
+        TOUCHED.with(|t| t.set(t.get() + 1));
+        i
+    });
+    assert_eq!(TOUCHED.with(std::cell::Cell::get), 25, "serial path left this thread");
+}

@@ -136,6 +136,31 @@ impl Histogram {
         }
     }
 
+    /// Merges another histogram into this one, bucket by bucket.
+    ///
+    /// Because both sides bucket values identically, the merged bucket
+    /// counts, min/max envelope, and therefore every quantile estimate
+    /// are *exactly* what single-instance recording of both sample
+    /// streams would have produced, in any order. Only `sum` (and so
+    /// `mean`) is subject to floating-point association, since the
+    /// shards pre-reduce their own partial sums.
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.nonpositive += other.nonpositive;
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (mine, theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+    }
+
     /// Nearest-rank quantile estimate for `q` in `[0, 1]`.
     ///
     /// Resolution is the bucket width (~4.4% relative); the result is
@@ -258,6 +283,63 @@ mod tests {
         // Rank-1 and rank-2 samples are non-positive → reported as min.
         assert_eq!(h.quantile(0.3), -5.0);
         assert_eq!(h.quantile(1.0), 10.0);
+    }
+
+    #[test]
+    fn merge_equals_single_instance_recording() {
+        // Shard a deterministic skewed stream across three histograms,
+        // merge, and demand the quantile summaries match the unsharded
+        // reference exactly (bucket counts are integers — no tolerance).
+        let vals: Vec<f64> = (0..3000).map(|i| 0.003 * 1.004_f64.powi(i % 1500)).collect();
+        let mut reference = Histogram::new();
+        let mut shards = [Histogram::new(), Histogram::new(), Histogram::new()];
+        for (i, &v) in vals.iter().enumerate() {
+            reference.record(v);
+            shards[i % 3].record(v);
+        }
+        let mut merged = shards[0].clone();
+        merged.merge(&shards[1]);
+        merged.merge(&shards[2]);
+        assert_eq!(merged.count(), reference.count());
+        assert_eq!(merged.min(), reference.min());
+        assert_eq!(merged.max(), reference.max());
+        for q in [0.01, 0.25, 0.50, 0.90, 0.99] {
+            assert_eq!(merged.quantile(q), reference.quantile(q), "q={q}");
+        }
+        assert!((merged.sum() - reference.sum()).abs() <= 1e-9 * reference.sum());
+    }
+
+    #[test]
+    fn merge_sums_buckets_and_side_counts() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        for v in [1.0, 2.0, -1.0] {
+            a.record(v);
+        }
+        for v in [1.0, 0.0, 4.0] {
+            b.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), 6);
+        assert_eq!(a.min(), -1.0);
+        assert_eq!(a.max(), 4.0);
+        // The shared 1.0 bucket now holds two samples: rank walk must
+        // see both (ranks 3 and 4 of 6 are the two 1.0 samples), to
+        // bucket-midpoint resolution.
+        let est = a.quantile(4.0 / 6.0);
+        assert!((est - 1.0).abs() < 1.0 / SUB_PER_OCTAVE as f64, "rank-4 estimate {est}");
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Histogram::new();
+        a.record(3.0);
+        let before = a.clone();
+        a.merge(&Histogram::new());
+        assert_eq!(a, before);
+        let mut empty = Histogram::new();
+        empty.merge(&before);
+        assert_eq!(empty, before);
     }
 
     #[test]

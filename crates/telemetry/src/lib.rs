@@ -258,6 +258,25 @@ impl Telemetry {
         self.push(Event::FrameDropped { t, port });
     }
 
+    /// Merges a worker shard into this sink.
+    ///
+    /// Counters add, gauge envelopes widen (`last` taken from the shard
+    /// when it recorded anything — merge shards oldest-first), and
+    /// histogram buckets add exactly, so p50/p90/p99 summaries are
+    /// identical to what single-sink recording would have produced. The
+    /// event traces are re-interleaved by sim-time (stable, this sink
+    /// first at ties). The collection level stays this sink's; merging
+    /// is pure data transfer and never changes what future hooks record.
+    ///
+    /// This is the aggregation half of the workspace's parallel-sweep
+    /// telemetry: each worker records into its own `Telemetry` with no
+    /// locks on the hot path, and the coordinator folds the shards
+    /// together afterwards.
+    pub fn merge(&mut self, other: &Telemetry) {
+        self.metrics.merge(&other.metrics);
+        self.trace.merge_by_time(&other.trace);
+    }
+
     /// Serializes the event trace to JSONL, one event per line
     /// (oldest first), with a trailing newline when non-empty.
     #[must_use]
@@ -342,6 +361,46 @@ mod tests {
         assert_eq!(g.min, 100.0);
         assert_eq!(g.max, 300.0);
         assert_eq!(tel.metrics.histogram_by_name("queue.occupancy_bits").unwrap().count(), 3);
+    }
+
+    #[test]
+    fn merged_shards_equal_sequential_recording() {
+        // Two workers each record half of an interleaved run; the merge
+        // must equal one sink that saw everything, in time order.
+        let mut reference = Telemetry::new(TelemetryLevel::Full);
+        let mut shard_a = Telemetry::new(TelemetryLevel::Full);
+        let mut shard_b = Telemetry::new(TelemetryLevel::Full);
+        for i in 0..100u32 {
+            let t = f64::from(i) * 0.01;
+            let h = 1e-4 * f64::from(i % 7 + 1);
+            reference.step_accepted(t, h, 0.3);
+            if i % 2 == 0 { &mut shard_a } else { &mut shard_b }.step_accepted(t, h, 0.3);
+            if i % 10 == 0 {
+                reference.region_switch(t, 0, 1);
+                if i % 2 == 0 { &mut shard_a } else { &mut shard_b }.region_switch(t, 0, 1);
+            }
+        }
+        let mut merged = Telemetry::new(TelemetryLevel::Full);
+        merged.merge(&shard_a);
+        merged.merge(&shard_b);
+        assert_eq!(
+            merged.metrics.counter_by_name("solver.steps_accepted"),
+            reference.metrics.counter_by_name("solver.steps_accepted")
+        );
+        assert_eq!(
+            merged.metrics.counter_by_name("hybrid.region_switches"),
+            reference.metrics.counter_by_name("hybrid.region_switches")
+        );
+        let mh = merged.metrics.histogram_by_name("solver.step_size_s").unwrap();
+        let rh = reference.metrics.histogram_by_name("solver.step_size_s").unwrap();
+        assert_eq!(mh.count(), rh.count());
+        for q in [0.5, 0.9, 0.99] {
+            assert_eq!(mh.quantile(q), rh.quantile(q), "q={q}");
+        }
+        // Trace: same length, and globally ordered by sim-time.
+        assert_eq!(merged.trace.len(), reference.trace.len());
+        let ts: Vec<f64> = merged.trace.iter().map(Event::time).collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]), "merged trace out of order: {ts:?}");
     }
 
     #[test]

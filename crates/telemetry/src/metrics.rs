@@ -148,6 +148,35 @@ impl Registry {
         Some(&self.histograms[i])
     }
 
+    /// Merges another registry into this one, matching metrics by name.
+    ///
+    /// Counters add; histograms merge bucket-wise (see
+    /// [`Histogram::merge`]); gauge envelopes widen (`min`/`max`/
+    /// `samples`), with `last` taken from `other` when it recorded
+    /// anything — "last write wins" in merge order, the convention for
+    /// shards merged oldest-first. Metrics present only in `other` are
+    /// registered here first, so no data is dropped.
+    pub fn merge(&mut self, other: &Registry) {
+        for (name, v) in other.counters() {
+            let id = self.counter(name);
+            self.inc(id, v);
+        }
+        for (name, g) in other.gauges() {
+            let id = self.gauge(name);
+            let mine = &mut self.gauges[id.0];
+            if g.samples > 0 {
+                mine.last = g.last;
+                mine.min = mine.min.min(g.min);
+                mine.max = mine.max.max(g.max);
+                mine.samples += g.samples;
+            }
+        }
+        for (name, h) in other.histograms() {
+            let id = self.histogram(name);
+            self.histograms[id.0].merge(h);
+        }
+    }
+
     /// Iterates `(name, value)` over all counters in registration order.
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
         self.counter_names.iter().map(String::as_str).zip(self.counters.iter().copied())
@@ -202,6 +231,58 @@ mod tests {
         }
         assert_eq!(r.histogram_by_name("h").unwrap().count(), 3);
         assert!(r.histogram_by_name("missing").is_none());
+    }
+
+    #[test]
+    fn merge_adds_counters_and_registers_missing_names() {
+        let mut a = Registry::new();
+        let ca = a.counter("shared");
+        a.inc(ca, 5);
+        let mut b = Registry::new();
+        let cb = b.counter("shared");
+        b.inc(cb, 7);
+        let only_b = b.counter("only_in_b");
+        b.inc(only_b, 3);
+        a.merge(&b);
+        assert_eq!(a.counter_by_name("shared"), Some(12));
+        assert_eq!(a.counter_by_name("only_in_b"), Some(3));
+    }
+
+    #[test]
+    fn merge_widens_gauge_envelope_with_last_write_wins() {
+        let mut a = Registry::new();
+        let ga = a.gauge("q");
+        a.set_gauge(ga, 10.0);
+        let mut b = Registry::new();
+        let gb = b.gauge("q");
+        b.set_gauge(gb, -2.0);
+        b.set_gauge(gb, 4.0);
+        a.merge(&b);
+        let g = a.gauge_by_name("q").unwrap();
+        assert_eq!(g.last, 4.0, "merge order is oldest-first; the shard wrote last");
+        assert_eq!(g.min, -2.0);
+        assert_eq!(g.max, 10.0);
+        assert_eq!(g.samples, 3);
+        // An unset shard gauge must not clobber `last` with NaN.
+        let mut c = Registry::new();
+        c.gauge("q");
+        a.merge(&c);
+        assert_eq!(a.gauge_by_name("q").unwrap().last, 4.0);
+    }
+
+    #[test]
+    fn merge_combines_histograms_by_name() {
+        let mut a = Registry::new();
+        let ha = a.histogram("h");
+        a.record(ha, 1.0);
+        let mut b = Registry::new();
+        let hb = b.histogram("h");
+        b.record(hb, 2.0);
+        b.record(hb, 3.0);
+        a.merge(&b);
+        let h = a.histogram_by_name("h").unwrap();
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.max(), 3.0);
     }
 
     #[test]

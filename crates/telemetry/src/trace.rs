@@ -75,6 +75,29 @@ impl EventTrace {
         self.overwritten
     }
 
+    /// Merges another trace into this one, reordering the union by
+    /// event sim-time.
+    ///
+    /// The sort is stable: at equal stamps, this trace's events precede
+    /// the merged ones, and each shard's internal order is preserved —
+    /// so merging worker shards oldest-first yields the interleaving a
+    /// single sequential run would have recorded. Capacity grows to the
+    /// larger of the two; if the union still overflows it, the oldest
+    /// events are discarded and counted in
+    /// [`overwritten`](EventTrace::overwritten), along with both sides'
+    /// prior overwrite counts.
+    pub fn merge_by_time(&mut self, other: &EventTrace) {
+        let mut all: Vec<Event> = self.iter().chain(other.iter()).copied().collect();
+        all.sort_by(|a, b| a.time().total_cmp(&b.time()));
+        let capacity = self.capacity.max(other.capacity);
+        let overwritten = self.overwritten + other.overwritten;
+        *self = EventTrace::with_capacity(capacity);
+        self.overwritten = overwritten;
+        for e in all {
+            self.push(e);
+        }
+    }
+
     /// Iterates events from oldest to newest.
     pub fn iter(&self) -> impl Iterator<Item = &Event> {
         let (tail, head) = self.buf.split_at(self.start);
@@ -135,6 +158,68 @@ mod tests {
             assert!(ts.windows(2).all(|w| w[0] < w[1]), "unordered: {ts:?}");
         }
         assert_eq!(times(&tr), [3.0, 4.0]);
+    }
+
+    #[test]
+    fn merge_interleaves_by_sim_time() {
+        let mut a = EventTrace::with_capacity(16);
+        for t in [0.1, 0.4, 0.5] {
+            a.push(marker(t));
+        }
+        let mut b = EventTrace::with_capacity(16);
+        for t in [0.2, 0.3, 0.6] {
+            b.push(marker(t));
+        }
+        a.merge_by_time(&b);
+        assert_eq!(times(&a), [0.1, 0.2, 0.3, 0.4, 0.5, 0.6]);
+        assert_eq!(a.overwritten(), 0);
+    }
+
+    #[test]
+    fn merge_is_stable_at_equal_stamps() {
+        let mut a = EventTrace::with_capacity(8);
+        a.push(Event::FrameDropped { t: 1.0, port: 0 });
+        let mut b = EventTrace::with_capacity(8);
+        b.push(Event::FrameDropped { t: 1.0, port: 1 });
+        a.merge_by_time(&b);
+        let ports: Vec<u32> = a
+            .iter()
+            .map(|e| match e {
+                Event::FrameDropped { port, .. } => *port,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(ports, [0, 1], "receiver's events precede the shard's at ties");
+    }
+
+    #[test]
+    fn merge_overflow_drops_oldest_and_counts() {
+        let mut a = EventTrace::with_capacity(3);
+        for t in [0.1, 0.3, 0.5] {
+            a.push(marker(t));
+        }
+        let mut b = EventTrace::with_capacity(2);
+        for t in [0.2, 0.4] {
+            b.push(marker(t));
+        }
+        a.merge_by_time(&b);
+        // Capacity stays at max(3, 2) = 3: the union of 5 keeps the
+        // newest 3 and counts 2 more overwrites.
+        assert_eq!(times(&a), [0.3, 0.4, 0.5]);
+        assert_eq!(a.overwritten(), 2);
+    }
+
+    #[test]
+    fn merge_with_empty_keeps_events_and_adds_overwrites() {
+        let mut a = EventTrace::with_capacity(2);
+        for t in [0.1, 0.2, 0.3] {
+            a.push(marker(t)); // one overwrite
+        }
+        let b = EventTrace::with_capacity(4);
+        a.merge_by_time(&b);
+        assert_eq!(times(&a), [0.2, 0.3]);
+        assert_eq!(a.capacity(), 4);
+        assert_eq!(a.overwritten(), 1);
     }
 
     #[test]

@@ -14,7 +14,14 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "== cargo build --release =="
 cargo build --workspace --release
 
-echo "== cargo test =="
-cargo test --workspace -q
+echo "== cargo test (serial: DCE_BCN_THREADS=1) =="
+DCE_BCN_THREADS=1 cargo test --workspace -q
+
+echo "== cargo test (parallel: DCE_BCN_THREADS=4) =="
+DCE_BCN_THREADS=4 cargo test --workspace -q
+
+echo "== sweep scaling smoke (equivalence check) =="
+DCE_BCN_SWEEP_GRID=8 DCE_BCN_SWEEP_REPS=1 \
+  cargo run --release -p bench --bin sweep_scaling
 
 echo "CI OK"
