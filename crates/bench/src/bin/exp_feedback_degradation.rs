@@ -1,0 +1,8 @@
+//! Regenerates the feedback-channel degradation sweep.
+
+fn main() {
+    if let Err(e) = bench::experiments::feedback_degradation::main() {
+        telemetry::log_line!("error: {e}");
+        std::process::exit(1);
+    }
+}

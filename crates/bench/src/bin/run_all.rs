@@ -25,6 +25,7 @@ fn main() {
         ("transient_frontier", bench::experiments::transient_frontier::run),
         ("incast", bench::experiments::incast::run),
         ("fb_quantization", bench::experiments::fb_quantization::run),
+        ("feedback_degradation", bench::experiments::feedback_degradation::run),
     ];
     let mut failures = 0;
     for (name, job) in jobs {

@@ -4,6 +4,7 @@ pub mod bcn_vs_qcn;
 pub mod criterion_sweep;
 pub mod delay_ablation;
 pub mod fb_quantization;
+pub mod feedback_degradation;
 pub mod fluid_vs_packet;
 pub mod hetero_fairness;
 pub mod incast;

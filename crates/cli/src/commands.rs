@@ -12,12 +12,13 @@ use bcn::stability::{
 use bcn::transient;
 use bcn::{linear_baseline, BcnFluid, BcnParams};
 use dcesim::batch::{run_batch, BatchConfig};
+use dcesim::faults::FaultCounts;
 use dcesim::sim::{SimConfig, Simulation};
 use dcesim::time::Duration;
 use plotkit::{Csv, Table};
 use telemetry::{Telemetry, TelemetryLevel};
 
-use crate::flags::{params_from, telemetry_level, Flags, PARAM_FLAGS};
+use crate::flags::{faults_from, params_from, telemetry_level, Flags, PARAM_FLAGS};
 use crate::CliError;
 
 fn with_param_flags(extra: &[&str]) -> Vec<&'static str> {
@@ -81,6 +82,41 @@ fn render_summary(tel: &Telemetry) -> String {
         );
     }
     out
+}
+
+/// Renders the non-zero per-class injection tallies (empty string for a
+/// fault-free run).
+fn render_fault_counts(c: &FaultCounts) -> String {
+    let mut out = String::new();
+    if c.total() == 0 {
+        return out;
+    }
+    let _ = writeln!(out, "injected faults ({} total):", c.total());
+    for (name, v) in [
+        ("feedback dropped", c.feedback_dropped),
+        ("feedback corrupted", c.feedback_corrupted),
+        ("corrupt + undecodable", c.feedback_corrupt_lost),
+        ("feedback delayed", c.feedback_delayed),
+        ("feedback reordered", c.feedback_reordered),
+        ("data frames lost", c.data_frames_lost),
+        ("link-flap deferrals", c.link_flap_deferrals),
+        ("PAUSE storms", c.pause_storms),
+    ] {
+        if v > 0 {
+            let _ = writeln!(out, "  {name}: {v}");
+        }
+    }
+    out
+}
+
+/// Parses `--faults` for a single-run command, where `panic-seed` has no
+/// meaning.
+fn single_run_faults(flags: &Flags) -> Result<dcesim::faults::FaultConfig, CliError> {
+    let (faults, panic_seeds) = faults_from(flags)?;
+    if !panic_seeds.is_empty() {
+        return Err(CliError::Usage("--faults panic-seed only applies to `batch`".into()));
+    }
+    Ok(faults)
 }
 
 /// `dcebcn analyze`: classification + criteria + transient metrics.
@@ -197,7 +233,7 @@ pub fn simulate(args: &[String]) -> Result<String, CliError> {
     let level = telemetry_level(&flags, TelemetryLevel::Off)?;
     let mut tel = Telemetry::new(level);
     let run = fluid_trajectory_telemetry(&sys, p.initial_point(), &opts, Some(&mut tel))
-        .map_err(|e| CliError::Analysis(e.to_string()))?;
+        .map_err(CliError::Solver)?;
 
     let mut out = String::new();
     let _ = writeln!(
@@ -284,7 +320,7 @@ pub fn atlas(args: &[String]) -> Result<String, CliError> {
 /// Propagates flag and validation failures.
 pub fn packet(args: &[String]) -> Result<String, CliError> {
     let flags = Flags::parse(args)?;
-    flags.ensure_known(&with_param_flags(&["t-end", "frame-bits"]))?;
+    flags.ensure_known(&with_param_flags(&["t-end", "frame-bits", "faults"]))?;
     let p = params_from(&flags)?;
     let t_end = flags.get_f64("t-end")?.unwrap_or(0.2);
     let frame_bits = flags.get_f64("frame-bits")?.unwrap_or(8_000.0);
@@ -292,7 +328,9 @@ pub fn packet(args: &[String]) -> Result<String, CliError> {
         return Err(CliError::Usage("--t-end and --frame-bits must be positive".into()));
     }
     let level = telemetry_level(&flags, TelemetryLevel::Off)?;
-    let cfg = SimConfig::from_fluid(&p, frame_bits, Duration::from_secs(2e-6), t_end);
+    let mut cfg = SimConfig::from_fluid(&p, frame_bits, Duration::from_secs(2e-6), t_end);
+    cfg.faults = single_run_faults(&flags)?;
+    cfg.validate()?;
     let report = Simulation::with_telemetry(cfg, Telemetry::new(level)).run();
     let m = &report.metrics;
     let mut out = String::new();
@@ -310,6 +348,7 @@ pub fn packet(args: &[String]) -> Result<String, CliError> {
     );
     let _ = writeln!(out, "  feedback messages:  {}", m.feedback_messages);
     let _ = writeln!(out, "  PAUSE events:       {}", m.pause_events);
+    out.push_str(&render_fault_counts(&m.faults));
     if let Some(tel) = &report.telemetry {
         if tel.enabled() {
             out.push_str(&render_summary(tel));
@@ -335,6 +374,8 @@ pub fn batch(args: &[String]) -> Result<String, CliError> {
         "start-jitter",
         "rate-jitter",
         "out",
+        "faults",
+        "fail-fast",
     ]))?;
     let p = params_from(&flags)?;
     let t_end = flags.get_f64("t-end")?.unwrap_or(0.05);
@@ -347,9 +388,13 @@ pub fn batch(args: &[String]) -> Result<String, CliError> {
         return Err(CliError::Usage("--seeds must be at least 1".into()));
     }
     let level = telemetry_level(&flags, TelemetryLevel::Off)?;
-    let base = SimConfig::from_fluid(&p, frame_bits, Duration::from_secs(2e-6), t_end);
+    let (faults, panic_seeds) = faults_from(&flags)?;
+    let mut base = SimConfig::from_fluid(&p, frame_bits, Duration::from_secs(2e-6), t_end);
+    base.faults = faults;
+    base.validate()?;
     let mut cfg = BatchConfig::quick(base, n_seeds as u64);
     cfg.level = level;
+    cfg.panic_seeds = panic_seeds;
     if let Some(v) = flags.get_f64("start-jitter")? {
         cfg.start_jitter_secs = v;
     }
@@ -376,10 +421,12 @@ pub fn batch(args: &[String]) -> Result<String, CliError> {
     let mut csv =
         Csv::new(&["seed", "delivered", "dropped", "utilisation", "fairness", "max_queue_bits"]);
     let mut utils = Vec::new();
-    for (seed, r) in report.seeds.iter().zip(&report.reports) {
+    let mut fault_totals = FaultCounts::default();
+    for (seed, r) in report.completed() {
         let m = &r.metrics;
         let util = m.utilization(p.capacity, t_end);
         utils.push(util);
+        fault_totals.merge(&m.faults);
         table.row(&[
             seed.to_string(),
             m.delivered_frames.to_string(),
@@ -390,7 +437,7 @@ pub fn batch(args: &[String]) -> Result<String, CliError> {
         ]);
         #[allow(clippy::cast_precision_loss)]
         csv.row(&[
-            *seed as f64,
+            seed as f64,
             m.delivered_frames as f64,
             m.dropped_frames as f64,
             util,
@@ -399,16 +446,33 @@ pub fn batch(args: &[String]) -> Result<String, CliError> {
         ]);
     }
     let _ = write!(out, "{table}");
-    let (lo, hi) = utils
-        .iter()
-        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &u| (lo.min(u), hi.max(u)));
-    let _ = writeln!(out, "utilisation spread across seeds: [{lo:.4}, {hi:.4}]");
+    let failures: Vec<(u64, String)> = report.failures().map(|(s, c)| (s, c.to_string())).collect();
+    if !failures.is_empty() {
+        let _ = writeln!(out, "quarantined {} of {n_seeds} seeds:", failures.len());
+        for (seed, cause) in &failures {
+            let _ = writeln!(out, "  seed {seed}: {cause}");
+        }
+    }
+    if !utils.is_empty() {
+        let (lo, hi) = utils
+            .iter()
+            .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &u| (lo.min(u), hi.max(u)));
+        let _ = writeln!(out, "utilisation spread across seeds: [{lo:.4}, {hi:.4}]");
+    }
+    out.push_str(&render_fault_counts(&fault_totals));
     if let Some(path) = flags.get("out") {
         csv.save(path)?;
         let _ = writeln!(out, "wrote {path}");
     }
     if let Some(tel) = &report.telemetry {
         out.push_str(&render_summary(tel));
+    }
+    if flags.get_bool("fail-fast") && !failures.is_empty() {
+        let (seed, cause) = &failures[0];
+        return Err(CliError::Batch(format!(
+            "{} of {n_seeds} seeds failed (first: seed {seed}: {cause})",
+            failures.len()
+        )));
     }
     Ok(out)
 }
@@ -434,7 +498,7 @@ pub fn trace(args: &[String]) -> Result<String, CliError> {
         _ => ("thm1", args),
     };
     let flags = Flags::parse(rest)?;
-    flags.ensure_known(&with_param_flags(&["t-end", "out", "frame-bits"]))?;
+    flags.ensure_known(&with_param_flags(&["t-end", "out", "frame-bits", "faults"]))?;
     let mut p = params_from(&flags)?;
     let level = telemetry_level(&flags, TelemetryLevel::Full)?;
     let t_end = flags.get_f64("t-end")?.unwrap_or(0.01);
@@ -446,6 +510,9 @@ pub fn trace(args: &[String]) -> Result<String, CliError> {
     let mut out = String::new();
     match scenario {
         "thm1" | "limit-cycle" => {
+            if flags.get("faults").is_some() {
+                return Err(CliError::Usage("--faults only applies to the packet scenario".into()));
+            }
             if scenario == "thm1" && flags.get_f64("buffer")?.is_none() {
                 // Size the buffer to exactly the Theorem-1 requirement so
                 // the trace shows the certified-stable regime.
@@ -455,7 +522,7 @@ pub fn trace(args: &[String]) -> Result<String, CliError> {
             let sys = BcnFluid::linearized(p.clone());
             let opts = FluidOptions::default().with_t_end(t_end).with_record_dt(t_end / 2000.0);
             let run = fluid_trajectory_telemetry(&sys, p.initial_point(), &opts, Some(&mut tel))
-                .map_err(|e| CliError::Analysis(e.to_string()))?;
+                .map_err(CliError::Solver)?;
             let _ = writeln!(
                 out,
                 "scenario {scenario}: buffer = {:.4e} bits, {} region switches over {t_end} s, \
@@ -471,7 +538,9 @@ pub fn trace(args: &[String]) -> Result<String, CliError> {
             if frame_bits <= 0.0 {
                 return Err(CliError::Usage("--frame-bits must be positive".into()));
             }
-            let cfg = SimConfig::from_fluid(&p, frame_bits, Duration::from_secs(2e-6), t_end);
+            let mut cfg = SimConfig::from_fluid(&p, frame_bits, Duration::from_secs(2e-6), t_end);
+            cfg.faults = single_run_faults(&flags)?;
+            cfg.validate()?;
             let report = Simulation::with_telemetry(cfg, tel).run();
             let m = &report.metrics;
             let _ = writeln!(
@@ -479,6 +548,7 @@ pub fn trace(args: &[String]) -> Result<String, CliError> {
                 "scenario packet: {} flows over {t_end} s, {} frames delivered, {} dropped",
                 p.n_flows, m.delivered_frames, m.dropped_frames,
             );
+            out.push_str(&render_fault_counts(&m.faults));
             tel = report.telemetry.unwrap_or_default();
         }
         other => {
@@ -578,6 +648,42 @@ mod tests {
     #[test]
     fn batch_rejects_zero_seeds() {
         assert!(batch(&argv("--seeds 0")).is_err());
+    }
+
+    const FAST_SIM: &str = "--n 5 --capacity 1e9 --q0 1e6 --buffer 8e6 --qsc 7.2e6 --ru 1e4 \
+                            --gi 1.2 --gd 0.00006103515625 --pm 0.2 --w 3e5 --t-end 0.02";
+
+    #[test]
+    fn batch_quarantines_a_panicking_seed() {
+        let out = batch(&argv(&format!("{FAST_SIM} --seeds 4 --faults panic-seed=2"))).unwrap();
+        assert!(out.contains("quarantined 1 of 4 seeds"), "{out}");
+        assert!(out.contains("seed 2: seed 2: intentional panic"), "{out}");
+        assert!(out.contains("utilisation spread"), "other seeds still reported: {out}");
+    }
+
+    #[test]
+    fn batch_fail_fast_turns_failures_into_an_error() {
+        let err = batch(&argv(&format!("{FAST_SIM} --seeds 4 --faults panic-seed=2 --fail-fast")))
+            .unwrap_err();
+        assert!(matches!(err, CliError::Batch(_)), "{err}");
+        assert!(err.to_string().contains("1 of 4 seeds failed"), "{err}");
+    }
+
+    #[test]
+    fn batch_renders_fault_tallies() {
+        let out = batch(&argv(&format!("{FAST_SIM} --seeds 2 --faults feedback-loss=0.3,seed=11")))
+            .unwrap();
+        assert!(out.contains("injected faults"), "{out}");
+        assert!(out.contains("feedback dropped"), "{out}");
+    }
+
+    #[test]
+    fn packet_accepts_faults_and_reports_them() {
+        let out = packet(&argv(&format!("{FAST_SIM} --faults feedback-loss=1.0"))).unwrap();
+        assert!(out.contains("injected faults"), "{out}");
+        assert!(out.contains("feedback messages:  0"), "{out}");
+        // panic-seed is a batch-only key.
+        assert!(packet(&argv(&format!("{FAST_SIM} --faults panic-seed=1"))).is_err());
     }
 
     #[test]

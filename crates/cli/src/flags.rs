@@ -5,6 +5,8 @@
 use std::collections::BTreeMap;
 
 use bcn::BcnParams;
+use dcesim::faults::FaultConfig;
+use dcesim::time::Duration;
 use telemetry::TelemetryLevel;
 
 use crate::CliError;
@@ -133,6 +135,72 @@ pub fn thread_count(flags: &Flags) -> Result<Option<usize>, CliError> {
     }
 }
 
+/// Parses the `--faults key=value,key=value` specification into a
+/// [`FaultConfig`] plus the `panic-seed` list (batch-only test hook).
+///
+/// Keys: `seed`, `feedback-loss`, `feedback-corrupt`, `feedback-delay`
+/// (seconds), `feedback-reorder`, `reorder-window` (seconds),
+/// `data-loss`, `data-burst`, `flap-period` (seconds), `flap-down`
+/// (seconds), `pause-storm`, `pause-factor`, `panic-seed` (repeatable).
+///
+/// # Errors
+///
+/// Rejects malformed items, unknown keys, unparsable values, and
+/// configurations [`FaultConfig::validate`] refuses.
+pub fn faults_from(flags: &Flags) -> Result<(FaultConfig, Vec<u64>), CliError> {
+    let mut cfg = FaultConfig::none();
+    let mut panic_seeds = Vec::new();
+    let Some(spec) = flags.get("faults") else {
+        return Ok((cfg, panic_seeds));
+    };
+    for item in spec.split(',').filter(|s| !s.is_empty()) {
+        let Some((key, value)) = item.split_once('=') else {
+            return Err(CliError::Usage(format!(
+                "--faults expects comma-separated key=value items, got `{item}`"
+            )));
+        };
+        let num = || {
+            value.parse::<f64>().map_err(|_| {
+                CliError::Usage(format!("--faults {key} expects a number, got `{value}`"))
+            })
+        };
+        let int = || {
+            value.parse::<u64>().map_err(|_| {
+                CliError::Usage(format!("--faults {key} expects an integer, got `{value}`"))
+            })
+        };
+        let dur = || {
+            let v = num()?;
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(CliError::Usage(format!(
+                    "--faults {key} expects a non-negative duration in seconds, got `{value}`"
+                )));
+            }
+            Ok(Duration::from_secs(v))
+        };
+        match key {
+            "seed" => cfg.seed = int()?,
+            "feedback-loss" => cfg.feedback_loss = num()?,
+            "feedback-corrupt" => cfg.feedback_corrupt = num()?,
+            "feedback-delay" => cfg.feedback_extra_delay = dur()?,
+            "feedback-reorder" => cfg.feedback_reorder = num()?,
+            "reorder-window" => cfg.reorder_window = dur()?,
+            "data-loss" => cfg.data_loss = num()?,
+            "data-burst" => cfg.data_burst_len = int()?,
+            "flap-period" => cfg.link_flap_period = dur()?,
+            "flap-down" => cfg.link_flap_down = dur()?,
+            "pause-storm" => cfg.pause_storm = num()?,
+            "pause-factor" => cfg.pause_storm_factor = num()?,
+            "panic-seed" => panic_seeds.push(int()?),
+            other => {
+                return Err(CliError::Usage(format!("unknown --faults key `{other}`")));
+            }
+        }
+    }
+    cfg.validate()?;
+    Ok((cfg, panic_seeds))
+}
+
 /// Builds a [`BcnParams`] from the paper defaults overridden by flags.
 ///
 /// # Errors
@@ -247,5 +315,45 @@ mod tests {
         let f = Flags::parse(&argv("--q0 1e9")).unwrap(); // q0 above buffer
         let err = params_from(&f).unwrap_err();
         assert!(err.to_string().contains("q0"));
+    }
+
+    #[test]
+    fn faults_spec_parses_every_key() {
+        let f = Flags::parse(&argv(
+            "--faults seed=9,feedback-loss=0.1,feedback-corrupt=0.05,feedback-delay=1e-4,\
+             feedback-reorder=0.2,reorder-window=2e-4,data-loss=0.01,data-burst=3,\
+             flap-period=0.01,flap-down=0.001,pause-storm=0.5,pause-factor=4,panic-seed=2",
+        ))
+        .unwrap();
+        let (cfg, panic_seeds) = faults_from(&f).unwrap();
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.feedback_loss, 0.1);
+        assert_eq!(cfg.data_burst_len, 3);
+        assert_eq!(cfg.pause_storm_factor, 4.0);
+        assert!(cfg.enabled());
+        assert_eq!(panic_seeds, vec![2]);
+    }
+
+    #[test]
+    fn absent_faults_flag_yields_the_inert_plan() {
+        let f = Flags::parse(&argv("")).unwrap();
+        let (cfg, panic_seeds) = faults_from(&f).unwrap();
+        assert!(!cfg.enabled());
+        assert!(panic_seeds.is_empty());
+    }
+
+    #[test]
+    fn faults_spec_rejects_garbage() {
+        for bad in [
+            "--faults feedback-loss",              // no value
+            "--faults bogus=1",                    // unknown key
+            "--faults feedback-loss=often",        // not a number
+            "--faults feedback-loss=1.5",          // out of [0, 1]
+            "--faults feedback-delay=-1",          // negative duration
+            "--faults data-loss=0.1,data-burst=0", // burst needs >= 1
+        ] {
+            let f = Flags::parse(&argv(bad)).unwrap();
+            assert!(faults_from(&f).is_err(), "{bad} should be rejected");
+        }
     }
 }

@@ -24,13 +24,21 @@ pub mod flags;
 
 use std::fmt;
 
-/// CLI-level errors (bad flags, unknown commands, I/O).
+/// CLI-level errors (bad flags, unknown commands, invalid
+/// configurations, failed runs, I/O).
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum CliError {
     /// The user asked for something the tool does not understand.
     Usage(String),
     /// Parameter validation or analysis failure.
     Analysis(String),
+    /// The ODE integrator failed.
+    Solver(odesolve::SolveError),
+    /// A simulator configuration was rejected.
+    Sim(dcesim::error::ConfigError),
+    /// A batch run failed under `--fail-fast`.
+    Batch(String),
     /// Filesystem output failure.
     Io(std::io::Error),
 }
@@ -40,6 +48,9 @@ impl fmt::Display for CliError {
         match self {
             CliError::Usage(msg) => write!(f, "usage error: {msg}"),
             CliError::Analysis(msg) => write!(f, "analysis error: {msg}"),
+            CliError::Solver(e) => write!(f, "solver error: {e}"),
+            CliError::Sim(e) => write!(f, "simulation config error: {e}"),
+            CliError::Batch(msg) => write!(f, "batch error: {msg}"),
             CliError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -50,6 +61,18 @@ impl std::error::Error for CliError {}
 impl From<std::io::Error> for CliError {
     fn from(e: std::io::Error) -> Self {
         CliError::Io(e)
+    }
+}
+
+impl From<odesolve::SolveError> for CliError {
+    fn from(e: odesolve::SolveError) -> Self {
+        CliError::Solver(e)
+    }
+}
+
+impl From<dcesim::error::ConfigError> for CliError {
+    fn from(e: dcesim::error::ConfigError) -> Self {
+        CliError::Sim(e)
     }
 }
 
@@ -123,10 +146,18 @@ pub fn usage() -> String {
      command flags:\n\
      \x20 simulate: --t-end <s> --out <path.csv> [--nonlinear]\n\
      \x20 atlas:    --grid <n> --out <path.csv>\n\
-     \x20 packet:   --t-end <s> --frame-bits <bits>\n\
+     \x20 packet:   --t-end <s> --frame-bits <bits> --faults <spec>\n\
      \x20 batch:    --seeds <n> --t-end <s> --start-jitter <s> --rate-jitter <frac>\n\
-     \x20           --frame-bits <bits> --out <path.csv>\n\
-     \x20 trace:    <thm1|limit-cycle|packet> --t-end <s> --out <path.jsonl>\n"
+     \x20           --frame-bits <bits> --out <path.csv> --faults <spec> [--fail-fast]\n\
+     \x20 trace:    <thm1|limit-cycle|packet> --t-end <s> --out <path.jsonl>\n\
+     \n\
+     fault injection (--faults, comma-separated key=value items):\n\
+     \x20 seed=<u64> feedback-loss=<p> feedback-corrupt=<p> feedback-delay=<s>\n\
+     \x20 feedback-reorder=<p> reorder-window=<s> data-loss=<p> data-burst=<n>\n\
+     \x20 flap-period=<s> flap-down=<s> pause-storm=<p> pause-factor=<x>\n\
+     \x20 panic-seed=<seed>   (batch only: that seed panics; it is\n\
+     \x20                      quarantined unless --fail-fast is given)\n\
+     \x20 e.g. dcebcn batch --seeds 8 --faults feedback-loss=0.05,seed=7\n"
         .to_string()
 }
 

@@ -9,9 +9,15 @@
 //! crate); each run carries its own [`Telemetry`] shard and the shards
 //! are merged in seed order afterwards, so the aggregate telemetry is
 //! identical at any thread count.
+//!
+//! Seeds are *panic-isolated*: a seed whose run panics (or whose jittered
+//! configuration fails validation) is captured as
+//! [`SeedOutcome::Failed`] and quarantined while every other seed
+//! completes normally.
 
 use telemetry::{Telemetry, TelemetryLevel};
 
+use crate::faults::splitmix64;
 use crate::sim::{SimConfig, SimReport, Simulation};
 use crate::time::Time;
 
@@ -31,6 +37,10 @@ pub struct BatchConfig {
     /// Relative initial-rate jitter: each flow's rate is scaled by
     /// `1 + (2u - 1) * rate_jitter_frac`.
     pub rate_jitter_frac: f64,
+    /// Seeds that deliberately panic instead of running (test hook for
+    /// the quarantine machinery; see `dcebcn batch --faults
+    /// panic-seed=N`).
+    pub panic_seeds: Vec<u64>,
 }
 
 impl BatchConfig {
@@ -45,30 +55,59 @@ impl BatchConfig {
             level: TelemetryLevel::Off,
             start_jitter_secs: 0.05 * horizon,
             rate_jitter_frac: 0.1,
+            panic_seeds: Vec::new(),
         }
     }
 }
 
-/// The result of one batch: per-seed reports in seed order plus the
+/// What happened to one seed of a batch.
+///
+/// The completed report is boxed: a `SimReport` carries full time
+/// series, so parking it on the heap keeps the outcome vector compact
+/// next to the small `Failed` variant.
+#[derive(Debug)]
+pub enum SeedOutcome {
+    /// The run finished; its report is attached.
+    Completed(Box<SimReport>),
+    /// The run panicked or its configuration was invalid; the seed is
+    /// quarantined and the rest of the batch is unaffected.
+    Failed {
+        /// Human-readable failure cause (panic message or config error).
+        cause: String,
+    },
+}
+
+/// The result of one batch: per-seed outcomes in seed order plus the
 /// merged telemetry aggregate.
 #[derive(Debug)]
 pub struct BatchReport {
-    /// The seeds, in the order the reports are stored.
+    /// The seeds, in the order the outcomes are stored.
     pub seeds: Vec<u64>,
-    /// One report per seed, input order preserved.
-    pub reports: Vec<SimReport>,
-    /// All per-seed telemetry shards merged in seed order (counters
-    /// added, histograms combined bucket-wise, traces interleaved by
-    /// sim time); `None` when the level disables collection.
+    /// One outcome per seed, input order preserved.
+    pub outcomes: Vec<SeedOutcome>,
+    /// Telemetry shards of the *completed* seeds merged in seed order
+    /// (counters added, histograms combined bucket-wise, traces
+    /// interleaved by sim time); `None` when the level disables
+    /// collection.
     pub telemetry: Option<Telemetry>,
 }
 
-/// splitmix64 — the standard 64-bit finalizer; good avalanche, no state.
-fn splitmix64(mut z: u64) -> u64 {
-    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
+impl BatchReport {
+    /// The seeds that finished, with their reports, in seed order.
+    pub fn completed(&self) -> impl Iterator<Item = (u64, &SimReport)> {
+        self.seeds.iter().zip(&self.outcomes).filter_map(|(&seed, out)| match out {
+            SeedOutcome::Completed(report) => Some((seed, report.as_ref())),
+            SeedOutcome::Failed { .. } => None,
+        })
+    }
+
+    /// The quarantined seeds with their failure causes, in seed order.
+    pub fn failures(&self) -> impl Iterator<Item = (u64, &str)> {
+        self.seeds.iter().zip(&self.outcomes).filter_map(|(&seed, out)| match out {
+            SeedOutcome::Completed(_) => None,
+            SeedOutcome::Failed { cause } => Some((seed, cause.as_str())),
+        })
+    }
 }
 
 /// A deterministic uniform sample in `[0, 1)` keyed by `(seed, flow,
@@ -92,6 +131,12 @@ pub fn seeded_config(cfg: &BatchConfig, seed: u64) -> SimConfig {
         flow.start = Time::from_secs(flow.start.as_secs() + ds);
         flow.initial_rate *= dr;
     }
+    // With fault injection on, each seed gets its own decision streams;
+    // a fault-free base is left untouched so the run stays byte-identical
+    // to the pre-fault-layer batch.
+    if out.faults.enabled() {
+        out.faults.seed = splitmix64(seed ^ out.faults.seed);
+    }
     out
 }
 
@@ -104,24 +149,50 @@ pub fn seeded_config(cfg: &BatchConfig, seed: u64) -> SimConfig {
 /// thread count (`DCE_BCN_THREADS=1` included).
 #[must_use]
 pub fn run_batch(cfg: &BatchConfig) -> BatchReport {
-    let reports = parkit::par_map(&cfg.seeds, |&seed| {
-        let sim_cfg = seeded_config(cfg, seed);
-        if cfg.level.enabled() {
-            Simulation::with_telemetry(sim_cfg, Telemetry::new(cfg.level)).run()
-        } else {
-            Simulation::new(sim_cfg).run()
+    let outcomes = parkit::par_map(&cfg.seeds, |&seed| {
+        let body = || -> Result<SimReport, String> {
+            if cfg.panic_seeds.contains(&seed) {
+                panic!("seed {seed}: intentional panic (panic_seeds)");
+            }
+            let sim_cfg = seeded_config(cfg, seed);
+            sim_cfg.validate().map_err(|e| e.to_string())?;
+            Ok(if cfg.level.enabled() {
+                Simulation::with_telemetry(sim_cfg, Telemetry::new(cfg.level)).run()
+            } else {
+                Simulation::new(sim_cfg).run()
+            })
+        };
+        // The closure only touches owned data, so unwind safety is moot;
+        // the assertion just lets safe code catch the panic.
+        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(body)) {
+            Ok(Ok(report)) => SeedOutcome::Completed(Box::new(report)),
+            Ok(Err(cause)) => SeedOutcome::Failed { cause },
+            Err(payload) => SeedOutcome::Failed { cause: panic_message(payload.as_ref()) },
         }
     });
     let telemetry = cfg.level.enabled().then(|| {
         let mut agg = Telemetry::new(cfg.level);
-        for report in &reports {
-            if let Some(shard) = &report.telemetry {
-                agg.merge(shard);
+        for outcome in &outcomes {
+            if let SeedOutcome::Completed(report) = outcome {
+                if let Some(shard) = &report.telemetry {
+                    agg.merge(shard);
+                }
             }
         }
         agg
     });
-    BatchReport { seeds: cfg.seeds.clone(), reports, telemetry }
+    BatchReport { seeds: cfg.seeds.clone(), outcomes, telemetry }
+}
+
+/// Extracts the human-readable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
 }
 
 #[cfg(test)]
@@ -166,8 +237,8 @@ mod tests {
         parkit::set_threads(4);
         let parallel = run_batch(&cfg);
         parkit::set_threads(0);
-        assert_eq!(serial.reports.len(), 4);
-        for (s, p) in serial.reports.iter().zip(&parallel.reports) {
+        assert_eq!(serial.completed().count(), 4);
+        for ((_, s), (_, p)) in serial.completed().zip(parallel.completed()) {
             assert_eq!(s.metrics.delivered_frames, p.metrics.delivered_frames);
             assert_eq!(s.final_rates, p.final_rates);
             assert_eq!(s.metrics.queue.values(), p.metrics.queue.values());
@@ -195,6 +266,60 @@ mod tests {
         cfg.level = TelemetryLevel::Off;
         let report = run_batch(&cfg);
         assert!(report.telemetry.is_none());
-        assert!(report.reports.iter().all(|r| r.telemetry.is_none()));
+        assert!(report.completed().all(|(_, r)| r.telemetry.is_none()));
+    }
+
+    #[test]
+    fn a_panicking_seed_is_quarantined() {
+        let mut cfg = batch(8);
+        cfg.panic_seeds = vec![3];
+        let report = run_batch(&cfg);
+        assert_eq!(report.completed().count(), 7, "the other seeds must finish");
+        let failures: Vec<_> = report.failures().collect();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].0, 3);
+        assert!(failures[0].1.contains("intentional panic"), "cause: {}", failures[0].1);
+        // Merged telemetry covers exactly the completed seeds.
+        let tel = report.telemetry.as_ref().expect("telemetry requested");
+        let fb: u64 = report.completed().map(|(_, r)| r.metrics.feedback_messages).sum();
+        assert_eq!(tel.metrics.counter_by_name("sim.bcn_messages"), Some(fb));
+    }
+
+    #[test]
+    fn an_invalid_seeded_config_fails_without_panicking() {
+        let mut cfg = batch(3);
+        cfg.base.capacity = 0.0;
+        let report = run_batch(&cfg);
+        assert_eq!(report.completed().count(), 0);
+        for (_, cause) in report.failures() {
+            assert!(cause.contains("capacity"), "cause: {cause}");
+        }
+    }
+
+    #[test]
+    fn fault_plans_replay_identically_at_any_thread_count() {
+        let mut cfg = batch(4);
+        cfg.base.faults.seed = 99;
+        cfg.base.faults.feedback_loss = 0.25;
+        cfg.base.faults.data_loss = 0.02;
+        parkit::set_threads(1);
+        let serial = run_batch(&cfg);
+        parkit::set_threads(4);
+        let parallel = run_batch(&cfg);
+        parkit::set_threads(0);
+        let a: Vec<_> = serial.completed().map(|(s, r)| (s, r.metrics.faults.clone())).collect();
+        let b: Vec<_> = parallel.completed().map(|(s, r)| (s, r.metrics.faults.clone())).collect();
+        assert_eq!(a, b, "fault decisions must not depend on the thread count");
+        assert!(a.iter().any(|(_, f)| f.total() > 0), "faults were actually injected");
+        // Distinct seeds draw distinct fault streams.
+        assert!(a.windows(2).any(|w| w[0].1 != w[1].1), "per-seed fault streams identical");
+    }
+
+    #[test]
+    fn fault_free_base_keeps_seeded_configs_untouched_by_the_fault_layer() {
+        let cfg = batch(1);
+        assert!(!cfg.base.faults.enabled());
+        let seeded = seeded_config(&cfg, 42);
+        assert_eq!(seeded.faults, cfg.base.faults, "fault seed must not be mixed when disabled");
     }
 }

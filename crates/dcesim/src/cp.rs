@@ -19,6 +19,7 @@
 //! Above the severe-congestion threshold `q_sc` the switch additionally
 //! asserts IEEE 802.3x PAUSE towards its uplinks.
 
+use crate::error::ConfigError;
 use crate::frame::{BcnMessage, CpId, DataFrame};
 use crate::wire::quantize_sigma;
 
@@ -65,14 +66,47 @@ pub struct CpConfig {
 impl CpConfig {
     /// Validates the configuration.
     ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] on non-finite or non-positive
+    /// thresholds, a zero sampling divisor, or a bad FB quantizer.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if !(self.q0_bits.is_finite() && self.q0_bits > 0.0) {
+            return Err(ConfigError::new("cp.q0_bits", "q0 must be positive"));
+        }
+        if !(self.qsc_bits.is_finite() && self.qsc_bits >= self.q0_bits) {
+            return Err(ConfigError::new("cp.qsc_bits", "q_sc must be at or above q0"));
+        }
+        if !(self.w.is_finite() && self.w >= 0.0) {
+            return Err(ConfigError::new("cp.w", "w must be non-negative"));
+        }
+        if self.sample_every < 1 {
+            return Err(ConfigError::new("cp.sample_every", "sampling divisor must be at least 1"));
+        }
+        if let Some(q) = self.fb_quant {
+            if !(2..=32).contains(&q.bits) {
+                return Err(ConfigError::new(
+                    "cp.fb_quant.bits",
+                    "field width must be 2..=32 bits",
+                ));
+            }
+            if !(q.range_bits.is_finite() && q.range_bits > 0.0) {
+                return Err(ConfigError::new("cp.fb_quant.range_bits", "range must be positive"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates the configuration.
+    ///
     /// # Panics
     ///
-    /// Panics on non-positive thresholds or a zero sampling divisor.
+    /// Panics on non-positive thresholds or a zero sampling divisor
+    /// (the panicking form of [`CpConfig::validate`]).
     pub fn assert_valid(&self) {
-        assert!(self.q0_bits > 0.0, "q0 must be positive");
-        assert!(self.qsc_bits >= self.q0_bits, "q_sc must be at or above q0");
-        assert!(self.w >= 0.0 && self.w.is_finite(), "w must be non-negative");
-        assert!(self.sample_every >= 1, "sampling divisor must be at least 1");
+        if let Err(e) = self.validate() {
+            panic!("{e}");
+        }
     }
 }
 
@@ -286,5 +320,18 @@ mod tests {
     fn rejects_qsc_below_q0() {
         let bad = CpConfig { qsc_bits: 1.0, ..cfg() };
         let _ = CongestionPoint::new(bad);
+    }
+
+    #[test]
+    fn validate_reports_typed_errors() {
+        assert!(cfg().validate().is_ok());
+        let err = CpConfig { q0_bits: f64::NAN, ..cfg() }.validate().unwrap_err();
+        assert_eq!(err.field, "cp.q0_bits");
+        let err = CpConfig { sample_every: 0, ..cfg() }.validate().unwrap_err();
+        assert_eq!(err.field, "cp.sample_every");
+        let err = CpConfig { fb_quant: Some(FbQuant { bits: 1, range_bits: 1.0 }), ..cfg() }
+            .validate()
+            .unwrap_err();
+        assert_eq!(err.field, "cp.fb_quant.bits");
     }
 }

@@ -1,0 +1,48 @@
+//! Typed configuration errors for the simulator.
+//!
+//! Construction-time validation (`SimConfig::validate`, `CpConfig::
+//! validate`, `RpConfig::validate`, `FaultConfig::validate`) reports a
+//! [`ConfigError`] naming the offending field instead of propagating
+//! NaNs mid-run or panicking deep inside the engine. The workspace-level
+//! `dce_bcn::Error` taxonomy maps these to their own exit code.
+
+use std::fmt;
+
+/// An invalid simulation configuration field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct ConfigError {
+    /// Dotted path of the rejected field (e.g. `faults.feedback_loss`).
+    pub field: &'static str,
+    /// Why the value was rejected.
+    pub reason: String,
+}
+
+impl ConfigError {
+    /// Creates an error for `field` with a human-readable `reason`.
+    #[must_use]
+    pub fn new(field: &'static str, reason: impl Into<String>) -> Self {
+        Self { field, reason: reason.into() }
+    }
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid config `{}`: {}", self.field, self.reason)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_field_and_reason() {
+        let e = ConfigError::new("capacity", "capacity must be positive, got 0");
+        let s = e.to_string();
+        assert!(s.contains("`capacity`"), "{s}");
+        assert!(s.contains("must be positive"), "{s}");
+    }
+}

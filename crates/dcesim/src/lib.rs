@@ -27,9 +27,14 @@
 //! * [`workload`] — flow descriptors: start/stop times, initial rates.
 //! * [`wire`] — the BCN message wire format of the paper's Fig. 2
 //!   (encode/decode, FB fixed-point quantization).
+//! * [`faults`] — deterministic seed-driven fault injection: feedback
+//!   drop/corruption/delay/reorder, data-loss bursts, link flaps,
+//!   PAUSE storms.
+//! * [`error`] — the typed configuration error returned by the
+//!   `validate` methods.
 //! * [`batch`] — multi-seed batches: deterministic workload jitter per
 //!   seed, runs fanned out across the `parkit` worker pool, telemetry
-//!   shards merged in seed order.
+//!   shards merged in seed order, panicking seeds quarantined.
 //!
 //! # Quickstart
 //!
@@ -48,6 +53,8 @@
 
 pub mod batch;
 pub mod cp;
+pub mod error;
+pub mod faults;
 pub mod frame;
 pub mod metrics;
 pub mod net;

@@ -1,5 +1,6 @@
 //! Measurement collection: time series, counters, throughput, fairness.
 
+use crate::faults::FaultCounts;
 use crate::time::Time;
 
 /// A recorded scalar time series (e.g. queue occupancy).
@@ -160,7 +161,7 @@ impl SampleSet {
             return f64::NAN;
         }
         let mut sorted = self.values.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite samples"));
+        sorted.sort_by(f64::total_cmp);
         let idx = ((q * (sorted.len() - 1) as f64).round() as usize).min(sorted.len() - 1);
         sorted[idx]
     }
@@ -195,6 +196,8 @@ pub struct SimMetrics {
     pub queueing_delay: SampleSet,
     /// Per-source regulator rate over time (bit/s; zero while inactive).
     pub per_source_rate: Vec<TimeSeries>,
+    /// Injected-fault tallies (all zero for a fault-free run).
+    pub faults: FaultCounts,
 }
 
 impl SimMetrics {

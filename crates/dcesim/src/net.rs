@@ -29,6 +29,7 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
 use crate::cp::{CongestionPoint, CpConfig};
+use crate::faults::{FaultConfig, FaultCounts, FaultPlan, FeedbackFate};
 use crate::frame::{BcnMessage, CpId, DataFrame, SourceId};
 use crate::metrics::TimeSeries;
 use crate::rp::{ReactionPoint, RpConfig};
@@ -122,6 +123,9 @@ pub struct NetConfig {
     pub record_interval: Duration,
     /// PAUSE behaviour.
     pub pause: PauseConfig,
+    /// Fault injection ([`FaultConfig::none`] leaves every run
+    /// byte-identical to the fault-free engine).
+    pub faults: FaultConfig,
 }
 
 /// Per-flow outcome.
@@ -146,6 +150,8 @@ pub struct NetReport {
     pub pause_counts: Vec<u64>,
     /// Total BCN messages delivered.
     pub feedback_messages: u64,
+    /// Injected-fault tallies (all zero for a fault-free run).
+    pub faults: FaultCounts,
 }
 
 impl NetReport {
@@ -269,6 +275,7 @@ pub struct NetSim {
     feedback_delay: Vec<Duration>,
     /// Per-flow LCG state for pacing jitter (see `on_host_send`).
     jitter_state: Vec<u64>,
+    faults: FaultPlan,
 }
 
 impl std::fmt::Debug for NetSim {
@@ -290,6 +297,9 @@ impl NetSim {
     /// switch, or hosts without an uplink that are used as sources.
     #[must_use]
     pub fn new(cfg: NetConfig) -> Self {
+        if let Err(e) = cfg.faults.validate() {
+            panic!("{e}");
+        }
         let mut host_uplink = vec![None; cfg.hosts];
         for (i, l) in cfg.links.iter().enumerate() {
             if let Endpoint::Host(h) = l.from {
@@ -366,6 +376,7 @@ impl NetSim {
             host_uplink,
             feedback_delay,
             jitter_state: (0..n_flows).map(|i| 0x9E37_79B9_7F4A_7C15 ^ (i as u64)).collect(),
+            faults: FaultPlan::new(cfg.faults.clone()),
             cfg,
         };
         for fi in 0..n_flows {
@@ -408,6 +419,7 @@ impl NetSim {
             switch_queues: self.switch_queues,
             pause_counts: self.pause_counts,
             feedback_messages: self.feedback_messages,
+            faults: self.faults.counts().clone(),
         }
     }
 
@@ -417,7 +429,9 @@ impl NetSim {
             Ev::Arrive { link, frame } => self.on_arrive(link, frame),
             Ev::PortTx { switch, port } => self.on_port_tx(switch, port),
             Ev::Feedback { flow, msg } => {
-                if let Some(rp) = &mut self.rps[flow] {
+                // A corrupted DA can point outside the flow set; such
+                // misaddressed feedback dies on delivery.
+                if let Some(Some(rp)) = self.rps.get_mut(flow) {
                     rp.on_bcn(&msg);
                     self.feedback_messages += 1;
                 }
@@ -473,6 +487,10 @@ impl NetSim {
     }
 
     fn on_arrive(&mut self, link: usize, frame: NetFrame) {
+        // Per-link wire loss: a multi-hop frame faces one draw per hop.
+        if self.faults.is_active() && self.faults.data_frame_lost() {
+            return;
+        }
         match self.cfg.links[link].to {
             Endpoint::Host(h) => {
                 if h == self.cfg.flows[frame.flow].dst_host {
@@ -514,9 +532,14 @@ impl NetSim {
             port.queues[cls].push_back(frame);
         }
         if let Some(msg) = feedback {
-            let flow = msg.dst.0 as usize;
-            let delay = self.feedback_delay[flow];
-            self.schedule(self.now + delay, Ev::Feedback { flow, msg });
+            let (fate, _) = self.faults.feedback_fate(&msg);
+            if let FeedbackFate::Deliver { msg, extra } = fate {
+                let flow = msg.dst.0 as usize;
+                // Corruption can re-address the message beyond the flow
+                // set; keep it schedulable and let delivery discard it.
+                let delay = self.feedback_delay.get(flow).copied().unwrap_or(Duration::ZERO);
+                self.schedule(self.now + delay + extra, Ev::Feedback { flow, msg });
+            }
         }
         // PAUSE when the relevant backlog crosses the threshold: under
         // PFC the congested class's backlog pauses only that class.
@@ -554,9 +577,10 @@ impl NetSim {
             .filter(|(_, l)| l.to == Endpoint::Switch(si))
             .map(|(i, _)| i)
             .collect();
+        let (hold, _stormed) = self.faults.pause_hold(self.cfg.pause.hold);
         for li in incoming {
             self.pause_counts[li] += 1;
-            let until = self.now + self.cfg.links[li].delay + self.cfg.pause.hold;
+            let until = self.now + self.cfg.links[li].delay + hold;
             self.schedule(
                 self.now + self.cfg.links[li].delay,
                 Ev::PauseAt { link: li, priority, until },
@@ -612,10 +636,17 @@ impl NetSim {
         if let Some(cp) = &mut self.switches[si].ports[pi].cp {
             cp.on_departure(bits);
         }
+        // Link flaps defer the transmission start past the down window.
+        let mut start = self.now;
+        if self.faults.is_active() {
+            if let Some(up) = self.faults.link_up_at(self.now) {
+                start = up;
+            }
+        }
         let ser = Duration::serialization(bits, self.cfg.links[link].capacity);
         let delay = ser + self.cfg.links[link].delay;
-        self.schedule(self.now + delay, Ev::Arrive { link, frame });
-        self.schedule(self.now + ser, Ev::PortTx { switch: si, port: pi });
+        self.schedule(start + delay, Ev::Arrive { link, frame });
+        self.schedule(start + ser, Ev::PortTx { switch: si, port: pi });
     }
 }
 
@@ -766,6 +797,7 @@ pub fn victim_topology(
         t_end: Time::from_secs(t_end),
         record_interval: Duration::from_secs(t_end / 2000.0),
         pause,
+        faults: FaultConfig::none(),
     };
     (cfg, victim)
 }
@@ -883,6 +915,7 @@ pub fn parking_lot_topology(
         t_end: Time::from_secs(t_end),
         record_interval: Duration::from_secs(t_end / 2000.0),
         pause,
+        faults: FaultConfig::none(),
     };
     (cfg, deep_victim)
 }
@@ -1109,5 +1142,66 @@ mod tests {
         assert!(report.switch_queues[1].len() > 100);
         // S2 (owning the bottleneck) builds more backlog than S1.
         assert!(report.switch_queues[1].max() >= report.switch_queues[0].max());
+    }
+
+    #[test]
+    fn fault_free_runs_record_no_faults() {
+        let (report, _, _) = run_victim(true, Some(bcn_pair()));
+        assert_eq!(report.faults, FaultCounts::default());
+    }
+
+    #[test]
+    fn feedback_loss_breaks_bcn_protection() {
+        let t_end = 0.25;
+        let pause = PauseConfig {
+            enabled: true,
+            hold: Duration::from_secs(40.0 * FRAME / TRUNK),
+            per_priority: false,
+        };
+        let (mut cfg, _victim) = victim_topology(
+            4,
+            TRUNK,
+            FRAME,
+            Duration::from_secs(1e-6),
+            t_end,
+            pause,
+            Some(bcn_pair()),
+        );
+        cfg.faults.feedback_loss = 1.0;
+        let report = NetSim::new(cfg).run();
+        assert_eq!(report.feedback_messages, 0, "all feedback must be dropped");
+        assert!(report.faults.feedback_dropped > 0);
+        // Without feedback the culprit sources never slow down.
+        let culprit_rate = report.flows[0].final_rate;
+        assert!(culprit_rate >= 0.125 * TRUNK * 0.99, "culprit regulated anyway: {culprit_rate}");
+    }
+
+    #[test]
+    fn faulty_net_runs_are_deterministic() {
+        let mk = || {
+            let pause = PauseConfig {
+                enabled: true,
+                hold: Duration::from_secs(40.0 * FRAME / TRUNK),
+                per_priority: false,
+            };
+            let (mut cfg, _) = victim_topology(
+                4,
+                TRUNK,
+                FRAME,
+                Duration::from_secs(1e-6),
+                0.1,
+                pause,
+                Some(bcn_pair()),
+            );
+            cfg.faults.seed = 5;
+            cfg.faults.feedback_loss = 0.3;
+            cfg.faults.data_loss = 0.01;
+            cfg
+        };
+        let a = NetSim::new(mk()).run();
+        let b = NetSim::new(mk()).run();
+        assert_eq!(a.flows, b.flows);
+        assert_eq!(a.faults, b.faults);
+        assert!(a.faults.total() > 0, "faults were actually injected");
     }
 }

@@ -13,6 +13,7 @@
 //! so the congestion point can send positive feedback when the queue
 //! drains (paper Section II-B).
 
+use crate::error::ConfigError;
 use crate::frame::{BcnMessage, CpId};
 
 /// Configuration of a reaction point.
@@ -42,13 +43,39 @@ pub struct RpConfig {
 impl RpConfig {
     /// Validates the configuration.
     ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] on non-finite or non-positive gains or
+    /// an empty rate range.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        for (field, v) in [("rp.gi", self.gi), ("rp.gd", self.gd), ("rp.ru", self.ru)] {
+            if !(v.is_finite() && v > 0.0) {
+                return Err(ConfigError::new(field, "gains must be positive"));
+            }
+        }
+        if !(self.gain_scale.is_finite() && self.gain_scale > 0.0) {
+            return Err(ConfigError::new("rp.gain_scale", "gain scale must be positive"));
+        }
+        if !(self.r_min.is_finite()
+            && self.r_max.is_finite()
+            && self.r_min > 0.0
+            && self.r_min < self.r_max)
+        {
+            return Err(ConfigError::new("rp.r_min", "need 0 < r_min < r_max"));
+        }
+        Ok(())
+    }
+
+    /// Validates the configuration.
+    ///
     /// # Panics
     ///
-    /// Panics on non-positive gains or an empty rate range.
+    /// Panics on non-positive gains or an empty rate range (the
+    /// panicking form of [`RpConfig::validate`]).
     pub fn assert_valid(&self) {
-        assert!(self.gi > 0.0 && self.gd > 0.0 && self.ru > 0.0, "gains must be positive");
-        assert!(self.gain_scale > 0.0, "gain scale must be positive");
-        assert!(self.r_min > 0.0 && self.r_min < self.r_max, "need 0 < r_min < r_max");
+        if let Err(e) = self.validate() {
+            panic!("{e}");
+        }
     }
 }
 
@@ -60,6 +87,7 @@ pub struct ReactionPoint {
     associated: Option<CpId>,
     increases: u64,
     decreases: u64,
+    ignored: u64,
 }
 
 impl ReactionPoint {
@@ -72,7 +100,7 @@ impl ReactionPoint {
     pub fn new(cfg: RpConfig, initial_rate: f64) -> Self {
         cfg.assert_valid();
         let rate = initial_rate.clamp(cfg.r_min, cfg.r_max);
-        Self { cfg, rate, associated: None, increases: 0, decreases: 0 }
+        Self { cfg, rate, associated: None, increases: 0, decreases: 0, ignored: 0 }
     }
 
     /// Current sending rate in bit/s.
@@ -88,8 +116,14 @@ impl ReactionPoint {
         self.associated
     }
 
-    /// Applies a received BCN message (paper Eq. 2).
+    /// Applies a received BCN message (paper Eq. 2). A message whose FB
+    /// field does not decode to a finite value (corrupted wire frames)
+    /// is counted and ignored rather than poisoning the rate.
     pub fn on_bcn(&mut self, msg: &BcnMessage) {
+        if !msg.sigma.is_finite() {
+            self.ignored += 1;
+            return;
+        }
         let sigma = msg.sigma * self.cfg.gain_scale;
         if msg.sigma > 0.0 {
             // Positive feedback only reaches us when tagged (the CP
@@ -116,6 +150,12 @@ impl ReactionPoint {
     #[must_use]
     pub fn decrease_count(&self) -> u64 {
         self.decreases
+    }
+
+    /// Number of non-finite (corrupted) messages discarded.
+    #[must_use]
+    pub fn ignored_count(&self) -> u64 {
+        self.ignored
     }
 }
 
@@ -197,5 +237,25 @@ mod tests {
     fn rejects_empty_rate_range() {
         let bad = RpConfig { r_min: 10.0, r_max: 5.0, ..cfg() };
         let _ = ReactionPoint::new(bad, 1.0);
+    }
+
+    #[test]
+    fn validate_reports_typed_errors() {
+        assert!(cfg().validate().is_ok());
+        let err = RpConfig { gi: f64::NAN, ..cfg() }.validate().unwrap_err();
+        assert_eq!(err.field, "rp.gi");
+        let err = RpConfig { r_max: f64::INFINITY, ..cfg() }.validate().unwrap_err();
+        assert_eq!(err.field, "rp.r_min");
+    }
+
+    #[test]
+    fn non_finite_sigma_is_discarded() {
+        let mut rp = ReactionPoint::new(cfg(), 10_000.0);
+        rp.on_bcn(&msg(f64::NAN));
+        rp.on_bcn(&msg(f64::INFINITY));
+        rp.on_bcn(&msg(f64::NEG_INFINITY));
+        assert_eq!(rp.rate(), 10_000.0, "corrupted feedback must not move the rate");
+        assert_eq!(rp.ignored_count(), 3);
+        assert!(rp.associated_cp().is_none());
     }
 }

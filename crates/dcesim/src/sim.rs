@@ -17,9 +17,11 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
 use bcn::BcnParams;
-use telemetry::Telemetry;
+use telemetry::{FaultClass, Telemetry};
 
 use crate::cp::{CongestionPoint, CpConfig};
+use crate::error::ConfigError;
+use crate::faults::{FaultConfig, FaultPlan, FeedbackFate};
 use crate::frame::{BcnMessage, CpId, DataFrame, SourceId};
 use crate::metrics::SimMetrics;
 use crate::qcn::{QcnCp, QcnCpConfig, QcnFeedback, QcnRp, QcnRpConfig};
@@ -70,6 +72,9 @@ pub struct SimConfig {
     pub record_interval: Duration,
     /// How long a PAUSE silences the sources.
     pub pause_hold: Duration,
+    /// Fault injection at the wire layer ([`FaultConfig::none`] for the
+    /// ideal fabric the paper assumes).
+    pub faults: FaultConfig,
 }
 
 impl SimConfig {
@@ -119,7 +124,58 @@ impl SimConfig {
             t_end: Time::from_secs(t_end),
             record_interval: Duration::from_secs((t_end / 4000.0).max(1e-6)),
             pause_hold: Duration::from_secs(20.0 * frame_bits / params.capacity),
+            faults: FaultConfig::none(),
         }
+    }
+
+    /// Validates every field and sub-configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the first invalid field: an
+    /// empty flow set, non-finite or non-positive capacity/frame size,
+    /// a buffer too small for one frame, non-finite flow rates, a zero
+    /// record interval, or invalid scheme/fault parameters.
+    pub fn validate(&self) -> Result<(), ConfigError> {
+        if self.flows.is_empty() {
+            return Err(ConfigError::new("flows", "need at least one flow"));
+        }
+        if !(self.capacity.is_finite() && self.capacity > 0.0) {
+            return Err(ConfigError::new("capacity", "capacity must be positive"));
+        }
+        if !(self.frame_bits.is_finite() && self.frame_bits > 0.0) {
+            return Err(ConfigError::new("frame_bits", "frame size must be positive"));
+        }
+        if !(self.buffer_bits.is_finite() && self.buffer_bits >= self.frame_bits) {
+            return Err(ConfigError::new("buffer_bits", "buffer must hold at least one frame"));
+        }
+        for (i, f) in self.flows.iter().enumerate() {
+            if !(f.initial_rate.is_finite() && f.initial_rate >= 0.0) {
+                return Err(ConfigError::new(
+                    "flows.initial_rate",
+                    format!(
+                        "flow {i} rate must be finite and non-negative, got {}",
+                        f.initial_rate
+                    ),
+                ));
+            }
+            if let Some(v) = f.volume_bits {
+                if !(v.is_finite() && v >= 0.0) {
+                    return Err(ConfigError::new(
+                        "flows.volume_bits",
+                        format!("flow {i} volume must be finite and non-negative, got {v}"),
+                    ));
+                }
+            }
+        }
+        if self.record_interval == Duration::ZERO {
+            return Err(ConfigError::new("record_interval", "record interval must be positive"));
+        }
+        if let Control::Bcn { cp, rp } = &self.control {
+            cp.validate()?;
+            rp.validate()?;
+        }
+        self.faults.validate()
     }
 
     /// A modest, fast-running BCN configuration used by doc-tests and
@@ -227,6 +283,7 @@ pub struct Simulation {
     metrics: SimMetrics,
     last_pause: Option<Time>,
     telemetry: Option<Telemetry>,
+    faults: FaultPlan,
 }
 
 impl std::fmt::Debug for Simulation {
@@ -248,10 +305,9 @@ impl Simulation {
     /// or frame size, or invalid scheme parameters).
     #[must_use]
     pub fn new(cfg: SimConfig) -> Self {
-        assert!(!cfg.flows.is_empty(), "need at least one flow");
-        assert!(cfg.capacity > 0.0, "capacity must be positive");
-        assert!(cfg.frame_bits > 0.0, "frame size must be positive");
-        assert!(cfg.buffer_bits >= cfg.frame_bits, "buffer must hold at least one frame");
+        if let Err(e) = cfg.validate() {
+            panic!("{e}");
+        }
         let n = cfg.flows.len();
         let scheme = match &cfg.control {
             Control::Bcn { cp, rp } => SchemeState::Bcn {
@@ -283,6 +339,7 @@ impl Simulation {
             metrics: SimMetrics::default(),
             last_pause: None,
             telemetry: None,
+            faults: FaultPlan::new(cfg.faults.clone()),
             cfg,
         };
         sim.metrics.per_source_bits = vec![0.0; n];
@@ -341,7 +398,15 @@ impl Simulation {
             self.dispatch(entry.ev);
         }
         let final_rates = (0..self.cfg.flows.len()).map(|i| self.source_rate(i)).collect();
+        self.metrics.faults = self.faults.counts().clone();
         SimReport { metrics: self.metrics, final_rates, telemetry: self.telemetry }
+    }
+
+    /// Emits a fault-injection telemetry event (counter + trace).
+    fn note_fault(&mut self, class: FaultClass, target: u32) {
+        if let Some(tel) = self.telemetry.as_mut() {
+            tel.fault_injected(self.now.as_secs(), class, target);
+        }
     }
 
     fn dispatch(&mut self, ev: Ev) {
@@ -362,8 +427,12 @@ impl Simulation {
             Ev::Departure => self.on_departure(),
             Ev::BcnDeliver(msg) => {
                 if let SchemeState::Bcn { rps, .. } = &mut self.scheme {
-                    rps[msg.dst.0 as usize].on_bcn(&msg);
-                    self.metrics.feedback_messages += 1;
+                    // A corrupted DA can point outside the source set;
+                    // such misaddressed feedback dies on delivery.
+                    if let Some(rp) = rps.get_mut(msg.dst.0 as usize) {
+                        rp.on_bcn(&msg);
+                        self.metrics.feedback_messages += 1;
+                    }
                 }
             }
             Ev::QcnDeliver(fb) => {
@@ -428,6 +497,10 @@ impl Simulation {
     }
 
     fn on_arrival(&mut self, frame: DataFrame) {
+        if self.faults.is_active() && self.faults.data_frame_lost() {
+            self.note_fault(FaultClass::DataLoss, frame.src.0);
+            return;
+        }
         if self.q_bits + frame.bits > self.cfg.buffer_bits {
             self.metrics.dropped_frames += 1;
             if let Some(tel) = self.telemetry.as_mut() {
@@ -454,10 +527,16 @@ impl Simulation {
             SchemeState::None => {}
         }
         if let Some(msg) = bcn_msg {
-            if let Some(tel) = self.telemetry.as_mut() {
-                tel.bcn_message(self.now.as_secs(), msg.sigma, msg.dst.0);
+            let (fate, injected) = self.faults.feedback_fate(&msg);
+            for class in injected {
+                self.note_fault(class, msg.dst.0);
             }
-            self.schedule(self.now + self.cfg.prop_delay, Ev::BcnDeliver(msg));
+            if let FeedbackFate::Deliver { msg, extra } = fate {
+                if let Some(tel) = self.telemetry.as_mut() {
+                    tel.bcn_message(self.now.as_secs(), msg.sigma, msg.dst.0);
+                }
+                self.schedule(self.now + self.cfg.prop_delay + extra, Ev::BcnDeliver(msg));
+            }
         }
         if let Some(fb) = qcn_fb {
             if let Some(tel) = self.telemetry.as_mut() {
@@ -470,9 +549,22 @@ impl Simulation {
         }
         if !self.busy {
             self.busy = true;
-            let service = Duration::serialization(frame.bits, self.cfg.capacity);
-            self.schedule(self.now + service, Ev::Departure);
+            self.schedule_departure(frame.bits);
         }
+    }
+
+    /// Schedules the next departure, deferring the service start past
+    /// any link-flap down window.
+    fn schedule_departure(&mut self, bits: f64) {
+        let mut start = self.now;
+        if self.faults.is_active() {
+            if let Some(up) = self.faults.link_up_at(self.now) {
+                self.note_fault(FaultClass::LinkFlap, 0);
+                start = up;
+            }
+        }
+        let service = Duration::serialization(bits, self.cfg.capacity);
+        self.schedule(start + service, Ev::Departure);
     }
 
     fn maybe_pause(&mut self) {
@@ -484,8 +576,12 @@ impl Simulation {
         if can_fire {
             self.last_pause = Some(self.now);
             self.metrics.pause_events += 1;
+            let (hold, stormed) = self.faults.pause_hold(self.cfg.pause_hold);
+            if stormed {
+                self.note_fault(FaultClass::PauseStorm, 0);
+            }
             let deliver = self.now + self.cfg.prop_delay;
-            let until = deliver + self.cfg.pause_hold;
+            let until = deliver + hold;
             if let Some(tel) = self.telemetry.as_mut() {
                 // PAUSE silences every source; port 0 stands for the
                 // bottleneck ingress. The deassert event is emitted
@@ -525,8 +621,8 @@ impl Simulation {
             cp.on_departure(frame.bits);
         }
         if let Some((next, _)) = self.queue.front() {
-            let service = Duration::serialization(next.bits, self.cfg.capacity);
-            self.schedule(self.now + service, Ev::Departure);
+            let bits = next.bits;
+            self.schedule_departure(bits);
         } else {
             self.busy = false;
         }
@@ -799,5 +895,123 @@ mod tests {
         let mut cfg = base_cfg();
         cfg.flows.clear();
         let _ = Simulation::new(cfg);
+    }
+
+    #[test]
+    fn validate_reports_typed_errors() {
+        assert!(base_cfg().validate().is_ok());
+        let mut cfg = base_cfg();
+        cfg.capacity = 0.0;
+        assert_eq!(cfg.validate().unwrap_err().field, "capacity");
+        let mut cfg = base_cfg();
+        cfg.flows[0].initial_rate = f64::NAN;
+        assert_eq!(cfg.validate().unwrap_err().field, "flows.initial_rate");
+        let mut cfg = base_cfg();
+        cfg.faults.feedback_loss = 1.5;
+        assert_eq!(cfg.validate().unwrap_err().field, "faults.feedback_loss");
+    }
+
+    #[test]
+    fn fault_free_plan_records_no_faults() {
+        let report = Simulation::new(base_cfg()).run();
+        assert_eq!(report.metrics.faults, crate::faults::FaultCounts::default());
+    }
+
+    #[test]
+    fn total_feedback_loss_silences_the_control_loop() {
+        let mut cfg = base_cfg();
+        cfg.faults.feedback_loss = 1.0;
+        let report = Simulation::new(cfg).run();
+        assert_eq!(report.metrics.feedback_messages, 0, "every BCN message must be dropped");
+        assert!(report.metrics.faults.feedback_dropped > 0);
+        assert!(report.metrics.delivered_frames > 0, "data plane keeps flowing");
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic() {
+        let mut cfg = base_cfg();
+        cfg.faults.seed = 7;
+        cfg.faults.feedback_loss = 0.3;
+        cfg.faults.feedback_corrupt = 0.1;
+        cfg.faults.data_loss = 0.01;
+        let a = Simulation::new(cfg.clone()).run();
+        let b = Simulation::new(cfg).run();
+        assert_eq!(a.metrics.faults, b.metrics.faults);
+        assert_eq!(a.metrics.delivered_frames, b.metrics.delivered_frames);
+        assert_eq!(a.metrics.queue.values(), b.metrics.queue.values());
+        assert_eq!(a.final_rates, b.final_rates);
+    }
+
+    #[test]
+    fn data_loss_thins_the_delivered_stream() {
+        let baseline = Simulation::new(base_cfg()).run();
+        let mut cfg = base_cfg();
+        cfg.faults.data_loss = 0.2;
+        cfg.faults.data_burst_len = 3;
+        let report = Simulation::new(cfg).run();
+        assert!(report.metrics.faults.data_frames_lost > 0);
+        assert!(report.metrics.delivered_frames < baseline.metrics.delivered_frames);
+    }
+
+    #[test]
+    fn link_flaps_defer_service() {
+        let mut cfg = base_cfg();
+        cfg.faults.link_flap_period = Duration::from_secs(0.01);
+        cfg.faults.link_flap_down = Duration::from_secs(0.002);
+        let report = Simulation::new(cfg).run();
+        assert!(report.metrics.faults.link_flap_deferrals > 0);
+    }
+
+    #[test]
+    fn pause_storms_are_counted_when_pause_fires() {
+        let mut cfg = base_cfg();
+        for f in &mut cfg.flows {
+            f.initial_rate = cfg.capacity / 3.0;
+        }
+        if let Control::Bcn { cp, .. } = &mut cfg.control {
+            cp.qsc_bits = cp.q0_bits * 1.5;
+        }
+        cfg.t_end = Time::from_secs(0.2);
+        cfg.faults.pause_storm = 1.0;
+        cfg.faults.pause_storm_factor = 4.0;
+        let report = Simulation::new(cfg).run();
+        assert!(report.metrics.pause_events > 0);
+        assert_eq!(report.metrics.faults.pause_storms, report.metrics.pause_events);
+    }
+
+    #[test]
+    fn fault_telemetry_matches_metrics_counts() {
+        use telemetry::{Event, FaultClass, Telemetry, TelemetryLevel};
+        let mut cfg = base_cfg();
+        cfg.faults.feedback_loss = 0.5;
+        cfg.faults.data_loss = 0.05;
+        let report = Simulation::with_telemetry(cfg, Telemetry::new(TelemetryLevel::Full)).run();
+        let tel = report.telemetry.unwrap();
+        assert_eq!(
+            tel.metrics.counter_by_name("faults.feedback_drop"),
+            Some(report.metrics.faults.feedback_dropped)
+        );
+        assert_eq!(
+            tel.metrics.counter_by_name("faults.data_loss"),
+            Some(report.metrics.faults.data_frames_lost)
+        );
+        let traced = tel
+            .trace
+            .iter()
+            .filter(|e| matches!(e, Event::FaultInjected { class: FaultClass::FeedbackDrop, .. }))
+            .count() as u64
+            + tel.trace.overwritten();
+        assert!(traced >= report.metrics.faults.feedback_dropped.min(1));
+    }
+
+    #[test]
+    fn corruption_is_tallied_and_survivable() {
+        let mut cfg = base_cfg();
+        cfg.faults.feedback_corrupt = 1.0;
+        let report = Simulation::new(cfg).run();
+        let f = &report.metrics.faults;
+        assert!(f.feedback_corrupted > 0);
+        // Some corrupt frames fail to decode and are lost on the wire.
+        assert!(f.feedback_corrupt_lost <= f.feedback_corrupted);
     }
 }

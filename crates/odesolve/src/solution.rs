@@ -91,10 +91,10 @@ impl<const N: usize> Solution<N> {
     /// recorded range. Returns `None` outside the range.
     #[must_use]
     pub fn sample(&self, t: f64) -> Option<[f64; N]> {
-        if t < self.ts[0] || t > self.last_time() {
+        if !t.is_finite() || t < self.ts[0] || t > self.last_time() {
             return None;
         }
-        let idx = match self.ts.binary_search_by(|v| v.partial_cmp(&t).expect("finite times")) {
+        let idx = match self.ts.binary_search_by(|v| v.total_cmp(&t)) {
             Ok(i) => return Some(self.ys[i]),
             Err(i) => i,
         };
@@ -159,6 +159,8 @@ mod tests {
         assert_eq!(s.sample(2.0), Some([4.0]));
         assert_eq!(s.sample(-0.1), None);
         assert_eq!(s.sample(2.1), None);
+        assert_eq!(s.sample(f64::NAN), None);
+        assert_eq!(s.sample(f64::INFINITY), None);
     }
 
     #[test]

@@ -9,6 +9,73 @@ pub enum ExtremumKind {
     Min,
 }
 
+/// The class of an injected fault (see the `dcesim::faults` module; each
+/// class draws from its own deterministic decision stream).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultClass {
+    /// A BCN feedback message was silently dropped.
+    FeedbackDrop,
+    /// A BCN feedback message had a wire bit flipped in flight.
+    FeedbackCorrupt,
+    /// A BCN feedback message was held for a fixed extra delay.
+    FeedbackDelay,
+    /// A BCN feedback message was jittered out of order.
+    FeedbackReorder,
+    /// A data frame was lost on the wire (loss burst).
+    DataLoss,
+    /// The bottleneck link flapped down, deferring service.
+    LinkFlap,
+    /// A PAUSE assertion was amplified to a longer hold.
+    PauseStorm,
+}
+
+impl FaultClass {
+    /// Every class, in stable index order.
+    pub const ALL: [FaultClass; 7] = [
+        FaultClass::FeedbackDrop,
+        FaultClass::FeedbackCorrupt,
+        FaultClass::FeedbackDelay,
+        FaultClass::FeedbackReorder,
+        FaultClass::DataLoss,
+        FaultClass::LinkFlap,
+        FaultClass::PauseStorm,
+    ];
+
+    /// Stable dense index of this class (0-based, `< ALL.len()`).
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            FaultClass::FeedbackDrop => 0,
+            FaultClass::FeedbackCorrupt => 1,
+            FaultClass::FeedbackDelay => 2,
+            FaultClass::FeedbackReorder => 3,
+            FaultClass::DataLoss => 4,
+            FaultClass::LinkFlap => 5,
+            FaultClass::PauseStorm => 6,
+        }
+    }
+
+    /// Stable snake_case tag (the JSONL `class` field).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultClass::FeedbackDrop => "feedback_drop",
+            FaultClass::FeedbackCorrupt => "feedback_corrupt",
+            FaultClass::FeedbackDelay => "feedback_delay",
+            FaultClass::FeedbackReorder => "feedback_reorder",
+            FaultClass::DataLoss => "data_loss",
+            FaultClass::LinkFlap => "link_flap",
+            FaultClass::PauseStorm => "pause_storm",
+        }
+    }
+
+    /// Parses a tag produced by [`FaultClass::name`].
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<FaultClass> {
+        FaultClass::ALL.into_iter().find(|c| c.name() == name)
+    }
+}
+
 /// One instrumentation event.
 ///
 /// Every variant carries the simulation time `t` (seconds) at which it
@@ -110,6 +177,15 @@ pub enum Event {
         /// Port (source index) whose frame was dropped.
         port: u32,
     },
+    /// The fault layer injected a fault.
+    FaultInjected {
+        /// Injection time.
+        t: f64,
+        /// Which fault class fired.
+        class: FaultClass,
+        /// The affected entity (source index, or 0 for the bottleneck).
+        target: u32,
+    },
 }
 
 impl Event {
@@ -127,7 +203,8 @@ impl Event {
             | Event::QcnMessageEmitted { t, .. }
             | Event::PauseAsserted { t, .. }
             | Event::PauseDeasserted { t, .. }
-            | Event::FrameDropped { t, .. } => t,
+            | Event::FrameDropped { t, .. }
+            | Event::FaultInjected { t, .. } => t,
         }
     }
 
@@ -146,6 +223,7 @@ impl Event {
             Event::PauseAsserted { .. } => "pause_asserted",
             Event::PauseDeasserted { .. } => "pause_deasserted",
             Event::FrameDropped { .. } => "frame_dropped",
+            Event::FaultInjected { .. } => "fault_injected",
         }
     }
 }
@@ -176,10 +254,23 @@ mod tests {
             Event::PauseAsserted { t: 0.0, port: 0 },
             Event::PauseDeasserted { t: 0.0, port: 0 },
             Event::FrameDropped { t: 0.0, port: 0 },
+            Event::FaultInjected { t: 0.0, class: FaultClass::FeedbackDrop, target: 0 },
         ];
         let mut names: Vec<&str> = events.iter().map(Event::type_name).collect();
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), events.len());
+    }
+
+    #[test]
+    fn fault_class_names_round_trip() {
+        for c in FaultClass::ALL {
+            assert_eq!(FaultClass::from_name(c.name()), Some(c));
+        }
+        assert_eq!(FaultClass::from_name("no_such_fault"), None);
+        // Dense, stable indices.
+        for (i, c) in FaultClass::ALL.into_iter().enumerate() {
+            assert_eq!(c.index(), i);
+        }
     }
 }

@@ -7,7 +7,7 @@
 //! are accepted and produced for non-finite values so every event
 //! round-trips bit-for-bit.
 
-use crate::event::{Event, ExtremumKind};
+use crate::event::{Event, ExtremumKind, FaultClass};
 
 /// Error produced when a JSONL line cannot be parsed back to an event.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -80,6 +80,11 @@ pub fn event_to_jsonl(e: &Event) -> String {
         | Event::FrameDropped { t, port } => {
             format!(r#"{{"type":"{ty}","t":{},"port":{port}}}"#, fmt_f64(t))
         }
+        Event::FaultInjected { t, class, target } => format!(
+            r#"{{"type":"{ty}","t":{},"class":"{}","target":{target}}}"#,
+            fmt_f64(t),
+            class.name()
+        ),
     }
 }
 
@@ -233,6 +238,12 @@ pub fn event_from_jsonl(line: &str) -> Result<Event, JsonlError> {
         "pause_asserted" => Ok(Event::PauseAsserted { t, port: get("port")?.as_u32("port")? }),
         "pause_deasserted" => Ok(Event::PauseDeasserted { t, port: get("port")?.as_u32("port")? }),
         "frame_dropped" => Ok(Event::FrameDropped { t, port: get("port")?.as_u32("port")? }),
+        "fault_injected" => {
+            let name = get("class")?.as_str("class")?;
+            let class = FaultClass::from_name(name)
+                .ok_or_else(|| JsonlError(format!("unknown fault class `{name}`")))?;
+            Ok(Event::FaultInjected { t, class, target: get("target")?.as_u32("target")? })
+        }
         other => Err(JsonlError(format!("unknown event type `{other}`"))),
     }
 }
@@ -256,6 +267,8 @@ mod tests {
             Event::PauseAsserted { t: 7.0, port: 2 },
             Event::PauseDeasserted { t: 7.5, port: 2 },
             Event::FrameDropped { t: 8.0, port: u32::MAX },
+            Event::FaultInjected { t: 9.0, class: FaultClass::FeedbackCorrupt, target: 3 },
+            Event::FaultInjected { t: 9.5, class: FaultClass::PauseStorm, target: 0 },
         ];
         for e in events {
             let line = event_to_jsonl(&e);
@@ -293,6 +306,7 @@ mod tests {
             r#"{"type":"no_such_event","t":1.0}"#,
             r#"{"type":"frame_dropped","t":1.0,"port":-1}"#,
             r#"{"type":"frame_dropped","t":1.0,"port":1.5}"#,
+            r#"{"type":"fault_injected","t":1.0,"class":"no_such_fault","target":0}"#,
         ] {
             assert!(event_from_jsonl(bad).is_err(), "accepted: {bad}");
         }

@@ -37,7 +37,7 @@ mod logging;
 mod metrics;
 mod trace;
 
-pub use event::{Event, ExtremumKind};
+pub use event::{Event, ExtremumKind, FaultClass};
 pub use histogram::Histogram;
 pub use jsonl::{event_from_jsonl, event_to_jsonl, JsonlError};
 pub use level::TelemetryLevel;
@@ -59,6 +59,7 @@ struct CoreIds {
     qcn_messages: CounterId,
     pause_events: CounterId,
     frames_dropped: CounterId,
+    faults: [CounterId; FaultClass::ALL.len()],
     step_size: HistogramId,
     step_error: HistogramId,
     event_iters: HistogramId,
@@ -105,6 +106,7 @@ impl Telemetry {
             qcn_messages: metrics.counter("sim.qcn_messages"),
             pause_events: metrics.counter("sim.pause_events"),
             frames_dropped: metrics.counter("sim.frames_dropped"),
+            faults: FaultClass::ALL.map(|c| metrics.counter(&format!("faults.{}", c.name()))),
             step_size: metrics.histogram("solver.step_size_s"),
             step_error: metrics.histogram("solver.step_error"),
             event_iters: metrics.histogram("solver.event_location_iters"),
@@ -258,6 +260,17 @@ impl Telemetry {
         self.push(Event::FrameDropped { t, port });
     }
 
+    /// Records an injected fault of `class` hitting `target` at time `t`
+    /// (per-class counters `faults.<class>` plus a trace event).
+    #[inline]
+    pub fn fault_injected(&mut self, t: f64, class: FaultClass, target: u32) {
+        if !self.enabled() {
+            return;
+        }
+        self.metrics.inc(self.ids.faults[class.index()], 1);
+        self.push(Event::FaultInjected { t, class, target });
+    }
+
     /// Merges a worker shard into this sink.
     ///
     /// Counters add, gauge envelopes widen (`last` taken from the shard
@@ -401,6 +414,22 @@ mod tests {
         assert_eq!(merged.trace.len(), reference.trace.len());
         let ts: Vec<f64> = merged.trace.iter().map(Event::time).collect();
         assert!(ts.windows(2).all(|w| w[0] <= w[1]), "merged trace out of order: {ts:?}");
+    }
+
+    #[test]
+    fn fault_hook_feeds_per_class_counters_and_trace() {
+        let mut tel = Telemetry::new(TelemetryLevel::Full);
+        tel.fault_injected(0.1, FaultClass::FeedbackDrop, 2);
+        tel.fault_injected(0.2, FaultClass::FeedbackDrop, 3);
+        tel.fault_injected(0.3, FaultClass::PauseStorm, 0);
+        assert_eq!(tel.metrics.counter_by_name("faults.feedback_drop"), Some(2));
+        assert_eq!(tel.metrics.counter_by_name("faults.pause_storm"), Some(1));
+        assert_eq!(tel.metrics.counter_by_name("faults.data_loss"), Some(0));
+        assert_eq!(tel.trace.len(), 3);
+        // Off level stays a no-op.
+        let mut off = Telemetry::new(TelemetryLevel::Off);
+        off.fault_injected(0.1, FaultClass::DataLoss, 1);
+        assert_eq!(off.metrics.counter_by_name("faults.data_loss"), Some(0));
     }
 
     #[test]

@@ -24,4 +24,25 @@ echo "== sweep scaling smoke (equivalence check) =="
 DCE_BCN_SWEEP_GRID=8 DCE_BCN_SWEEP_REPS=1 \
   cargo run --release -p bench --bin sweep_scaling
 
+echo "== fault-injection smoke (Theorem 1 degradation gap) =="
+# Quick mode writes a reduced grid; keep it out of the committed results/.
+DCE_BCN_QUICK=1 DCE_BCN_RESULTS=$(mktemp -d) \
+  cargo run --release -p bench --bin exp_feedback_degradation
+
+echo "== batch quarantine smoke (panicking seed isolated) =="
+# One intentionally panicking seed must be quarantined (exit 0, 7 of 8
+# seeds complete); --fail-fast must turn the same run into exit 9.
+out=$(./target/release/dcebcn batch --seeds 8 --t-end 0.01 \
+  --faults panic-seed=3 2>/dev/null)
+echo "$out" | grep -q "quarantined 1 of 8 seeds"
+if ./target/release/dcebcn batch --seeds 8 --t-end 0.01 \
+  --faults panic-seed=3 --fail-fast >/dev/null 2>&1; then
+  echo "fail-fast unexpectedly succeeded" >&2
+  exit 1
+elif [ "$(./target/release/dcebcn batch --seeds 8 --t-end 0.01 \
+  --faults panic-seed=3 --fail-fast >/dev/null 2>&1; echo $?)" != "9" ]; then
+  echo "fail-fast exited with the wrong code" >&2
+  exit 1
+fi
+
 echo "CI OK"

@@ -1,0 +1,18 @@
+//! The `dcebcn` binary: thin wrapper over the `cli` library.
+//!
+//! Failures are lifted into the workspace-wide [`dce_bcn::Error`]
+//! taxonomy so each failure family maps to a distinct exit code (2
+//! usage, 3 model/analysis, 4 solver, 5 Poincaré, 6 wire, 7 simulator
+//! config, 8 I/O, 9 batch fail-fast).
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match cli::run(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            let e = dce_bcn::Error::from(e);
+            telemetry::log_line!("{e}");
+            std::process::exit(e.exit_code());
+        }
+    }
+}

@@ -12,9 +12,19 @@
 //! * [`plotkit`] — CSV/SVG/ASCII reporting used by the figure generators.
 //! * [`telemetry`] — metrics registry, event tracing, and JSONL export
 //!   shared by the solvers, the simulator, and the CLI.
+//! * [`cli`] — the `dcebcn` command-line front end as a library.
+//!
+//! On top of the re-exports, [`Error`] unifies every typed failure the
+//! workspace can report behind one conversion layer with per-family
+//! process exit codes; the `dcebcn` binary is a thin wrapper over
+//! [`cli::run`] plus that mapping.
+
+mod error;
 
 pub use bcn;
+pub use cli;
 pub use dcesim;
+pub use error::Error;
 pub use odesolve;
 pub use phaseplane;
 pub use plotkit;

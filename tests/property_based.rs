@@ -1,6 +1,8 @@
 //! Property-based tests (proptest) over randomly drawn, valid BCN
 //! parameterisations: the paper's structural invariants must hold on all
-//! of them, not just the hand-picked examples.
+//! of them, not just the hand-picked examples. A second block covers the
+//! robustness layer: the wire codec under arbitrary byte corruption and
+//! the fault plan's deterministic replay guarantee.
 
 use bcn::cases::{classify_params, region_shape};
 use bcn::closed_form::RegionFlow;
@@ -184,5 +186,76 @@ proptest! {
             prop_assert!(!kind.is_attracting());
             prop_assert!(kind != FixedPointKind::Saddle);
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// The wire codec never panics on corrupted input: any number of
+    /// byte flips yields either a typed decode error or a message whose
+    /// fields survive a re-encode. This is the property the fault
+    /// layer's feedback-corruption path leans on.
+    #[test]
+    fn wire_decode_survives_arbitrary_corruption(
+        sigma in -1e9..1e9f64,
+        dst in any::<u32>(),
+        cpid in any::<u64>(),
+        flips in proptest::collection::vec((0usize..30, 0u8..8), 0..16),
+    ) {
+        use dcesim::frame::{BcnMessage, CpId, SourceId};
+        use dcesim::wire;
+
+        let m = BcnMessage { dst: SourceId(dst), cpid: CpId(cpid), sigma };
+        let mut bytes = wire::encode(&m);
+        for (pos, bit) in flips {
+            bytes[pos] ^= 1u8 << bit;
+        }
+        match wire::decode(&bytes) {
+            Ok(decoded) => {
+                prop_assert!(decoded.sigma.is_finite());
+                let _ = wire::encode(&decoded);
+            }
+            Err(e) => prop_assert!(!e.to_string().is_empty()),
+        }
+    }
+
+    /// Fault plans are pure functions of their configuration: two plans
+    /// built from the same `FaultConfig` replay the identical decision
+    /// stream, which is what makes faulty batch runs bit-identical at
+    /// any thread count (each seed owns its own plan and counter).
+    #[test]
+    fn fault_plans_replay_their_decision_stream(
+        seed in any::<u64>(),
+        loss in 0.0..1.0f64,
+        corrupt in 0.0..1.0f64,
+        data_loss in 0.0..1.0f64,
+        storm in 0.0..1.0f64,
+        draws in 1usize..200,
+    ) {
+        use dcesim::faults::{FaultConfig, FaultPlan};
+        use dcesim::frame::{BcnMessage, CpId, SourceId};
+        use dcesim::time::Duration;
+
+        let cfg = FaultConfig {
+            seed,
+            feedback_loss: loss,
+            feedback_corrupt: corrupt,
+            data_loss,
+            pause_storm: storm,
+            pause_storm_factor: 3.0,
+            ..FaultConfig::none()
+        };
+        cfg.validate().unwrap();
+        let mut a = FaultPlan::new(cfg.clone());
+        let mut b = FaultPlan::new(cfg);
+        let msg = BcnMessage { dst: SourceId(7), cpid: CpId(11), sigma: -512.0 };
+        let hold = Duration::from_secs(1e-6);
+        for _ in 0..draws {
+            prop_assert_eq!(a.data_frame_lost(), b.data_frame_lost());
+            prop_assert_eq!(a.pause_hold(hold), b.pause_hold(hold));
+            prop_assert_eq!(a.feedback_fate(&msg), b.feedback_fate(&msg));
+        }
+        prop_assert_eq!(a.counts(), b.counts());
     }
 }
