@@ -19,8 +19,9 @@ use std::fmt;
 
 use phaseplane::{classify, FixedPointKind};
 
-use crate::model::{BcnFluid, Region};
+use crate::model::Region;
 use crate::params::BcnParams;
+use crate::propagate::Propagator;
 
 /// Local trajectory shape of one control region.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -150,10 +151,17 @@ pub fn b_threshold(params: &BcnParams) -> f64 {
 }
 
 /// Shape of one region for the given parameters.
+///
+/// The characteristic constant is read straight off the parameters
+/// (`n = a` or `n = b C`, paper Eq. 35) — no model construction needed,
+/// which keeps this hot classification path allocation-free.
 #[must_use]
 pub fn region_shape(params: &BcnParams, region: Region) -> RegionShape {
-    let sys = BcnFluid::linearized(params.clone());
-    RegionShape::from_kn(params.k(), sys.region_n(region))
+    let n = match region {
+        Region::Increase => params.a(),
+        Region::Decrease => params.b() * params.capacity,
+    };
+    RegionShape::from_kn(params.k(), n)
 }
 
 /// Classifies a parameter set into the paper's Case 1–5 taxonomy.
@@ -179,10 +187,12 @@ pub fn classify_params(params: &BcnParams) -> CaseAnalysis {
 
 /// Sanity bridge to the generic classifier: the paper's regions are always
 /// *stable* foci/nodes (Proposition 1), never saddles or unstable points.
+///
+/// The Jacobian comes from the memo-cached [`Propagator`] decomposition,
+/// so repeated classification inside a sweep does not rebuild it.
 #[must_use]
 pub fn fixed_point_kind(params: &BcnParams, region: Region) -> FixedPointKind {
-    let sys = BcnFluid::linearized(params.clone());
-    classify(&sys.jacobian(region))
+    classify(&Propagator::for_params(params).flow(region).jacobian())
 }
 
 /// Convenience: parameter sets exhibiting each case, derived from a base

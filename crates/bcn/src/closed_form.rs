@@ -151,8 +151,19 @@ impl RegionFlow {
     /// `g(z(t))` crosses zero, found by scanning at [`Self::scan_step`]
     /// resolution up to `t_max` and bisecting the first sign change.
     ///
+    /// A sign-change scan alone silently skips any crossing *narrower
+    /// than the scan step* (the observable dips through zero and back
+    /// between two samples). A refinement pass guards against that: when
+    /// three consecutive samples of the same sign form a dip towards
+    /// zero, the dip's extremum is located by golden-section search and,
+    /// if it pierces zero, the first crossing inside the dip is bisected.
+    ///
     /// Returns `None` if no crossing occurs before `t_max` (e.g. an
     /// asymptotic node approach, the paper's Case 3 decrease leg).
+    ///
+    /// This is the general-observable solver; the switching-line
+    /// observable of the BCN hot paths has a closed-form crossing time in
+    /// [`crate::propagate::crossing_time`], which should be preferred.
     pub fn first_zero<G: Fn([f64; 2]) -> f64>(
         &self,
         z0: [f64; 2],
@@ -160,42 +171,49 @@ impl RegionFlow {
         t_max: f64,
     ) -> Option<f64> {
         let dt = self.scan_step();
+        let eval = |t: f64| g(self.at(t, z0));
         let mut t_prev = 0.0;
         let mut g_prev = g(z0);
-        let mut t = dt;
         // If we start exactly on the zero set, step off it first.
         if g_prev == 0.0 {
             t_prev = 1e-9 * dt;
-            g_prev = g(self.at(t_prev, z0));
+            g_prev = eval(t_prev);
             if g_prev == 0.0 {
                 return None; // degenerate: the observable vanishes identically
             }
         }
+        // The sample before (t_prev, g_prev): the left shoulder of a
+        // potential dip.
+        let mut back: Option<(f64, f64)> = None;
+        let mut t = dt;
         while t <= t_max {
-            let g_now = g(self.at(t, z0));
+            let g_now = eval(t);
             if g_now == 0.0 {
                 return Some(t);
             }
             if g_now.signum() != g_prev.signum() {
-                // Bisect [t_prev, t].
-                let (mut lo, mut hi) = (t_prev, t);
-                for _ in 0..80 {
-                    let mid = 0.5 * (lo + hi);
-                    if mid <= lo || mid >= hi {
-                        break;
+                return Some(bisect_sign_change(&eval, t_prev, t));
+            }
+            // Refinement pass: |g| has a sampled local minimum at t_prev
+            // with all three samples of one sign — a crossing narrower
+            // than the scan step may hide between the shoulders.
+            if let Some((t_back, g_back)) = back {
+                let sign = g_prev.signum();
+                if sign * (g_back - g_prev) > 0.0 && sign * (g_now - g_prev) > 0.0 {
+                    let h = |tt: f64| sign * eval(tt);
+                    let t_dip = golden_min(&h, t_back, t);
+                    let h_dip = h(t_dip);
+                    if h_dip == 0.0 {
+                        return Some(t_dip);
                     }
-                    let gm = g(self.at(mid, z0));
-                    if gm == 0.0 {
-                        return Some(mid);
-                    }
-                    if gm.signum() == g_prev.signum() {
-                        lo = mid;
-                    } else {
-                        hi = mid;
+                    if h_dip < 0.0 {
+                        // The dip pierces zero: the first crossing lies
+                        // between the left shoulder and the dip bottom.
+                        return Some(bisect_sign_change(&eval, t_back, t_dip));
                     }
                 }
-                return Some(0.5 * (lo + hi));
             }
+            back = Some((t_prev, g_prev));
             t_prev = t;
             g_prev = g_now;
             t += dt;
@@ -216,6 +234,61 @@ impl RegionFlow {
     pub fn time_to_extremum(&self, z0: [f64; 2], t_max: f64) -> Option<f64> {
         self.first_zero(z0, |z| z[1], t_max)
     }
+}
+
+/// Bisects a bracketed sign change of `eval` down to floating-point
+/// resolution. `eval(lo)` and `eval(hi)` must have opposite signs.
+fn bisect_sign_change<F: Fn(f64) -> f64>(eval: &F, mut lo: f64, mut hi: f64) -> f64 {
+    let mut g_lo = eval(lo);
+    if g_lo == 0.0 {
+        return lo;
+    }
+    for _ in 0..80 {
+        let mid = 0.5 * (lo + hi);
+        if mid <= lo || mid >= hi {
+            break;
+        }
+        let gm = eval(mid);
+        if gm == 0.0 {
+            return mid;
+        }
+        if gm.signum() == g_lo.signum() {
+            lo = mid;
+            g_lo = gm;
+        } else {
+            hi = mid;
+        }
+    }
+    0.5 * (lo + hi)
+}
+
+/// Golden-section search for the minimiser of a unimodal `h` on
+/// `[lo, hi]`.
+fn golden_min<F: Fn(f64) -> f64>(h: &F, mut lo: f64, mut hi: f64) -> f64 {
+    const INV_PHI: f64 = 0.618_033_988_749_894_9;
+    let mut c = hi - INV_PHI * (hi - lo);
+    let mut d = lo + INV_PHI * (hi - lo);
+    let mut hc = h(c);
+    let mut hd = h(d);
+    for _ in 0..80 {
+        if hc <= hd {
+            hi = d;
+            d = c;
+            hd = hc;
+            c = hi - INV_PHI * (hi - lo);
+            hc = h(c);
+        } else {
+            lo = c;
+            c = d;
+            hc = hd;
+            d = lo + INV_PHI * (hi - lo);
+            hd = h(d);
+        }
+        if hi - lo <= f64::EPSILON * hi.abs().max(1.0) {
+            break;
+        }
+    }
+    0.5 * (lo + hi)
 }
 
 /// The paper's explicit spiral solution (Eq. 12):
@@ -532,6 +605,69 @@ mod tests {
         let period = std::f64::consts::TAU / 2.0;
         let z = f.at(period, z0);
         assert!((z[0] - z0[0]).abs() < 1e-9 && (z[1] - z0[1]).abs() < 1e-9, "{z:?}");
+    }
+
+    #[test]
+    fn first_zero_catches_crossing_narrower_than_scan_step() {
+        // Regression for the crossing-miss hazard: a weakly damped focus
+        // whose observable `g = x - c` dips below zero only inside a
+        // window narrower than the scan step. The threshold `c` is placed
+        // strictly between the trajectory's first dip minimum and the
+        // lowest value any scan-grid sample reaches, so a pure
+        // sign-change scan at scan_step resolution (the old behaviour,
+        // simulated below) sees a positive observable everywhere and
+        // reports no crossing — yet two genuine crossings exist.
+        let f = RegionFlow::from_mn(0.2, 10.0); // alpha = -0.1, beta ~ 3.16
+        let z0 = [1.0, 0.3]; // y0 != 0 keeps the dip off the scan grid
+        let dt = f.scan_step();
+        let t_max = 4.0;
+
+        // Locate the first dip of x(t) on a fine grid.
+        let fine = dt / 2048.0;
+        let mut t_star = 0.0;
+        let mut x_min = f64::INFINITY;
+        let mut tt = fine;
+        while tt <= t_max {
+            let x = f.at(tt, z0)[0];
+            if x < x_min {
+                x_min = x;
+                t_star = tt;
+            } else if x > x_min + 0.5 {
+                break; // well past the first dip
+            }
+            tt += fine;
+        }
+        // Lowest scan-grid sample over the horizon.
+        let mut grid_min = f.at(0.0, z0)[0];
+        let mut tg = dt;
+        while tg <= t_max {
+            grid_min = grid_min.min(f.at(tg, z0)[0]);
+            tg += dt;
+        }
+        assert!(
+            grid_min - x_min > 1e-3,
+            "construction degenerate: grid sample hit the dip bottom \
+             (grid {grid_min} vs true {x_min})"
+        );
+        let c = 0.5 * (x_min + grid_min);
+        let g = |z: [f64; 2]| z[0] - c;
+
+        // The old sign-change-only scan misses it: every grid sample is
+        // positive.
+        let mut tg = dt;
+        let mut old_scan_sees_crossing = g(z0) <= 0.0;
+        while tg <= t_max {
+            old_scan_sees_crossing |= g(f.at(tg, z0)) <= 0.0;
+            tg += dt;
+        }
+        assert!(!old_scan_sees_crossing, "dip must be invisible at scan_step resolution");
+
+        // The refinement pass catches it, before the dip bottom.
+        let t_hit = f.first_zero(z0, g, t_max).expect("refined scan must find the hidden dip");
+        let x_hit = f.at(t_hit, z0)[0];
+        assert!((x_hit - c).abs() < 1e-9, "crossing value x = {x_hit} vs threshold {c}");
+        assert!(t_hit < t_star, "must report the dip's *first* crossing (t = {t_hit})");
+        assert!(t_hit > t_star - 2.0 * dt, "crossing should sit inside the dip window");
     }
 
     #[test]

@@ -36,6 +36,10 @@
 //!   (Eq. 29) forms.
 //! * [`extrema`] — the queue-extrema formulas (Eqs. 18–20, 28, 34) and
 //!   numerically robust equivalents.
+//! * [`propagate`] — the semi-analytic engine: memo-cached spectral
+//!   decompositions per parameter set, closed-form switching-line
+//!   crossing times (Newton-polished), and analytic leg-by-leg
+//!   trajectory integration — the fast path of every sweep.
 //! * [`rounds`] — round-by-round switching analysis: crossing points,
 //!   durations `T_i`, `T_d`, per-round amplitudes and the contraction
 //!   ratio of the round map.
@@ -86,6 +90,7 @@ pub mod limit_cycle;
 pub mod linear_baseline;
 pub mod model;
 pub mod params;
+pub mod propagate;
 pub mod rounds;
 pub mod simulate;
 pub mod stability;
@@ -97,3 +102,4 @@ pub use cases::{CaseId, RegionShape};
 pub use error::BcnError;
 pub use model::{BcnFluid, Linearity, Region};
 pub use params::BcnParams;
+pub use simulate::Engine;

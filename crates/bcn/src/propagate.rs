@@ -1,0 +1,565 @@
+//! Semi-analytic propagation of the switched BCN system.
+//!
+//! The paper's central observation is that each control region of the
+//! linearised model is a *solved* system: trajectories are logarithmic
+//! spirals, node parabolas, or critically damped arcs with explicit
+//! formulas (Eqs. 12–34). This module turns that structure into the fast
+//! path used by every sweep:
+//!
+//! * [`Propagator`] — both regions' [`RegionFlow`] spectral
+//!   decompositions, precomputed once per parameter set and shared across
+//!   sweep cells through a process-wide memo cache keyed by the derived
+//!   constants `(k, a, bC)`. The cache is a pure function of its key, so
+//!   cached and freshly built propagators are bit-identical and the
+//!   parallel-sweep determinism contract is preserved at any thread
+//!   count.
+//! * [`crossing_time`] — the switching-line crossing time of a leg from
+//!   the *closed form* of the scalar `s(t) = x(t) + k y(t)`: an explicit
+//!   zero formula per spectrum polished by safeguarded Newton iteration
+//!   inside a bisection bracket, replacing the linear `scan_step` sweep
+//!   of [`RegionFlow::first_zero`] on the hot path.
+//! * [`analytic_trajectory`] — a drop-in replacement for the DOPRI5
+//!   hybrid integrator on the linearised model: walks trajectory legs
+//!   analytically and emits the same [`HybridSolution`] shape (mode
+//!   intervals, switch-budget semantics, dense samples on request), with
+//!   each leg's queue extremum inserted as an exact sample.
+//!
+//! The numeric integrator remains the cross-check: `bench --bin
+//! fluid_engine` and the test suite compare both engines cell by cell.
+
+use std::collections::HashMap;
+use std::f64::consts::{FRAC_PI_2, PI};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use odesolve::hybrid::{HybridSolution, ModeInterval};
+use odesolve::Solution;
+
+use crate::closed_form::{RegionFlow, Spectrum};
+use crate::extrema::region_extremum;
+use crate::model::{BcnFluid, Region};
+use crate::params::BcnParams;
+use crate::rounds::departing_region;
+use crate::simulate::FluidOptions;
+
+/// Upper bound on memoised parameter sets; beyond it new propagators are
+/// built on the fly without eviction (sweep grids are far smaller, and a
+/// bounded map keeps long batch runs from growing without limit).
+const CACHE_CAP: usize = 4096;
+
+static CACHE_HITS: AtomicU64 = AtomicU64::new(0);
+static CACHE_MISSES: AtomicU64 = AtomicU64::new(0);
+
+fn cache() -> &'static Mutex<HashMap<[u64; 3], Propagator>> {
+    static CACHE: OnceLock<Mutex<HashMap<[u64; 3], Propagator>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Cumulative `(hits, misses)` of the propagator memo cache since process
+/// start. Useful for benchmark reporting; the counters are global, so
+/// deltas (not absolutes) are the meaningful quantity in tests.
+#[must_use]
+pub fn cache_stats() -> (u64, u64) {
+    (CACHE_HITS.load(Ordering::Relaxed), CACHE_MISSES.load(Ordering::Relaxed))
+}
+
+/// Both regions' exact flows for one parameter set, plus the switching
+/// slope `k`, ready for closed-form leg propagation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Propagator {
+    k: f64,
+    increase: RegionFlow,
+    decrease: RegionFlow,
+}
+
+impl Propagator {
+    /// Builds the propagator from the derived constants directly:
+    /// `n = a` in the increase region, `n = bC` in the decrease region
+    /// (paper Eq. 35).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b_c` is non-positive or `k` negative (validated
+    /// `BcnParams` always satisfy this).
+    #[must_use]
+    pub fn new(k: f64, a: f64, b_c: f64) -> Self {
+        Self { k, increase: RegionFlow::from_kn(k, a), decrease: RegionFlow::from_kn(k, b_c) }
+    }
+
+    /// The propagator for a parameter set, through the process-wide memo
+    /// cache: repeated calls with the same derived `(k, a, bC)` — the
+    /// common case inside a sweep, where every cell re-analyses the same
+    /// point many times — reuse one spectral decomposition.
+    #[must_use]
+    pub fn for_params(params: &BcnParams) -> Self {
+        let k = params.k();
+        let a = params.a();
+        let b_c = params.b() * params.capacity;
+        let key = [k.to_bits(), a.to_bits(), b_c.to_bits()];
+        if let Some(hit) = lock(cache()).get(&key) {
+            CACHE_HITS.fetch_add(1, Ordering::Relaxed);
+            return *hit;
+        }
+        CACHE_MISSES.fetch_add(1, Ordering::Relaxed);
+        let built = Self::new(k, a, b_c);
+        let mut map = lock(cache());
+        if map.len() < CACHE_CAP {
+            map.insert(key, built);
+        }
+        built
+    }
+
+    /// The switching-line slope constant `k`.
+    #[must_use]
+    pub fn k(&self) -> f64 {
+        self.k
+    }
+
+    /// The exact flow of one control region.
+    #[must_use]
+    pub fn flow(&self, region: Region) -> &RegionFlow {
+        match region {
+            Region::Increase => &self.increase,
+            Region::Decrease => &self.decrease,
+        }
+    }
+
+    /// The state reached after time `t` in `region`, starting from `z0`.
+    #[must_use]
+    pub fn propagate(&self, region: Region, t: f64, z0: [f64; 2]) -> [f64; 2] {
+        self.flow(region).at(t, z0)
+    }
+
+    /// First strictly positive time the flow from `z0` in `region`
+    /// reaches the switching line `x + k y = 0`, from the closed form.
+    /// See [`crossing_time`].
+    #[must_use]
+    pub fn crossing_time(&self, region: Region, z0: [f64; 2], t_max: f64) -> Option<f64> {
+        crossing_time(self.flow(region), self.k, z0, t_max)
+    }
+}
+
+/// First strictly positive time at which `s(t) = x(t) + k y(t)` crosses
+/// zero under `flow`, or `None` if no crossing occurs in `(0, t_max]`.
+///
+/// `s` is a linear functional of the state, so it obeys the same scalar
+/// second-order ODE as each component and its zeros have explicit
+/// formulas per spectrum:
+///
+/// * **Focus** `alpha ± i beta`:
+///   `s(t) = e^{alpha t} (s0 cos beta t + c sin beta t)` with
+///   `c = (s'0 - alpha s0)/beta` — zeros of `cos(beta t - phi)` spaced
+///   exactly `pi/beta` apart. A leg entered *on* the line (`s0 = 0`)
+///   therefore lasts exactly `pi/beta`, the paper's steady-leg duration.
+/// * **Node** `l1 < l2`: `s(t) = c1 e^{l1 t} + c2 e^{l2 t}` has at most
+///   one sign change, at `t = -ln(-c2/c1)/(l2 - l1)` when the ratio is
+///   admissible. A leg entered on the line has `c1 = -c2` and never
+///   returns (the asymptotic approach of the paper's Case 3).
+/// * **Critical** `l` repeated: `s(t) = (s0 + (s'0 - l s0) t) e^{l t}`
+///   crosses zero at most once, at `t = -s0 / (s'0 - l s0)`.
+///
+/// The closed-form candidate is then polished by safeguarded
+/// Newton/bisection inside a bracket known to contain exactly that zero,
+/// so the returned time is accurate to machine precision rather than to
+/// the old `scan_step` resolution.
+#[must_use]
+pub fn crossing_time(flow: &RegionFlow, k: f64, z0: [f64; 2], t_max: f64) -> Option<f64> {
+    if t_max.is_nan() || t_max <= 0.0 {
+        return None;
+    }
+    let j = flow.jacobian();
+    let s_and_sdot = |z: [f64; 2]| {
+        let s = z[0] + k * z[1];
+        let sd = z[1] + k * (j.c * z[0] + j.d * z[1]);
+        (s, sd)
+    };
+    let (s0, sd0) = s_and_sdot(z0);
+    let guess = match flow.spectrum() {
+        Spectrum::Focus { alpha, beta } => {
+            let c = (sd0 - alpha * s0) / beta;
+            if s0 == 0.0 {
+                if c == 0.0 {
+                    return None; // s vanishes identically
+                }
+                // Entered on the line: next zero of sin(beta t), exact.
+                let t = PI / beta;
+                return (t <= t_max).then_some(t);
+            }
+            // s ∝ cos(beta t - phi) with phi = atan2(c, s0): zeros sit at
+            // beta t = phi + pi/2 (mod pi); reduce into (0, pi] for the
+            // first strictly positive one.
+            let phi = c.atan2(s0);
+            let mut theta = phi + FRAC_PI_2; // in (-pi/2, 3 pi/2]
+            if theta > PI {
+                theta -= PI;
+            }
+            if theta <= 0.0 {
+                theta += PI;
+            }
+            theta / beta
+        }
+        Spectrum::Node { l1, l2 } => {
+            let d = l2 - l1;
+            let c1 = (l2 * s0 - sd0) / d;
+            let c2 = (sd0 - l1 * s0) / d;
+            if c1 == 0.0 {
+                return None; // pure slow mode: no sign change
+            }
+            let r = -c2 / c1;
+            if r <= 0.0 {
+                return None;
+            }
+            let t = -r.ln() / d;
+            if t <= 0.0 {
+                return None; // entered on the line (r = 1): never returns
+            }
+            t
+        }
+        Spectrum::Critical { l } => {
+            let b = sd0 - l * s0;
+            if b == 0.0 {
+                return None; // s ∝ e^{l t}: no sign change
+            }
+            let t = -s0 / b;
+            if t <= 0.0 {
+                return None;
+            }
+            t
+        }
+    };
+    if !guess.is_finite() || guess > t_max {
+        return None;
+    }
+    // Bracket exactly this zero: focus zeros are pi/beta apart, so a
+    // quarter-spacing pad cannot capture a neighbour; node and critical
+    // observables cross at most once.
+    let pad = match flow.spectrum() {
+        Spectrum::Focus { beta, .. } => 0.25 * PI / beta,
+        _ => 0.5 * guess,
+    };
+    let lo = (guess - pad).max(0.5 * guess);
+    let hi = guess + pad;
+    Some(refine_crossing(|t| s_and_sdot(flow.at(t, z0)), guess, lo, hi))
+}
+
+/// Safeguarded Newton polish of a bracketed root: Newton steps on
+/// `(s, ds/dt)` that leave `[lo, hi]` fall back to bisection, so the
+/// iteration converges to the bracketed zero unconditionally.
+fn refine_crossing(f: impl Fn(f64) -> (f64, f64), guess: f64, mut lo: f64, mut hi: f64) -> f64 {
+    let (s_lo, _) = f(lo);
+    let (s_hi, _) = f(hi);
+    if s_lo == 0.0 {
+        return lo;
+    }
+    if s_hi == 0.0 {
+        return hi;
+    }
+    if s_lo.signum() == s_hi.signum() {
+        // The bracket failed to see the sign change (sub-ulp geometry);
+        // the closed-form candidate is already as good as it gets.
+        return guess;
+    }
+    let mut t = guess.clamp(lo, hi);
+    for _ in 0..64 {
+        if hi - lo <= 4.0 * f64::EPSILON * hi.abs() {
+            break;
+        }
+        let (s, sd) = f(t);
+        if s == 0.0 {
+            return t;
+        }
+        if s.signum() == s_lo.signum() {
+            lo = t;
+        } else {
+            hi = t;
+        }
+        let newton = t - s / sd;
+        t = if newton.is_finite() && newton > lo && newton < hi { newton } else { 0.5 * (lo + hi) };
+    }
+    0.5 * (lo + hi)
+}
+
+/// Integrates the *linearised* switched system analytically: legs are
+/// propagated by the exact matrix exponential and switch times come from
+/// [`crossing_time`], no ODE stepping involved.
+///
+/// The output mirrors the DOPRI5 hybrid driver: one [`ModeInterval`] per
+/// leg, `switch_budget_exhausted` set when a leg still wants to switch
+/// after `opts.max_switches` transitions, dense samples every
+/// `opts.record_dt` within each leg. In addition, each leg's interior
+/// queue extremum (if any) is inserted as an exact sample, so
+/// `max_component`/`min_component` report true extrema regardless of the
+/// record grid — something the numeric path can only approach as
+/// `record_dt` shrinks.
+///
+/// Callers are expected to have checked `sys.linearity()`; the flows used
+/// here are the linearised ones whatever the system's own setting (the
+/// [`crate::simulate::Engine`] selector in `fluid_trajectory` performs
+/// that gating).
+#[must_use]
+pub fn analytic_trajectory(sys: &BcnFluid, p0: [f64; 2], opts: &FluidOptions) -> HybridSolution<2> {
+    let params = sys.params();
+    let prop = Propagator::for_params(params);
+    let t_end = opts.t_end;
+    let mut sol = Solution::new(0.0, p0);
+    let mut intervals: Vec<ModeInterval> = Vec::new();
+    let mut exhausted = false;
+    let mut t = 0.0;
+    let mut z = p0;
+    let mut switches = 0usize;
+    loop {
+        let region = departing_region(params, z);
+        let remaining = t_end - t;
+        if remaining <= 0.0 {
+            // Degenerate horizon: a single empty interval, mirroring the
+            // numeric driver's trivial zero-length integration.
+            intervals.push(ModeInterval { mode: region.mode_index(), t_start: t, t_end: t });
+            break;
+        }
+        let flow = prop.flow(region);
+        let cross = prop.crossing_time(region, z, remaining);
+        let leg_dur = cross.unwrap_or(remaining);
+
+        // Interior samples: the record grid plus the leg's queue extremum,
+        // in time order.
+        let mut interior: Vec<f64> = Vec::new();
+        if let Some(dt) = opts.record_dt {
+            if dt > 0.0 {
+                let mut tr = dt;
+                while tr < leg_dur - 1e-12 * dt {
+                    interior.push(tr);
+                    tr += dt;
+                }
+            }
+        }
+        if let Some(e) = region_extremum(flow, z) {
+            if e.t > 0.0 && e.t < leg_dur {
+                interior.push(e.t);
+            }
+        }
+        interior.sort_by(f64::total_cmp);
+        interior.dedup();
+        sol.push_samples(t, &interior, |tr| flow.at(tr, z));
+
+        match cross {
+            Some(tc) => {
+                let mut z_end = flow.at(tc, z);
+                // Land exactly on the switching line, the same
+                // normalisation `rounds::trace_legs` applies.
+                z_end[0] = -prop.k() * z_end[1];
+                let t_hit = t + tc;
+                sol.push(t_hit, z_end);
+                intervals.push(ModeInterval {
+                    mode: region.mode_index(),
+                    t_start: t,
+                    t_end: t_hit,
+                });
+                if t_hit >= t_end {
+                    break; // crossed exactly at the horizon
+                }
+                if switches == opts.max_switches {
+                    exhausted = true;
+                    break;
+                }
+                if t_hit <= t {
+                    break; // sub-ulp leg: time cannot advance
+                }
+                switches += 1;
+                t = t_hit;
+                z = z_end;
+            }
+            None => {
+                sol.push(t_end, flow.at(remaining, z));
+                intervals.push(ModeInterval { mode: region.mode_index(), t_start: t, t_end });
+                break;
+            }
+        }
+    }
+    HybridSolution { solution: sol, intervals, switch_budget_exhausted: exhausted }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cases::{exemplar, exemplar_case5_decrease, CaseId};
+    use crate::rounds::steady_leg_duration;
+
+    fn check_crossing_matches_scan(flow: &RegionFlow, k: f64, z0: [f64; 2], t_max: f64) {
+        let scan = flow.time_to_switching_line(z0, k, t_max);
+        let exact = crossing_time(flow, k, z0, t_max);
+        match (scan, exact) {
+            (None, None) => {}
+            (Some(ts), Some(te)) => {
+                assert!(
+                    (ts - te).abs() <= 1e-6 * ts.max(1e-12),
+                    "scan {ts} vs closed form {te} from {z0:?}"
+                );
+                let z = flow.at(te, z0);
+                assert!(
+                    (z[0] + k * z[1]).abs() <= 1e-9 * (z[0].abs() + k * z[1].abs()).max(1e-12),
+                    "closed-form crossing not on the line: {z:?}"
+                );
+            }
+            other => panic!("scan/closed-form disagree from {z0:?}: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn focus_crossing_matches_scan_solver() {
+        let flow = RegionFlow::from_kn(0.2, 10.0); // focus
+        for z0 in [[-1.0, 0.0], [0.5, -3.0], [-0.2, 4.0], [1.0, 1.0]] {
+            check_crossing_matches_scan(&flow, 0.2, z0, 50.0);
+        }
+    }
+
+    #[test]
+    fn node_crossing_matches_scan_solver() {
+        let flow = RegionFlow::from_kn(1.5, 2.0); // (kn)^2 = 9 > 8: node
+        for z0 in [[-1.0, 0.0], [-0.3, 2.0], [2.0, 1.0]] {
+            check_crossing_matches_scan(&flow, 1.5, z0, 80.0);
+        }
+    }
+
+    #[test]
+    fn critical_crossing_matches_scan_solver() {
+        let flow = RegionFlow::from_kn(1.0, 4.0); // (kn)^2 = 16 = 4n
+        assert!(matches!(flow.spectrum(), Spectrum::Critical { .. }));
+        for z0 in [[-1.0, 0.0], [-0.5, 3.0]] {
+            check_crossing_matches_scan(&flow, 1.0, z0, 80.0);
+        }
+    }
+
+    #[test]
+    fn leg_entered_on_the_line_lasts_exactly_half_a_rotation() {
+        let params = BcnParams::test_defaults();
+        let prop = Propagator::for_params(&params);
+        let Spectrum::Focus { beta, .. } = prop.flow(Region::Increase).spectrum() else {
+            panic!("test defaults must have a spiral increase region");
+        };
+        let y0 = -0.01 * params.capacity;
+        let z0 = [-prop.k() * y0, y0]; // exactly on the line, y < 0
+        let t = prop.crossing_time(Region::Increase, z0, 10.0).expect("returns to line");
+        assert_eq!(t, PI / beta, "on-line focus leg must be exactly pi/beta");
+        assert!((t - steady_leg_duration(&params, Region::Increase).unwrap()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn node_leg_entered_on_the_line_never_returns() {
+        // Case 3's decrease region is a node; a leg entered on the line
+        // slides to the origin without re-crossing (c1 = -c2).
+        let params = exemplar(&BcnParams::test_defaults(), CaseId::Case3);
+        let prop = Propagator::for_params(&params);
+        assert!(matches!(prop.flow(Region::Decrease).spectrum(), Spectrum::Node { .. }));
+        let y0 = -0.01 * params.capacity;
+        let z0 = [-prop.k() * y0, y0];
+        assert_eq!(prop.crossing_time(Region::Decrease, z0, 1e6), None);
+    }
+
+    #[test]
+    fn critical_leg_entered_on_the_line_never_returns() {
+        // An exactly critical flow: (kn)^2 = 4n with k = 1, n = 4.
+        let flow = RegionFlow::from_kn(1.0, 4.0);
+        assert!(matches!(flow.spectrum(), Spectrum::Critical { .. }));
+        let z0 = [1.0, -1.0]; // on the line x + y = 0, y < 0
+        assert_eq!(crossing_time(&flow, 1.0, z0, 1e6), None);
+    }
+
+    #[test]
+    fn near_critical_case5_leg_on_the_line_never_returns() {
+        // The case-5 exemplar sits on the critical boundary only to the
+        // RegionShape classifier's 1e-9 tolerance; in exact floating
+        // point its discriminant is a few ulps positive, so the spectrum
+        // is a near-degenerate node. The on-line behaviour must be the
+        // same: the leg slides to the origin without re-crossing.
+        let params = exemplar_case5_decrease(&BcnParams::test_defaults());
+        assert_eq!(crate::cases::classify_params(&params).case, CaseId::Case5);
+        let prop = Propagator::for_params(&params);
+        let y0 = -0.01 * params.capacity;
+        let z0 = [-prop.k() * y0, y0];
+        assert_eq!(prop.crossing_time(Region::Decrease, z0, 1e6), None);
+    }
+
+    #[test]
+    fn crossing_respects_horizon() {
+        let flow = RegionFlow::from_kn(0.2, 10.0);
+        let t = crossing_time(&flow, 0.2, [-1.0, 0.0], 1e9).expect("crossing");
+        assert_eq!(crossing_time(&flow, 0.2, [-1.0, 0.0], 0.5 * t), None);
+        assert_eq!(crossing_time(&flow, 0.2, [-1.0, 0.0], 0.0), None);
+    }
+
+    #[test]
+    fn cache_returns_identical_propagator() {
+        // A deliberately unusual capacity so no other test shares the key.
+        let p = BcnParams::test_defaults().with_capacity(1.234_567e6);
+        let (h0, m0) = cache_stats();
+        let a = Propagator::for_params(&p);
+        let b = Propagator::for_params(&p);
+        let fresh = Propagator::new(p.k(), p.a(), p.b() * p.capacity);
+        assert_eq!(a, b);
+        assert_eq!(a, fresh, "cached propagator must be bit-identical to a fresh build");
+        let (h1, m1) = cache_stats();
+        assert!(m1 > m0, "first lookup must miss");
+        assert!(h1 > h0, "second lookup must hit");
+    }
+
+    #[test]
+    fn analytic_trajectory_runs_to_horizon_from_equilibrium() {
+        let params = BcnParams::test_defaults();
+        let sys = BcnFluid::linearized(params.clone());
+        let out = analytic_trajectory(&sys, [0.0, 0.0], &FluidOptions::default());
+        assert_eq!(out.switch_count(), 0);
+        assert!(!out.switch_budget_exhausted);
+        assert_eq!(out.solution.last_time(), 1.0);
+        assert_eq!(out.solution.last_state(), [0.0, 0.0]);
+    }
+
+    #[test]
+    fn analytic_trajectory_honours_switch_budget() {
+        let params = BcnParams::test_defaults();
+        let sys = BcnFluid::linearized(params.clone());
+        let opts = FluidOptions { max_switches: 3, t_end: 60.0, ..FluidOptions::default() };
+        let out = analytic_trajectory(&sys, params.initial_point(), &opts);
+        assert!(out.switch_budget_exhausted);
+        // max_switches + 1 legs were walked; the last one stopped at the
+        // crossing it was not allowed to take.
+        assert_eq!(out.intervals.len(), 4);
+        assert_eq!(out.switch_count(), 3);
+    }
+
+    #[test]
+    fn analytic_trajectory_alternates_modes_on_the_line() {
+        let params = BcnParams::test_defaults();
+        let sys = BcnFluid::linearized(params.clone());
+        let opts = FluidOptions::default().with_t_end(0.2);
+        let out = analytic_trajectory(&sys, params.initial_point(), &opts);
+        assert!(out.switch_count() >= 2);
+        for pair in out.intervals.windows(2) {
+            assert_ne!(pair[0].mode, pair[1].mode, "modes must alternate");
+            assert_eq!(pair[0].t_end, pair[1].t_start, "intervals must abut");
+        }
+        let k = params.k();
+        for &ts in &out.switch_times() {
+            let z = out.solution.sample(ts).expect("switch time sampled");
+            assert!(
+                (z[0] + k * z[1]).abs() <= 1e-9 * params.q0,
+                "switch sample off the line: {z:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn analytic_trajectory_record_grid_is_honoured() {
+        let params = BcnParams::test_defaults();
+        let sys = BcnFluid::linearized(params.clone());
+        let opts = FluidOptions::default().with_t_end(0.05).with_record_dt(1e-4);
+        let out = analytic_trajectory(&sys, params.initial_point(), &opts);
+        // At least as many samples as the grid demands, and times strictly
+        // non-decreasing (Solution::push enforces ordering in debug).
+        assert!(out.solution.len() >= 400, "samples: {}", out.solution.len());
+        assert_eq!(out.solution.last_time(), 0.05);
+    }
+}

@@ -20,6 +20,7 @@ use crate::closed_form::{RegionFlow, Spectrum};
 use crate::extrema::{region_extremum, Extremum};
 use crate::model::Region;
 use crate::params::BcnParams;
+use crate::propagate::Propagator;
 use telemetry::{ExtremumKind, Telemetry};
 
 /// One maximal sojourn in a control region.
@@ -38,18 +39,16 @@ pub struct Leg {
     pub extremum: Option<Extremum>,
 }
 
-/// The region flows of the linearised system.
+/// The region flows of the linearised system, through the propagator's
+/// process-wide memo cache (sweeps re-analyse the same parameter point
+/// many times; the spectral decompositions are shared).
 fn flows(params: &BcnParams) -> (RegionFlow, RegionFlow) {
-    let k = params.k();
-    (RegionFlow::from_kn(k, params.a()), RegionFlow::from_kn(k, params.b() * params.capacity))
+    let prop = Propagator::for_params(params);
+    (*prop.flow(Region::Increase), *prop.flow(Region::Decrease))
 }
 
 fn flow_of(params: &BcnParams, region: Region) -> RegionFlow {
-    let (fi, fd) = flows(params);
-    match region {
-        Region::Increase => fi,
-        Region::Decrease => fd,
-    }
+    *Propagator::for_params(params).flow(region)
 }
 
 /// The region a trajectory occupies when *leaving* state `p`: off the
@@ -92,6 +91,7 @@ pub fn trace_legs_telemetry(
     mut tel: Option<&mut Telemetry>,
 ) -> Vec<Leg> {
     let k = params.k();
+    let prop = Propagator::for_params(params);
     let mut legs = Vec::new();
     let mut p = start;
     let mut t_abs = 0.0;
@@ -109,9 +109,9 @@ pub fn trace_legs_telemetry(
             }
         }
         prev_region = Some(region);
-        let flow = flow_of(params, region);
-        let t_max = leg_horizon(&flow);
-        let duration = flow.time_to_switching_line(p, k, t_max);
+        let flow = prop.flow(region);
+        let t_max = leg_horizon(flow);
+        let duration = prop.crossing_time(region, p, t_max);
         let end = duration.map(|t| {
             let mut z = flow.at(t, p);
             // Land exactly on the line to keep the next leg's region
@@ -119,7 +119,7 @@ pub fn trace_legs_telemetry(
             z[0] = -k * z[1];
             z
         });
-        let extremum = region_extremum(&flow, p).filter(|e| match duration {
+        let extremum = region_extremum(flow, p).filter(|e| match duration {
             Some(d) => e.t > 0.0 && e.t <= d,
             None => e.t > 0.0,
         });

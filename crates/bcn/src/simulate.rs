@@ -20,22 +20,48 @@ use telemetry::{ExtremumKind, Telemetry};
 use crate::model::{BcnFluid, Linearity};
 use crate::params::BcnParams;
 
+/// Trajectory engine selector for [`fluid_trajectory`].
+///
+/// The linearised switched system is *solved* — every region flow has a
+/// closed form (paper Eqs. 12–34) — so the default engine propagates legs
+/// analytically via [`crate::propagate::analytic_trajectory`]. The DOPRI5
+/// hybrid integrator remains available as the independent cross-check and
+/// is used automatically whenever the analytic form does not apply (the
+/// full nonlinear decrease law) or solver telemetry is requested.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Engine {
+    /// Closed-form leg propagation (linearised regions only; falls back
+    /// to numeric integration for nonlinear systems or telemetry runs).
+    #[default]
+    Analytic,
+    /// Event-located DOPRI5 hybrid integration.
+    Dopri5,
+}
+
 /// Options for [`fluid_trajectory`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct FluidOptions {
     /// Model-time horizon in seconds.
     pub t_end: f64,
-    /// Integrator tolerance.
+    /// Integrator tolerance (numeric engine only).
     pub tol: f64,
     /// Maximum number of region switches before stopping.
     pub max_switches: usize,
     /// Optional dense recording interval.
     pub record_dt: Option<f64>,
+    /// Trajectory engine (see [`Engine`] for the fallback rules).
+    pub engine: Engine,
 }
 
 impl Default for FluidOptions {
     fn default() -> Self {
-        Self { t_end: 1.0, tol: 1e-9, max_switches: 10_000, record_dt: None }
+        Self {
+            t_end: 1.0,
+            tol: 1e-9,
+            max_switches: 10_000,
+            record_dt: None,
+            engine: Engine::default(),
+        }
     }
 }
 
@@ -51,6 +77,13 @@ impl FluidOptions {
     #[must_use]
     pub fn with_record_dt(mut self, dt: f64) -> Self {
         self.record_dt = Some(dt);
+        self
+    }
+
+    /// Selects the trajectory engine.
+    #[must_use]
+    pub fn with_engine(mut self, engine: Engine) -> Self {
+        self.engine = engine;
         self
     }
 }
@@ -88,6 +121,13 @@ pub fn fluid_trajectory_telemetry(
     opts: &FluidOptions,
     mut tel: Option<&mut Telemetry>,
 ) -> Result<HybridSolution<2>, SolveError> {
+    // The analytic engine applies only where the closed forms do: the
+    // linearised model. Telemetry-instrumented runs stay numeric too —
+    // solver telemetry (step sizes, event iterations) only exists there.
+    let tel_enabled = tel.as_deref().is_some_and(Telemetry::enabled);
+    if opts.engine == Engine::Analytic && sys.linearity() == Linearity::Linearized && !tel_enabled {
+        return Ok(crate::propagate::analytic_trajectory(sys, p0, opts));
+    }
     let mut stepper = Dopri5::with_tolerances(opts.tol, opts.tol);
     let mut o = Options::default();
     if let Some(dt) = opts.record_dt {
@@ -328,12 +368,18 @@ mod tests {
     #[test]
     fn hybrid_extrema_match_round_analysis() {
         // The ODE-integrated maximum queue must agree with the exact
-        // closed-form first-round maximum.
+        // closed-form first-round maximum. Engine pinned to DOPRI5: this
+        // test is the numeric-vs-closed-form cross-check.
         let p = params();
         let sys = BcnFluid::linearized(p.clone());
         let fr = crate::rounds::first_round(&p).unwrap();
-        let opts =
-            FluidOptions { t_end: 10.0, tol: 1e-11, max_switches: 100, record_dt: Some(1e-3) };
+        let opts = FluidOptions {
+            t_end: 10.0,
+            tol: 1e-11,
+            max_switches: 100,
+            record_dt: Some(1e-3),
+            engine: Engine::Dopri5,
+        };
         let out = fluid_trajectory(&sys, p.initial_point(), &opts).unwrap();
         let max_x = out.solution.max_component(0);
         assert!(
@@ -341,6 +387,64 @@ mod tests {
             "integrated {max_x} vs closed form {}",
             fr.max1_x
         );
+    }
+
+    #[test]
+    fn analytic_engine_matches_numeric_trajectory() {
+        // Engine::Analytic (the default) must reproduce the DOPRI5 hybrid
+        // path: same switch sequence, endpoints to integrator tolerance,
+        // and the exact first-round maximum.
+        let p = params();
+        let sys = BcnFluid::linearized(p.clone());
+        let base = FluidOptions {
+            t_end: 0.5,
+            tol: 1e-11,
+            max_switches: 100,
+            record_dt: Some(1e-3),
+            engine: Engine::Analytic,
+        };
+        let ana = fluid_trajectory(&sys, p.initial_point(), &base).unwrap();
+        let num =
+            fluid_trajectory(&sys, p.initial_point(), &base.clone().with_engine(Engine::Dopri5))
+                .unwrap();
+        assert_eq!(ana.switch_count(), num.switch_count(), "switch sequences differ");
+        for (a, n) in ana.intervals.iter().zip(num.intervals.iter()) {
+            assert_eq!(a.mode, n.mode);
+            assert!(
+                (a.t_end - n.t_end).abs() < 1e-7 * base.t_end,
+                "switch time {} vs {}",
+                a.t_end,
+                n.t_end
+            );
+        }
+        let (za, zn) = (ana.solution.last_state(), num.solution.last_state());
+        for i in 0..2 {
+            let scale = if i == 0 { p.q0 } else { p.capacity };
+            assert!(
+                (za[i] - zn[i]).abs() < 1e-6 * scale,
+                "endpoint component {i}: analytic {} vs numeric {}",
+                za[i],
+                zn[i]
+            );
+        }
+        let fr = crate::rounds::first_round(&p).unwrap();
+        let max_a = ana.solution.max_component(0);
+        assert!(
+            (max_a - fr.max1_x).abs() < 1e-9 * fr.max1_x.abs(),
+            "analytic max {max_a} should be exact vs {}",
+            fr.max1_x
+        );
+    }
+
+    #[test]
+    fn analytic_engine_falls_back_for_nonlinear_systems() {
+        // The nonlinear decrease law has no closed form: the selector must
+        // hand the run to DOPRI5, which still integrates successfully.
+        let p = params();
+        let sys = BcnFluid::new(p.clone());
+        let out = fluid_trajectory(&sys, p.initial_point(), &FluidOptions::default()).unwrap();
+        assert!(out.switch_count() > 0);
+        assert!(out.solution.last_time() >= 1.0 - 1e-12);
     }
 
     #[test]

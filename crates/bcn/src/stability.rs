@@ -19,9 +19,10 @@
 
 use crate::cases::RegionShape;
 use crate::cases::{classify_params, region_shape, CaseId};
-use crate::closed_form::RegionFlow;
 use crate::closed_form::Spectrum;
+use crate::model::Region;
 use crate::params::BcnParams;
+use crate::propagate::Propagator;
 use crate::rounds::{first_round, trace_legs, FirstRound};
 
 /// Why the criterion declares a system strongly stable.
@@ -175,9 +176,10 @@ pub fn proposition3_max_paper(params: &BcnParams) -> Option<f64> {
     let k = params.k();
     let bc = params.b() * params.capacity;
     let q0 = params.q0;
-    // Increase-region node eigenvalues.
-    let flow_i = RegionFlow::from_kn(k, params.a());
-    let Spectrum::Node { l1, l2 } = flow_i.spectrum() else { return None };
+    // Increase-region node eigenvalues, from the memo-cached spectral
+    // decomposition shared with the trajectory hot path.
+    let prop = Propagator::for_params(params);
+    let Spectrum::Node { l1, l2 } = prop.flow(Region::Increase).spectrum() else { return None };
     // y_d^1(0) = q0 [ (k + 1/l1)^{l1} / (k + 1/l2)^{l2} ]^{1/(l2 - l1)};
     // both bases are positive because l1 < l2 < -1/k.
     let base1 = k + 1.0 / l1;

@@ -12,7 +12,7 @@
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
-use bcn::simulate::{fluid_trajectory, FluidOptions};
+use bcn::simulate::{fluid_trajectory, Engine, FluidOptions};
 use bcn::{BcnFluid, BcnParams};
 use odesolve::{integrate, Dopri5, Options};
 use phaseplane::PlaneSystem;
@@ -25,7 +25,25 @@ fn bench_ablation(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("event_location_ablation");
     group.bench_function("hybrid_event_located", |b| {
-        let opts = FluidOptions { t_end, tol: 1e-9, max_switches: 100, record_dt: None };
+        // Pinned to the numeric engine: this ablation measures the
+        // event-located DOPRI5 path, not the closed-form propagator.
+        let opts = FluidOptions {
+            t_end,
+            tol: 1e-9,
+            max_switches: 100,
+            record_dt: None,
+            engine: Engine::Dopri5,
+        };
+        b.iter(|| black_box(fluid_trajectory(&sys, p0, &opts).unwrap()))
+    });
+    group.bench_function("semi_analytic_propagator", |b| {
+        let opts = FluidOptions {
+            t_end,
+            tol: 1e-9,
+            max_switches: 100,
+            record_dt: None,
+            engine: Engine::Analytic,
+        };
         b.iter(|| black_box(fluid_trajectory(&sys, p0, &opts).unwrap()))
     });
     group.bench_function("naive_discontinuous_rhs", |b| {

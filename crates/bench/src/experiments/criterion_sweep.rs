@@ -54,13 +54,35 @@ fn gain_axis(base: f64, n: usize) -> Vec<f64> {
     (0..n).map(|i| base * 0.05 * (400.0_f64).powf(i as f64 / (n - 1) as f64)).collect()
 }
 
+/// The parameter set of every cell of the `n x n` atlas, in row-major
+/// grid order — the work-list shared by [`compute_atlas`] and the
+/// `fluid_engine` benchmark, so both measure exactly the same cells.
+///
+/// # Panics
+///
+/// Panics if `n < 2`, like [`compute_atlas`].
+#[must_use]
+pub fn atlas_params(base: &BcnParams, n: usize) -> Vec<BcnParams> {
+    assert!(n >= 2, "atlas grid must be at least 2x2 (got n = {n})");
+    let gis = gain_axis(base.gi, n);
+    let gds: Vec<f64> = gain_axis(base.gd, n).into_iter().map(|g| g.min(1.0)).collect();
+    (0..n * n)
+        .map(|idx| {
+            let (i, j) = (idx / n, idx % n);
+            base.clone().with_gi(gis[i]).with_gd(gds[j])
+        })
+        .collect()
+}
+
 /// Computes the atlas on an `n x n` log-spaced gain grid.
 ///
 /// Cells are classified in parallel across the configured `parkit`
 /// worker count, each worker reusing one scratch [`BcnParams`] instead
 /// of rebuilding the parameter struct per cell; every cell is a pure
 /// function of its grid index, so the atlas is identical (bitwise) at
-/// any thread count.
+/// any thread count. The exact verdict runs on the semi-analytic
+/// propagator (`bcn::propagate`), so per-cell cost is dominated by the
+/// saturating-fluid drop check rather than trajectory integration.
 ///
 /// # Panics
 ///
@@ -109,8 +131,12 @@ pub fn compute_atlas(base: &BcnParams, n: usize) -> Vec<Cell> {
     )
 }
 
-fn fluid_horizon(p: &BcnParams) -> f64 {
-    // A few rounds of the slowest oscillation covers the transient peak.
+/// Simulation horizon for one cell: a few rounds of the slowest
+/// oscillation covers the transient peak. Shared with the `fluid_engine`
+/// benchmark so its per-cell timings integrate the same span the atlas
+/// does.
+#[must_use]
+pub fn fluid_horizon(p: &BcnParams) -> f64 {
     let beta_slow = (p.a().min(p.b() * p.capacity)).sqrt();
     (8.0 * std::f64::consts::PI / beta_slow).min(5.0)
 }
@@ -216,6 +242,20 @@ mod tests {
         // The gap exists: some exact-stable cells and some unstable ones.
         assert!(cells.iter().any(|c| c.exact));
         assert!(cells.iter().any(|c| !c.exact), "grid too easy");
+    }
+
+    #[test]
+    fn atlas_params_matches_cell_gains() {
+        // The bench work-list and the atlas itself must agree cell by
+        // cell, or the benchmark times different systems than it claims.
+        let base = BcnParams::test_defaults().with_buffer(1.5e5);
+        let cells = compute_atlas(&base, 4);
+        let params = atlas_params(&base, 4);
+        assert_eq!(cells.len(), params.len());
+        for (c, p) in cells.iter().zip(&params) {
+            assert_eq!(c.gi, p.gi);
+            assert_eq!(c.gd, p.gd);
+        }
     }
 
     #[test]

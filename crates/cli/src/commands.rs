@@ -18,7 +18,7 @@ use dcesim::time::Duration;
 use plotkit::{Csv, Table};
 use telemetry::{Telemetry, TelemetryLevel};
 
-use crate::flags::{faults_from, params_from, telemetry_level, Flags, PARAM_FLAGS};
+use crate::flags::{engine_choice, faults_from, params_from, telemetry_level, Flags, PARAM_FLAGS};
 use crate::CliError;
 
 fn with_param_flags(extra: &[&str]) -> Vec<&'static str> {
@@ -218,7 +218,7 @@ pub fn buffer(args: &[String]) -> Result<String, CliError> {
 /// Propagates flag, validation, integration, and I/O failures.
 pub fn simulate(args: &[String]) -> Result<String, CliError> {
     let flags = Flags::parse(args)?;
-    flags.ensure_known(&with_param_flags(&["t-end", "out", "nonlinear"]))?;
+    flags.ensure_known(&with_param_flags(&["t-end", "out", "nonlinear", "engine"]))?;
     let p = params_from(&flags)?;
     let t_end = flags.get_f64("t-end")?.unwrap_or(0.01);
     if t_end <= 0.0 {
@@ -229,7 +229,12 @@ pub fn simulate(args: &[String]) -> Result<String, CliError> {
     } else {
         BcnFluid::linearized(p.clone())
     };
-    let opts = FluidOptions::default().with_t_end(t_end).with_record_dt(t_end / 2000.0);
+    // The engine choice is honoured for linearised runs; nonlinear and
+    // telemetry-instrumented runs fall back to DOPRI5 inside the library.
+    let opts = FluidOptions::default()
+        .with_t_end(t_end)
+        .with_record_dt(t_end / 2000.0)
+        .with_engine(engine_choice(&flags)?);
     let level = telemetry_level(&flags, TelemetryLevel::Off)?;
     let mut tel = Telemetry::new(level);
     let run = fluid_trajectory_telemetry(&sys, p.initial_point(), &opts, Some(&mut tel))
@@ -498,7 +503,7 @@ pub fn trace(args: &[String]) -> Result<String, CliError> {
         _ => ("thm1", args),
     };
     let flags = Flags::parse(rest)?;
-    flags.ensure_known(&with_param_flags(&["t-end", "out", "frame-bits", "faults"]))?;
+    flags.ensure_known(&with_param_flags(&["t-end", "out", "frame-bits", "faults", "engine"]))?;
     let mut p = params_from(&flags)?;
     let level = telemetry_level(&flags, TelemetryLevel::Full)?;
     let t_end = flags.get_f64("t-end")?.unwrap_or(0.01);
@@ -520,7 +525,12 @@ pub fn trace(args: &[String]) -> Result<String, CliError> {
                 p = p.with_buffer(required);
             }
             let sys = BcnFluid::linearized(p.clone());
-            let opts = FluidOptions::default().with_t_end(t_end).with_record_dt(t_end / 2000.0);
+            // When telemetry is on (the default here) the library falls
+            // back to the instrumented DOPRI5 path regardless of engine.
+            let opts = FluidOptions::default()
+                .with_t_end(t_end)
+                .with_record_dt(t_end / 2000.0)
+                .with_engine(engine_choice(&flags)?);
             let run = fluid_trajectory_telemetry(&sys, p.initial_point(), &opts, Some(&mut tel))
                 .map_err(CliError::Solver)?;
             let _ = writeln!(
@@ -534,6 +544,11 @@ pub fn trace(args: &[String]) -> Result<String, CliError> {
             );
         }
         "packet" => {
+            if flags.get("engine").is_some() {
+                return Err(CliError::Usage(
+                    "--engine only applies to the fluid scenarios (thm1, limit-cycle)".into(),
+                ));
+            }
             let frame_bits = flags.get_f64("frame-bits")?.unwrap_or(8_000.0);
             if frame_bits <= 0.0 {
                 return Err(CliError::Usage("--frame-bits must be positive".into()));
@@ -605,6 +620,23 @@ mod tests {
     #[test]
     fn simulate_rejects_bad_horizon() {
         assert!(simulate(&argv("--t-end -1")).is_err());
+    }
+
+    #[test]
+    fn simulate_engines_agree_on_the_reported_range() {
+        // Same run through both engines: the reported queue extrema match
+        // to well under the printed 4-digit precision, so the rendered
+        // lines are identical.
+        let ana = simulate(&argv("--t-end 0.002 --engine analytic")).unwrap();
+        let num = simulate(&argv("--t-end 0.002 --engine dopri5")).unwrap();
+        assert_eq!(ana.lines().next(), num.lines().next(), "{ana} vs {num}");
+        assert!(simulate(&argv("--t-end 0.002 --engine rk4")).is_err());
+    }
+
+    #[test]
+    fn trace_packet_rejects_engine_flag() {
+        let err = trace(&argv("packet --engine analytic --t-end 0.01")).unwrap_err();
+        assert!(err.to_string().contains("--engine"), "{err}");
     }
 
     #[test]

@@ -4,7 +4,7 @@
 
 use std::collections::BTreeMap;
 
-use bcn::BcnParams;
+use bcn::{BcnParams, Engine};
 use dcesim::faults::FaultConfig;
 use dcesim::time::Duration;
 use telemetry::TelemetryLevel;
@@ -118,6 +118,22 @@ pub fn telemetry_level(flags: &Flags, default: TelemetryLevel) -> Result<Telemet
     match flags.get("telemetry") {
         None => Ok(default),
         Some(v) => v.parse().map_err(CliError::Usage),
+    }
+}
+
+/// Resolves the `--engine <analytic|dopri5>` flag for the fluid
+/// integration commands, falling back to the library default
+/// (the semi-analytic engine) when absent.
+///
+/// # Errors
+///
+/// Rejects unknown engine names.
+pub fn engine_choice(flags: &Flags) -> Result<Engine, CliError> {
+    match flags.get("engine") {
+        None => Ok(Engine::default()),
+        Some("analytic") => Ok(Engine::Analytic),
+        Some("dopri5") => Ok(Engine::Dopri5),
+        Some(v) => Err(CliError::Usage(format!("--engine expects analytic or dopri5, got `{v}`"))),
     }
 }
 
@@ -296,6 +312,18 @@ mod tests {
         assert_eq!(telemetry_level(&f, TelemetryLevel::Full).unwrap(), TelemetryLevel::Full);
         let f = Flags::parse(&argv("--telemetry verbose")).unwrap();
         assert!(telemetry_level(&f, TelemetryLevel::Off).is_err());
+    }
+
+    #[test]
+    fn engine_choice_parses_and_defaults() {
+        let f = Flags::parse(&argv("--engine dopri5")).unwrap();
+        assert_eq!(engine_choice(&f).unwrap(), Engine::Dopri5);
+        let f = Flags::parse(&argv("--engine analytic")).unwrap();
+        assert_eq!(engine_choice(&f).unwrap(), Engine::Analytic);
+        let f = Flags::parse(&argv("")).unwrap();
+        assert_eq!(engine_choice(&f).unwrap(), Engine::Analytic);
+        let f = Flags::parse(&argv("--engine rk4")).unwrap();
+        assert!(engine_choice(&f).is_err());
     }
 
     #[test]

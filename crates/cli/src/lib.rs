@@ -145,11 +145,15 @@ pub fn usage() -> String {
      \n\
      command flags:\n\
      \x20 simulate: --t-end <s> --out <path.csv> [--nonlinear]\n\
+     \x20           --engine <analytic|dopri5>  (default analytic: closed-form leg\n\
+     \x20                                        propagation; nonlinear or\n\
+     \x20                                        instrumented runs use dopri5)\n\
      \x20 atlas:    --grid <n> --out <path.csv>\n\
      \x20 packet:   --t-end <s> --frame-bits <bits> --faults <spec>\n\
      \x20 batch:    --seeds <n> --t-end <s> --start-jitter <s> --rate-jitter <frac>\n\
      \x20           --frame-bits <bits> --out <path.csv> --faults <spec> [--fail-fast]\n\
      \x20 trace:    <thm1|limit-cycle|packet> --t-end <s> --out <path.jsonl>\n\
+     \x20           --engine <analytic|dopri5>  (fluid scenarios only)\n\
      \n\
      fault injection (--faults, comma-separated key=value items):\n\
      \x20 seed=<u64> feedback-loss=<p> feedback-corrupt=<p> feedback-delay=<s>\n\

@@ -35,4 +35,4 @@ mod trajectory;
 pub use linear2d::{classify, Eigen2, FixedPointKind, Mat2};
 pub use switching::{HalfPlane, SwitchingLine};
 pub use system::PlaneSystem;
-pub use trajectory::{trajectory, trajectory_with_events, TrajectoryOptions};
+pub use trajectory::{linear_trajectory, trajectory, trajectory_with_events, TrajectoryOptions};

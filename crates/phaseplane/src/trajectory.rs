@@ -1,7 +1,13 @@
 //! Trajectory tracing for planar systems.
+//!
+//! Generic systems go through event-located DOPRI5 integration
+//! ([`trajectory`] / [`trajectory_with_events`]); *linear* systems have an
+//! exact matrix-exponential sampler ([`linear_trajectory`]) — the analytic
+//! engine used by the BCN sweeps, where each control region is linear.
 
 use odesolve::{integrate_with_events, Dopri5, EventSpec, Options, Solution, SolveError};
 
+use crate::linear2d::{Eigen2, Mat2};
 use crate::system::PlaneSystem;
 
 /// Options for [`trajectory`] tracing.
@@ -82,6 +88,54 @@ pub fn trajectory_with_events<S: PlaneSystem>(
     integrate_with_events(&ode, 0.0, p0, opts.t_end, &mut stepper, events, &o)
 }
 
+/// Samples the *exact* trajectory of the linear system `dz/dt = J z` from
+/// `p0`: no integration error, cost proportional to the number of samples
+/// only. Points are spaced `opts.record_dt` apart (default: 256 samples
+/// across the horizon) and the final point lands exactly on `opts.t_end`;
+/// `opts.tol` and `opts.max_steps` are ignored — there is no stepper.
+#[must_use]
+pub fn linear_trajectory(j: &Mat2, p0: [f64; 2], opts: &TrajectoryOptions) -> Solution<2> {
+    let eig = j.eigen();
+    let dt = opts.record_dt.unwrap_or(opts.t_end / 256.0);
+    let mut times = Vec::new();
+    if dt > 0.0 {
+        let mut t = dt;
+        while t < opts.t_end - 1e-12 * dt {
+            times.push(t);
+            t += dt;
+        }
+    }
+    times.push(opts.t_end);
+    let mut sol = Solution::new(0.0, p0);
+    sol.push_samples(0.0, &times, |t| linear_exp(j, &eig, t).mul_vec(p0));
+    sol
+}
+
+/// The matrix exponential `e^{J t}` from the precomputed eigenstructure.
+fn linear_exp(j: &Mat2, eig: &Eigen2, t: f64) -> Mat2 {
+    let i = Mat2::identity();
+    match *eig {
+        // e^{Jt} = e^{re t} [cos(im t) I + sin(im t)/im (J - re I)]
+        Eigen2::Complex { re, im } => {
+            let e = (re * t).exp();
+            let (s, c) = (im * t).sin_cos();
+            j.add(&i.scale(-re)).scale(e * s / im).add(&i.scale(e * c))
+        }
+        // Lagrange form on the spectral projectors.
+        Eigen2::RealDistinct { l1, l2, .. } => {
+            let (e1, e2) = ((l1 * t).exp(), (l2 * t).exp());
+            let p1 = j.add(&i.scale(-l2)).scale(1.0 / (l1 - l2));
+            let p2 = j.add(&i.scale(-l1)).scale(1.0 / (l2 - l1));
+            p1.scale(e1).add(&p2.scale(e2))
+        }
+        // e^{Jt} = e^{l t} [I + t (J - l I)]
+        Eigen2::RealRepeated { l, .. } => {
+            let e = (l * t).exp();
+            i.add(&j.add(&i.scale(-l)).scale(t)).scale(e)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -111,6 +165,39 @@ mod tests {
             .unwrap();
         let end = sol.last_state();
         assert!(end[0].abs() < 1e-4 && end[1].abs() < 1e-4, "end {end:?}");
+    }
+
+    #[test]
+    fn linear_trajectory_matches_numeric_for_every_spectrum() {
+        // Companion matrices spanning the three eigenstructures:
+        // 0.4/4 complex, 5/4 real distinct, 4/4 repeated (disc = 0 exact).
+        for (m, n) in [(0.4, 4.0), (5.0, 4.0), (4.0, 4.0)] {
+            let j = Mat2::companion(m, n);
+            let sys = move |p: [f64; 2]| j.mul_vec(p);
+            let p0 = [1.0, -0.5];
+            let opts =
+                TrajectoryOptions::default().with_t_end(3.0).with_tol(1e-12).with_record_dt(0.05);
+            let num = trajectory(&sys, p0, &opts).unwrap();
+            let ana = linear_trajectory(&j, p0, &opts);
+            assert_eq!(ana.states()[0], p0);
+            assert_eq!(ana.last_time(), 3.0);
+            assert!(ana.len() >= 60, "grid too sparse: {}", ana.len());
+            let (za, zn) = (ana.last_state(), num.last_state());
+            for i in 0..2 {
+                assert!(
+                    (za[i] - zn[i]).abs() < 1e-8,
+                    "(m, n) = ({m}, {n}) component {i}: exact {za:?} vs numeric {zn:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn linear_trajectory_default_grid_covers_horizon() {
+        let j = Mat2::companion(1.0, 2.0);
+        let sol = linear_trajectory(&j, [1.0, 0.0], &TrajectoryOptions::default().with_t_end(2.0));
+        assert_eq!(sol.last_time(), 2.0);
+        assert!(sol.len() >= 256);
     }
 
     #[test]

@@ -21,8 +21,16 @@ echo "== cargo test (parallel: DCE_BCN_THREADS=4) =="
 DCE_BCN_THREADS=4 cargo test --workspace -q
 
 echo "== sweep scaling smoke (equivalence check) =="
-DCE_BCN_SWEEP_GRID=8 DCE_BCN_SWEEP_REPS=1 \
+# Reduced grid; write to a scratch directory so the committed
+# full-grid BENCH_sweeps.json is not overwritten by smoke numbers.
+DCE_BCN_SWEEP_GRID=8 DCE_BCN_SWEEP_REPS=1 DCE_BCN_RESULTS=$(mktemp -d) \
   cargo run --release -p bench --bin sweep_scaling
+
+echo "== fluid engine smoke (analytic vs DOPRI5 agreement) =="
+# Quick mode: 5x5 grid, agreement + verdict gates only (the 5x speedup
+# gate applies to the full 13x13 run that produces BENCH_fluid.json).
+DCE_BCN_QUICK=1 DCE_BCN_RESULTS=$(mktemp -d) \
+  cargo run --release -p bench --bin fluid_engine
 
 echo "== fault-injection smoke (Theorem 1 degradation gap) =="
 # Quick mode writes a reduced grid; keep it out of the committed results/.

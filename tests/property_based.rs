@@ -9,6 +9,7 @@ use bcn::closed_form::RegionFlow;
 use bcn::extrema::region_extremum;
 use bcn::model::Region;
 use bcn::rounds::{round_ratio, round_ratio_analytic, trace_legs};
+use bcn::simulate::{fluid_trajectory, Engine, FluidOptions};
 use bcn::stability::{criterion, exact_verdict, theorem1_holds, theorem1_required_buffer};
 use bcn::{BcnFluid, BcnParams, CaseId};
 use phaseplane::{classify, FixedPointKind, Mat2};
@@ -171,6 +172,59 @@ proptest! {
                     "end off line: {:?}", end);
             }
         }
+    }
+
+    /// The semi-analytic engine and DOPRI5 trace the same switched
+    /// trajectory on any drawn parameter set: identical region-switch
+    /// sequence, switch times to integrator tolerance, queue extrema to
+    /// 1e-6 relative (exact analytic extrema vs parabola-refined numeric
+    /// samples), matching endpoints, and the same derived
+    /// strong-stability verdict.
+    #[test]
+    fn engines_agree_on_random_params(p in params_strategy()) {
+        let sys = BcnFluid::linearized(p.clone());
+        let beta_fast = p.a().max(p.b() * p.capacity).sqrt();
+        let beta_slow = p.a().min(p.b() * p.capacity).sqrt();
+        // A few slow rotations, capped both in absolute time and in fast
+        // half-rounds so extreme rate ratios keep the sample count sane.
+        let t_end = (4.0 * std::f64::consts::PI / beta_slow)
+            .min(200.0 * std::f64::consts::PI / beta_fast)
+            .min(0.4);
+        let numeric_opts = FluidOptions {
+            t_end,
+            tol: 1e-12,
+            max_switches: 400,
+            record_dt: Some(0.03 / beta_fast),
+            engine: Engine::Dopri5,
+        };
+        let analytic_opts = FluidOptions { engine: Engine::Analytic, ..numeric_opts.clone() };
+        let num = fluid_trajectory(&sys, p.initial_point(), &numeric_opts).unwrap();
+        let ana = fluid_trajectory(&sys, p.initial_point(), &analytic_opts).unwrap();
+
+        let modes_a: Vec<usize> = ana.intervals.iter().map(|iv| iv.mode).collect();
+        let modes_n: Vec<usize> = num.intervals.iter().map(|iv| iv.mode).collect();
+        prop_assert_eq!(modes_a, modes_n, "mode sequences differ on {:?}", p);
+        for (a, n) in ana.intervals.iter().zip(num.intervals.iter()) {
+            prop_assert!((a.t_end - n.t_end).abs() <= 1e-6 * t_end,
+                "switch time {} vs {} on {:?}", a.t_end, n.t_end, p);
+        }
+        let max_a = ana.solution.max_component(0);
+        let max_n = num.solution.refined_max_component(0);
+        let min_a = ana.solution.min_component(0);
+        let min_n = num.solution.refined_min_component(0);
+        prop_assert!((max_a - max_n).abs() <= 1e-6 * max_a.abs().max(p.q0),
+            "max {} vs {} on {:?}", max_a, max_n, p);
+        prop_assert!((min_a - min_n).abs() <= 1e-6 * min_a.abs().max(p.q0),
+            "min {} vs {} on {:?}", min_a, min_n, p);
+        let (za, zn) = (ana.solution.last_state(), num.solution.last_state());
+        prop_assert!((za[0] - zn[0]).abs() <= 1e-6 * za[0].abs().max(p.q0));
+        prop_assert!((za[1] - zn[1]).abs() <= 1e-6 * za[1].abs().max(p.capacity));
+        // Same wall verdict (0 < q < B away from the start).
+        let verdict = |max_x: f64, min_x: f64| {
+            max_x < p.buffer - p.q0 && min_x > -p.q0 * (1.0 + 1e-9)
+        };
+        prop_assert_eq!(verdict(max_a, min_a), verdict(max_n, min_n),
+            "stability verdict flipped across engines on {:?}", p);
     }
 
     /// Generic phase-plane classifier: trace/det signs decide the kind.
