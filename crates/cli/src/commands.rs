@@ -18,7 +18,9 @@ use dcesim::time::Duration;
 use plotkit::{Csv, Table};
 use telemetry::{Telemetry, TelemetryLevel};
 
-use crate::flags::{engine_choice, faults_from, params_from, telemetry_level, Flags, PARAM_FLAGS};
+use crate::flags::{
+    engine_choice, faults_from, params_from, scheduler_choice, telemetry_level, Flags, PARAM_FLAGS,
+};
 use crate::CliError;
 
 fn with_param_flags(extra: &[&str]) -> Vec<&'static str> {
@@ -325,7 +327,7 @@ pub fn atlas(args: &[String]) -> Result<String, CliError> {
 /// Propagates flag and validation failures.
 pub fn packet(args: &[String]) -> Result<String, CliError> {
     let flags = Flags::parse(args)?;
-    flags.ensure_known(&with_param_flags(&["t-end", "frame-bits", "faults"]))?;
+    flags.ensure_known(&with_param_flags(&["t-end", "frame-bits", "faults", "scheduler"]))?;
     let p = params_from(&flags)?;
     let t_end = flags.get_f64("t-end")?.unwrap_or(0.2);
     let frame_bits = flags.get_f64("frame-bits")?.unwrap_or(8_000.0);
@@ -334,6 +336,7 @@ pub fn packet(args: &[String]) -> Result<String, CliError> {
     }
     let level = telemetry_level(&flags, TelemetryLevel::Off)?;
     let mut cfg = SimConfig::from_fluid(&p, frame_bits, Duration::from_secs(2e-6), t_end);
+    cfg.scheduler = scheduler_choice(&flags)?;
     cfg.faults = single_run_faults(&flags)?;
     cfg.validate()?;
     let report = Simulation::with_telemetry(cfg, Telemetry::new(level)).run();
@@ -381,6 +384,7 @@ pub fn batch(args: &[String]) -> Result<String, CliError> {
         "out",
         "faults",
         "fail-fast",
+        "scheduler",
     ]))?;
     let p = params_from(&flags)?;
     let t_end = flags.get_f64("t-end")?.unwrap_or(0.05);
@@ -395,6 +399,7 @@ pub fn batch(args: &[String]) -> Result<String, CliError> {
     let level = telemetry_level(&flags, TelemetryLevel::Off)?;
     let (faults, panic_seeds) = faults_from(&flags)?;
     let mut base = SimConfig::from_fluid(&p, frame_bits, Duration::from_secs(2e-6), t_end);
+    base.scheduler = scheduler_choice(&flags)?;
     base.faults = faults;
     base.validate()?;
     let mut cfg = BatchConfig::quick(base, n_seeds as u64);
@@ -503,7 +508,14 @@ pub fn trace(args: &[String]) -> Result<String, CliError> {
         _ => ("thm1", args),
     };
     let flags = Flags::parse(rest)?;
-    flags.ensure_known(&with_param_flags(&["t-end", "out", "frame-bits", "faults", "engine"]))?;
+    flags.ensure_known(&with_param_flags(&[
+        "t-end",
+        "out",
+        "frame-bits",
+        "faults",
+        "engine",
+        "scheduler",
+    ]))?;
     let mut p = params_from(&flags)?;
     let level = telemetry_level(&flags, TelemetryLevel::Full)?;
     let t_end = flags.get_f64("t-end")?.unwrap_or(0.01);
@@ -517,6 +529,11 @@ pub fn trace(args: &[String]) -> Result<String, CliError> {
         "thm1" | "limit-cycle" => {
             if flags.get("faults").is_some() {
                 return Err(CliError::Usage("--faults only applies to the packet scenario".into()));
+            }
+            if flags.get("scheduler").is_some() {
+                return Err(CliError::Usage(
+                    "--scheduler only applies to the packet scenario".into(),
+                ));
             }
             if scenario == "thm1" && flags.get_f64("buffer")?.is_none() {
                 // Size the buffer to exactly the Theorem-1 requirement so
@@ -554,6 +571,7 @@ pub fn trace(args: &[String]) -> Result<String, CliError> {
                 return Err(CliError::Usage("--frame-bits must be positive".into()));
             }
             let mut cfg = SimConfig::from_fluid(&p, frame_bits, Duration::from_secs(2e-6), t_end);
+            cfg.scheduler = scheduler_choice(&flags)?;
             cfg.faults = single_run_faults(&flags)?;
             cfg.validate()?;
             let report = Simulation::with_telemetry(cfg, tel).run();
@@ -637,6 +655,24 @@ mod tests {
     fn trace_packet_rejects_engine_flag() {
         let err = trace(&argv("packet --engine analytic --t-end 0.01")).unwrap_err();
         assert!(err.to_string().contains("--engine"), "{err}");
+    }
+
+    #[test]
+    fn trace_fluid_rejects_scheduler_flag() {
+        let err = trace(&argv("thm1 --scheduler heap --t-end 0.01")).unwrap_err();
+        assert!(err.to_string().contains("--scheduler"), "{err}");
+    }
+
+    #[test]
+    fn packet_schedulers_render_identically() {
+        // The wheel is the default; an explicit heap run must print the
+        // same report byte for byte (the engines are bit-identical).
+        let wheel = packet(&argv(&format!("{FAST_SIM} --scheduler wheel"))).unwrap();
+        let heap = packet(&argv(&format!("{FAST_SIM} --scheduler heap"))).unwrap();
+        let default = packet(&argv(FAST_SIM)).unwrap();
+        assert_eq!(wheel, heap);
+        assert_eq!(wheel, default);
+        assert!(packet(&argv(&format!("{FAST_SIM} --scheduler calendar"))).is_err());
     }
 
     #[test]

@@ -6,6 +6,7 @@ use std::collections::BTreeMap;
 
 use bcn::{BcnParams, Engine};
 use dcesim::faults::FaultConfig;
+use dcesim::sched::Scheduler;
 use dcesim::time::Duration;
 use telemetry::TelemetryLevel;
 
@@ -134,6 +135,22 @@ pub fn engine_choice(flags: &Flags) -> Result<Engine, CliError> {
         Some("analytic") => Ok(Engine::Analytic),
         Some("dopri5") => Ok(Engine::Dopri5),
         Some(v) => Err(CliError::Usage(format!("--engine expects analytic or dopri5, got `{v}`"))),
+    }
+}
+
+/// Resolves the `--scheduler <wheel|heap>` flag for the packet-level
+/// commands, falling back to the library default (the timing wheel)
+/// when absent.
+///
+/// # Errors
+///
+/// Rejects unknown scheduler names.
+pub fn scheduler_choice(flags: &Flags) -> Result<Scheduler, CliError> {
+    match flags.get("scheduler") {
+        None => Ok(Scheduler::default()),
+        Some("wheel") => Ok(Scheduler::Wheel),
+        Some("heap") => Ok(Scheduler::Heap),
+        Some(v) => Err(CliError::Usage(format!("--scheduler expects wheel or heap, got `{v}`"))),
     }
 }
 
@@ -324,6 +341,18 @@ mod tests {
         assert_eq!(engine_choice(&f).unwrap(), Engine::Analytic);
         let f = Flags::parse(&argv("--engine rk4")).unwrap();
         assert!(engine_choice(&f).is_err());
+    }
+
+    #[test]
+    fn scheduler_choice_parses_and_defaults() {
+        let f = Flags::parse(&argv("--scheduler heap")).unwrap();
+        assert_eq!(scheduler_choice(&f).unwrap(), Scheduler::Heap);
+        let f = Flags::parse(&argv("--scheduler wheel")).unwrap();
+        assert_eq!(scheduler_choice(&f).unwrap(), Scheduler::Wheel);
+        let f = Flags::parse(&argv("")).unwrap();
+        assert_eq!(scheduler_choice(&f).unwrap(), Scheduler::Wheel);
+        let f = Flags::parse(&argv("--scheduler calendar")).unwrap();
+        assert!(scheduler_choice(&f).is_err());
     }
 
     #[test]

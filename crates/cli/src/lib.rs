@@ -150,10 +150,15 @@ pub fn usage() -> String {
      \x20                                        instrumented runs use dopri5)\n\
      \x20 atlas:    --grid <n> --out <path.csv>\n\
      \x20 packet:   --t-end <s> --frame-bits <bits> --faults <spec>\n\
+     \x20           --scheduler <wheel|heap>  (default wheel: hierarchical timing\n\
+     \x20                                      wheel; heap is the reference engine,\n\
+     \x20                                      bit-identical results)\n\
      \x20 batch:    --seeds <n> --t-end <s> --start-jitter <s> --rate-jitter <frac>\n\
      \x20           --frame-bits <bits> --out <path.csv> --faults <spec> [--fail-fast]\n\
+     \x20           --scheduler <wheel|heap>\n\
      \x20 trace:    <thm1|limit-cycle|packet> --t-end <s> --out <path.jsonl>\n\
      \x20           --engine <analytic|dopri5>  (fluid scenarios only)\n\
+     \x20           --scheduler <wheel|heap>    (packet scenario only)\n\
      \n\
      fault injection (--faults, comma-separated key=value items):\n\
      \x20 seed=<u64> feedback-loss=<p> feedback-corrupt=<p> feedback-delay=<s>\n\

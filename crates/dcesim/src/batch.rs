@@ -18,7 +18,7 @@
 use telemetry::{Telemetry, TelemetryLevel};
 
 use crate::faults::splitmix64;
-use crate::sim::{SimConfig, SimReport, Simulation};
+use crate::sim::{SimConfig, SimReport, SimWorkspace, Simulation};
 use crate::time::Time;
 
 /// A multi-seed batch around a base scenario.
@@ -149,23 +149,35 @@ pub fn seeded_config(cfg: &BatchConfig, seed: u64) -> SimConfig {
 /// thread count (`DCE_BCN_THREADS=1` included).
 #[must_use]
 pub fn run_batch(cfg: &BatchConfig) -> BatchReport {
-    let outcomes = parkit::par_map(&cfg.seeds, |&seed| {
-        let body = || -> Result<SimReport, String> {
+    // Each worker keeps one `SimWorkspace`, so the event-queue slab and
+    // bottleneck FIFO are allocated once per worker and recycled across
+    // its seeds (reuse changes no trajectory — see
+    // `workspace_reuse_is_bit_identical` in `crate::sim`).
+    let outcomes = parkit::par_map_init(cfg.seeds.len(), SimWorkspace::new, |ws, idx| {
+        let seed = cfg.seeds[idx];
+        // The workspace is taken out for the duration of the run so a
+        // panicking seed cannot leave half-torn buffers behind; the
+        // worker then continues with a fresh (empty) workspace.
+        let mut local = std::mem::take(ws);
+        let body = move || -> Result<(SimReport, SimWorkspace), String> {
             if cfg.panic_seeds.contains(&seed) {
                 panic!("seed {seed}: intentional panic (panic_seeds)");
             }
             let sim_cfg = seeded_config(cfg, seed);
             sim_cfg.validate().map_err(|e| e.to_string())?;
-            Ok(if cfg.level.enabled() {
-                Simulation::with_telemetry(sim_cfg, Telemetry::new(cfg.level)).run()
-            } else {
-                Simulation::new(sim_cfg).run()
-            })
+            let mut sim = Simulation::new_in(sim_cfg, &mut local);
+            if cfg.level.enabled() {
+                sim = sim.with_telemetry_sink(Telemetry::new(cfg.level));
+            }
+            Ok((sim.run_into(&mut local), local))
         };
         // The closure only touches owned data, so unwind safety is moot;
         // the assertion just lets safe code catch the panic.
         match std::panic::catch_unwind(std::panic::AssertUnwindSafe(body)) {
-            Ok(Ok(report)) => SeedOutcome::Completed(Box::new(report)),
+            Ok(Ok((report, local))) => {
+                *ws = local;
+                SeedOutcome::Completed(Box::new(report))
+            }
             Ok(Err(cause)) => SeedOutcome::Failed { cause },
             Err(payload) => SeedOutcome::Failed { cause: panic_message(payload.as_ref()) },
         }

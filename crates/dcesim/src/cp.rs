@@ -34,7 +34,7 @@ pub struct FbQuant {
 }
 
 /// Configuration of a congestion point.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct CpConfig {
     /// This congestion point's identity (CPID field of its messages).
     pub cpid: CpId,

@@ -290,6 +290,13 @@ impl FaultPlan {
         &self.counts
     }
 
+    /// Moves the tallies out (used when a run finalizes its metrics, so
+    /// the counts are not cloned twice on the way into the report).
+    #[must_use]
+    pub fn take_counts(&mut self) -> FaultCounts {
+        std::mem::take(&mut self.counts)
+    }
+
     /// The next uniform draw from `class`'s decision stream.
     fn draw(&mut self, class: FaultClass) -> f64 {
         let idx = self.draws[class.index()];
@@ -299,17 +306,34 @@ impl FaultPlan {
 
     /// Decides the fate of one outgoing BCN feedback message and returns
     /// it together with the classes that fired (for telemetry).
+    ///
+    /// Convenience wrapper over [`FaultPlan::feedback_fate_into`] that
+    /// allocates a fresh class list per call; the engines' hot paths
+    /// reuse a hoisted scratch buffer instead.
     pub fn feedback_fate(&mut self, msg: &BcnMessage) -> (FeedbackFate, Vec<FaultClass>) {
-        if !self.active {
-            return (FeedbackFate::Deliver { msg: *msg, extra: Duration::ZERO }, Vec::new());
-        }
         let mut injected = Vec::new();
+        let fate = self.feedback_fate_into(msg, &mut injected);
+        (fate, injected)
+    }
+
+    /// Decides the fate of one outgoing BCN feedback message, recording
+    /// the classes that fired (for telemetry) into `injected`, which is
+    /// cleared first. Allocation-free once the buffer has warmed up.
+    pub fn feedback_fate_into(
+        &mut self,
+        msg: &BcnMessage,
+        injected: &mut Vec<FaultClass>,
+    ) -> FeedbackFate {
+        injected.clear();
+        if !self.active {
+            return FeedbackFate::Deliver { msg: *msg, extra: Duration::ZERO };
+        }
         if self.cfg.feedback_loss > 0.0
             && self.draw(FaultClass::FeedbackDrop) < self.cfg.feedback_loss
         {
             self.counts.feedback_dropped += 1;
             injected.push(FaultClass::FeedbackDrop);
-            return (FeedbackFate::Lost, injected);
+            return FeedbackFate::Lost;
         }
         let mut msg = *msg;
         if self.cfg.feedback_corrupt > 0.0
@@ -331,7 +355,7 @@ impl FaultPlan {
                     // The flip hit a framing field; the switch discards
                     // the frame as non-BCN.
                     self.counts.feedback_corrupt_lost += 1;
-                    return (FeedbackFate::Lost, injected);
+                    return FeedbackFate::Lost;
                 }
             }
         }
@@ -349,7 +373,7 @@ impl FaultPlan {
             self.counts.feedback_reordered += 1;
             injected.push(FaultClass::FeedbackReorder);
         }
-        (FeedbackFate::Deliver { msg, extra }, injected)
+        FeedbackFate::Deliver { msg, extra }
     }
 
     /// Whether an arriving data frame is lost on the wire. A fresh draw

@@ -20,6 +20,9 @@
 //!   regulator tags (RRT/CPID association).
 //! * [`qcn`] — the QCN (802.1Qau) congestion point and reaction point,
 //!   the BCN-paradigm successor, for comparison experiments.
+//! * [`sched`] — the future-event set behind both engines: a
+//!   hierarchical timing wheel with slab recycling (default) and the
+//!   reference binary heap, selectable per run and bit-identical.
 //! * [`sim`] — the event-driven engine wiring N sources through a single
 //!   bottleneck queue to a sink (the paper's Fig. 1 dumbbell).
 //! * [`metrics`] — queue/rate time series, drop counters, throughput and
@@ -60,6 +63,7 @@ pub mod metrics;
 pub mod net;
 pub mod qcn;
 pub mod rp;
+pub mod sched;
 pub mod sim;
 pub mod time;
 pub mod wire;

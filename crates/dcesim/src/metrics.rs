@@ -23,6 +23,14 @@ impl TimeSeries {
         self.values.push(value);
     }
 
+    /// Pre-allocates room for `n` additional samples so recording stays
+    /// allocation-free afterwards (the engines size this from
+    /// `t_end / record_interval`).
+    pub fn reserve(&mut self, n: usize) {
+        self.times.reserve(n);
+        self.values.reserve(n);
+    }
+
     /// Sample times in seconds.
     #[must_use]
     pub fn times(&self) -> &[f64] {
@@ -124,6 +132,12 @@ impl SampleSet {
     /// Adds a sample.
     pub fn push(&mut self, v: f64) {
         self.values.push(v);
+    }
+
+    /// Pre-allocates room for `n` additional samples (see
+    /// [`TimeSeries::reserve`]).
+    pub fn reserve(&mut self, n: usize) {
+        self.values.reserve(n);
     }
 
     /// Number of samples.

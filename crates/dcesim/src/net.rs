@@ -25,14 +25,16 @@
 //! half of the head-of-line-blocking problem (BCN remains necessary for
 //! victims *within* the congested class).
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
+
+use telemetry::FaultClass;
 
 use crate::cp::{CongestionPoint, CpConfig};
 use crate::faults::{FaultConfig, FaultCounts, FaultPlan, FeedbackFate};
 use crate::frame::{BcnMessage, CpId, DataFrame, SourceId};
 use crate::metrics::TimeSeries;
 use crate::rp::{ReactionPoint, RpConfig};
+use crate::sched::{EventQueue, Scheduler};
 use crate::time::{Duration, Time};
 
 /// Number of 802.1p priority classes the engine models.
@@ -126,6 +128,9 @@ pub struct NetConfig {
     /// Fault injection ([`FaultConfig::none`] leaves every run
     /// byte-identical to the fault-free engine).
     pub faults: FaultConfig,
+    /// Which event-queue backend drives the run (bit-identical results;
+    /// see [`Scheduler`]).
+    pub scheduler: Scheduler,
 }
 
 /// Per-flow outcome.
@@ -185,30 +190,6 @@ enum Ev {
     Record,
 }
 
-#[derive(Debug)]
-struct Entry {
-    time: Time,
-    seq: u64,
-    ev: Ev,
-}
-
-impl PartialEq for Entry {
-    fn eq(&self, other: &Self) -> bool {
-        (self.time, self.seq) == (other.time, other.seq)
-    }
-}
-impl Eq for Entry {}
-impl Ord for Entry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
-    }
-}
-impl PartialOrd for Entry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
 struct Port {
     link: usize,
     /// One FIFO per priority class, served round-robin.
@@ -255,10 +236,12 @@ impl SwitchState {
 /// The multi-hop simulation engine.
 pub struct NetSim {
     cfg: NetConfig,
-    heap: BinaryHeap<Reverse<Entry>>,
-    seq: u64,
+    events: EventQueue<Ev>,
     now: Time,
     switches: Vec<SwitchState>,
+    /// For each switch, the links terminating at it (hoisted out of the
+    /// PAUSE path, which used to collect this per assertion).
+    switch_incoming: Vec<Vec<usize>>,
     /// Pause state per link and priority class, read by the transmitter
     /// (plain PAUSE sets every class).
     link_paused_until: Vec<[Time; N_PRIORITIES]>,
@@ -276,13 +259,14 @@ pub struct NetSim {
     /// Per-flow LCG state for pacing jitter (see `on_host_send`).
     jitter_state: Vec<u64>,
     faults: FaultPlan,
+    fault_scratch: Vec<FaultClass>,
 }
 
 impl std::fmt::Debug for NetSim {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("NetSim")
             .field("now", &self.now)
-            .field("events_pending", &self.heap.len())
+            .field("events_pending", &self.events.len())
             .finish_non_exhaustive()
     }
 }
@@ -296,7 +280,7 @@ impl NetSim {
     /// hosts, routes referencing links that do not originate at the
     /// switch, or hosts without an uplink that are used as sources.
     #[must_use]
-    pub fn new(cfg: NetConfig) -> Self {
+    pub fn new(mut cfg: NetConfig) -> Self {
         if let Err(e) = cfg.faults.validate() {
             panic!("{e}");
         }
@@ -307,9 +291,35 @@ impl NetSim {
                 host_uplink[h] = Some(i);
             }
         }
-        let switches: Vec<SwitchState> = cfg
-            .switches
-            .iter()
+        let mut rps = Vec::with_capacity(cfg.flows.len());
+        let mut fixed = Vec::with_capacity(cfg.flows.len());
+        let mut feedback_delay = Vec::with_capacity(cfg.flows.len());
+        for (fi, flow) in cfg.flows.iter().enumerate() {
+            assert!(flow.src_host < cfg.hosts && flow.dst_host < cfg.hosts);
+            assert!(
+                host_uplink[flow.src_host].is_some(),
+                "flow {fi} source host {} has no uplink",
+                flow.src_host
+            );
+            rps.push(flow.rp.map(|c| ReactionPoint::new(c, flow.initial_rate)));
+            fixed.push(flow.initial_rate);
+            feedback_delay.push(path_delay(&cfg, flow.src_host, flow.dst_host, &host_uplink));
+        }
+        let switch_incoming: Vec<Vec<usize>> = (0..cfg.switches.len())
+            .map(|si| {
+                cfg.links
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, l)| l.to == Endpoint::Switch(si))
+                    .map(|(i, _)| i)
+                    .collect()
+            })
+            .collect();
+        // Everything that needed the full config is done; move the
+        // switch specs out so each `SwitchState` owns its spec without
+        // the old per-run `spec.clone()`.
+        let switches: Vec<SwitchState> = std::mem::take(&mut cfg.switches)
+            .into_iter()
             .enumerate()
             .map(|(si, spec)| {
                 let ports: Vec<Port> = cfg
@@ -322,7 +332,7 @@ impl NetSim {
                             .cps
                             .iter()
                             .find(|(link, _)| *link == li)
-                            .map(|(_, c)| CongestionPoint::new(c.clone()));
+                            .map(|(_, c)| CongestionPoint::new(*c));
                         Port {
                             link: li,
                             queues: std::array::from_fn(|_| VecDeque::new()),
@@ -339,33 +349,18 @@ impl NetSim {
                         "switch {si} routes via link {link} it does not own"
                     );
                 }
-                SwitchState { spec: spec.clone(), ports, last_pause: None }
+                SwitchState { spec, ports, last_pause: None }
             })
             .collect();
 
-        let mut rps = Vec::new();
-        let mut fixed = Vec::new();
-        let mut feedback_delay = Vec::new();
-        for (fi, flow) in cfg.flows.iter().enumerate() {
-            assert!(flow.src_host < cfg.hosts && flow.dst_host < cfg.hosts);
-            assert!(
-                host_uplink[flow.src_host].is_some(),
-                "flow {fi} source host {} has no uplink",
-                flow.src_host
-            );
-            rps.push(flow.rp.clone().map(|c| ReactionPoint::new(c, flow.initial_rate)));
-            fixed.push(flow.initial_rate);
-            feedback_delay.push(path_delay(&cfg, flow.src_host, flow.dst_host, &host_uplink));
-        }
-
         let n_flows = cfg.flows.len();
         let n_links = cfg.links.len();
-        let n_switches = cfg.switches.len();
+        let n_switches = switches.len();
         let mut sim = Self {
-            heap: BinaryHeap::new(),
-            seq: 0,
+            events: EventQueue::new(cfg.scheduler),
             now: Time::ZERO,
             switches,
+            switch_incoming,
             link_paused_until: vec![[Time::ZERO; N_PRIORITIES]; n_links],
             rps,
             flow_rates_fixed: fixed,
@@ -377,8 +372,14 @@ impl NetSim {
             feedback_delay,
             jitter_state: (0..n_flows).map(|i| 0x9E37_79B9_7F4A_7C15 ^ (i as u64)).collect(),
             faults: FaultPlan::new(cfg.faults.clone()),
+            fault_scratch: Vec::new(),
             cfg,
         };
+        let records =
+            (sim.cfg.t_end.as_secs() / sim.cfg.record_interval.as_secs()).ceil() as usize + 2;
+        for series in &mut sim.switch_queues {
+            series.reserve(records);
+        }
         for fi in 0..n_flows {
             sim.schedule(Time::from_nanos(fi as u64 + 1), Ev::HostSend(fi));
         }
@@ -387,8 +388,7 @@ impl NetSim {
     }
 
     fn schedule(&mut self, time: Time, ev: Ev) {
-        self.seq += 1;
-        self.heap.push(Reverse(Entry { time, seq: self.seq, ev }));
+        self.events.schedule(time, ev);
     }
 
     fn flow_rate(&self, fi: usize) -> f64 {
@@ -401,12 +401,12 @@ impl NetSim {
     /// Runs to completion.
     #[must_use]
     pub fn run(mut self) -> NetReport {
-        while let Some(Reverse(entry)) = self.heap.pop() {
-            if entry.time > self.cfg.t_end {
+        while let Some((time, ev)) = self.events.pop() {
+            if time > self.cfg.t_end {
                 break;
             }
-            self.now = entry.time;
-            self.dispatch(entry.ev);
+            self.now = time;
+            self.dispatch(ev);
         }
         for (fi, stat) in self.stats.iter_mut().enumerate() {
             stat.final_rate = match &self.rps[fi] {
@@ -419,7 +419,7 @@ impl NetSim {
             switch_queues: self.switch_queues,
             pause_counts: self.pause_counts,
             feedback_messages: self.feedback_messages,
-            faults: self.faults.counts().clone(),
+            faults: self.faults.take_counts(),
         }
     }
 
@@ -532,7 +532,10 @@ impl NetSim {
             port.queues[cls].push_back(frame);
         }
         if let Some(msg) = feedback {
-            let (fate, _) = self.faults.feedback_fate(&msg);
+            let mut injected = std::mem::take(&mut self.fault_scratch);
+            let fate = self.faults.feedback_fate_into(&msg, &mut injected);
+            injected.clear();
+            self.fault_scratch = injected;
             if let FeedbackFate::Deliver { msg, extra } = fate {
                 let flow = msg.dst.0 as usize;
                 // Corruption can re-address the message beyond the flow
@@ -568,17 +571,11 @@ impl NetSim {
             return;
         }
         self.switches[si].last_pause = Some(self.now);
-        // Pause every link that terminates at this switch.
-        let incoming: Vec<usize> = self
-            .cfg
-            .links
-            .iter()
-            .enumerate()
-            .filter(|(_, l)| l.to == Endpoint::Switch(si))
-            .map(|(i, _)| i)
-            .collect();
+        // Pause every link that terminates at this switch (precomputed
+        // in `new` — this path allocates nothing).
         let (hold, _stormed) = self.faults.pause_hold(self.cfg.pause.hold);
-        for li in incoming {
+        for k in 0..self.switch_incoming[si].len() {
+            let li = self.switch_incoming[si][k];
             self.pause_counts[li] += 1;
             let until = self.now + self.cfg.links[li].delay + hold;
             self.schedule(
@@ -757,7 +754,7 @@ pub fn victim_topology(
         cps: Vec::new(),
     };
     let s2_cps = match &bcn {
-        Some((cp, _)) => vec![(bottleneck, CpConfig { cpid: CpId(2), ..cp.clone() })],
+        Some((cp, _)) => vec![(bottleneck, CpConfig { cpid: CpId(2), ..*cp })],
         None => Vec::new(),
     };
     let s2 = SwitchSpec {
@@ -775,7 +772,7 @@ pub fn victim_topology(
             // Culprits collectively offer half the trunk: 2x the
             // bottleneck, but leaving the trunk itself uncongested.
             initial_rate: 0.5 * trunk_capacity / n_culprits as f64,
-            rp: bcn.as_ref().map(|(_, rp)| rp.clone()),
+            rp: bcn.as_ref().map(|(_, rp)| *rp),
             priority: 0,
         });
     }
@@ -784,7 +781,7 @@ pub fn victim_topology(
         src_host: victim_host,
         dst_host: sink_v,
         initial_rate: 0.25 * trunk_capacity,
-        rp: bcn.as_ref().map(|(_, rp)| rp.clone()),
+        rp: bcn.as_ref().map(|(_, rp)| *rp),
         priority: 0,
     });
 
@@ -798,6 +795,7 @@ pub fn victim_topology(
         record_interval: Duration::from_secs(t_end / 2000.0),
         pause,
         faults: FaultConfig::none(),
+        scheduler: Scheduler::default(),
     };
     (cfg, victim)
 }
@@ -882,7 +880,7 @@ pub fn parking_lot_topology(
     let s0 = mk_switch(vec![(sink_v, trunk0), (sink_c, trunk0)], Vec::new());
     let s1 = mk_switch(vec![(sink_v, trunk1), (sink_c, trunk1)], Vec::new());
     let s2_cps = match &bcn {
-        Some((cp, _)) => vec![(bottleneck, CpConfig { cpid: CpId(3), ..cp.clone() })],
+        Some((cp, _)) => vec![(bottleneck, CpConfig { cpid: CpId(3), ..*cp })],
         None => Vec::new(),
     };
     let s2 = mk_switch(vec![(sink_c, bottleneck), (sink_v, victim_link)], s2_cps);
@@ -893,7 +891,7 @@ pub fn parking_lot_topology(
             src_host: h,
             dst_host: sink_c,
             initial_rate: 0.5 * trunk_capacity / n_culprits as f64,
-            rp: bcn.as_ref().map(|(_, rp)| rp.clone()),
+            rp: bcn.as_ref().map(|(_, rp)| *rp),
             priority: 0,
         });
     }
@@ -902,7 +900,7 @@ pub fn parking_lot_topology(
         src_host: deep_victim_host,
         dst_host: sink_v,
         initial_rate: 0.25 * trunk_capacity,
-        rp: bcn.as_ref().map(|(_, rp)| rp.clone()),
+        rp: bcn.as_ref().map(|(_, rp)| *rp),
         priority: 0,
     });
 
@@ -916,6 +914,7 @@ pub fn parking_lot_topology(
         record_interval: Duration::from_secs(t_end / 2000.0),
         pause,
         faults: FaultConfig::none(),
+        scheduler: Scheduler::default(),
     };
     (cfg, deep_victim)
 }

@@ -28,7 +28,7 @@ pub struct QcnFeedback {
 }
 
 /// QCN congestion-point configuration.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QcnCpConfig {
     /// Equilibrium queue point (bits).
     pub q_eq_bits: f64,
@@ -91,7 +91,7 @@ impl QcnCp {
 }
 
 /// QCN reaction-point configuration.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct QcnRpConfig {
     /// Multiplicative-decrease gain (standard: 1/2 at maximum feedback).
     pub gd: f64,

@@ -17,7 +17,7 @@ use crate::error::ConfigError;
 use crate::frame::{BcnMessage, CpId};
 
 /// Configuration of a reaction point.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RpConfig {
     /// Additive-increase gain `Gi`.
     pub gi: f64,

@@ -13,8 +13,7 @@
 //! tie-break sequence number, and deterministic sampling make every run
 //! reproducible bit for bit.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 use bcn::BcnParams;
 use telemetry::{FaultClass, Telemetry};
@@ -26,6 +25,7 @@ use crate::frame::{BcnMessage, CpId, DataFrame, SourceId};
 use crate::metrics::SimMetrics;
 use crate::qcn::{QcnCp, QcnCpConfig, QcnFeedback, QcnRp, QcnRpConfig};
 use crate::rp::{ReactionPoint, RpConfig};
+use crate::sched::{EventQueue, Scheduler};
 use crate::time::{Duration, Time};
 use crate::workload::FlowSpec;
 
@@ -75,6 +75,9 @@ pub struct SimConfig {
     /// Fault injection at the wire layer ([`FaultConfig::none`] for the
     /// ideal fabric the paper assumes).
     pub faults: FaultConfig,
+    /// Which event-queue backend drives the run (bit-identical results;
+    /// see [`Scheduler`]).
+    pub scheduler: Scheduler,
 }
 
 impl SimConfig {
@@ -125,6 +128,7 @@ impl SimConfig {
             record_interval: Duration::from_secs((t_end / 4000.0).max(1e-6)),
             pause_hold: Duration::from_secs(20.0 * frame_bits / params.capacity),
             faults: FaultConfig::none(),
+            scheduler: Scheduler::default(),
         }
     }
 
@@ -227,27 +231,6 @@ enum Ev {
     Record,
 }
 
-#[derive(Debug, Clone, PartialEq)]
-struct Entry {
-    time: Time,
-    seq: u64,
-    ev: Ev,
-}
-
-impl Eq for Entry {}
-
-impl Ord for Entry {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.time, self.seq).cmp(&(other.time, other.seq))
-    }
-}
-
-impl PartialOrd for Entry {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
 enum SchemeState {
     Bcn { cp: CongestionPoint, rps: Vec<ReactionPoint> },
     Qcn { cp: QcnCp, rps: Vec<QcnRp> },
@@ -266,11 +249,30 @@ pub struct SimReport {
     pub telemetry: Option<Telemetry>,
 }
 
+/// The reusable allocation footprint of a [`Simulation`]: the event
+/// queue's slab/heap buffer, the bottleneck FIFO, and the fault scratch
+/// list. Build one per worker and thread it through
+/// [`Simulation::new_in`] / [`Simulation::run_into`] to run many seeds
+/// without re-allocating per run (`dcesim::batch` does this).
+#[derive(Debug, Default)]
+pub struct SimWorkspace {
+    events: EventQueue<Ev>,
+    queue: VecDeque<(DataFrame, Time)>,
+    fault_scratch: Vec<FaultClass>,
+}
+
+impl SimWorkspace {
+    /// An empty workspace.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// A configured, runnable simulation.
 pub struct Simulation {
     cfg: SimConfig,
-    heap: BinaryHeap<Reverse<Entry>>,
-    seq: u64,
+    events: EventQueue<Ev>,
     now: Time,
     active: Vec<bool>,
     paused_until: Vec<Time>,
@@ -284,6 +286,7 @@ pub struct Simulation {
     last_pause: Option<Time>,
     telemetry: Option<Telemetry>,
     faults: FaultPlan,
+    fault_scratch: Vec<FaultClass>,
 }
 
 impl std::fmt::Debug for Simulation {
@@ -291,7 +294,7 @@ impl std::fmt::Debug for Simulation {
         f.debug_struct("Simulation")
             .field("now", &self.now)
             .field("q_bits", &self.q_bits)
-            .field("events_pending", &self.heap.len())
+            .field("events_pending", &self.events.len())
             .finish_non_exhaustive()
     }
 }
@@ -305,34 +308,56 @@ impl Simulation {
     /// or frame size, or invalid scheme parameters).
     #[must_use]
     pub fn new(cfg: SimConfig) -> Self {
+        Self::new_in(cfg, &mut SimWorkspace::new())
+    }
+
+    /// Builds the engine reusing the buffers of `ws` (which is left
+    /// empty). Pair with [`Simulation::run_into`] so batched runs keep
+    /// one allocation footprint across seeds.
+    ///
+    /// # Panics
+    ///
+    /// Same as [`Simulation::new`].
+    #[must_use]
+    pub fn new_in(cfg: SimConfig, ws: &mut SimWorkspace) -> Self {
         if let Err(e) = cfg.validate() {
             panic!("{e}");
         }
         let n = cfg.flows.len();
         let scheme = match &cfg.control {
             Control::Bcn { cp, rp } => SchemeState::Bcn {
-                cp: CongestionPoint::new(cp.clone()),
-                rps: cfg
-                    .flows
-                    .iter()
-                    .map(|f| ReactionPoint::new(rp.clone(), f.initial_rate))
-                    .collect(),
+                cp: CongestionPoint::new(*cp),
+                rps: cfg.flows.iter().map(|f| ReactionPoint::new(*rp, f.initial_rate)).collect(),
             },
             Control::Qcn { cp, rp } => SchemeState::Qcn {
-                cp: QcnCp::new(cp.clone()),
-                rps: cfg.flows.iter().map(|f| QcnRp::new(rp.clone(), f.initial_rate)).collect(),
+                cp: QcnCp::new(*cp),
+                rps: cfg.flows.iter().map(|f| QcnRp::new(*rp, f.initial_rate)).collect(),
             },
             Control::None => SchemeState::None,
         };
+        let mut events = std::mem::take(&mut ws.events);
+        events.reset(cfg.scheduler);
+        let mut queue = std::mem::take(&mut ws.queue);
+        queue.clear();
+        let mut fault_scratch = std::mem::take(&mut ws.fault_scratch);
+        fault_scratch.clear();
+        // Size every buffer that grows with the run up front, so the
+        // steady state allocates nothing (the packet_engine bench gates
+        // on this): the FIFO can hold at most a buffer of frames, the
+        // series one sample per record tick, and the delay samples one
+        // per deliverable frame (capped — pathological horizons fall
+        // back to amortized growth rather than huge up-front reserves).
+        queue.reserve((cfg.buffer_bits / cfg.frame_bits).ceil() as usize + 2);
+        let records = (cfg.t_end.as_secs() / cfg.record_interval.as_secs()).ceil() as usize + 2;
+        let deliverable = (cfg.t_end.as_secs() * cfg.capacity / cfg.frame_bits).ceil().min(1e6);
         let mut sim = Self {
-            heap: BinaryHeap::new(),
-            seq: 0,
+            events,
             now: Time::ZERO,
             active: vec![false; n],
             paused_until: vec![Time::ZERO; n],
             sending_scheduled: vec![false; n],
             sent_bits: vec![0.0; n],
-            queue: VecDeque::new(),
+            queue,
             q_bits: 0.0,
             busy: false,
             scheme,
@@ -340,10 +365,17 @@ impl Simulation {
             last_pause: None,
             telemetry: None,
             faults: FaultPlan::new(cfg.faults.clone()),
+            fault_scratch,
             cfg,
         };
+        sim.metrics.queue.reserve(records);
+        sim.metrics.aggregate_rate.reserve(records);
+        sim.metrics.queueing_delay.reserve(deliverable as usize + 16);
         sim.metrics.per_source_bits = vec![0.0; n];
         sim.metrics.per_source_rate = vec![crate::metrics::TimeSeries::new(); n];
+        for series in &mut sim.metrics.per_source_rate {
+            series.reserve(records);
+        }
         for i in 0..n {
             let start = sim.cfg.flows[i].start;
             sim.schedule(start, Ev::FlowStart(i));
@@ -365,14 +397,20 @@ impl Simulation {
     /// Same as [`Simulation::new`].
     #[must_use]
     pub fn with_telemetry(cfg: SimConfig, tel: Telemetry) -> Self {
-        let mut sim = Self::new(cfg);
-        sim.telemetry = Some(tel);
-        sim
+        Self::new(cfg).with_telemetry_sink(tel)
+    }
+
+    /// Attaches a telemetry sink to an already-built engine — the
+    /// workspace-reuse counterpart of [`Simulation::with_telemetry`]
+    /// (pair with [`Simulation::new_in`]).
+    #[must_use]
+    pub fn with_telemetry_sink(mut self, tel: Telemetry) -> Self {
+        self.telemetry = Some(tel);
+        self
     }
 
     fn schedule(&mut self, time: Time, ev: Ev) {
-        self.seq += 1;
-        self.heap.push(Reverse(Entry { time, seq: self.seq, ev }));
+        self.events.schedule(time, ev);
     }
 
     fn source_rate(&self, i: usize) -> f64 {
@@ -390,16 +428,62 @@ impl Simulation {
     /// Runs to completion and returns the report.
     #[must_use]
     pub fn run(mut self) -> SimReport {
-        while let Some(Reverse(entry)) = self.heap.pop() {
-            if entry.time > self.cfg.t_end {
-                break;
-            }
-            self.now = entry.time;
-            self.dispatch(entry.ev);
+        while self.step() {}
+        self.finish()
+    }
+
+    /// Runs to completion, then returns the engine's buffers to `ws`
+    /// for the next run (the workspace-reuse half of
+    /// [`Simulation::new_in`]).
+    #[must_use]
+    pub fn run_into(mut self, ws: &mut SimWorkspace) -> SimReport {
+        while self.step() {}
+        let report = self.finalize();
+        self.queue.clear();
+        ws.events = std::mem::take(&mut self.events);
+        ws.queue = std::mem::take(&mut self.queue);
+        ws.fault_scratch = std::mem::take(&mut self.fault_scratch);
+        report
+    }
+
+    /// Dispatches the next event; returns `false` once the horizon is
+    /// reached or no events remain. Exposed so the packet_engine bench
+    /// can meter the steady state (e.g. count allocations after warm-up)
+    /// without giving up [`Simulation::finish`]'s report.
+    pub fn step(&mut self) -> bool {
+        let Some((time, ev)) = self.events.pop() else { return false };
+        if time > self.cfg.t_end {
+            return false;
         }
+        self.now = time;
+        self.dispatch(ev);
+        true
+    }
+
+    /// Finalizes a stepped run (see [`Simulation::step`]) into a report.
+    #[must_use]
+    pub fn finish(mut self) -> SimReport {
+        self.finalize()
+    }
+
+    fn finalize(&mut self) -> SimReport {
         let final_rates = (0..self.cfg.flows.len()).map(|i| self.source_rate(i)).collect();
-        self.metrics.faults = self.faults.counts().clone();
-        SimReport { metrics: self.metrics, final_rates, telemetry: self.telemetry }
+        self.metrics.faults = self.faults.take_counts();
+        if let Some(tel) = self.telemetry.as_mut() {
+            let st = self.events.stats();
+            tel.scheduler_stats(
+                st.scheduled,
+                st.popped,
+                st.cascades,
+                st.overflow_parked,
+                st.max_pending,
+            );
+        }
+        SimReport {
+            metrics: std::mem::take(&mut self.metrics),
+            final_rates,
+            telemetry: self.telemetry.take(),
+        }
     }
 
     /// Emits a fault-injection telemetry event (counter + trace).
@@ -527,10 +611,16 @@ impl Simulation {
             SchemeState::None => {}
         }
         if let Some(msg) = bcn_msg {
-            let (fate, injected) = self.faults.feedback_fate(&msg);
-            for class in injected {
+            // The scratch list is hoisted into the engine so the fault
+            // path allocates nothing per message (mem::take keeps the
+            // borrow checker happy across the note_fault calls).
+            let mut injected = std::mem::take(&mut self.fault_scratch);
+            let fate = self.faults.feedback_fate_into(&msg, &mut injected);
+            for &class in &injected {
                 self.note_fault(class, msg.dst.0);
             }
+            injected.clear();
+            self.fault_scratch = injected;
             if let FeedbackFate::Deliver { msg, extra } = fate {
                 if let Some(tel) = self.telemetry.as_mut() {
                     tel.bcn_message(self.now.as_secs(), msg.sigma, msg.dst.0);
@@ -644,6 +734,37 @@ mod tests {
         assert_eq!(a.metrics.delivered_frames, b.metrics.delivered_frames);
         assert_eq!(a.metrics.queue.values(), b.metrics.queue.values());
         assert_eq!(a.final_rates, b.final_rates);
+    }
+
+    #[test]
+    fn schedulers_produce_identical_reports() {
+        for faulty in [false, true] {
+            let mut cfg = base_cfg();
+            if faulty {
+                cfg.faults.seed = 9;
+                cfg.faults.feedback_loss = 0.3;
+                cfg.faults.feedback_corrupt = 0.05;
+                cfg.faults.data_loss = 0.01;
+            }
+            let mut heap_cfg = cfg.clone();
+            heap_cfg.scheduler = Scheduler::Heap;
+            cfg.scheduler = Scheduler::Wheel;
+            let wheel = Simulation::new(cfg).run();
+            let heap = Simulation::new(heap_cfg).run();
+            assert_eq!(wheel.metrics, heap.metrics, "faulty={faulty}");
+            assert_eq!(wheel.final_rates, heap.final_rates, "faulty={faulty}");
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical() {
+        let mut ws = SimWorkspace::new();
+        let first = Simulation::new_in(base_cfg(), &mut ws).run_into(&mut ws);
+        let again = Simulation::new_in(base_cfg(), &mut ws).run_into(&mut ws);
+        let fresh = Simulation::new(base_cfg()).run();
+        assert_eq!(first.metrics, fresh.metrics);
+        assert_eq!(again.metrics, fresh.metrics);
+        assert_eq!(again.final_rates, fresh.final_rates);
     }
 
     #[test]

@@ -15,6 +15,9 @@ impl Time {
     /// The simulation epoch.
     pub const ZERO: Time = Time(0);
 
+    /// The far end of representable time (~584 years of nanoseconds).
+    pub const MAX: Time = Time(u64::MAX);
+
     /// Creates a time from raw nanoseconds.
     #[must_use]
     pub fn from_nanos(ns: u64) -> Self {
@@ -50,6 +53,15 @@ impl Time {
     #[must_use]
     pub fn saturating_sub(self, other: Time) -> Duration {
         Duration(self.0.saturating_sub(other.0))
+    }
+
+    /// Checked addition: `None` when the sum would overflow the
+    /// nanosecond range. Event schedulers use this so far-future
+    /// timestamps saturate (to [`Time::MAX`]) instead of silently
+    /// wrapping on pathological horizons.
+    #[must_use]
+    pub fn checked_add(self, rhs: Duration) -> Option<Time> {
+        self.0.checked_add(rhs.0).map(Time)
     }
 }
 
@@ -183,6 +195,16 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn rejects_negative_time() {
         let _ = Time::from_secs(-1.0);
+    }
+
+    #[test]
+    fn checked_add_saturates_only_via_none() {
+        let near_max = Time::from_nanos(u64::MAX - 5);
+        assert_eq!(near_max.checked_add(Duration::from_nanos(5)), Some(Time::MAX));
+        assert_eq!(near_max.checked_add(Duration::from_nanos(6)), None);
+        assert_eq!(Time::ZERO.checked_add(Duration::from_nanos(7)), Some(Time::from_nanos(7)));
+        // The Add impl saturates; checked_add surfaces the overflow.
+        assert_eq!(near_max + Duration::from_nanos(6), Time::MAX);
     }
 
     #[test]

@@ -1,0 +1,62 @@
+//! Property-based scheduler-equivalence tests (requires the
+//! `proptest-tests` feature and a vendored `proptest`; see Cargo.toml).
+//!
+//! The deterministic splitmix64-seeded version of this check runs
+//! unconditionally in `tests/scheduler_equivalence.rs`; this file lets
+//! proptest shrink a diverging configuration to a minimal reproducer
+//! when the dependency is available.
+
+use dcesim::faults::FaultConfig;
+use dcesim::sched::Scheduler;
+use dcesim::sim::{fluid_validation_params, SimConfig, Simulation};
+use dcesim::time::Duration;
+use dcesim::workload;
+use proptest::prelude::*;
+
+fn run(mut cfg: SimConfig, scheduler: Scheduler) -> (dcesim::metrics::SimMetrics, Vec<f64>) {
+    cfg.scheduler = scheduler;
+    let report = Simulation::new(cfg).run();
+    (report.metrics, report.final_rates)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Heap and wheel produce byte-identical reports on random
+    /// configurations, with and without wire faults.
+    #[test]
+    fn schedulers_agree_on_random_runs(
+        frame_bits in 2_000.0f64..16_000.0,
+        prop_delay_us in 0.5f64..4.0,
+        t_end_ms in 5.0f64..25.0,
+        n_flows in 2usize..24,
+        incast in proptest::bool::ANY,
+        fault_seed in proptest::option::of(0u64..u64::MAX),
+        feedback_loss in 0.0f64..0.15,
+        data_loss in 0.0f64..0.02,
+    ) {
+        let params = fluid_validation_params();
+        let mut cfg = SimConfig::from_fluid(
+            &params,
+            frame_bits.round(),
+            Duration::from_secs(prop_delay_us * 1e-6),
+            t_end_ms * 1e-3,
+        );
+        let share = params.capacity / n_flows as f64;
+        cfg.flows = if incast {
+            workload::incast(n_flows, 2.0 * share, 200.0 * frame_bits)
+        } else {
+            workload::homogeneous(n_flows, share)
+        };
+        if let Some(seed) = fault_seed {
+            let mut f = FaultConfig::none();
+            f.seed = seed;
+            f.feedback_loss = feedback_loss;
+            f.data_loss = data_loss;
+            cfg.faults = f;
+        }
+        let wheel = run(cfg.clone(), Scheduler::Wheel);
+        let heap = run(cfg, Scheduler::Heap);
+        prop_assert_eq!(wheel, heap);
+    }
+}

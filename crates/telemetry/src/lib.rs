@@ -60,12 +60,17 @@ struct CoreIds {
     pause_events: CounterId,
     frames_dropped: CounterId,
     faults: [CounterId; FaultClass::ALL.len()],
+    sched_scheduled: CounterId,
+    sched_popped: CounterId,
+    sched_cascades: CounterId,
+    sched_overflow: CounterId,
     step_size: HistogramId,
     step_error: HistogramId,
     event_iters: HistogramId,
     queue_occupancy: HistogramId,
     fb_value: HistogramId,
     queue_gauge: GaugeId,
+    sched_max_pending: GaugeId,
 }
 
 /// The facade instrumented code records into.
@@ -107,12 +112,17 @@ impl Telemetry {
             pause_events: metrics.counter("sim.pause_events"),
             frames_dropped: metrics.counter("sim.frames_dropped"),
             faults: FaultClass::ALL.map(|c| metrics.counter(&format!("faults.{}", c.name()))),
+            sched_scheduled: metrics.counter("scheduler.events_scheduled"),
+            sched_popped: metrics.counter("scheduler.events_popped"),
+            sched_cascades: metrics.counter("scheduler.cascades"),
+            sched_overflow: metrics.counter("scheduler.overflow_parked"),
             step_size: metrics.histogram("solver.step_size_s"),
             step_error: metrics.histogram("solver.step_error"),
             event_iters: metrics.histogram("solver.event_location_iters"),
             queue_occupancy: metrics.histogram("queue.occupancy_bits"),
             fb_value: metrics.histogram("sim.fb_value"),
             queue_gauge: metrics.gauge("queue.occupancy_bits"),
+            sched_max_pending: metrics.gauge("scheduler.max_pending"),
         };
         Self { level, metrics, trace: EventTrace::with_capacity(capacity), ids }
     }
@@ -269,6 +279,33 @@ impl Telemetry {
         }
         self.metrics.inc(self.ids.faults[class.index()], 1);
         self.push(Event::FaultInjected { t, class, target });
+    }
+
+    /// Records one simulation run's event-scheduler activity
+    /// (`scheduler.*` counters plus the pending-event high-water mark).
+    ///
+    /// Flushed once when a run finalizes, never on the hot path. Note
+    /// that `cascades` and `overflow_parked` are implementation detail
+    /// of the timing-wheel backend and legitimately differ between
+    /// schedulers even for bit-identical runs; equivalence checks must
+    /// compare the simulation counters, not `scheduler.*`.
+    #[inline]
+    pub fn scheduler_stats(
+        &mut self,
+        scheduled: u64,
+        popped: u64,
+        cascades: u64,
+        overflow_parked: u64,
+        max_pending: u64,
+    ) {
+        if !self.enabled() {
+            return;
+        }
+        self.metrics.inc(self.ids.sched_scheduled, scheduled);
+        self.metrics.inc(self.ids.sched_popped, popped);
+        self.metrics.inc(self.ids.sched_cascades, cascades);
+        self.metrics.inc(self.ids.sched_overflow, overflow_parked);
+        self.metrics.set_gauge(self.ids.sched_max_pending, max_pending as f64);
     }
 
     /// Merges a worker shard into this sink.

@@ -37,6 +37,25 @@ echo "== fault-injection smoke (Theorem 1 degradation gap) =="
 DCE_BCN_QUICK=1 DCE_BCN_RESULTS=$(mktemp -d) \
   cargo run --release -p bench --bin exp_feedback_degradation
 
+echo "== packet engine smoke (wheel/heap equivalence + zero allocs) =="
+# Quick mode: short horizons, replay-speedup gate skipped; every
+# bit-identity check (schedulers x worker counts x fault plans) and the
+# steady-state allocation gate still run in full.
+DCE_BCN_QUICK=1 DCE_BCN_RESULTS=$(mktemp -d) \
+  cargo run --release -p bench --bin packet_engine
+
+echo "== scheduler equivalence smoke (heap reference vs wheel CLI) =="
+# The two backends must render byte-identical packet summaries,
+# faulted and clean alike.
+for faults in "" "--faults feedback-loss=0.05,seed=7"; do
+  a=$(./target/release/dcebcn packet --t-end 0.02 --scheduler wheel $faults)
+  b=$(./target/release/dcebcn packet --t-end 0.02 --scheduler heap $faults)
+  if [ "$a" != "$b" ]; then
+    echo "scheduler outputs diverged (faults: '$faults')" >&2
+    exit 1
+  fi
+done
+
 echo "== batch quarantine smoke (panicking seed isolated) =="
 # One intentionally panicking seed must be quarantined (exit 0, 7 of 8
 # seeds complete); --fail-fast must turn the same run into exit 9.
