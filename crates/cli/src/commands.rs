@@ -21,7 +21,7 @@ use telemetry::{Telemetry, TelemetryLevel};
 use crate::flags::{
     engine_choice, faults_from, params_from, scheduler_choice, telemetry_level, Flags, PARAM_FLAGS,
 };
-use crate::CliError;
+use crate::{report as report_pipeline, CliError};
 
 fn with_param_flags(extra: &[&str]) -> Vec<&'static str> {
     // Leaking tiny strings is fine for a CLI's static flag tables.
@@ -385,6 +385,7 @@ pub fn batch(args: &[String]) -> Result<String, CliError> {
         "faults",
         "fail-fast",
         "scheduler",
+        "postmortem-dir",
     ]))?;
     let p = params_from(&flags)?;
     let t_end = flags.get_f64("t-end")?.unwrap_or(0.05);
@@ -412,6 +413,7 @@ pub fn batch(args: &[String]) -> Result<String, CliError> {
         cfg.rate_jitter_frac = v;
     }
     let report = run_batch(&cfg);
+    let postmortem_dir = flags.get("postmortem-dir").unwrap_or("results").to_string();
 
     let mut out = String::new();
     let _ = writeln!(
@@ -462,6 +464,20 @@ pub fn batch(args: &[String]) -> Result<String, CliError> {
         for (seed, cause) in &failures {
             let _ = writeln!(out, "  seed {seed}: {cause}");
         }
+        // Crash flight recorder: each quarantined seed that salvaged a
+        // telemetry shard gets a postmortem dump — the trace ring's last
+        // events, the open-span stack ("what was running"), and the
+        // failure cause, as JSONL behind the same schema header the
+        // `report` command checks.
+        for (seed, cause, tel) in report.postmortems() {
+            let Some(tel) = tel else { continue };
+            let path = format!("{postmortem_dir}/postmortem-{seed}.jsonl");
+            std::fs::write(&path, render_postmortem(seed, cause, tel)).or_else(|_| {
+                std::fs::create_dir_all(&postmortem_dir)
+                    .and_then(|()| std::fs::write(&path, render_postmortem(seed, cause, tel)))
+            })?;
+            let _ = writeln!(out, "  wrote {path}");
+        }
     }
     if !utils.is_empty() {
         let (lo, hi) = utils
@@ -485,6 +501,186 @@ pub fn batch(args: &[String]) -> Result<String, CliError> {
         )));
     }
     Ok(out)
+}
+
+/// Renders one quarantined seed's flight recorder as JSONL: the schema
+/// header, a `postmortem` record (seed + cause), one `open_span` record
+/// per still-open span (innermost last), then the trace ring's events.
+fn render_postmortem(seed: u64, cause: &str, tel: &Telemetry) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "{}", telemetry::schema_header());
+    let _ = writeln!(
+        out,
+        r#"{{"type":"postmortem","seed":{seed},"cause":"{}","events":{},"open_spans":{}}}"#,
+        report_pipeline::json_escape(cause),
+        tel.trace.len(),
+        tel.open_spans().len()
+    );
+    for s in tel.open_spans() {
+        let _ = writeln!(
+            out,
+            r#"{{"type":"open_span","id":{},"parent":{},"kind":"{}","entity":{},"t_begin":{}}}"#,
+            s.id,
+            s.parent,
+            s.kind.name(),
+            s.entity,
+            s.t_begin
+        );
+    }
+    for e in tel.trace.iter() {
+        let _ = writeln!(out, "{}", telemetry::event_to_jsonl(e));
+    }
+    out
+}
+
+/// `dcebcn report <scenario>`: run an instrumented scenario (or decode a
+/// JSONL trace with `--from`) and write the full report pipeline — a
+/// JSON summary, queue/rate SVG timelines with causal span bands, and a
+/// Prometheus-style metrics export.
+///
+/// Scenarios: `thm1`, `limit-cycle`, `packet` (as in `trace`), plus
+/// `victim` — the paper-Introduction 4-culprit multi-hop scenario whose
+/// PAUSE episodes render as span bands on the switch-queue lanes.
+///
+/// # Errors
+///
+/// Propagates flag, validation, integration, and I/O failures.
+pub fn report(args: &[String]) -> Result<String, CliError> {
+    let (scenario, rest) = match args.split_first() {
+        Some((s, rest)) if !s.starts_with("--") => (s.as_str(), rest),
+        _ => ("thm1", args),
+    };
+    let flags = Flags::parse(rest)?;
+    flags.ensure_known(&with_param_flags(&["t-end", "out-dir", "from", "frame-bits"]))?;
+    let t_end = flags.get_f64("t-end")?.unwrap_or(0.01);
+    if t_end <= 0.0 {
+        return Err(CliError::Usage("--t-end must be positive".into()));
+    }
+    let out_dir = flags.get("out-dir").unwrap_or("results/report").to_string();
+
+    let mut tel = Telemetry::new(TelemetryLevel::Full);
+    let label;
+    if let Some(path) = flags.get("from") {
+        // Decode a previously written trace; the schema header guards
+        // against stale (pre-span) files.
+        let body = std::fs::read_to_string(path)?;
+        let mut lines = body.lines();
+        let first =
+            lines.next().ok_or_else(|| CliError::Analysis(format!("{path}: empty trace file")))?;
+        telemetry::check_schema_header(first)
+            .map_err(|e| CliError::Analysis(format!("{path}: {e}")))?;
+        for (i, line) in lines.enumerate() {
+            let ev = telemetry::event_from_jsonl(line)
+                .map_err(|e| CliError::Analysis(format!("{path}:{}: {e}", i + 2)))?;
+            tel.trace.push(ev);
+        }
+        label = format!("from:{path}");
+    } else {
+        label = scenario.to_string();
+        match scenario {
+            "thm1" | "limit-cycle" => {
+                let mut p = params_from(&flags)?;
+                if scenario == "thm1" && flags.get_f64("buffer")?.is_none() {
+                    let required = theorem1_required_buffer(&p);
+                    p = p.with_buffer(required);
+                }
+                let sys = BcnFluid::linearized(p.clone());
+                let opts = FluidOptions::default().with_t_end(t_end).with_record_dt(t_end / 2000.0);
+                fluid_trajectory_telemetry(&sys, p.initial_point(), &opts, Some(&mut tel))
+                    .map_err(CliError::Solver)?;
+                // Propagator-cache satellite: one closed-form pass over
+                // the same system, bracketed by the process-global cache
+                // counters, shows the cache's hit rate in the report.
+                // (Saturating: other threads may touch the counters.)
+                let (h0, m0) = bcn::propagate::cache_stats();
+                let analytic = FluidOptions::default()
+                    .with_t_end(t_end)
+                    .with_record_dt(t_end / 2000.0)
+                    .with_engine(bcn::simulate::Engine::Analytic);
+                fluid_trajectory_telemetry(&sys, p.initial_point(), &analytic, None)
+                    .map_err(CliError::Solver)?;
+                let (h1, m1) = bcn::propagate::cache_stats();
+                tel.propagator_cache(h1.saturating_sub(h0), m1.saturating_sub(m0));
+            }
+            "packet" => {
+                let p = params_from(&flags)?;
+                let frame_bits = flags.get_f64("frame-bits")?.unwrap_or(8_000.0);
+                if frame_bits <= 0.0 {
+                    return Err(CliError::Usage("--frame-bits must be positive".into()));
+                }
+                let cfg = SimConfig::from_fluid(&p, frame_bits, Duration::from_secs(2e-6), t_end);
+                cfg.validate()?;
+                let run = Simulation::with_telemetry(cfg, tel).run();
+                tel = run.telemetry.unwrap_or_default();
+            }
+            "victim" => {
+                let run = dcesim::net::NetSim::new(victim_scenario(t_end).0)
+                    .with_telemetry_sink(tel)
+                    .run();
+                tel = run.telemetry.unwrap_or_default();
+            }
+            other => {
+                return Err(CliError::Usage(format!(
+                    "unknown report scenario `{other}`; expected thm1, limit-cycle, packet, or \
+                     victim"
+                )));
+            }
+        }
+    }
+
+    let art = report_pipeline::render(&tel, &label);
+    std::fs::create_dir_all(&out_dir)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "report for {label} ({} trace events):", tel.trace.len());
+    for (name, body) in [
+        ("report.json", &art.summary_json),
+        ("timeline_queue.svg", &art.queue_svg),
+        ("timeline_rate.svg", &art.rate_svg),
+        ("metrics.prom", &art.prometheus),
+    ] {
+        let path = format!("{out_dir}/{name}");
+        std::fs::write(&path, body)?;
+        let _ = writeln!(out, "  wrote {path} ({} bytes)", body.len());
+    }
+    Ok(out)
+}
+
+/// The 4-culprit victim scenario the report renders: PAUSE enabled so
+/// the episodes show up as span bands, BCN installed so the victim is
+/// shielded — calibrated like the packet-engine tests (1 Gbit/s trunk,
+/// 8 kbit frames).
+fn victim_scenario(t_end: f64) -> (dcesim::net::NetConfig, usize) {
+    use dcesim::cp::CpConfig;
+    use dcesim::frame::CpId;
+    use dcesim::net::{victim_topology, PauseConfig};
+    use dcesim::rp::RpConfig;
+    let trunk = 1.0e9;
+    let frame = 8_000.0;
+    let q0 = 10.0 * frame;
+    let cp = CpConfig {
+        cpid: CpId(2),
+        q0_bits: q0,
+        qsc_bits: 50.0 * frame,
+        w: 2.0 / frame * 100.0,
+        sample_every: 5,
+        fb_quant: None,
+        gate_positive: false,
+    };
+    let rp = RpConfig {
+        gi: 0.5,
+        gd: 1.0 / 512.0,
+        ru: 1.0e4,
+        gain_scale: frame * 4.0 / (0.2 * trunk),
+        r_min: trunk * 1e-6,
+        r_max: trunk,
+    };
+    let pause = PauseConfig {
+        enabled: true,
+        hold: Duration::from_secs(40.0 * frame / trunk),
+        per_priority: false,
+    };
+    victim_topology(4, trunk, frame, Duration::from_secs(1e-6), t_end, pause, Some((cp, rp)))
 }
 
 /// `dcebcn trace <scenario>`: run an instrumented scenario, print the
@@ -723,18 +919,47 @@ mod tests {
 
     #[test]
     fn batch_quarantines_a_panicking_seed() {
-        let out = batch(&argv(&format!("{FAST_SIM} --seeds 4 --faults panic-seed=2"))).unwrap();
+        let dir = std::env::temp_dir().join("dcebcn_postmortem_test");
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = batch(&argv(&format!(
+            "{FAST_SIM} --seeds 4 --faults panic-seed=2 --postmortem-dir {}",
+            dir.display()
+        )))
+        .unwrap();
         assert!(out.contains("quarantined 1 of 4 seeds"), "{out}");
         assert!(out.contains("seed 2: seed 2: intentional panic"), "{out}");
         assert!(out.contains("utilisation spread"), "other seeds still reported: {out}");
+        // The flight recorder dumped the failing seed's last moments.
+        let body = std::fs::read_to_string(dir.join("postmortem-2.jsonl")).unwrap();
+        let mut lines = body.lines();
+        telemetry::check_schema_header(lines.next().unwrap()).unwrap();
+        let record = lines.next().unwrap();
+        assert!(record.contains(r#""type":"postmortem""#), "{record}");
+        assert!(record.contains(r#""seed":2"#), "{record}");
+        assert!(record.contains("intentional panic"), "{record}");
+        // One open_span record per span still open at the panic; the
+        // outermost is the batch-seed span. The rest of the file is the
+        // trace ring, decodable as events.
+        let (open_spans, events): (Vec<&str>, Vec<&str>) =
+            lines.partition(|l| l.contains(r#""type":"open_span""#));
+        assert!(open_spans[0].contains(r#""kind":"batch_seed""#), "{}", open_spans[0]);
+        let events: Vec<_> =
+            events.iter().map(|l| telemetry::event_from_jsonl(l).unwrap()).collect();
+        assert!(!events.is_empty(), "flight recorder carried no events:\n{body}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
     fn batch_fail_fast_turns_failures_into_an_error() {
-        let err = batch(&argv(&format!("{FAST_SIM} --seeds 4 --faults panic-seed=2 --fail-fast")))
-            .unwrap_err();
+        let dir = std::env::temp_dir().join("dcebcn_fail_fast_test");
+        let err = batch(&argv(&format!(
+            "{FAST_SIM} --seeds 4 --faults panic-seed=2 --fail-fast --postmortem-dir {}",
+            dir.display()
+        )))
+        .unwrap_err();
         assert!(matches!(err, CliError::Batch(_)), "{err}");
         assert!(err.to_string().contains("1 of 4 seeds failed"), "{err}");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
@@ -770,11 +995,13 @@ mod tests {
         assert!(out.contains("solver.step_size_s"), "{out}");
         assert!(out.contains("queue.occupancy_bits"), "{out}");
         let body = std::fs::read_to_string(&path).unwrap();
+        let mut lines = body.lines();
+        telemetry::check_schema_header(lines.next().unwrap()).unwrap();
         let mut kinds = std::collections::BTreeSet::new();
-        for line in body.lines() {
+        for line in lines {
             kinds.insert(telemetry::event_from_jsonl(line).unwrap().type_name());
         }
-        for required in ["solver_step_accepted", "region_switch", "queue_extremum"] {
+        for required in ["solver_step_accepted", "region_switch", "queue_extremum", "span_begin"] {
             assert!(kinds.contains(required), "missing {required} in {kinds:?}");
         }
         let _ = std::fs::remove_file(&path);
@@ -804,5 +1031,80 @@ mod tests {
     fn trace_rejects_unknown_scenario_and_level() {
         assert!(trace(&argv("bogus")).is_err());
         assert!(trace(&argv("thm1 --telemetry verbose")).is_err());
+    }
+
+    #[test]
+    fn report_thm1_writes_all_artifacts() {
+        let dir = std::env::temp_dir().join("dcebcn_report_thm1");
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = report(&argv(&format!("thm1 --t-end 0.01 --out-dir {}", dir.display()))).unwrap();
+        assert!(out.contains("report for thm1"), "{out}");
+        let json = std::fs::read_to_string(dir.join("report.json")).unwrap();
+        assert!(json.contains(r#""scenario": "thm1""#), "{json}");
+        assert!(json.contains("solver.steps_accepted"), "{json}");
+        assert!(json.contains(r#""kind": "solver_leg""#), "spans missing: {json}");
+        // The propagator-cache satellite rode along on the fluid run.
+        assert!(json.contains("propagator.cache."), "{json}");
+        let queue_svg = std::fs::read_to_string(dir.join("timeline_queue.svg")).unwrap();
+        assert!(queue_svg.starts_with("<svg"), "{queue_svg}");
+        assert!(queue_svg.contains("polyline"), "queue timeline has no series lane");
+        // The fluid model has no per-flow rate series (or discrete BCN
+        // messages); the rate timeline degrades to the feedback axes.
+        let rate_svg = std::fs::read_to_string(dir.join("timeline_rate.svg")).unwrap();
+        assert!(rate_svg.starts_with("<svg"), "{rate_svg}");
+        assert!(rate_svg.contains("BCN feedback"), "rate timeline fallback missing");
+        let prom = std::fs::read_to_string(dir.join("metrics.prom")).unwrap();
+        assert!(prom.contains("# TYPE solver_steps_accepted counter"), "{prom}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn report_victim_renders_pause_span_bands() {
+        let dir = std::env::temp_dir().join("dcebcn_report_victim");
+        let _ = std::fs::remove_dir_all(&dir);
+        let out =
+            report(&argv(&format!("victim --t-end 0.004 --out-dir {}", dir.display()))).unwrap();
+        assert!(out.contains("report for victim"), "{out}");
+        let json = std::fs::read_to_string(dir.join("report.json")).unwrap();
+        assert!(json.contains(r#""kind": "pause_episode""#), "no PAUSE spans: {json}");
+        assert!(json.contains(r#""kind": "queue_depth""#), "no queue series: {json}");
+        let queue_svg = std::fs::read_to_string(dir.join("timeline_queue.svg")).unwrap();
+        assert!(queue_svg.contains(r#"fill-opacity="0.18""#), "no span bands: {queue_svg}");
+        assert!(queue_svg.contains("PAUSE"), "band legend missing: {queue_svg}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn report_from_round_trips_a_trace_and_rejects_stale_files() {
+        let dir = std::env::temp_dir().join("dcebcn_report_from");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let trace_path = dir.join("trace.jsonl");
+        trace(&argv(&format!("thm1 --t-end 0.01 --out {}", trace_path.display()))).unwrap();
+        let out =
+            report(&argv(&format!("--from {} --out-dir {}", trace_path.display(), dir.display())))
+                .unwrap();
+        assert!(out.contains("trace events"), "{out}");
+        let json = std::fs::read_to_string(dir.join("report.json")).unwrap();
+        assert!(json.contains(r#""kind": "solver_leg""#), "{json}");
+
+        // A pre-span schema version (or a headerless file) is rejected.
+        let stale = dir.join("stale.jsonl");
+        std::fs::write(&stale, "{\"type\":\"schema\",\"version\":1}\n").unwrap();
+        let err = report(&argv(&format!("--from {}", stale.display()))).unwrap_err();
+        assert!(matches!(err, CliError::Analysis(_)), "{err}");
+        assert!(err.to_string().contains("schema"), "{err}");
+        let headerless = dir.join("headerless.jsonl");
+        std::fs::write(&headerless, "{\"type\":\"region_switch\",\"t\":0,\"from\":0,\"to\":1}\n")
+            .unwrap();
+        assert!(report(&argv(&format!("--from {}", headerless.display()))).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn report_rejects_unknown_scenarios_and_bad_flags() {
+        assert!(report(&argv("bogus")).is_err());
+        assert!(report(&argv("thm1 --t-end 0")).is_err());
+        assert!(report(&argv("thm1 --bogus 1")).is_err());
     }
 }

@@ -21,6 +21,7 @@
 
 pub mod commands;
 pub mod flags;
+pub mod report;
 
 use std::fmt;
 
@@ -117,6 +118,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "packet" => commands::packet(rest),
         "batch" => commands::batch(rest),
         "trace" => commands::trace(rest),
+        "report" => commands::report(rest),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(CliError::Usage(format!("unknown command `{other}`; run `dcebcn help`"))),
     }
@@ -135,6 +137,7 @@ pub fn usage() -> String {
      \x20 packet    run the packet-level simulator and summarise\n\
      \x20 batch     multi-seed packet-level batch with jittered workloads\n\
      \x20 trace     instrumented run: telemetry summary + JSONL event trace\n\
+     \x20 report    render telemetry (live run or JSONL trace) as JSON + SVG + prom\n\
      \n\
      common flags (defaults = the paper's worked example):\n\
      \x20 --n <flows> --capacity <bit/s> --q0 <bits> --buffer <bits>\n\
@@ -155,10 +158,18 @@ pub fn usage() -> String {
      \x20                                      bit-identical results)\n\
      \x20 batch:    --seeds <n> --t-end <s> --start-jitter <s> --rate-jitter <frac>\n\
      \x20           --frame-bits <bits> --out <path.csv> --faults <spec> [--fail-fast]\n\
-     \x20           --scheduler <wheel|heap>\n\
+     \x20           --scheduler <wheel|heap> --postmortem-dir <dir>  (default results;\n\
+     \x20                                      quarantined seeds dump their flight\n\
+     \x20                                      recorder as postmortem-<seed>.jsonl)\n\
      \x20 trace:    <thm1|limit-cycle|packet> --t-end <s> --out <path.jsonl>\n\
      \x20           --engine <analytic|dopri5>  (fluid scenarios only)\n\
      \x20           --scheduler <wheel|heap>    (packet scenario only)\n\
+     \x20 report:   <thm1|limit-cycle|packet|victim> --t-end <s>\n\
+     \x20           --out-dir <dir>   (default results/report: report.json,\n\
+     \x20                              timeline_queue.svg, timeline_rate.svg,\n\
+     \x20                              metrics.prom)\n\
+     \x20           --from <path.jsonl>  (render a saved trace instead of running;\n\
+     \x20                                 stale schema versions are rejected)\n\
      \n\
      fault injection (--faults, comma-separated key=value items):\n\
      \x20 seed=<u64> feedback-loss=<p> feedback-corrupt=<p> feedback-delay=<s>\n\

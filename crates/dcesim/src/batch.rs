@@ -13,9 +13,12 @@
 //! Seeds are *panic-isolated*: a seed whose run panics (or whose jittered
 //! configuration fails validation) is captured as
 //! [`SeedOutcome::Failed`] and quarantined while every other seed
-//! completes normally.
+//! completes normally. A panicking seed additionally surrenders its
+//! flight recorder — the telemetry shard it had accumulated up to the
+//! panic, including the open-span stack — so the crash can be debriefed
+//! (see `dcebcn batch`'s `results/postmortem-<seed>.jsonl`).
 
-use telemetry::{Telemetry, TelemetryLevel};
+use telemetry::{SpanKind, Telemetry, TelemetryLevel};
 
 use crate::faults::splitmix64;
 use crate::sim::{SimConfig, SimReport, SimWorkspace, Simulation};
@@ -37,9 +40,9 @@ pub struct BatchConfig {
     /// Relative initial-rate jitter: each flow's rate is scaled by
     /// `1 + (2u - 1) * rate_jitter_frac`.
     pub rate_jitter_frac: f64,
-    /// Seeds that deliberately panic instead of running (test hook for
-    /// the quarantine machinery; see `dcebcn batch --faults
-    /// panic-seed=N`).
+    /// Seeds that deliberately panic partway through their run (test
+    /// hook for the quarantine and flight-recorder machinery; see
+    /// `dcebcn batch --faults panic-seed=N`).
     pub panic_seeds: Vec<u64>,
 }
 
@@ -74,6 +77,11 @@ pub enum SeedOutcome {
     Failed {
         /// Human-readable failure cause (panic message or config error).
         cause: String,
+        /// The flight recorder salvaged from the panicked run: the
+        /// telemetry shard as it stood at the moment of the panic —
+        /// trace ring, open-span stack, metrics. `None` when collection
+        /// was off or the configuration never validated.
+        telemetry: Option<Box<Telemetry>>,
     },
 }
 
@@ -105,10 +113,25 @@ impl BatchReport {
     pub fn failures(&self) -> impl Iterator<Item = (u64, &str)> {
         self.seeds.iter().zip(&self.outcomes).filter_map(|(&seed, out)| match out {
             SeedOutcome::Completed(_) => None,
-            SeedOutcome::Failed { cause } => Some((seed, cause.as_str())),
+            SeedOutcome::Failed { cause, .. } => Some((seed, cause.as_str())),
+        })
+    }
+
+    /// The quarantined seeds with cause and salvaged flight-recorder
+    /// telemetry (when any was captured), in seed order.
+    pub fn postmortems(&self) -> impl Iterator<Item = (u64, &str, Option<&Telemetry>)> {
+        self.seeds.iter().zip(&self.outcomes).filter_map(|(&seed, out)| match out {
+            SeedOutcome::Completed(_) => None,
+            SeedOutcome::Failed { cause, telemetry } => {
+                Some((seed, cause.as_str(), telemetry.as_deref()))
+            }
         })
     }
 }
+
+/// How many events a `panic_seeds` run dispatches before it blows up —
+/// enough that the flight recorder has a trace worth dumping.
+const PANIC_AFTER_STEPS: u64 = 256;
 
 /// A deterministic uniform sample in `[0, 1)` keyed by `(seed, flow,
 /// field)`.
@@ -159,27 +182,59 @@ pub fn run_batch(cfg: &BatchConfig) -> BatchReport {
         // panicking seed cannot leave half-torn buffers behind; the
         // worker then continues with a fresh (empty) workspace.
         let mut local = std::mem::take(ws);
-        let body = move || -> Result<(SimReport, SimWorkspace), String> {
-            if cfg.panic_seeds.contains(&seed) {
+        let sim_cfg = seeded_config(cfg, seed);
+        if let Err(e) = sim_cfg.validate() {
+            *ws = local;
+            return SeedOutcome::Failed { cause: e.to_string(), telemetry: None };
+        }
+        // Known-hazardous seeds get a full flight recorder regardless of
+        // the batch level: they always fail, so their shards never reach
+        // the merge and the upgrade cannot perturb aggregate telemetry.
+        let panic_after = cfg.panic_seeds.contains(&seed).then_some(PANIC_AFTER_STEPS);
+        let level = if panic_after.is_some() { TelemetryLevel::Full } else { cfg.level };
+        let t_end = sim_cfg.t_end.as_secs();
+        let mut sim = Simulation::new_in(sim_cfg, &mut local);
+        let mut seed_span = 0;
+        if level.enabled() {
+            let mut tel = Telemetry::new(level);
+            // Disjoint per-seed id ranges keep span ids unique after the
+            // shards merge.
+            tel.set_span_id_base((seed + 1) << 32);
+            seed_span = tel.span_begin(0.0, SpanKind::BatchSeed, seed as u32, 0);
+            sim = sim.with_telemetry_sink(tel);
+        }
+        // Only the step loop is unwind-wrapped: construction was
+        // validated above, and the engine stays owned out here so a
+        // panicking run can still surrender its flight recorder. The
+        // closure mutates nothing but the engine, which is inspected
+        // (not re-run) after a panic, so the unwind-safety assertion is
+        // sound.
+        let stepped = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let mut steps: u64 = 0;
+            while sim.step() {
+                steps += 1;
+                if panic_after.is_some_and(|n| steps >= n) {
+                    panic!("seed {seed}: intentional panic (panic_seeds)");
+                }
+            }
+            // A run shorter than the trigger still has to fail.
+            if panic_after.is_some() {
                 panic!("seed {seed}: intentional panic (panic_seeds)");
             }
-            let sim_cfg = seeded_config(cfg, seed);
-            sim_cfg.validate().map_err(|e| e.to_string())?;
-            let mut sim = Simulation::new_in(sim_cfg, &mut local);
-            if cfg.level.enabled() {
-                sim = sim.with_telemetry_sink(Telemetry::new(cfg.level));
-            }
-            Ok((sim.run_into(&mut local), local))
-        };
-        // The closure only touches owned data, so unwind safety is moot;
-        // the assertion just lets safe code catch the panic.
-        match std::panic::catch_unwind(std::panic::AssertUnwindSafe(body)) {
-            Ok(Ok((report, local))) => {
+        }));
+        match stepped {
+            Ok(()) => {
+                let mut report = sim.finish_into(&mut local);
                 *ws = local;
+                if let Some(tel) = report.telemetry.as_mut() {
+                    tel.span_end(t_end, seed_span);
+                }
                 SeedOutcome::Completed(Box::new(report))
             }
-            Ok(Err(cause)) => SeedOutcome::Failed { cause },
-            Err(payload) => SeedOutcome::Failed { cause: panic_message(payload.as_ref()) },
+            Err(payload) => SeedOutcome::Failed {
+                cause: panic_message(payload.as_ref()),
+                telemetry: sim.take_telemetry().map(Box::new),
+            },
         }
     });
     let telemetry = cfg.level.enabled().then(|| {
@@ -295,6 +350,82 @@ mod tests {
         let tel = report.telemetry.as_ref().expect("telemetry requested");
         let fb: u64 = report.completed().map(|(_, r)| r.metrics.feedback_messages).sum();
         assert_eq!(tel.metrics.counter_by_name("sim.bcn_messages"), Some(fb));
+    }
+
+    #[test]
+    fn a_panicking_seed_leaves_the_merged_shard_untouched() {
+        // Quarantine must be surgical: the merged telemetry with seed 3
+        // panicking is byte-identical to a batch that never had seed 3.
+        let mut with_panic = batch(8);
+        with_panic.panic_seeds = vec![3];
+        let mut without = batch(8);
+        without.seeds.retain(|&s| s != 3);
+        let a = run_batch(&with_panic).telemetry.expect("telemetry requested");
+        let b = run_batch(&without).telemetry.expect("telemetry requested");
+        assert_eq!(a.trace_to_jsonl(), b.trace_to_jsonl(), "merged traces differ");
+        let ca: Vec<_> = a.metrics.counters().collect();
+        let cb: Vec<_> = b.metrics.counters().collect();
+        assert_eq!(ca, cb, "merged counters differ");
+    }
+
+    #[test]
+    fn a_panicking_seed_surrenders_its_flight_recorder() {
+        // Even with batch telemetry off, a known-hazardous seed records a
+        // full flight recorder and hands it over on failure.
+        let mut cfg = batch(4);
+        cfg.level = TelemetryLevel::Off;
+        cfg.panic_seeds = vec![2];
+        let report = run_batch(&cfg);
+        let (seed, cause, tel) = report.postmortems().next().expect("one failure");
+        assert_eq!(seed, 2);
+        assert!(cause.contains("intentional panic"), "cause: {cause}");
+        let tel = tel.expect("flight recorder captured");
+        assert!(!tel.trace.is_empty(), "flight recorder trace is empty");
+        let spans = tel.open_spans();
+        assert!(!spans.is_empty(), "open-span stack is empty");
+        assert_eq!(spans[0].kind, SpanKind::BatchSeed, "seed span must anchor the stack");
+        assert_eq!(spans[0].entity, 2);
+        assert_eq!(spans[0].id, (3 << 32) + 1, "span ids must use the per-seed base");
+        // Completed seeds are unaffected by the neighbour's upgrade.
+        assert_eq!(report.completed().count(), 3);
+        assert!(report.completed().all(|(_, r)| r.telemetry.is_none()));
+    }
+
+    #[test]
+    fn merged_batch_telemetry_carries_scheduler_stats() {
+        let report = run_batch(&batch(3));
+        let tel = report.telemetry.expect("telemetry requested");
+        let scheduled = tel.metrics.counter_by_name("scheduler.events_scheduled");
+        let executed = tel.metrics.counter_by_name("scheduler.events_popped");
+        assert!(scheduled.is_some_and(|v| v > 0), "scheduler.events_scheduled missing from merge");
+        assert!(executed.is_some_and(|v| v > 0), "scheduler.events_popped missing from merge");
+        // Summed across shards: each of the three seeds contributes.
+        assert!(scheduled.unwrap() >= 3, "expected per-seed flushes to accumulate");
+    }
+
+    #[test]
+    fn batch_seed_spans_bracket_each_completed_run() {
+        let report = run_batch(&batch(2));
+        let tel = report.telemetry.expect("telemetry requested");
+        let begins: Vec<_> = tel
+            .trace
+            .iter()
+            .filter_map(|e| match e {
+                telemetry::Event::SpanBegin { id, kind: SpanKind::BatchSeed, entity, .. } => {
+                    Some((*id, *entity))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(begins, vec![((1 << 32) + 1, 0), ((2 << 32) + 1, 1)]);
+        for (id, _) in begins {
+            let ended = tel
+                .trace
+                .iter()
+                .any(|e| matches!(e, telemetry::Event::SpanEnd { id: eid, .. } if *eid == id));
+            assert!(ended, "seed span {id:#x} never closed");
+        }
+        assert!(tel.open_spans().is_empty(), "merged shard must not report open spans");
     }
 
     #[test]

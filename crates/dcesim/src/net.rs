@@ -27,7 +27,7 @@
 
 use std::collections::VecDeque;
 
-use telemetry::FaultClass;
+use telemetry::{FaultClass, SeriesKind, Telemetry};
 
 use crate::cp::{CongestionPoint, CpConfig};
 use crate::faults::{FaultConfig, FaultCounts, FaultPlan, FeedbackFate};
@@ -157,6 +157,11 @@ pub struct NetReport {
     pub feedback_messages: u64,
     /// Injected-fault tallies (all zero for a fault-free run).
     pub faults: FaultCounts,
+    /// The telemetry shard, when a sink was attached (see
+    /// [`NetSim::with_telemetry_sink`]); per-switch queue depths and
+    /// per-flow rates land in its entity-keyed time series, PAUSE
+    /// assertions become causal spans.
+    pub telemetry: Option<Telemetry>,
 }
 
 impl NetReport {
@@ -260,6 +265,7 @@ pub struct NetSim {
     jitter_state: Vec<u64>,
     faults: FaultPlan,
     fault_scratch: Vec<FaultClass>,
+    telemetry: Option<Telemetry>,
 }
 
 impl std::fmt::Debug for NetSim {
@@ -373,6 +379,7 @@ impl NetSim {
             jitter_state: (0..n_flows).map(|i| 0x9E37_79B9_7F4A_7C15 ^ (i as u64)).collect(),
             faults: FaultPlan::new(cfg.faults.clone()),
             fault_scratch: Vec::new(),
+            telemetry: None,
             cfg,
         };
         let records =
@@ -385,6 +392,13 @@ impl NetSim {
         }
         sim.schedule(Time::ZERO, Ev::Record);
         sim
+    }
+
+    /// Attaches a telemetry sink; its shard comes back in the report.
+    #[must_use]
+    pub fn with_telemetry_sink(mut self, tel: Telemetry) -> Self {
+        self.telemetry = Some(tel);
+        self
     }
 
     fn schedule(&mut self, time: Time, ev: Ev) {
@@ -414,12 +428,23 @@ impl NetSim {
                 None => self.flow_rates_fixed[fi],
             };
         }
+        if let Some(tel) = self.telemetry.as_mut() {
+            let st = self.events.stats();
+            tel.scheduler_stats(
+                st.scheduled,
+                st.popped,
+                st.cascades,
+                st.overflow_parked,
+                st.max_pending,
+            );
+        }
         NetReport {
             flows: self.stats,
             switch_queues: self.switch_queues,
             pause_counts: self.pause_counts,
             feedback_messages: self.feedback_messages,
             faults: self.faults.take_counts(),
+            telemetry: self.telemetry.take(),
         }
     }
 
@@ -434,6 +459,9 @@ impl NetSim {
                 if let Some(Some(rp)) = self.rps.get_mut(flow) {
                     rp.on_bcn(&msg);
                     self.feedback_messages += 1;
+                    if let Some(tel) = self.telemetry.as_mut() {
+                        tel.bcn_message(self.now.as_secs(), msg.sigma, flow as u32);
+                    }
                 }
             }
             Ev::PauseAt { link, priority, until } => match priority {
@@ -449,7 +477,20 @@ impl NetSim {
             },
             Ev::Record => {
                 for (si, sw) in self.switches.iter().enumerate() {
-                    self.switch_queues[si].push(self.now, sw.total_backlog());
+                    let backlog = sw.total_backlog();
+                    self.switch_queues[si].push(self.now, backlog);
+                    if let Some(tel) = self.telemetry.as_mut() {
+                        tel.queue_sample_entity(self.now.as_secs(), si as u32, backlog);
+                    }
+                }
+                if self.telemetry.is_some() {
+                    for fi in 0..self.cfg.flows.len() {
+                        let rate = self.flow_rate(fi);
+                        let now = self.now.as_secs();
+                        if let Some(tel) = self.telemetry.as_mut() {
+                            tel.series_sample(SeriesKind::FlowRate, fi as u32, now, rate);
+                        }
+                    }
                 }
                 if self.now + self.cfg.record_interval <= self.cfg.t_end {
                     self.schedule(self.now + self.cfg.record_interval, Ev::Record);
@@ -489,6 +530,9 @@ impl NetSim {
     fn on_arrive(&mut self, link: usize, frame: NetFrame) {
         // Per-link wire loss: a multi-hop frame faces one draw per hop.
         if self.faults.is_active() && self.faults.data_frame_lost() {
+            if let Some(tel) = self.telemetry.as_mut() {
+                tel.fault_injected(self.now.as_secs(), FaultClass::DataLoss, link as u32);
+            }
             return;
         }
         match self.cfg.links[link].to {
@@ -506,12 +550,18 @@ impl NetSim {
         let Some(pi) = self.switches[si].route(dst) else {
             // No route: count as a drop against the flow.
             self.stats[frame.flow].dropped_frames += 1;
+            if let Some(tel) = self.telemetry.as_mut() {
+                tel.frame_dropped(self.now.as_secs(), frame.flow as u32);
+            }
             return;
         };
         if self.switches[si].ports[pi].backlog_bits() + frame.bits
             > self.switches[si].spec.buffer_bits
         {
             self.stats[frame.flow].dropped_frames += 1;
+            if let Some(tel) = self.telemetry.as_mut() {
+                tel.frame_dropped(self.now.as_secs(), frame.flow as u32);
+            }
             return;
         }
         // Enqueue into the frame's priority class.
@@ -577,11 +627,14 @@ impl NetSim {
         for k in 0..self.switch_incoming[si].len() {
             let li = self.switch_incoming[si][k];
             self.pause_counts[li] += 1;
-            let until = self.now + self.cfg.links[li].delay + hold;
-            self.schedule(
-                self.now + self.cfg.links[li].delay,
-                Ev::PauseAt { link: li, priority, until },
-            );
+            let deliver = self.now + self.cfg.links[li].delay;
+            let until = deliver + hold;
+            // Each paused link gets its own PAUSE-episode span, so an
+            // upstream cascade renders as a burst of sibling bands.
+            if let Some(tel) = self.telemetry.as_mut() {
+                tel.pause(deliver.as_secs(), until.as_secs(), li as u32);
+            }
+            self.schedule(deliver, Ev::PauseAt { link: li, priority, until });
         }
     }
 
@@ -1141,6 +1194,58 @@ mod tests {
         assert!(report.switch_queues[1].len() > 100);
         // S2 (owning the bottleneck) builds more backlog than S1.
         assert!(report.switch_queues[1].max() >= report.switch_queues[0].max());
+    }
+
+    #[test]
+    fn telemetry_captures_queues_rates_and_pause_spans() {
+        use telemetry::{Event, SpanKind, TelemetryLevel};
+        let t_end = 0.25;
+        let pause = PauseConfig {
+            enabled: true,
+            hold: Duration::from_secs(40.0 * FRAME / TRUNK),
+            per_priority: false,
+        };
+        let (cfg, victim) = victim_topology(
+            4,
+            TRUNK,
+            FRAME,
+            Duration::from_secs(1e-6),
+            t_end,
+            pause,
+            Some(bcn_pair()),
+        );
+        let n_flows = cfg.flows.len();
+        let report = NetSim::new(cfg)
+            .with_telemetry_sink(telemetry::Telemetry::new(TelemetryLevel::Full))
+            .run();
+        let tel = report.telemetry.as_ref().expect("sink attached");
+        // Every switch has a queue-depth series, every flow a rate series.
+        for si in 0..2u32 {
+            let s = tel.series.get(SeriesKind::QueueDepth, si).expect("switch series");
+            assert!(!s.is_empty(), "switch {si} series empty");
+        }
+        for fi in 0..n_flows as u32 {
+            assert!(tel.series.get(SeriesKind::FlowRate, fi).is_some(), "flow {fi} series");
+        }
+        // PAUSE fired (the victim run pauses the trunk) and each
+        // assertion produced a span pair in the trace.
+        let pauses: u64 = report.pause_counts.iter().sum();
+        assert!(pauses > 0);
+        let spans = tel
+            .trace
+            .iter()
+            .filter(|e| matches!(e, Event::SpanBegin { kind: SpanKind::PauseEpisode, .. }))
+            .count() as u64;
+        assert_eq!(spans, pauses, "one PAUSE span per assertion");
+        assert_eq!(tel.metrics.counter_by_name("sim.pause_events"), Some(pauses));
+        assert_eq!(tel.metrics.counter_by_name("sim.bcn_messages"), Some(report.feedback_messages));
+        // Scheduler stats were flushed into the shard.
+        assert!(tel.metrics.counter_by_name("scheduler.events_popped").is_some_and(|v| v > 0));
+        // An untelemetered run is unaffected (same trajectory).
+        let (plain, v2, _) = run_victim(true, Some(bcn_pair()));
+        assert_eq!(v2, victim);
+        assert_eq!(plain.flows, report.flows, "telemetry must not perturb the run");
+        assert_eq!(plain.pause_counts, report.pause_counts);
     }
 
     #[test]

@@ -16,7 +16,7 @@
 use std::collections::VecDeque;
 
 use bcn::BcnParams;
-use telemetry::{FaultClass, Telemetry};
+use telemetry::{FaultClass, SeriesKind, SpanKind, Telemetry};
 
 use crate::cp::{CongestionPoint, CpConfig};
 use crate::error::ConfigError;
@@ -285,6 +285,8 @@ pub struct Simulation {
     metrics: SimMetrics,
     last_pause: Option<Time>,
     telemetry: Option<Telemetry>,
+    /// Open flow-lifetime span ids, 0 when the flow has none.
+    flow_spans: Vec<u64>,
     faults: FaultPlan,
     fault_scratch: Vec<FaultClass>,
 }
@@ -364,6 +366,7 @@ impl Simulation {
             metrics: SimMetrics::default(),
             last_pause: None,
             telemetry: None,
+            flow_spans: vec![0; n],
             faults: FaultPlan::new(cfg.faults.clone()),
             fault_scratch,
             cfg,
@@ -409,6 +412,16 @@ impl Simulation {
         self
     }
 
+    /// Detaches the telemetry sink mid-run, leaving `None` behind.
+    ///
+    /// This is the crash-flight-recorder escape hatch: when a stepped
+    /// run panics inside `catch_unwind`, the owner can still salvage
+    /// everything recorded so far (trace ring, open spans, metrics)
+    /// from the wreckage.
+    pub fn take_telemetry(&mut self) -> Option<Telemetry> {
+        self.telemetry.take()
+    }
+
     fn schedule(&mut self, time: Time, ev: Ev) {
         self.events.schedule(time, ev);
     }
@@ -438,6 +451,16 @@ impl Simulation {
     #[must_use]
     pub fn run_into(mut self, ws: &mut SimWorkspace) -> SimReport {
         while self.step() {}
+        self.finish_into(ws)
+    }
+
+    /// Finalizes a stepped run (see [`Simulation::step`]) into a report
+    /// and returns the engine's buffers to `ws` — the stepped
+    /// counterpart of [`Simulation::run_into`], used by the batch
+    /// runner so it can keep ownership of the engine while the step
+    /// loop runs inside `catch_unwind`.
+    #[must_use]
+    pub fn finish_into(mut self, ws: &mut SimWorkspace) -> SimReport {
         let report = self.finalize();
         self.queue.clear();
         ws.events = std::mem::take(&mut self.events);
@@ -486,6 +509,17 @@ impl Simulation {
         }
     }
 
+    /// Closes flow `i`'s lifetime span, if one is open. Flows still
+    /// active at the horizon keep their span open — the open-span stack
+    /// is exactly "what was running", which is what the crash flight
+    /// recorder wants to capture.
+    fn end_flow_span(&mut self, i: usize) {
+        let id = std::mem::take(&mut self.flow_spans[i]);
+        if let Some(tel) = self.telemetry.as_mut() {
+            tel.span_end(self.now.as_secs(), id);
+        }
+    }
+
     /// Emits a fault-injection telemetry event (counter + trace).
     fn note_fault(&mut self, class: FaultClass, target: u32) {
         if let Some(tel) = self.telemetry.as_mut() {
@@ -497,6 +531,15 @@ impl Simulation {
         match ev {
             Ev::FlowStart(i) => {
                 self.active[i] = true;
+                if let Some(tel) = self.telemetry.as_mut() {
+                    let parent = tel.root_span();
+                    self.flow_spans[i] = tel.span_begin(
+                        self.now.as_secs(),
+                        SpanKind::FlowLifetime,
+                        i as u32,
+                        parent,
+                    );
+                }
                 if !self.sending_scheduled[i] {
                     self.sending_scheduled[i] = true;
                     // Deterministic per-source offset breaks simultaneity.
@@ -505,6 +548,7 @@ impl Simulation {
             }
             Ev::FlowStop(i) => {
                 self.active[i] = false;
+                self.end_flow_span(i);
             }
             Ev::SourceSend(i) => self.on_source_send(i),
             Ev::Arrival(frame) => self.on_arrival(frame),
@@ -539,6 +583,10 @@ impl Simulation {
                 for i in 0..self.cfg.flows.len() {
                     let r = if self.active[i] { self.source_rate(i) } else { 0.0 };
                     self.metrics.per_source_rate[i].push(self.now, r);
+                    let now = self.now.as_secs();
+                    if let Some(tel) = self.telemetry.as_mut() {
+                        tel.series_sample(SeriesKind::FlowRate, i as u32, now, r);
+                    }
                 }
                 if self.now + self.cfg.record_interval <= self.cfg.t_end {
                     self.schedule(self.now + self.cfg.record_interval, Ev::Record);
@@ -557,6 +605,7 @@ impl Simulation {
             if self.sent_bits[i] + self.cfg.frame_bits > volume {
                 self.active[i] = false;
                 self.sending_scheduled[i] = false;
+                self.end_flow_span(i);
                 return;
             }
         }
@@ -1000,11 +1049,12 @@ mod tests {
                 + tel.trace.overwritten();
         assert!(dropped_in_trace >= report.metrics.dropped_frames.min(1));
         // Timestamps in the trace are non-decreasing (except the eagerly
-        // emitted PAUSE deasserts, which carry future expiry stamps).
+        // emitted PAUSE deasserts and episode-span ends, which carry
+        // future expiry stamps).
         let ts: Vec<f64> = tel
             .trace
             .iter()
-            .filter(|e| !matches!(e, Event::PauseDeasserted { .. }))
+            .filter(|e| !matches!(e, Event::PauseDeasserted { .. } | Event::SpanEnd { .. }))
             .map(Event::time)
             .collect();
         assert!(ts.windows(2).all(|w| w[0] <= w[1]));

@@ -16,7 +16,7 @@ use crate::event::{Direction, EventSpec};
 use crate::solution::Solution;
 use crate::stepper::Stepper;
 use crate::SolveError;
-use telemetry::Telemetry;
+use telemetry::{SpanKind, Telemetry};
 
 /// A piecewise-smooth dynamical system with a finite set of modes.
 ///
@@ -128,6 +128,12 @@ pub fn integrate_hybrid_telemetry<const N: usize, S: HybridSystem<N>>(
         let guard = |tt: f64, yy: &[f64; N]| sys.guard(mode, tt, yy);
         let events = [EventSpec::terminal(&guard).with_direction(sys.guard_direction(mode))];
         stepper.reset();
+        // Each leg is one causal span: solver events recorded inside it
+        // attribute to the mode that produced them.
+        let leg_span = tel.as_deref_mut().map_or(0, |tel| {
+            let parent = tel.root_span();
+            tel.span_begin(t, SpanKind::SolverLeg, mode as u32, parent)
+        });
         let leg = integrate_with_events_telemetry(
             &ode,
             t,
@@ -138,6 +144,9 @@ pub fn integrate_hybrid_telemetry<const N: usize, S: HybridSystem<N>>(
             opts,
             tel.as_deref_mut(),
         )?;
+        if let Some(tel) = tel.as_deref_mut() {
+            tel.span_end(leg.last_time(), leg_span);
+        }
         let hit_guard = !leg.events().is_empty();
         intervals.push(ModeInterval { mode, t_start: t, t_end: leg.last_time() });
         t = leg.last_time();
@@ -383,6 +392,15 @@ mod tests {
             .collect();
         assert_eq!(switches.len(), 5);
         assert!(switches.windows(2).all(|w| w[0] < w[1]));
+        // Every leg opened and closed a solver-leg span; none dangle.
+        assert_eq!(tel.metrics.counter_by_name("trace.spans"), Some(6));
+        assert!(tel.open_spans().is_empty());
+        let begins =
+            tel.trace.iter().filter(|e| matches!(e, telemetry::Event::SpanBegin { .. })).count();
+        let ends =
+            tel.trace.iter().filter(|e| matches!(e, telemetry::Event::SpanEnd { .. })).count();
+        assert_eq!(begins, 6);
+        assert_eq!(ends, 6);
     }
 
     #[test]

@@ -16,5 +16,5 @@ pub mod table;
 
 pub use ascii::AsciiChart;
 pub use csv::Csv;
-pub use svg::{Series, SvgPlot};
+pub use svg::{Band, Series, SvgPlot};
 pub use table::Table;

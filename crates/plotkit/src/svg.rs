@@ -50,6 +50,21 @@ impl Series {
     }
 }
 
+/// A translucent horizontal band over `[x0, x1]`, spanning the full
+/// plot height — used to render causal spans (e.g. PAUSE episodes) as
+/// background shading behind the data series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Band {
+    /// Band start (data x coordinate).
+    pub x0: f64,
+    /// Band end (data x coordinate).
+    pub x1: f64,
+    /// CSS fill color (rendered at low opacity).
+    pub color: String,
+    /// Legend label; bands sharing a label are legended once.
+    pub label: String,
+}
+
 /// A 2-D plot rendered to SVG.
 ///
 /// # Example
@@ -73,6 +88,7 @@ pub struct SvgPlot {
     series: Vec<Series>,
     vlines: Vec<(f64, String)>,
     hlines: Vec<(f64, String)>,
+    bands: Vec<Band>,
     width: f64,
     height: f64,
 }
@@ -97,6 +113,7 @@ impl SvgPlot {
             series: Vec::new(),
             vlines: Vec::new(),
             hlines: Vec::new(),
+            bands: Vec::new(),
             width: 760.0,
             height: 480.0,
         }
@@ -123,6 +140,20 @@ impl SvgPlot {
         self
     }
 
+    /// Adds a translucent vertical band over `[x0, x1]` (full plot
+    /// height), drawn behind every series. Bands sharing a label get a
+    /// single legend entry.
+    #[must_use]
+    pub fn with_band(mut self, x0: f64, x1: f64, color: &str, label: &str) -> Self {
+        self.bands.push(Band {
+            x0: x0.min(x1),
+            x1: x0.max(x1),
+            color: color.to_string(),
+            label: label.to_string(),
+        });
+        self
+    }
+
     fn ranges(&self) -> ((f64, f64), (f64, f64)) {
         let (mut x0, mut x1) = (f64::INFINITY, f64::NEG_INFINITY);
         let (mut y0, mut y1) = (f64::INFINITY, f64::NEG_INFINITY);
@@ -143,6 +174,12 @@ impl SvgPlot {
         for (x, _) in &self.vlines {
             x0 = x0.min(*x);
             x1 = x1.max(*x);
+        }
+        for b in &self.bands {
+            if b.x0.is_finite() && b.x1.is_finite() {
+                x0 = x0.min(b.x0);
+                x1 = x1.max(b.x1);
+            }
         }
         if !x0.is_finite() {
             ((0.0, 1.0), (0.0, 1.0))
@@ -203,6 +240,26 @@ impl SvgPlot {
             MARGIN_T + plot_h / 2.0,
             escape(&self.y_label)
         );
+        // Span bands go first, so the data draws on top of them. The x
+        // range is clamped to the frame: an eagerly-stamped span can end
+        // past the last sample.
+        for b in &self.bands {
+            if !(b.x0.is_finite() && b.x1.is_finite()) {
+                continue;
+            }
+            let bx0 = px(b.x0).max(MARGIN_L);
+            let bx1 = px(b.x1).min(MARGIN_L + plot_w);
+            if bx1 <= bx0 {
+                continue;
+            }
+            let _ = write!(
+                out,
+                r##"<rect x="{bx0:.1}" y="{:.1}" width="{:.1}" height="{plot_h:.1}" fill="{}" fill-opacity="0.18"/>"##,
+                MARGIN_T,
+                bx1 - bx0,
+                b.color
+            );
+        }
         // Ticks: 5 per axis.
         for i in 0..=4 {
             let fx = x0 + (x1 - x0) * f64::from(i) / 4.0;
@@ -277,22 +334,42 @@ impl SvgPlot {
                 }
             }
         }
-        // Legend.
-        for (i, s) in self.series.iter().enumerate() {
+        // Legend: series first, then one entry per distinct band label.
+        let mut band_legend: Vec<&Band> = Vec::new();
+        for b in &self.bands {
+            if !b.label.is_empty() && !band_legend.iter().any(|e| e.label == b.label) {
+                band_legend.push(b);
+            }
+        }
+        for (i, (color, label, is_band)) in self
+            .series
+            .iter()
+            .map(|s| (&s.color, &s.label, false))
+            .chain(band_legend.iter().map(|b| (&b.color, &b.label, true)))
+            .enumerate()
+        {
             let ly = MARGIN_T + 14.0 + 16.0 * i as f64;
-            let _ = write!(
-                out,
-                r##"<rect x="{:.1}" y="{:.1}" width="12" height="3" fill="{}"/>"##,
-                MARGIN_L + plot_w - 150.0,
-                ly - 4.0,
-                s.color
-            );
+            if is_band {
+                let _ = write!(
+                    out,
+                    r##"<rect x="{:.1}" y="{:.1}" width="12" height="10" fill="{color}" fill-opacity="0.35"/>"##,
+                    MARGIN_L + plot_w - 150.0,
+                    ly - 8.0
+                );
+            } else {
+                let _ = write!(
+                    out,
+                    r##"<rect x="{:.1}" y="{:.1}" width="12" height="3" fill="{color}"/>"##,
+                    MARGIN_L + plot_w - 150.0,
+                    ly - 4.0
+                );
+            }
             let _ = write!(
                 out,
                 r##"<text x="{:.1}" y="{:.1}" font-size="11" fill="#222">{}</text>"##,
                 MARGIN_L + plot_w - 132.0,
                 ly,
-                escape(&s.label)
+                escape(label)
             );
         }
         out.push_str("</svg>");
@@ -350,6 +427,30 @@ mod tests {
         // Balanced tags (cheap well-formedness proxy).
         assert_eq!(svg.matches("<svg").count(), 1);
         assert_eq!(svg.matches("</svg>").count(), 1);
+    }
+
+    #[test]
+    fn bands_render_behind_series_and_legend_once() {
+        let svg = SvgPlot::new("t", "x", "y")
+            .with_series(Series::line("a", &[0.0, 1.0], &[0.0, 1.0], "#123456"))
+            .with_band(0.2, 0.4, "#d62728", "PAUSE")
+            .with_band(0.6, 0.7, "#d62728", "PAUSE")
+            .render();
+        assert_eq!(svg.matches("fill-opacity=\"0.18\"").count(), 2, "two band rects");
+        assert_eq!(svg.matches(">PAUSE</text>").count(), 1, "shared label legended once");
+        let band_at = svg.find("fill-opacity=\"0.18\"").unwrap();
+        let line_at = svg.find("polyline").unwrap();
+        assert!(band_at < line_at, "bands must draw behind the data");
+    }
+
+    #[test]
+    fn degenerate_and_offscreen_bands_are_skipped() {
+        let svg = SvgPlot::new("t", "x", "y")
+            .with_series(Series::line("a", &[0.0, 1.0], &[0.0, 1.0], "#123456"))
+            .with_band(0.5, 0.5, "#d62728", "")
+            .with_band(f64::NAN, 0.5, "#d62728", "")
+            .render();
+        assert_eq!(svg.matches("fill-opacity=\"0.18\"").count(), 0);
     }
 
     #[test]

@@ -76,6 +76,46 @@ impl FaultClass {
     }
 }
 
+/// The kind of a causal span scope (see [`Event::SpanBegin`]).
+///
+/// Spans tie groups of point events to the activity that caused them:
+/// a PAUSE storm traced with spans renders as a causal tree (seed →
+/// flows → PAUSE episodes) instead of interleaved points.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanKind {
+    /// One seed's simulation inside a batch run.
+    BatchSeed,
+    /// A flow's active lifetime (start until stop or volume exhaustion).
+    FlowLifetime,
+    /// A PAUSE episode on a port (assertion until scheduled resume).
+    PauseEpisode,
+    /// One continuous-dynamics leg between hybrid region switches.
+    SolverLeg,
+}
+
+impl SpanKind {
+    /// Every kind, in stable order.
+    pub const ALL: [SpanKind; 4] =
+        [SpanKind::BatchSeed, SpanKind::FlowLifetime, SpanKind::PauseEpisode, SpanKind::SolverLeg];
+
+    /// Stable snake_case tag (the JSONL `kind` field).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::BatchSeed => "batch_seed",
+            SpanKind::FlowLifetime => "flow_lifetime",
+            SpanKind::PauseEpisode => "pause_episode",
+            SpanKind::SolverLeg => "solver_leg",
+        }
+    }
+
+    /// Parses a tag produced by [`SpanKind::name`].
+    #[must_use]
+    pub fn from_name(name: &str) -> Option<SpanKind> {
+        SpanKind::ALL.into_iter().find(|k| k.name() == name)
+    }
+}
+
 /// One instrumentation event.
 ///
 /// Every variant carries the simulation time `t` (seconds) at which it
@@ -186,6 +226,33 @@ pub enum Event {
         /// The affected entity (source index, or 0 for the bottleneck).
         target: u32,
     },
+    /// A causal span opened. Events recorded between a span's begin and
+    /// end belong to that scope; `parent` links nested spans into a
+    /// tree.
+    ///
+    /// Ids must stay below 2^53 so they survive the JSONL float codec
+    /// (batch runs allocate per-seed bases of `(seed + 1) << 32`).
+    SpanBegin {
+        /// Span start time.
+        t: f64,
+        /// Trace-unique span id (never 0).
+        id: u64,
+        /// Id of the enclosing span, or 0 for a root span.
+        parent: u64,
+        /// What activity the span covers.
+        kind: SpanKind,
+        /// The entity the span is about (flow, port, mode, or seed).
+        entity: u32,
+    },
+    /// A causal span closed (stamped with the span's end time; emitted
+    /// eagerly for spans whose end is scheduled in advance, like PAUSE
+    /// episodes).
+    SpanEnd {
+        /// Span end time.
+        t: f64,
+        /// Id of the span being closed.
+        id: u64,
+    },
 }
 
 impl Event {
@@ -204,7 +271,9 @@ impl Event {
             | Event::PauseAsserted { t, .. }
             | Event::PauseDeasserted { t, .. }
             | Event::FrameDropped { t, .. }
-            | Event::FaultInjected { t, .. } => t,
+            | Event::FaultInjected { t, .. }
+            | Event::SpanBegin { t, .. }
+            | Event::SpanEnd { t, .. } => t,
         }
     }
 
@@ -224,6 +293,8 @@ impl Event {
             Event::PauseDeasserted { .. } => "pause_deasserted",
             Event::FrameDropped { .. } => "frame_dropped",
             Event::FaultInjected { .. } => "fault_injected",
+            Event::SpanBegin { .. } => "span_begin",
+            Event::SpanEnd { .. } => "span_end",
         }
     }
 }
@@ -255,11 +326,21 @@ mod tests {
             Event::PauseDeasserted { t: 0.0, port: 0 },
             Event::FrameDropped { t: 0.0, port: 0 },
             Event::FaultInjected { t: 0.0, class: FaultClass::FeedbackDrop, target: 0 },
+            Event::SpanBegin { t: 0.0, id: 1, parent: 0, kind: SpanKind::BatchSeed, entity: 0 },
+            Event::SpanEnd { t: 0.0, id: 1 },
         ];
         let mut names: Vec<&str> = events.iter().map(Event::type_name).collect();
         names.sort_unstable();
         names.dedup();
         assert_eq!(names.len(), events.len());
+    }
+
+    #[test]
+    fn span_kind_names_round_trip() {
+        for k in SpanKind::ALL {
+            assert_eq!(SpanKind::from_name(k.name()), Some(k));
+        }
+        assert_eq!(SpanKind::from_name("no_such_span"), None);
     }
 
     #[test]

@@ -7,7 +7,53 @@
 //! are accepted and produced for non-finite values so every event
 //! round-trips bit-for-bit.
 
-use crate::event::{Event, ExtremumKind, FaultClass};
+use crate::event::{Event, ExtremumKind, FaultClass, SpanKind};
+
+/// Version of the trace file format.
+///
+/// Bumped whenever the set of event records or their fields changes
+/// incompatibly. Version history: 1 = headerless traces (PR 1);
+/// 2 = schema header record + causal span events (this version).
+pub const TRACE_SCHEMA_VERSION: u32 = 2;
+
+/// The header record written as the first line of every trace file,
+/// e.g. `{"type":"schema","version":2}`.
+#[must_use]
+pub fn schema_header() -> String {
+    format!(r#"{{"type":"schema","version":{TRACE_SCHEMA_VERSION}}}"#)
+}
+
+/// Validates a trace file's header line.
+///
+/// # Errors
+///
+/// Fails when `line` is not a schema record (headerless v1 files and
+/// arbitrary JSONL both land here) or declares a version other than
+/// [`TRACE_SCHEMA_VERSION`], so consumers reject stale trace files
+/// instead of misparsing them.
+pub fn check_schema_header(line: &str) -> Result<(), JsonlError> {
+    let fields = parse_flat_object(line)?;
+    let get = |key: &str| -> Result<&Value, JsonlError> {
+        fields
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+            .ok_or_else(|| JsonlError(format!("missing field `{key}` in schema header")))
+    };
+    let ty = get("type")?.as_str("type")?;
+    if ty != "schema" {
+        return Err(JsonlError(format!(
+            "first record is `{ty}`, not a schema header (stale or truncated trace file?)"
+        )));
+    }
+    let version = get("version")?.as_u32("version")?;
+    if version != TRACE_SCHEMA_VERSION {
+        return Err(JsonlError(format!(
+            "unsupported trace schema version {version} (this build reads {TRACE_SCHEMA_VERSION})"
+        )));
+    }
+    Ok(())
+}
 
 /// Error produced when a JSONL line cannot be parsed back to an event.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -85,6 +131,14 @@ pub fn event_to_jsonl(e: &Event) -> String {
             fmt_f64(t),
             class.name()
         ),
+        Event::SpanBegin { t, id, parent, kind, entity } => format!(
+            r#"{{"type":"{ty}","t":{},"id":{id},"parent":{parent},"kind":"{}","entity":{entity}}}"#,
+            fmt_f64(t),
+            kind.name()
+        ),
+        Event::SpanEnd { t, id } => {
+            format!(r#"{{"type":"{ty}","t":{},"id":{id}}}"#, fmt_f64(t))
+        }
     }
 }
 
@@ -110,6 +164,17 @@ impl Value {
             Ok(v as u32)
         } else {
             Err(JsonlError(format!("field `{key}` is not a u32: {v}")))
+        }
+    }
+
+    fn as_u64(&self, key: &str) -> Result<u64, JsonlError> {
+        let v = self.as_f64(key)?;
+        // 2^53: the largest range in which every integer survives the
+        // f64 round trip the flat parser funnels numbers through.
+        if v.fract() == 0.0 && (0.0..=9_007_199_254_740_992.0).contains(&v) {
+            Ok(v as u64)
+        } else {
+            Err(JsonlError(format!("field `{key}` is not a u64 below 2^53: {v}")))
         }
     }
 
@@ -244,6 +309,19 @@ pub fn event_from_jsonl(line: &str) -> Result<Event, JsonlError> {
                 .ok_or_else(|| JsonlError(format!("unknown fault class `{name}`")))?;
             Ok(Event::FaultInjected { t, class, target: get("target")?.as_u32("target")? })
         }
+        "span_begin" => {
+            let name = get("kind")?.as_str("kind")?;
+            let kind = SpanKind::from_name(name)
+                .ok_or_else(|| JsonlError(format!("unknown span kind `{name}`")))?;
+            Ok(Event::SpanBegin {
+                t,
+                id: get("id")?.as_u64("id")?,
+                parent: get("parent")?.as_u64("parent")?,
+                kind,
+                entity: get("entity")?.as_u32("entity")?,
+            })
+        }
+        "span_end" => Ok(Event::SpanEnd { t, id: get("id")?.as_u64("id")? }),
         other => Err(JsonlError(format!("unknown event type `{other}`"))),
     }
 }
@@ -269,6 +347,21 @@ mod tests {
             Event::FrameDropped { t: 8.0, port: u32::MAX },
             Event::FaultInjected { t: 9.0, class: FaultClass::FeedbackCorrupt, target: 3 },
             Event::FaultInjected { t: 9.5, class: FaultClass::PauseStorm, target: 0 },
+            Event::SpanBegin {
+                t: 10.0,
+                id: (17u64 + 1) << 32,
+                parent: 0,
+                kind: SpanKind::BatchSeed,
+                entity: 17,
+            },
+            Event::SpanBegin {
+                t: 10.5,
+                id: ((17u64 + 1) << 32) + 2,
+                parent: (17u64 + 1) << 32,
+                kind: SpanKind::PauseEpisode,
+                entity: 5,
+            },
+            Event::SpanEnd { t: 11.0, id: ((17u64 + 1) << 32) + 2 },
         ];
         for e in events {
             let line = event_to_jsonl(&e);
@@ -307,8 +400,33 @@ mod tests {
             r#"{"type":"frame_dropped","t":1.0,"port":-1}"#,
             r#"{"type":"frame_dropped","t":1.0,"port":1.5}"#,
             r#"{"type":"fault_injected","t":1.0,"class":"no_such_fault","target":0}"#,
+            r#"{"type":"span_begin","t":1.0,"id":1,"parent":0,"kind":"no_such_span","entity":0}"#,
+            r#"{"type":"span_end","t":1.0,"id":-1}"#,
+            r#"{"type":"span_end","t":1.0,"id":1e16}"#,
         ] {
             assert!(event_from_jsonl(bad).is_err(), "accepted: {bad}");
+        }
+    }
+
+    #[test]
+    fn schema_header_round_trips() {
+        let header = schema_header();
+        check_schema_header(&header).unwrap();
+        // The header is not an event.
+        assert!(event_from_jsonl(&header).is_err());
+    }
+
+    #[test]
+    fn schema_header_rejects_stale_and_foreign_lines() {
+        for bad in [
+            "",
+            "not json",
+            r#"{"type":"region_switch","t":0.5,"from":0,"to":1}"#,
+            r#"{"type":"schema","version":1}"#,
+            r#"{"type":"schema","version":99}"#,
+            r#"{"type":"schema"}"#,
+        ] {
+            assert!(check_schema_header(bad).is_err(), "accepted: {bad}");
         }
     }
 

@@ -35,15 +35,39 @@ mod jsonl;
 mod level;
 mod logging;
 mod metrics;
+mod series;
 mod trace;
 
-pub use event::{Event, ExtremumKind, FaultClass};
+pub use event::{Event, ExtremumKind, FaultClass, SpanKind};
 pub use histogram::Histogram;
-pub use jsonl::{event_from_jsonl, event_to_jsonl, JsonlError};
+pub use jsonl::{
+    check_schema_header, event_from_jsonl, event_to_jsonl, schema_header, JsonlError,
+    TRACE_SCHEMA_VERSION,
+};
 pub use level::TelemetryLevel;
 pub use logging::{quiet, set_quiet};
 pub use metrics::{CounterId, Gauge, GaugeId, HistogramId, Registry};
+pub use series::{SeriesBank, SeriesKind, TimeSeries, SERIES_CAPACITY};
 pub use trace::{EventTrace, DEFAULT_TRACE_CAPACITY};
+
+/// An open (begun but not yet ended) causal span.
+///
+/// The stack of open spans at a crash is the flight recorder's "span
+/// stack": it names the batch seed, the flows still active, and any
+/// scope that was in progress when the panic unwound.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpanInfo {
+    /// Trace-unique span id (never 0).
+    pub id: u64,
+    /// Id of the enclosing span, or 0 for a root span.
+    pub parent: u64,
+    /// What activity the span covers.
+    pub kind: SpanKind,
+    /// The entity the span is about (flow, port, mode, or seed).
+    pub entity: u32,
+    /// When the span was opened (sim seconds).
+    pub t_begin: f64,
+}
 
 /// Pre-registered handles for the core instrumentation points, so hot
 /// loops never pay a name lookup.
@@ -60,6 +84,9 @@ struct CoreIds {
     pause_events: CounterId,
     frames_dropped: CounterId,
     faults: [CounterId; FaultClass::ALL.len()],
+    spans: CounterId,
+    cache_hits: CounterId,
+    cache_misses: CounterId,
     sched_scheduled: CounterId,
     sched_popped: CounterId,
     sched_cascades: CounterId,
@@ -85,7 +112,11 @@ pub struct Telemetry {
     pub metrics: Registry,
     /// The bounded event trace (populated only at level `Full`).
     pub trace: EventTrace,
+    /// Per-entity downsampled time series (populated from `Summary` up).
+    pub series: SeriesBank,
     ids: CoreIds,
+    open_spans: Vec<SpanInfo>,
+    next_span_id: u64,
 }
 
 impl Telemetry {
@@ -112,6 +143,9 @@ impl Telemetry {
             pause_events: metrics.counter("sim.pause_events"),
             frames_dropped: metrics.counter("sim.frames_dropped"),
             faults: FaultClass::ALL.map(|c| metrics.counter(&format!("faults.{}", c.name()))),
+            spans: metrics.counter("trace.spans"),
+            cache_hits: metrics.counter("propagator.cache.hits"),
+            cache_misses: metrics.counter("propagator.cache.misses"),
             sched_scheduled: metrics.counter("scheduler.events_scheduled"),
             sched_popped: metrics.counter("scheduler.events_popped"),
             sched_cascades: metrics.counter("scheduler.cascades"),
@@ -124,7 +158,87 @@ impl Telemetry {
             queue_gauge: metrics.gauge("queue.occupancy_bits"),
             sched_max_pending: metrics.gauge("scheduler.max_pending"),
         };
-        Self { level, metrics, trace: EventTrace::with_capacity(capacity), ids }
+        let mut trace = EventTrace::with_capacity(capacity);
+        if level.traces() {
+            // Trace-level sinks feed solver/simulator hot loops; growth
+            // reallocations mid-run are measurable there (the default
+            // ring is ~2.5 MB — cheap for a sink that exists to record
+            // a full trace), so pre-allocate the whole ring.
+            trace.reserve(capacity);
+        }
+        Self {
+            level,
+            metrics,
+            trace,
+            series: SeriesBank::new(),
+            ids,
+            open_spans: Vec::new(),
+            next_span_id: 0,
+        }
+    }
+
+    /// Sets the base from which subsequent span ids are allocated (the
+    /// next span gets `base + 1`).
+    ///
+    /// The batch runner gives each seed the base `(seed + 1) << 32` so
+    /// span ids are unique and deterministic across merged shards at
+    /// any thread count. Bases must stay below 2^53 so ids survive the
+    /// JSONL float codec.
+    pub fn set_span_id_base(&mut self, base: u64) {
+        self.next_span_id = base;
+    }
+
+    #[inline]
+    fn alloc_span_id(&mut self) -> u64 {
+        self.next_span_id += 1;
+        self.next_span_id
+    }
+
+    /// The id of the outermost open span, or 0 when none is open.
+    ///
+    /// Instrumented code uses this as the default `parent` so activity
+    /// attributes to the enclosing scope (e.g. the batch seed).
+    #[must_use]
+    pub fn root_span(&self) -> u64 {
+        self.open_spans.first().map_or(0, |s| s.id)
+    }
+
+    /// Opens a causal span of `kind` about `entity` at time `t`, nested
+    /// under `parent` (0 for a root span). Returns the span id, or 0
+    /// when collection is disabled (safe to pass to [`span_end`]).
+    ///
+    /// The open-span stack is maintained from `Summary` up; the
+    /// [`Event::SpanBegin`] trace record is kept only at `Full`.
+    ///
+    /// [`span_end`]: Telemetry::span_end
+    pub fn span_begin(&mut self, t: f64, kind: SpanKind, entity: u32, parent: u64) -> u64 {
+        if !self.enabled() {
+            return 0;
+        }
+        let id = self.alloc_span_id();
+        self.metrics.inc(self.ids.spans, 1);
+        self.open_spans.push(SpanInfo { id, parent, kind, entity, t_begin: t });
+        self.push(Event::SpanBegin { t, id, parent, kind, entity });
+        id
+    }
+
+    /// Closes span `id` at time `t`. A no-op for id 0 or when
+    /// collection is disabled.
+    pub fn span_end(&mut self, t: f64, id: u64) {
+        if !self.enabled() || id == 0 {
+            return;
+        }
+        if let Some(pos) = self.open_spans.iter().rposition(|s| s.id == id) {
+            self.open_spans.remove(pos);
+        }
+        self.push(Event::SpanEnd { t, id });
+    }
+
+    /// The currently open spans, outermost first (the crash flight
+    /// recorder's span stack).
+    #[must_use]
+    pub fn open_spans(&self) -> &[SpanInfo] {
+        &self.open_spans
     }
 
     /// The configured collection level.
@@ -196,14 +310,37 @@ impl Telemetry {
     }
 
     /// Samples the queue occupancy `q` (bits) at time `t` into the
-    /// gauge and histogram.
+    /// gauge, histogram, and the entity-0 queue-depth series.
     #[inline]
-    pub fn queue_sample(&mut self, _t: f64, q: f64) {
+    pub fn queue_sample(&mut self, t: f64, q: f64) {
         if !self.enabled() {
             return;
         }
         self.metrics.set_gauge(self.ids.queue_gauge, q);
         self.metrics.record(self.ids.queue_occupancy, q);
+        self.series.record(SeriesKind::QueueDepth, 0, t, q);
+    }
+
+    /// Samples queue occupancy for a specific switch/queue `entity`
+    /// (multi-hop engine): histogram plus the per-entity series, no
+    /// single-queue gauge.
+    #[inline]
+    pub fn queue_sample_entity(&mut self, t: f64, entity: u32, q: f64) {
+        if !self.enabled() {
+            return;
+        }
+        self.metrics.record(self.ids.queue_occupancy, q);
+        self.series.record(SeriesKind::QueueDepth, entity, t, q);
+    }
+
+    /// Records a per-entity time-series sample (e.g. a flow's send
+    /// rate) without touching any counter or histogram.
+    #[inline]
+    pub fn series_sample(&mut self, kind: SeriesKind, entity: u32, t: f64, v: f64) {
+        if !self.enabled() {
+            return;
+        }
+        self.series.record(kind, entity, t, v);
     }
 
     /// Records the queue crossing `threshold` at time `t`.
@@ -234,6 +371,7 @@ impl Telemetry {
         }
         self.metrics.inc(self.ids.bcn_messages, 1);
         self.metrics.record(self.ids.fb_value, fb.abs());
+        self.series.record(SeriesKind::Fb, source, t, fb);
         self.push(Event::BcnMessageEmitted { t, fb, source });
     }
 
@@ -245,19 +383,30 @@ impl Telemetry {
         }
         self.metrics.inc(self.ids.qcn_messages, 1);
         self.metrics.record(self.ids.fb_value, fb.abs());
+        self.series.record(SeriesKind::Fb, source, t, fb);
         self.push(Event::QcnMessageEmitted { t, fb, source });
     }
 
     /// Records a PAUSE taking effect at `port` from time `t` until
     /// `until` (the deassert event is emitted eagerly, stamped `until`).
+    ///
+    /// The episode is also wrapped in a `PauseEpisode` span (begin and
+    /// end emitted eagerly, parented to the outermost open span) so a
+    /// PAUSE storm renders as bands in a causal tree rather than
+    /// interleaved points.
     #[inline]
     pub fn pause(&mut self, t: f64, until: f64, port: u32) {
         if !self.enabled() {
             return;
         }
         self.metrics.inc(self.ids.pause_events, 1);
+        self.metrics.inc(self.ids.spans, 1);
+        let parent = self.root_span();
+        let id = self.alloc_span_id();
+        self.push(Event::SpanBegin { t, id, parent, kind: SpanKind::PauseEpisode, entity: port });
         self.push(Event::PauseAsserted { t, port });
         self.push(Event::PauseDeasserted { t: until, port });
+        self.push(Event::SpanEnd { t: until, id });
     }
 
     /// Records a frame dropped at `port` at time `t`.
@@ -279,6 +428,23 @@ impl Telemetry {
         }
         self.metrics.inc(self.ids.faults[class.index()], 1);
         self.push(Event::FaultInjected { t, class, target });
+    }
+
+    /// Folds a delta of the analytic propagator's process-global
+    /// memo-cache counters into the `propagator.cache.{hits,misses}`
+    /// metrics, so cache efficacy shows up in reports.
+    ///
+    /// Callers snapshot `bcn::propagate::cache_stats()` around an
+    /// analytic run and pass the difference; batch workers must not
+    /// call this (the global counters race across worker threads and
+    /// would break bit-identical merges).
+    #[inline]
+    pub fn propagator_cache(&mut self, hits: u64, misses: u64) {
+        if !self.enabled() {
+            return;
+        }
+        self.metrics.inc(self.ids.cache_hits, hits);
+        self.metrics.inc(self.ids.cache_misses, misses);
     }
 
     /// Records one simulation run's event-scheduler activity
@@ -325,13 +491,16 @@ impl Telemetry {
     pub fn merge(&mut self, other: &Telemetry) {
         self.metrics.merge(&other.metrics);
         self.trace.merge_by_time(&other.trace);
+        self.series.merge(&other.series);
     }
 
-    /// Serializes the event trace to JSONL, one event per line
-    /// (oldest first), with a trailing newline when non-empty.
+    /// Serializes the event trace to JSONL: a schema header line
+    /// followed by one event per line (oldest first), with a trailing
+    /// newline.
     #[must_use]
     pub fn trace_to_jsonl(&self) -> String {
-        let mut out = String::new();
+        let mut out = schema_header();
+        out.push('\n');
         for e in self.trace.iter() {
             out.push_str(&event_to_jsonl(e));
             out.push('\n');
@@ -389,15 +558,86 @@ mod tests {
                 "switch_crossing_located",
                 "region_switch",
                 "queue_extremum",
+                "span_begin",
                 "pause_asserted",
                 "pause_deasserted",
+                "span_end",
             ]
         );
         let jsonl = tel.trace_to_jsonl();
-        assert_eq!(jsonl.lines().count(), 6);
-        for line in jsonl.lines() {
+        assert_eq!(jsonl.lines().count(), 1 + 8);
+        let mut lines = jsonl.lines();
+        check_schema_header(lines.next().unwrap()).unwrap();
+        for line in lines {
             event_from_jsonl(line).unwrap();
         }
+    }
+
+    #[test]
+    fn spans_nest_and_track_the_open_stack() {
+        let mut tel = Telemetry::new(TelemetryLevel::Full);
+        let seed = tel.span_begin(0.0, SpanKind::BatchSeed, 7, 0);
+        assert_ne!(seed, 0);
+        assert_eq!(tel.root_span(), seed);
+        let flow = tel.span_begin(0.1, SpanKind::FlowLifetime, 2, tel.root_span());
+        assert_eq!(tel.open_spans().len(), 2);
+        assert_eq!(tel.open_spans()[1].parent, seed);
+        tel.span_end(0.5, flow);
+        assert_eq!(tel.open_spans().len(), 1);
+        tel.span_end(1.0, seed);
+        assert!(tel.open_spans().is_empty());
+        assert_eq!(tel.metrics.counter_by_name("trace.spans"), Some(2));
+        let kinds: Vec<&str> = tel.trace.iter().map(Event::type_name).collect();
+        assert_eq!(kinds, ["span_begin", "span_begin", "span_end", "span_end"]);
+    }
+
+    #[test]
+    fn span_ids_follow_the_configured_base() {
+        let mut tel = Telemetry::new(TelemetryLevel::Summary);
+        tel.set_span_id_base((7 + 1) << 32);
+        let id = tel.span_begin(0.0, SpanKind::BatchSeed, 7, 0);
+        assert_eq!(id, ((7 + 1) << 32) + 1);
+        // Summary keeps the stack but not the trace.
+        assert_eq!(tel.open_spans().len(), 1);
+        assert!(tel.trace.is_empty());
+    }
+
+    #[test]
+    fn disabled_spans_are_free_and_id_zero_is_inert() {
+        let mut tel = Telemetry::new(TelemetryLevel::Off);
+        let id = tel.span_begin(0.0, SpanKind::SolverLeg, 0, 0);
+        assert_eq!(id, 0);
+        tel.span_end(1.0, id);
+        assert!(tel.open_spans().is_empty());
+        assert!(tel.trace.is_empty());
+        assert_eq!(tel.metrics.counter_by_name("trace.spans"), Some(0));
+    }
+
+    #[test]
+    fn queue_samples_feed_the_entity_series() {
+        let mut tel = Telemetry::new(TelemetryLevel::Summary);
+        tel.queue_sample(0.0, 100.0);
+        tel.queue_sample(0.1, 200.0);
+        tel.queue_sample_entity(0.2, 3, 50.0);
+        tel.series_sample(SeriesKind::FlowRate, 1, 0.3, 1e6);
+        assert_eq!(tel.series.get(SeriesKind::QueueDepth, 0).unwrap().len(), 2);
+        assert_eq!(tel.series.get(SeriesKind::QueueDepth, 3).unwrap().points(), [(0.2, 50.0)]);
+        assert_eq!(tel.series.get(SeriesKind::FlowRate, 1).unwrap().points(), [(0.3, 1e6)]);
+        // Entity samples feed the occupancy histogram but not the gauge.
+        assert_eq!(tel.metrics.histogram_by_name("queue.occupancy_bits").unwrap().count(), 3);
+        assert_eq!(tel.metrics.gauge_by_name("queue.occupancy_bits").unwrap().samples, 2);
+    }
+
+    #[test]
+    fn propagator_cache_counters_accumulate() {
+        let mut tel = Telemetry::new(TelemetryLevel::Summary);
+        tel.propagator_cache(10, 3);
+        tel.propagator_cache(5, 0);
+        assert_eq!(tel.metrics.counter_by_name("propagator.cache.hits"), Some(15));
+        assert_eq!(tel.metrics.counter_by_name("propagator.cache.misses"), Some(3));
+        let mut off = Telemetry::new(TelemetryLevel::Off);
+        off.propagator_cache(10, 3);
+        assert_eq!(off.metrics.counter_by_name("propagator.cache.hits"), Some(0));
     }
 
     #[test]

@@ -191,6 +191,51 @@ impl Registry {
     pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
         self.histogram_names.iter().map(String::as_str).zip(self.histograms.iter())
     }
+
+    /// Renders the registry in the Prometheus text exposition format.
+    ///
+    /// Dots in metric names become underscores (`solver.steps_accepted`
+    /// → `solver_steps_accepted`); histograms export as summaries with
+    /// `quantile` labels plus `_sum`/`_count`, and gauges that never
+    /// recorded a sample are omitted. Intended for scraping by the
+    /// future serving workload, so the output is stable line-oriented
+    /// text, deterministic in registration order.
+    #[must_use]
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        fn sanitize(name: &str) -> String {
+            name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect()
+        }
+        let mut out = String::new();
+        for (name, v) in self.counters() {
+            let name = sanitize(name);
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        for (name, g) in self.gauges() {
+            if g.samples == 0 {
+                continue;
+            }
+            let name = sanitize(name);
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {}", g.last);
+            let _ = writeln!(out, "{name}_min {}", g.min);
+            let _ = writeln!(out, "{name}_max {}", g.max);
+        }
+        for (name, h) in self.histograms() {
+            if h.count() == 0 {
+                continue;
+            }
+            let name = sanitize(name);
+            let _ = writeln!(out, "# TYPE {name} summary");
+            for q in [0.5, 0.9, 0.99] {
+                let _ = writeln!(out, "{name}{{quantile=\"{q}\"}} {}", h.quantile(q));
+            }
+            let _ = writeln!(out, "{name}_sum {}", h.sum());
+            let _ = writeln!(out, "{name}_count {}", h.count());
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -283,6 +328,34 @@ mod tests {
         let h = a.histogram_by_name("h").unwrap();
         assert_eq!(h.count(), 3);
         assert_eq!(h.max(), 3.0);
+    }
+
+    #[test]
+    fn prometheus_export_covers_every_recorded_metric() {
+        let mut r = Registry::new();
+        let c = r.counter("solver.steps_accepted");
+        r.inc(c, 42);
+        let g = r.gauge("queue.occupancy_bits");
+        r.set_gauge(g, 1.5e6);
+        r.gauge("scheduler.max_pending");
+        let h = r.histogram("solver.step_size_s");
+        r.record(h, 1e-3);
+        r.record(h, 2e-3);
+        let text = r.to_prometheus();
+        assert!(text.contains("# TYPE solver_steps_accepted counter\nsolver_steps_accepted 42\n"));
+        assert!(text.contains("# TYPE queue_occupancy_bits gauge\nqueue_occupancy_bits 1500000\n"));
+        assert!(!text.contains("scheduler_max_pending"), "unset gauge must be omitted");
+        assert!(text.contains("solver_step_size_s{quantile=\"0.5\"}"));
+        assert!(text.contains("solver_step_size_s_count 2\n"));
+        // Every non-comment line is `name[labels] value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.split(' ');
+            assert!(parts.next().is_some_and(|n| !n.is_empty()), "bad line: {line}");
+            assert!(
+                parts.next().is_some_and(|v| v.parse::<f64>().is_ok()),
+                "unparseable value: {line}"
+            );
+        }
     }
 
     #[test]

@@ -39,6 +39,15 @@ impl EventTrace {
         Self { capacity, buf: Vec::new(), start: 0, overwritten: 0 }
     }
 
+    /// Pre-allocates backing storage for up to `events` entries (clamped
+    /// to the ring capacity), so hot recording loops don't pay growth
+    /// reallocations. Storage-only: holds no events and changes no
+    /// semantics.
+    pub fn reserve(&mut self, events: usize) {
+        let want = events.min(self.capacity);
+        self.buf.reserve(want.saturating_sub(self.buf.len()));
+    }
+
     /// Appends an event, overwriting the oldest when full.
     #[inline]
     pub fn push(&mut self, e: Event) {
@@ -46,7 +55,13 @@ impl EventTrace {
             self.buf.push(e);
         } else {
             self.buf[self.start] = e;
-            self.start = (self.start + 1) % self.capacity;
+            // Compare-and-reset instead of `% capacity`: an integer
+            // division on every wrapped push is measurable in the
+            // per-step budget once a long run fills the ring.
+            self.start += 1;
+            if self.start == self.capacity {
+                self.start = 0;
+            }
             self.overwritten += 1;
         }
     }

@@ -44,6 +44,24 @@ echo "== packet engine smoke (wheel/heap equivalence + zero allocs) =="
 DCE_BCN_QUICK=1 DCE_BCN_RESULTS=$(mktemp -d) \
   cargo run --release -p bench --bin packet_engine
 
+echo "== telemetry overhead gate (quick mode) =="
+# Off-level hooks within 2% of uninstrumented; trace level within the
+# documented 10% budget over summary (DESIGN.md section 8.5).
+DCE_BCN_QUICK=1 cargo run --release -p bench --bin telemetry_overhead
+
+echo "== report pipeline smoke (limit-cycle scenario) =="
+report_dir=$(mktemp -d)
+./target/release/dcebcn report limit-cycle --t-end 0.01 --out-dir "$report_dir"
+grep -q '"scenario": "limit-cycle"' "$report_dir/report.json"
+grep -q '"kind": "solver_leg"' "$report_dir/report.json"
+grep -q "# TYPE solver_steps_accepted counter" "$report_dir/metrics.prom"
+for svg in timeline_queue.svg timeline_rate.svg; do
+  if [ ! -s "$report_dir/$svg" ]; then
+    echo "report smoke: $svg missing or empty" >&2
+    exit 1
+  fi
+done
+
 echo "== scheduler equivalence smoke (heap reference vs wheel CLI) =="
 # The two backends must render byte-identical packet summaries,
 # faulted and clean alike.
@@ -56,12 +74,16 @@ for faults in "" "--faults feedback-loss=0.05,seed=7"; do
   fi
 done
 
-echo "== batch quarantine smoke (panicking seed isolated) =="
+echo "== batch quarantine smoke (panicking seed isolated + postmortem) =="
 # One intentionally panicking seed must be quarantined (exit 0, 7 of 8
-# seeds complete); --fail-fast must turn the same run into exit 9.
+# seeds complete) and leave a flight-recorder postmortem; --fail-fast
+# must turn the same run into exit 9.
+pm_dir=$(mktemp -d)
 out=$(./target/release/dcebcn batch --seeds 8 --t-end 0.01 \
-  --faults panic-seed=3 2>/dev/null)
+  --faults panic-seed=3 --postmortem-dir "$pm_dir" 2>/dev/null)
 echo "$out" | grep -q "quarantined 1 of 8 seeds"
+grep -q '"type":"postmortem"' "$pm_dir/postmortem-3.jsonl"
+grep -q '"kind":"batch_seed"' "$pm_dir/postmortem-3.jsonl"
 if ./target/release/dcebcn batch --seeds 8 --t-end 0.01 \
   --faults panic-seed=3 --fail-fast >/dev/null 2>&1; then
   echo "fail-fast unexpectedly succeeded" >&2
