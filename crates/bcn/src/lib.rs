@@ -40,6 +40,9 @@
 //!   decompositions per parameter set, closed-form switching-line
 //!   crossing times (Newton-polished), and analytic leg-by-leg
 //!   trajectory integration — the fast path of every sweep.
+//! * [`query`] — the batched stability-query engine: structure-of-arrays
+//!   batches grouped by propagator key, per-worker workspaces, and the
+//!   JSONL wire codec behind `dcebcn query`.
 //! * [`rounds`] — round-by-round switching analysis: crossing points,
 //!   durations `T_i`, `T_d`, per-round amplitudes and the contraction
 //!   ratio of the round map.
@@ -91,6 +94,7 @@ pub mod linear_baseline;
 pub mod model;
 pub mod params;
 pub mod propagate;
+pub mod query;
 pub mod rounds;
 pub mod simulate;
 pub mod stability;

@@ -88,11 +88,32 @@ pub fn trace_legs_telemetry(
     params: &BcnParams,
     start: [f64; 2],
     max_legs: usize,
-    mut tel: Option<&mut Telemetry>,
+    tel: Option<&mut Telemetry>,
 ) -> Vec<Leg> {
-    let k = params.k();
     let prop = Propagator::for_params(params);
     let mut legs = Vec::new();
+    trace_legs_into(params, &prop, start, max_legs, &mut legs, tel);
+    legs
+}
+
+/// The allocation-free tracing core every other entry point wraps: walks
+/// up to `max_legs` legs from `start` using a caller-resolved `prop`,
+/// appending into a caller-owned buffer. `legs` is cleared first; once it
+/// has grown to the workload's deepest trace, re-use allocates nothing —
+/// the property the batched query engine's per-worker workspaces rely on.
+///
+/// `prop` must be the propagator of `params` (cached and fresh builds are
+/// bit-identical, so either source is fine).
+pub fn trace_legs_into(
+    params: &BcnParams,
+    prop: &Propagator,
+    start: [f64; 2],
+    max_legs: usize,
+    legs: &mut Vec<Leg>,
+    mut tel: Option<&mut Telemetry>,
+) {
+    let k = params.k();
+    legs.clear();
     let mut p = start;
     let mut t_abs = 0.0;
     let mut prev_region: Option<Region> = None;
@@ -141,7 +162,6 @@ pub fn trace_legs_telemetry(
             None => break,
         }
     }
-    legs
 }
 
 fn leg_horizon(flow: &RegionFlow) -> f64 {

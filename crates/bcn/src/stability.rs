@@ -23,7 +23,7 @@ use crate::closed_form::Spectrum;
 use crate::model::Region;
 use crate::params::BcnParams;
 use crate::propagate::Propagator;
-use crate::rounds::{first_round, trace_legs, FirstRound};
+use crate::rounds::{first_round, trace_legs, trace_legs_into, FirstRound, Leg};
 
 /// Why the criterion declares a system strongly stable.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -292,7 +292,26 @@ pub struct ExactVerdict {
 /// and reports the exact strong-stability verdict.
 #[must_use]
 pub fn exact_verdict(params: &BcnParams, max_legs: usize) -> ExactVerdict {
-    let legs = trace_legs(params, params.initial_point(), max_legs);
+    let prop = Propagator::for_params(params);
+    let mut legs = Vec::new();
+    exact_verdict_scratch(params, &prop, max_legs, &mut legs)
+}
+
+/// The allocation-free core of [`exact_verdict`]: the caller supplies
+/// the resolved propagator and a reusable leg buffer, so a worker
+/// answering many queries allocates nothing once the buffer has grown
+/// to the workload's deepest trace.
+///
+/// `prop` must be the propagator of `params`; cached and fresh builds
+/// are bit-identical, so either source yields the same verdict bits.
+#[must_use]
+pub fn exact_verdict_scratch(
+    params: &BcnParams,
+    prop: &Propagator,
+    max_legs: usize,
+    legs: &mut Vec<Leg>,
+) -> ExactVerdict {
+    trace_legs_into(params, prop, params.initial_point(), max_legs, legs, None);
     let mut max_x = f64::NEG_INFINITY;
     let mut min_x = f64::INFINITY;
     for (i, leg) in legs.iter().enumerate() {
@@ -325,12 +344,17 @@ pub fn exact_verdict(params: &BcnParams, max_legs: usize) -> ExactVerdict {
 /// Tracing a switched trajectory is the expensive cell of every atlas
 /// and buffer-frontier sweep; the scans are embarrassingly parallel, so
 /// batching them here lets every caller (criterion atlases, CLI sweeps)
-/// share one well-tested fan-out. Verdict `i` corresponds to
-/// `params_list[i]`; each verdict is a pure function of its parameters,
-/// so the output is identical to the serial loop at any thread count.
+/// share one well-tested fan-out. Each worker reuses one leg buffer
+/// across its cells, so the steady state allocates nothing. Verdict `i`
+/// corresponds to `params_list[i]`; each verdict is a pure function of
+/// its parameters, so the output is identical to the serial loop at any
+/// thread count.
 #[must_use]
 pub fn exact_verdicts(params_list: &[BcnParams], max_legs: usize) -> Vec<ExactVerdict> {
-    parkit::par_map(params_list, |p| exact_verdict(p, max_legs))
+    parkit::par_map_init(params_list.len(), Vec::new, |legs: &mut Vec<Leg>, i| {
+        let p = &params_list[i];
+        exact_verdict_scratch(p, &Propagator::for_params(p), max_legs, legs)
+    })
 }
 
 #[cfg(test)]

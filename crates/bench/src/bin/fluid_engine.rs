@@ -146,7 +146,7 @@ fn main() {
 
     // Warm up allocator, code pages, and the propagator memo cache.
     let _ = time_engine(&params[..params.len().min(8)], Engine::Analytic, 1, 1);
-    let (hits0, misses0) = bcn::propagate::cache_stats();
+    let cache0 = bcn::propagate::cache_stats();
 
     let mut rows: Vec<(Engine, &str, Vec<f64>)> =
         vec![(Engine::Analytic, "analytic", Vec::new()), (Engine::Dopri5, "dopri5", Vec::new())];
@@ -168,7 +168,7 @@ fn main() {
         analytic_serial * 1e9 / cells,
         numeric_serial * 1e9 / cells
     );
-    let (hits1, misses1) = bcn::propagate::cache_stats();
+    let cache_delta = bcn::propagate::cache_stats().delta_since(cache0);
 
     // Untimed agreement pass (fine record grid, tight numeric tolerance).
     parkit::set_threads(0);
@@ -212,12 +212,13 @@ fn main() {
          \"min_extremum_rel_delta\": {worst_min:.3e}, \
          \"verdict_mismatches\": {verdict_mismatches}, \"cells\": {}, \
          \"exactly_stable_cells\": {exact_stable}}},\n  \
-         \"propagator_cache\": {{\"hits\": {}, \"misses\": {}}},\n  \
+         \"propagator_cache\": {{\"hits\": {}, \"misses\": {}, \"evictions\": {}}},\n  \
          \"note\": \"{note}\"\n}}\n",
         engines_json.join(", "),
         params.len(),
-        hits1 - hits0,
-        misses1 - misses0,
+        cache_delta.hits,
+        cache_delta.misses,
+        cache_delta.evictions,
     );
     let out = out_dir();
     let path = out.join("BENCH_fluid.json");

@@ -593,15 +593,15 @@ pub fn report(args: &[String]) -> Result<String, CliError> {
                 // the same system, bracketed by the process-global cache
                 // counters, shows the cache's hit rate in the report.
                 // (Saturating: other threads may touch the counters.)
-                let (h0, m0) = bcn::propagate::cache_stats();
+                let c0 = bcn::propagate::cache_stats();
                 let analytic = FluidOptions::default()
                     .with_t_end(t_end)
                     .with_record_dt(t_end / 2000.0)
                     .with_engine(bcn::simulate::Engine::Analytic);
                 fluid_trajectory_telemetry(&sys, p.initial_point(), &analytic, None)
                     .map_err(CliError::Solver)?;
-                let (h1, m1) = bcn::propagate::cache_stats();
-                tel.propagator_cache(h1.saturating_sub(h0), m1.saturating_sub(m0));
+                let delta = bcn::propagate::cache_stats().delta_since(c0);
+                tel.propagator_cache(delta.hits, delta.misses, delta.evictions);
             }
             "packet" => {
                 let p = params_from(&flags)?;
@@ -643,6 +643,111 @@ pub fn report(args: &[String]) -> Result<String, CliError> {
         std::fs::write(&path, body)?;
         let _ = writeln!(out, "  wrote {path} ({} bytes)", body.len());
     }
+    Ok(out)
+}
+
+/// `dcebcn query` — the batched stability-query engine as a stream
+/// filter: JSONL questions in (`--in` or stdin), JSONL answers out
+/// (`--out` or stdout), both streams opened by a schema-v2 header.
+///
+/// Queries are evaluated `--chunk` at a time through
+/// [`bcn::query::QueryBatch`], so memory stays bounded on unbounded
+/// input while each chunk still amortises propagator resolution across
+/// its duplicate configurations. Answers stream out in input order;
+/// with `--telemetry summary` the run's `query.*` counters and
+/// propagator-cache traffic are reported (to the summary string, never
+/// onto the answer stream).
+///
+/// # Errors
+///
+/// Returns [`CliError`] for malformed flags, a missing/stale schema
+/// header, an undecodable query line (reported with its line number),
+/// or I/O failures.
+pub fn query(args: &[String]) -> Result<String, CliError> {
+    use std::io::{BufRead, Write as IoWrite};
+
+    let flags = Flags::parse(args)?;
+    flags.ensure_known(&["in", "out", "chunk", "telemetry", "threads"])?;
+    let level = telemetry_level(&flags, TelemetryLevel::Off)?;
+    let chunk = flags.get_usize("chunk")?.unwrap_or(4096);
+    if chunk == 0 {
+        return Err(CliError::Usage("--chunk must be positive".into()));
+    }
+    let mut tel = Telemetry::new(level);
+
+    let src_name = flags.get("in").unwrap_or("<stdin>").to_string();
+    let reader: Box<dyn BufRead> = match flags.get("in") {
+        Some(path) => Box::new(std::io::BufReader::new(std::fs::File::open(path)?)),
+        None => Box::new(std::io::BufReader::new(std::io::stdin())),
+    };
+    let to_file = flags.get("out").is_some();
+    let mut sink: Box<dyn IoWrite> = match flags.get("out") {
+        Some(path) => Box::new(std::io::BufWriter::new(std::fs::File::create(path)?)),
+        None => Box::new(std::io::stdout().lock()),
+    };
+
+    let mut lines = reader.lines();
+    let first = lines
+        .next()
+        .transpose()?
+        .ok_or_else(|| CliError::Analysis(format!("{src_name}: empty query stream")))?;
+    telemetry::check_schema_header(&first)
+        .map_err(|e| CliError::Analysis(format!("{src_name}: {e}")))?;
+    sink.write_all(telemetry::schema_header().as_bytes())?;
+    sink.write_all(b"\n")?;
+
+    let cache0 = bcn::propagate::cache_stats();
+    let started = std::time::Instant::now();
+    let mut total: u64 = 0;
+    let mut batches: u64 = 0;
+    let mut lineno = 1usize; // the schema header was line 1
+    let mut queries: Vec<bcn::query::StabilityQuery> = Vec::with_capacity(chunk);
+    let mut done = false;
+    while !done {
+        queries.clear();
+        while queries.len() < chunk {
+            let Some(line) = lines.next() else {
+                done = true;
+                break;
+            };
+            let line = line?;
+            lineno += 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let q = bcn::query::query_from_jsonl(&line)
+                .map_err(|e| CliError::Analysis(format!("{src_name}:{lineno}: {e}")))?;
+            queries.push(q);
+        }
+        if queries.is_empty() {
+            break;
+        }
+        let batch = bcn::query::QueryBatch::new(&queries);
+        let t0 = std::time::Instant::now();
+        let answers = batch.evaluate();
+        let secs = t0.elapsed().as_secs_f64();
+        for a in &answers {
+            sink.write_all(bcn::query::answer_to_jsonl(a).as_bytes())?;
+            sink.write_all(b"\n")?;
+        }
+        batches += 1;
+        total += answers.len() as u64;
+        let qps = if secs > 0.0 { answers.len() as f64 / secs } else { 0.0 };
+        tel.query_stats(1, answers.len() as u64, qps);
+    }
+    sink.flush()?;
+    let delta = bcn::propagate::cache_stats().delta_since(cache0);
+    tel.propagator_cache(delta.hits, delta.misses, delta.evictions);
+
+    if !to_file {
+        // Stdout carried the answer stream; keep it pure JSONL.
+        return Ok(String::new());
+    }
+    let wall = started.elapsed().as_secs_f64();
+    let mut out = String::new();
+    let _ =
+        writeln!(out, "answered {total} queries in {batches} batch(es), {:.3} ms wall", wall * 1e3);
+    out.push_str(&render_summary(&tel));
     Ok(out)
 }
 
@@ -1106,5 +1211,109 @@ mod tests {
         assert!(report(&argv("bogus")).is_err());
         assert!(report(&argv("thm1 --t-end 0")).is_err());
         assert!(report(&argv("thm1 --bogus 1")).is_err());
+    }
+
+    /// A small query stream: headers plus a mix of duplicate, sparse and
+    /// explicit parameterisations (so batching has groups to merge).
+    fn query_stream() -> (String, Vec<bcn::query::StabilityQuery>) {
+        use bcn::query::{query_to_jsonl, StabilityQuery};
+        let base = BcnParams::paper_defaults();
+        let queries = vec![
+            StabilityQuery::new(base.clone()),
+            StabilityQuery::new(base.clone().with_gi(2.0)),
+            StabilityQuery::new(base.clone()),
+            StabilityQuery::new(base.clone().with_gd(0.05)),
+        ];
+        let mut text = telemetry::schema_header();
+        text.push('\n');
+        for q in &queries {
+            text.push_str(&query_to_jsonl(q));
+            text.push('\n');
+        }
+        // Sparse lines (paper defaults inherited) must decode too.
+        text.push_str("{\"type\":\"query\",\"gi\":3.0}\n");
+        let mut sparse = base;
+        sparse.gi = 3.0;
+        let mut queries = queries;
+        queries.push(StabilityQuery::new(sparse));
+        (text, queries)
+    }
+
+    #[test]
+    fn query_round_trips_files_and_matches_library() {
+        use bcn::query::{answer_from_jsonl, answer_to_jsonl, evaluate_batch};
+        let dir = std::env::temp_dir().join("dcebcn_query_cli");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let in_path = dir.join("queries.jsonl");
+        let out_path = dir.join("answers.jsonl");
+        let (text, queries) = query_stream();
+        std::fs::write(&in_path, &text).unwrap();
+
+        let summary = query(&argv(&format!(
+            "--in {} --out {} --telemetry summary",
+            in_path.display(),
+            out_path.display()
+        )))
+        .unwrap();
+        assert!(summary.contains("answered 5 queries in 1 batch(es)"), "{summary}");
+        assert!(summary.contains("query.queries"), "{summary}");
+
+        let written = std::fs::read_to_string(&out_path).unwrap();
+        let mut lines = written.lines();
+        telemetry::check_schema_header(lines.next().unwrap()).unwrap();
+        let expected = evaluate_batch(&queries);
+        let decoded: Vec<_> = lines.clone().map(|l| answer_from_jsonl(l).unwrap()).collect();
+        assert_eq!(decoded.len(), expected.len());
+        for (got, want) in decoded.iter().zip(&expected) {
+            assert_eq!(got.strongly_stable, want.strongly_stable);
+            assert_eq!(got.max_x.to_bits(), want.max_x.to_bits());
+            assert_eq!(got.min_x.to_bits(), want.min_x.to_bits());
+            assert_eq!(got.required_buffer.to_bits(), want.required_buffer.to_bits());
+        }
+        // Decode -> re-encode is byte-identical (CI smokes rely on this).
+        for line in lines {
+            assert_eq!(answer_to_jsonl(&answer_from_jsonl(line).unwrap()), line);
+        }
+
+        // Chunked evaluation produces the identical answer stream.
+        let out2 = dir.join("answers_chunk2.jsonl");
+        query(&argv(&format!("--in {} --out {} --chunk 2", in_path.display(), out2.display())))
+            .unwrap();
+        assert_eq!(std::fs::read_to_string(&out2).unwrap(), written);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn query_rejects_bad_streams_and_flags() {
+        let dir = std::env::temp_dir().join("dcebcn_query_cli_bad");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+
+        // Headerless input is rejected up front.
+        let headerless = dir.join("headerless.jsonl");
+        std::fs::write(&headerless, "{\"type\":\"query\",\"gi\":1.0}\n").unwrap();
+        let err =
+            query(&argv(&format!("--in {} --out /dev/null", headerless.display()))).unwrap_err();
+        assert!(matches!(err, CliError::Analysis(_)), "{err}");
+        assert!(err.to_string().contains("schema"), "{err}");
+
+        // A bad line is reported with its source name and line number.
+        let bad = dir.join("bad.jsonl");
+        let mut text = telemetry::schema_header();
+        text.push('\n');
+        text.push_str("{\"type\":\"query\",\"gi\":1.0}\n");
+        text.push_str("{\"type\":\"query\",\"bogus\":1.0}\n");
+        std::fs::write(&bad, &text).unwrap();
+        let err = query(&argv(&format!("--in {} --out /dev/null", bad.display()))).unwrap_err();
+        assert!(err.to_string().contains("bad.jsonl:3"), "{err}");
+
+        // Empty stream, bad chunk, unknown flag.
+        let empty = dir.join("empty.jsonl");
+        std::fs::write(&empty, "").unwrap();
+        assert!(query(&argv(&format!("--in {}", empty.display()))).is_err());
+        assert!(query(&argv("--chunk 0")).is_err());
+        assert!(query(&argv("--bogus 1")).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

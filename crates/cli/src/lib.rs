@@ -119,6 +119,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "batch" => commands::batch(rest),
         "trace" => commands::trace(rest),
         "report" => commands::report(rest),
+        "query" => commands::query(rest),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(CliError::Usage(format!("unknown command `{other}`; run `dcebcn help`"))),
     }
@@ -138,6 +139,7 @@ pub fn usage() -> String {
      \x20 batch     multi-seed packet-level batch with jittered workloads\n\
      \x20 trace     instrumented run: telemetry summary + JSONL event trace\n\
      \x20 report    render telemetry (live run or JSONL trace) as JSON + SVG + prom\n\
+     \x20 query     batched stability queries: JSONL questions in, JSONL answers out\n\
      \n\
      common flags (defaults = the paper's worked example):\n\
      \x20 --n <flows> --capacity <bit/s> --q0 <bits> --buffer <bits>\n\
@@ -170,6 +172,13 @@ pub fn usage() -> String {
      \x20                              metrics.prom)\n\
      \x20           --from <path.jsonl>  (render a saved trace instead of running;\n\
      \x20                                 stale schema versions are rejected)\n\
+     \x20 query:    --in <path.jsonl> --out <path.jsonl>  (default stdin/stdout)\n\
+     \x20           --chunk <n>  (queries evaluated per batch; default 4096,\n\
+     \x20                         bounds memory on unbounded streams)\n\
+     \x20           each input line: {\"type\":\"query\",\"gi\":2.0,...} — any of the\n\
+     \x20           common parameter flags as fields (missing fields = paper\n\
+     \x20           defaults) plus optional max_legs; answers stream out in\n\
+     \x20           input order as {\"type\":\"answer\",...} lines\n\
      \n\
      fault injection (--faults, comma-separated key=value items):\n\
      \x20 seed=<u64> feedback-loss=<p> feedback-corrupt=<p> feedback-delay=<s>\n\

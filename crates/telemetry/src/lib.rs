@@ -87,6 +87,9 @@ struct CoreIds {
     spans: CounterId,
     cache_hits: CounterId,
     cache_misses: CounterId,
+    cache_evictions: CounterId,
+    query_batches: CounterId,
+    query_queries: CounterId,
     sched_scheduled: CounterId,
     sched_popped: CounterId,
     sched_cascades: CounterId,
@@ -96,6 +99,7 @@ struct CoreIds {
     event_iters: HistogramId,
     queue_occupancy: HistogramId,
     fb_value: HistogramId,
+    query_batch_qps: HistogramId,
     queue_gauge: GaugeId,
     sched_max_pending: GaugeId,
 }
@@ -146,6 +150,9 @@ impl Telemetry {
             spans: metrics.counter("trace.spans"),
             cache_hits: metrics.counter("propagator.cache.hits"),
             cache_misses: metrics.counter("propagator.cache.misses"),
+            cache_evictions: metrics.counter("propagator.cache.evictions"),
+            query_batches: metrics.counter("query.batches"),
+            query_queries: metrics.counter("query.queries"),
             sched_scheduled: metrics.counter("scheduler.events_scheduled"),
             sched_popped: metrics.counter("scheduler.events_popped"),
             sched_cascades: metrics.counter("scheduler.cascades"),
@@ -155,6 +162,7 @@ impl Telemetry {
             event_iters: metrics.histogram("solver.event_location_iters"),
             queue_occupancy: metrics.histogram("queue.occupancy_bits"),
             fb_value: metrics.histogram("sim.fb_value"),
+            query_batch_qps: metrics.histogram("query.batch_qps"),
             queue_gauge: metrics.gauge("queue.occupancy_bits"),
             sched_max_pending: metrics.gauge("scheduler.max_pending"),
         };
@@ -431,20 +439,40 @@ impl Telemetry {
     }
 
     /// Folds a delta of the analytic propagator's process-global
-    /// memo-cache counters into the `propagator.cache.{hits,misses}`
-    /// metrics, so cache efficacy shows up in reports.
+    /// memo-cache counters into the
+    /// `propagator.cache.{hits,misses,evictions}` metrics, so cache
+    /// efficacy (and CLOCK churn past the shard capacity) shows up in
+    /// reports.
     ///
     /// Callers snapshot `bcn::propagate::cache_stats()` around an
     /// analytic run and pass the difference; batch workers must not
     /// call this (the global counters race across worker threads and
     /// would break bit-identical merges).
     #[inline]
-    pub fn propagator_cache(&mut self, hits: u64, misses: u64) {
+    pub fn propagator_cache(&mut self, hits: u64, misses: u64, evictions: u64) {
         if !self.enabled() {
             return;
         }
         self.metrics.inc(self.ids.cache_hits, hits);
         self.metrics.inc(self.ids.cache_misses, misses);
+        self.metrics.inc(self.ids.cache_evictions, evictions);
+    }
+
+    /// Records one batched stability-query run: the `query.*` counters
+    /// plus a sample of the batch's achieved queries-per-second in the
+    /// `query.batch_qps` histogram.
+    ///
+    /// Flushed once per batch (never per query); pair with
+    /// [`Telemetry::propagator_cache`] to attribute the cache traffic
+    /// the batch generated.
+    #[inline]
+    pub fn query_stats(&mut self, batches: u64, queries: u64, batch_qps: f64) {
+        if !self.enabled() {
+            return;
+        }
+        self.metrics.inc(self.ids.query_batches, batches);
+        self.metrics.inc(self.ids.query_queries, queries);
+        self.metrics.record(self.ids.query_batch_qps, batch_qps);
     }
 
     /// Records one simulation run's event-scheduler activity
@@ -631,13 +659,27 @@ mod tests {
     #[test]
     fn propagator_cache_counters_accumulate() {
         let mut tel = Telemetry::new(TelemetryLevel::Summary);
-        tel.propagator_cache(10, 3);
-        tel.propagator_cache(5, 0);
+        tel.propagator_cache(10, 3, 1);
+        tel.propagator_cache(5, 0, 0);
         assert_eq!(tel.metrics.counter_by_name("propagator.cache.hits"), Some(15));
         assert_eq!(tel.metrics.counter_by_name("propagator.cache.misses"), Some(3));
+        assert_eq!(tel.metrics.counter_by_name("propagator.cache.evictions"), Some(1));
         let mut off = Telemetry::new(TelemetryLevel::Off);
-        off.propagator_cache(10, 3);
+        off.propagator_cache(10, 3, 0);
         assert_eq!(off.metrics.counter_by_name("propagator.cache.hits"), Some(0));
+    }
+
+    #[test]
+    fn query_stats_feed_counters_and_qps_histogram() {
+        let mut tel = Telemetry::new(TelemetryLevel::Summary);
+        tel.query_stats(1, 1024, 2.0e6);
+        tel.query_stats(1, 256, 1.5e6);
+        assert_eq!(tel.metrics.counter_by_name("query.batches"), Some(2));
+        assert_eq!(tel.metrics.counter_by_name("query.queries"), Some(1280));
+        assert_eq!(tel.metrics.histogram_by_name("query.batch_qps").unwrap().count(), 2);
+        let mut off = Telemetry::new(TelemetryLevel::Off);
+        off.query_stats(1, 8, 1.0);
+        assert_eq!(off.metrics.counter_by_name("query.batches"), Some(0));
     }
 
     #[test]

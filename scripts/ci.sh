@@ -44,6 +44,12 @@ echo "== packet engine smoke (wheel/heap equivalence + zero allocs) =="
 DCE_BCN_QUICK=1 DCE_BCN_RESULTS=$(mktemp -d) \
   cargo run --release -p bench --bin packet_engine
 
+echo "== query engine smoke (batched vs naive answer equality) =="
+# Quick mode: smoke-sized workloads, the 3x hot-speedup gate skipped;
+# the bitwise answer-equality and zero-allocation gates still run.
+DCE_BCN_QUICK=1 DCE_BCN_RESULTS=$(mktemp -d) \
+  cargo run --release -p bench --bin query_engine
+
 echo "== telemetry overhead gate (quick mode) =="
 # Off-level hooks within 2% of uninstrumented; trace level within the
 # documented 10% budget over summary (DESIGN.md section 8.5).
@@ -73,6 +79,27 @@ for faults in "" "--faults feedback-loss=0.05,seed=7"; do
     exit 1
   fi
 done
+
+echo "== query round-trip smoke (JSONL in -> out -> decode -> re-encode) =="
+# The answer stream must re-encode byte-identically and be invariant
+# under chunk size (batch boundaries cannot change any answer).
+q_dir=$(mktemp -d)
+printf '%s\n' '{"type":"schema","version":2}' \
+  '{"type":"query","gi":2.0}' \
+  '{"type":"query","gi":2.0,"gd":0.03}' \
+  '{"type":"query","n":100,"buffer":2.0e7}' > "$q_dir/q.jsonl"
+./target/release/dcebcn query --in "$q_dir/q.jsonl" --out "$q_dir/a.jsonl" \
+  | grep -q "answered 3 queries"
+./target/release/dcebcn query --chunk 1 < "$q_dir/q.jsonl" > "$q_dir/a_chunked.jsonl"
+cmp "$q_dir/a.jsonl" "$q_dir/a_chunked.jsonl"
+test "$(grep -c '"type":"answer"' "$q_dir/a.jsonl")" = 3
+# Answers decode as queries' inverse stream: feeding them back through
+# the tool must fail loudly (wrong record type), proving the decoder
+# actually parses rather than passing bytes through.
+if ./target/release/dcebcn query < "$q_dir/a.jsonl" >/dev/null 2>&1; then
+  echo "query accepted an answer stream as input" >&2
+  exit 1
+fi
 
 echo "== batch quarantine smoke (panicking seed isolated + postmortem) =="
 # One intentionally panicking seed must be quarantined (exit 0, 7 of 8

@@ -8,6 +8,7 @@ use bcn::cases::{classify_params, region_shape};
 use bcn::closed_form::RegionFlow;
 use bcn::extrema::region_extremum;
 use bcn::model::Region;
+use bcn::query::{QueryBatch, StabilityQuery};
 use bcn::rounds::{round_ratio, round_ratio_analytic, trace_legs};
 use bcn::simulate::{fluid_trajectory, Engine, FluidOptions};
 use bcn::stability::{criterion, exact_verdict, theorem1_holds, theorem1_required_buffer};
@@ -225,6 +226,55 @@ proptest! {
         };
         prop_assert_eq!(verdict(max_a, min_a), verdict(max_n, min_n),
             "stability verdict flipped across engines on {:?}", p);
+    }
+
+    /// The batched query engine is a pure re-batching of the serial
+    /// path: over random parameter mixes (with deliberate duplicates so
+    /// dedup and propagator-group sharing both engage), every answer is
+    /// bitwise-equal to the per-call `exact_verdict` +
+    /// `theorem1_required_buffer` loop, at worker widths 1 and 4, with
+    /// the propagator cache both cold (first evaluation of fresh random
+    /// keys) and pre-warmed (second evaluation of the same batch).
+    #[test]
+    fn batched_queries_match_serial_bitwise(
+        ps in proptest::collection::vec(params_strategy(), 1..8),
+        dup in 0usize..8,
+    ) {
+        let mut queries: Vec<StabilityQuery> = ps
+            .iter()
+            .map(|p| StabilityQuery { params: p.clone(), max_legs: 32 })
+            .collect();
+        // Repeat one configuration so the batch has duplicates to fold.
+        let repeat = queries[dup % queries.len()].clone();
+        queries.push(repeat);
+
+        let expected: Vec<(bool, u64, u64, u64, usize)> = queries
+            .iter()
+            .map(|q| {
+                let v = exact_verdict(&q.params, q.max_legs);
+                (
+                    v.strongly_stable,
+                    theorem1_required_buffer(&q.params).to_bits(),
+                    v.max_x.to_bits(),
+                    v.min_x.to_bits(),
+                    v.legs,
+                )
+            })
+            .collect();
+        let batch = QueryBatch::new(&queries);
+        // Cold pass (fresh random keys), then warm pass, at both widths.
+        for answers in
+            [batch.evaluate_in(1), batch.evaluate_in(4), batch.evaluate_in(1), batch.evaluate_in(4)]
+        {
+            prop_assert_eq!(answers.len(), expected.len());
+            for (a, e) in answers.iter().zip(&expected) {
+                prop_assert_eq!(a.strongly_stable, e.0);
+                prop_assert_eq!(a.required_buffer.to_bits(), e.1);
+                prop_assert_eq!(a.max_x.to_bits(), e.2);
+                prop_assert_eq!(a.min_x.to_bits(), e.3);
+                prop_assert_eq!(a.legs, e.4);
+            }
+        }
     }
 
     /// Generic phase-plane classifier: trace/det signs decide the kind.
