@@ -14,7 +14,7 @@
 //! points where Theorem 1 *holds* on paper yet the degraded loop
 //! violates strong stability in practice.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 use bcn::stability::{theorem1_holds, theorem1_required_buffer};
 use dcesim::faults::FaultConfig;
@@ -22,8 +22,9 @@ use dcesim::sim::{fluid_validation_params, SimConfig, Simulation};
 use dcesim::time::Duration;
 use plotkit::svg::COLOR_CYCLE;
 use plotkit::{Csv, Series, SvgPlot, Table};
+use telemetry::Scalar;
 
-use crate::common::{banner, out_dir, save_plot};
+use crate::common::{banner, grid_digest, out_dir, save_plot, GridCheckpoint};
 use crate::ExpResult;
 
 /// One grid point of the degradation sweep.
@@ -49,7 +50,9 @@ fn quick_mode() -> bool {
     std::env::var_os("DCE_BCN_QUICK").is_some()
 }
 
-/// Runs the experiment; artifacts land under `out`.
+/// Runs the experiment; artifacts land under `out`. Checkpoints the
+/// grid under `$DCE_BCN_CHECKPOINT_DIR` when set (see
+/// [`run_with_checkpoint`]).
 ///
 /// # Errors
 ///
@@ -58,6 +61,20 @@ fn quick_mode() -> bool {
 /// the degraded loop is empirically unstable (that counterexample is
 /// the experiment's reason to exist).
 pub fn run(out: &Path) -> ExpResult {
+    let ckpt_dir = std::env::var_os("DCE_BCN_CHECKPOINT_DIR").map(PathBuf::from);
+    run_with_checkpoint(out, ckpt_dir.as_deref())
+}
+
+/// [`run`] with an explicit checkpoint directory: every completed grid
+/// point is journalled durably, an interrupted campaign resumes from
+/// the journal, and the resumed run's artifacts are byte-identical to
+/// an uninterrupted one.
+///
+/// # Errors
+///
+/// See [`run`]; additionally fails when an existing journal was
+/// recorded under a different grid.
+pub fn run_with_checkpoint(out: &Path, ckpt_dir: Option<&Path>) -> ExpResult {
     banner("feedback-channel degradation vs Theorem 1 (fault-injection sweep)");
 
     // Provision the buffer 5% above the Theorem 1 requirement: enough
@@ -90,51 +107,107 @@ pub fn run(out: &Path) -> ExpResult {
     let mut csv = Csv::new(&["loss", "delay_us", "max_queue_bits", "drops", "pauses", "stable"]);
     let mut points: Vec<Point> = Vec::new();
 
+    // The campaign digest pins everything that shapes a grid point's
+    // outcome; a journal recorded under any other grid is refused.
+    let mut digest_nums = vec![buffer, params.qsc, t_end, FAULT_SEED as f64];
+    digest_nums.extend_from_slice(&losses);
+    digest_nums.extend_from_slice(&delays_us);
+    let mut ckpt = match ckpt_dir {
+        Some(dir) => {
+            Some(GridCheckpoint::open_in(dir, "feedback_degradation", grid_digest(&digest_nums))?)
+        }
+        None => None,
+    };
+    if let Some(c) = &ckpt {
+        if c.restored_len() > 0 {
+            println!(
+                "checkpoint: restored {} of {} grid points",
+                c.restored_len(),
+                losses.len() * delays_us.len()
+            );
+        }
+    }
+
     for &delay_us in &delays_us {
         for &loss in &losses {
-            let mut cfg = SimConfig::from_fluid(&params, 8_000.0, Duration::from_secs(2e-6), t_end);
-            if loss > 0.0 || delay_us > 0.0 {
-                cfg.faults = FaultConfig {
-                    seed: FAULT_SEED,
-                    feedback_loss: loss,
-                    feedback_extra_delay: Duration::from_secs(delay_us * 1e-6),
-                    ..FaultConfig::none()
+            let key = format!("loss={loss},delay_us={delay_us}");
+            let point = if let Some(fields) = ckpt.as_ref().and_then(|c| c.restored(&key)) {
+                let get = |k: &str| {
+                    GridCheckpoint::field(fields, k)
+                        .ok_or_else(|| format!("checkpoint point `{key}` lacks field `{k}`"))
                 };
-            }
-            cfg.validate()?;
-            let report = Simulation::new(cfg).run();
-            let m = &report.metrics;
-            let max_queue = m.queue.values().iter().copied().fold(0.0f64, f64::max);
-            // The paper's strong stability, observed empirically: the
-            // transient never fills the buffer (no drops), never trips
-            // the PAUSE escape hatch, and the recorded peak stays below B.
-            let stable = m.dropped_frames == 0 && m.pause_events == 0 && max_queue < buffer;
+                Point {
+                    loss,
+                    delay_us,
+                    max_queue: get("max_queue")?.as_f64("max_queue")?,
+                    drops: get("drops")?.as_u64("drops")?,
+                    pauses: get("pauses")?.as_u64("pauses")?,
+                    feedback: get("feedback")?.as_u64("feedback")?,
+                    stable: get("stable")?.as_bool("stable")?,
+                }
+            } else {
+                let mut cfg =
+                    SimConfig::from_fluid(&params, 8_000.0, Duration::from_secs(2e-6), t_end);
+                if loss > 0.0 || delay_us > 0.0 {
+                    cfg.faults = FaultConfig {
+                        seed: FAULT_SEED,
+                        feedback_loss: loss,
+                        feedback_extra_delay: Duration::from_secs(delay_us * 1e-6),
+                        ..FaultConfig::none()
+                    };
+                }
+                cfg.validate()?;
+                let report = Simulation::new(cfg).run();
+                let m = &report.metrics;
+                let max_queue = m.queue.values().iter().copied().fold(0.0f64, f64::max);
+                // The paper's strong stability, observed empirically:
+                // the transient never fills the buffer (no drops), never
+                // trips the PAUSE escape hatch, and the recorded peak
+                // stays below B.
+                let stable = m.dropped_frames == 0 && m.pause_events == 0 && max_queue < buffer;
+                let p = Point {
+                    loss,
+                    delay_us,
+                    max_queue,
+                    drops: m.dropped_frames,
+                    pauses: m.pause_events,
+                    feedback: m.feedback_messages,
+                    stable,
+                };
+                if let Some(c) = ckpt.as_mut() {
+                    #[allow(clippy::cast_precision_loss)]
+                    c.record(
+                        &key,
+                        &[
+                            ("max_queue", Scalar::Num(p.max_queue)),
+                            ("drops", Scalar::Num(p.drops as f64)),
+                            ("pauses", Scalar::Num(p.pauses as f64)),
+                            ("feedback", Scalar::Num(p.feedback as f64)),
+                            ("stable", Scalar::Bool(p.stable)),
+                        ],
+                    )?;
+                }
+                p
+            };
             table.row(&[
                 format!("{loss:.2}"),
                 format!("{delay_us:.0}"),
-                format!("{:.3}", max_queue / buffer),
-                m.dropped_frames.to_string(),
-                m.pause_events.to_string(),
-                m.feedback_messages.to_string(),
-                if stable { "yes".into() } else { "NO".into() },
+                format!("{:.3}", point.max_queue / buffer),
+                point.drops.to_string(),
+                point.pauses.to_string(),
+                point.feedback.to_string(),
+                if point.stable { "yes".into() } else { "NO".into() },
             ]);
+            #[allow(clippy::cast_precision_loss)]
             csv.row(&[
                 loss,
                 delay_us,
-                max_queue,
-                m.dropped_frames as f64,
-                m.pause_events as f64,
-                f64::from(u8::from(stable)),
+                point.max_queue,
+                point.drops as f64,
+                point.pauses as f64,
+                f64::from(u8::from(point.stable)),
             ]);
-            points.push(Point {
-                loss,
-                delay_us,
-                max_queue,
-                drops: m.dropped_frames,
-                pauses: m.pause_events,
-                feedback: m.feedback_messages,
-                stable,
-            });
+            points.push(point);
         }
     }
     print!("{table}");
@@ -268,5 +341,40 @@ mod tests {
         assert!(json.contains("\"theorem1_holds\": true"));
         assert!(dir.join("exp_feedback_degradation.csv").exists());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn interrupted_campaign_resumes_to_byte_identical_artifacts() {
+        std::env::set_var("DCE_BCN_QUICK", "1");
+        let root = std::env::temp_dir()
+            .join(format!("feedback_degradation_resume-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&root);
+        let clean_out = root.join("clean");
+        let resumed_out = root.join("resumed");
+        let ckpt = root.join("ckpt");
+
+        run(&clean_out).unwrap();
+
+        // Populate the journal, then chop its tail — the torn record a
+        // SIGKILL mid-append would leave behind.
+        run_with_checkpoint(&root.join("first"), Some(&ckpt)).unwrap();
+        let journal = ckpt.join("feedback_degradation.ckpt.jsonl");
+        let text = std::fs::read_to_string(&journal).unwrap();
+        assert_eq!(text.lines().count(), 2 + 4, "header + digest + 4 quick-grid points");
+        let keep: Vec<&str> = text.lines().take(4).collect();
+        std::fs::write(&journal, format!("{}\n{{\"type\":\"grid_point\",\"key", keep.join("\n")))
+            .unwrap();
+
+        // The resumed campaign re-runs only the lost points and must
+        // reproduce the uncheckpointed artifacts byte-for-byte.
+        run_with_checkpoint(&resumed_out, Some(&ckpt)).unwrap();
+        for artifact in ["exp_feedback_degradation.csv", "feedback_degradation.json"] {
+            assert_eq!(
+                std::fs::read_to_string(clean_out.join(artifact)).unwrap(),
+                std::fs::read_to_string(resumed_out.join(artifact)).unwrap(),
+                "{artifact} diverged after resume"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&root);
     }
 }

@@ -11,7 +11,12 @@ use bcn::stability::{
 };
 use bcn::transient;
 use bcn::{linear_baseline, BcnFluid, BcnParams};
-use dcesim::batch::{run_batch, BatchConfig};
+use dcesim::batch::{
+    run_batch, run_batch_checkpointed, seeded_config, BatchConfig, PANIC_AFTER_STEPS,
+};
+use dcesim::checkpoint::{
+    encode_replay_context, replay_spec_from_postmortem, sim_config_digest, BatchCheckpoint,
+};
 use dcesim::faults::FaultCounts;
 use dcesim::sim::{SimConfig, Simulation};
 use dcesim::time::Duration;
@@ -370,9 +375,18 @@ pub fn packet(args: &[String]) -> Result<String, CliError> {
 /// the configured worker count, with the per-seed telemetry shards
 /// merged into one aggregate.
 ///
+/// `--checkpoint-dir` persists every finished seed; `--resume` skips
+/// seeds the checkpoint already holds and merges a report bit-identical
+/// to an uninterrupted run. `--max-seed-events` / `--seed-deadline-ms`
+/// arm the watchdog, `--seed-retries` re-runs failed (never timed-out)
+/// seeds with exponential backoff.
+///
 /// # Errors
 ///
-/// Propagates flag, validation, and I/O failures.
+/// Propagates flag, validation, and I/O failures. Under `--fail-fast`,
+/// failed seeds raise [`CliError::Batch`] (exit 9) and — when none
+/// failed — watchdog-demoted seeds raise [`CliError::Timeout`]
+/// (exit 10).
 pub fn batch(args: &[String]) -> Result<String, CliError> {
     let flags = Flags::parse(args)?;
     flags.ensure_known(&with_param_flags(&[
@@ -386,6 +400,12 @@ pub fn batch(args: &[String]) -> Result<String, CliError> {
         "fail-fast",
         "scheduler",
         "postmortem-dir",
+        "checkpoint-dir",
+        "resume",
+        "max-seed-events",
+        "seed-deadline-ms",
+        "seed-retries",
+        "retry-backoff-ms",
     ]))?;
     let p = params_from(&flags)?;
     let t_end = flags.get_f64("t-end")?.unwrap_or(0.05);
@@ -412,7 +432,54 @@ pub fn batch(args: &[String]) -> Result<String, CliError> {
     if let Some(v) = flags.get_f64("rate-jitter")? {
         cfg.rate_jitter_frac = v;
     }
-    let report = run_batch(&cfg);
+    if let Some(v) = flags.get_usize("max-seed-events")? {
+        if v == 0 {
+            return Err(CliError::Usage("--max-seed-events must be positive".into()));
+        }
+        cfg.max_events_per_seed = Some(v as u64);
+    }
+    if let Some(v) = flags.get_usize("seed-deadline-ms")? {
+        if v == 0 {
+            return Err(CliError::Usage("--seed-deadline-ms must be positive".into()));
+        }
+        cfg.max_seed_wall_ms = Some(v as u64);
+    }
+    if let Some(v) = flags.get_usize("seed-retries")? {
+        cfg.max_seed_retries = u32::try_from(v)
+            .map_err(|_| CliError::Usage("--seed-retries is out of range".into()))?;
+    }
+    if let Some(v) = flags.get_usize("retry-backoff-ms")? {
+        cfg.retry_backoff_ms = v as u64;
+    }
+    let resume = flags.get_bool("resume");
+    let checkpoint_dir = flags.get("checkpoint-dir").map(ToString::to_string);
+    if resume && checkpoint_dir.is_none() {
+        return Err(CliError::Usage("--resume requires --checkpoint-dir".into()));
+    }
+    let mut report = match &checkpoint_dir {
+        Some(dir) => {
+            let dir = std::path::Path::new(dir);
+            let ck = if resume {
+                BatchCheckpoint::resume(dir, &cfg)
+            } else {
+                BatchCheckpoint::create(dir, &cfg)
+            }
+            .map_err(|e| CliError::Batch(e.to_string()))?;
+            let restored = ck.restored_seeds().len() as u64;
+            let mut report =
+                run_batch_checkpointed(&cfg, &ck).map_err(|e| CliError::Batch(e.to_string()))?;
+            // The runner never folds `resumed` into the merged report —
+            // that would make a resumed run's artifacts differ from an
+            // uninterrupted one. Only this process's rendering copy
+            // learns how many seeds it skipped.
+            report.supervisor.resumed = restored;
+            report
+        }
+        None => run_batch(&cfg),
+    };
+    if let Some(tel) = report.telemetry.as_mut() {
+        tel.batch_supervision(report.supervisor.resumed, 0, 0);
+    }
     let postmortem_dir = flags.get("postmortem-dir").unwrap_or("results").to_string();
 
     let mut out = String::new();
@@ -464,20 +531,39 @@ pub fn batch(args: &[String]) -> Result<String, CliError> {
         for (seed, cause) in &failures {
             let _ = writeln!(out, "  seed {seed}: {cause}");
         }
-        // Crash flight recorder: each quarantined seed that salvaged a
-        // telemetry shard gets a postmortem dump — the trace ring's last
-        // events, the open-span stack ("what was running"), and the
-        // failure cause, as JSONL behind the same schema header the
-        // `report` command checks.
-        for (seed, cause, tel) in report.postmortems() {
-            let Some(tel) = tel else { continue };
-            let path = format!("{postmortem_dir}/postmortem-{seed}.jsonl");
-            std::fs::write(&path, render_postmortem(seed, cause, tel)).or_else(|_| {
-                std::fs::create_dir_all(&postmortem_dir)
-                    .and_then(|()| std::fs::write(&path, render_postmortem(seed, cause, tel)))
-            })?;
-            let _ = writeln!(out, "  wrote {path}");
+    }
+    let timed_out: Vec<(u64, u64)> = report.timed_out().collect();
+    if !timed_out.is_empty() {
+        let _ = writeln!(out, "watchdog demoted {} of {n_seeds} seeds:", timed_out.len());
+        for (seed, events) in &timed_out {
+            let _ = writeln!(out, "  seed {seed}: timed out after {events} events");
         }
+    }
+    // Crash flight recorder: each quarantined or watchdog-demoted seed
+    // that salvaged a telemetry shard gets a postmortem dump — the trace
+    // ring's last events, the open-span stack ("what was running"), the
+    // failure cause, and the seeded configuration + fault plan needed by
+    // `dcebcn replay`, as JSONL behind the same schema header the
+    // `report` command checks.
+    for (seed, cause, tel) in report.postmortems() {
+        let Some(tel) = tel else { continue };
+        let scfg = seeded_config(&cfg, seed);
+        let panic_after = cfg.panic_seeds.contains(&seed).then_some(PANIC_AFTER_STEPS);
+        let body =
+            render_postmortem(seed, &cause, tel, &scfg, panic_after, cfg.max_events_per_seed);
+        let path = format!("{postmortem_dir}/postmortem-{seed}.jsonl");
+        std::fs::write(&path, &body).or_else(|_| {
+            std::fs::create_dir_all(&postmortem_dir).and_then(|()| std::fs::write(&path, &body))
+        })?;
+        let _ = writeln!(out, "  wrote {path}");
+    }
+    let sup = report.supervisor;
+    if sup.resumed + sup.retried + sup.timed_out > 0 {
+        let _ = writeln!(
+            out,
+            "supervision: {} seed(s) restored from checkpoint, {} retrie(s), {} timed out",
+            sup.resumed, sup.retried, sup.timed_out
+        );
     }
     if !utils.is_empty() {
         let (lo, hi) = utils
@@ -493,29 +579,49 @@ pub fn batch(args: &[String]) -> Result<String, CliError> {
     if let Some(tel) = &report.telemetry {
         out.push_str(&render_summary(tel));
     }
-    if flags.get_bool("fail-fast") && !failures.is_empty() {
-        let (seed, cause) = &failures[0];
-        return Err(CliError::Batch(format!(
-            "{} of {n_seeds} seeds failed (first: seed {seed}: {cause})",
-            failures.len()
-        )));
+    if flags.get_bool("fail-fast") {
+        if !failures.is_empty() {
+            let (seed, cause) = &failures[0];
+            return Err(CliError::Batch(format!(
+                "{} of {n_seeds} seeds failed (first: seed {seed}: {cause})",
+                failures.len()
+            )));
+        }
+        if !timed_out.is_empty() {
+            let (seed, events) = timed_out[0];
+            return Err(CliError::Timeout(format!(
+                "{} of {n_seeds} seeds hit the watchdog (first: seed {seed} after {events} events)",
+                timed_out.len()
+            )));
+        }
     }
     Ok(out)
 }
 
 /// Renders one quarantined seed's flight recorder as JSONL: the schema
-/// header, a `postmortem` record (seed + cause), one `open_span` record
-/// per still-open span (innermost last), then the trace ring's events.
-fn render_postmortem(seed: u64, cause: &str, tel: &Telemetry) -> String {
+/// header, a `postmortem` record (seed + cause + seeded-config digest),
+/// one `open_span` record per still-open span (innermost last), the
+/// trace ring's events, and finally the replay context — the seeded
+/// simulator configuration, its fault plan, and the failure triggers —
+/// so `dcebcn replay` can re-run the seed from the dump alone.
+fn render_postmortem(
+    seed: u64,
+    cause: &str,
+    tel: &Telemetry,
+    sim_cfg: &SimConfig,
+    panic_after: Option<u64>,
+    max_events: Option<u64>,
+) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     let _ = writeln!(out, "{}", telemetry::schema_header());
     let _ = writeln!(
         out,
-        r#"{{"type":"postmortem","seed":{seed},"cause":"{}","events":{},"open_spans":{}}}"#,
+        r#"{{"type":"postmortem","seed":{seed},"cause":"{}","events":{},"open_spans":{},"config_digest":{}}}"#,
         report_pipeline::json_escape(cause),
         tel.trace.len(),
-        tel.open_spans().len()
+        tel.open_spans().len(),
+        sim_config_digest(sim_cfg)
     );
     for s in tel.open_spans() {
         let _ = writeln!(
@@ -531,7 +637,43 @@ fn render_postmortem(seed: u64, cause: &str, tel: &Telemetry) -> String {
     for e in tel.trace.iter() {
         let _ = writeln!(out, "{}", telemetry::event_to_jsonl(e));
     }
+    encode_replay_context(seed, panic_after, max_events, sim_cfg, &mut out);
     out
+}
+
+/// `dcebcn replay <postmortem-<seed>.jsonl>`: reconstruct the seeded
+/// configuration and fault plan embedded in a postmortem dump, re-run
+/// that seed deterministically, and check the recorded failure
+/// reproduces byte-for-byte.
+///
+/// # Errors
+///
+/// [`CliError::Analysis`] when the dump cannot be decoded,
+/// [`CliError::Replay`] when the re-run diverges from the recorded
+/// cause (exit code 11), plus the usual flag and I/O failures.
+pub fn replay(args: &[String]) -> Result<String, CliError> {
+    let Some((path, rest)) = args.split_first() else {
+        return Err(CliError::Usage(
+            "replay expects a postmortem file: dcebcn replay <postmortem-<seed>.jsonl>".into(),
+        ));
+    };
+    if path.starts_with('-') {
+        return Err(CliError::Usage(format!(
+            "replay expects a postmortem file path before flags, got `{path}`"
+        )));
+    }
+    let flags = Flags::parse(rest)?;
+    flags.ensure_known(&["telemetry", "threads"])?;
+    let text = std::fs::read_to_string(path)?;
+    let spec = replay_spec_from_postmortem(&text)
+        .map_err(|e| CliError::Analysis(format!("{path}: {e}")))?;
+    match dcesim::batch::replay(&spec) {
+        Ok(cause) => Ok(format!(
+            "replayed seed {}: recorded failure reproduced\n  cause: {cause}\n",
+            spec.seed
+        )),
+        Err(e) => Err(CliError::Replay(format!("seed {}: {e}", spec.seed))),
+    }
 }
 
 /// `dcebcn report <scenario>`: run an instrumented scenario (or decode a
@@ -661,13 +803,16 @@ pub fn report(args: &[String]) -> Result<String, CliError> {
 /// # Errors
 ///
 /// Returns [`CliError`] for malformed flags, a missing/stale schema
-/// header, an undecodable query line (reported with its line number),
-/// or I/O failures.
+/// header, or I/O failures. An undecodable query line is skipped with
+/// an inline `{"type":"error",...}` record in the answer stream; under
+/// `--strict` it instead fails fast with its line number (the
+/// pre-streaming behaviour, exit code 3).
 pub fn query(args: &[String]) -> Result<String, CliError> {
     use std::io::{BufRead, Write as IoWrite};
 
     let flags = Flags::parse(args)?;
-    flags.ensure_known(&["in", "out", "chunk", "telemetry", "threads"])?;
+    flags.ensure_known(&["in", "out", "chunk", "strict", "telemetry", "threads"])?;
+    let strict = flags.get_bool("strict");
     let level = telemetry_level(&flags, TelemetryLevel::Off)?;
     let chunk = flags.get_usize("chunk")?.unwrap_or(4096);
     if chunk == 0 {
@@ -701,10 +846,16 @@ pub fn query(args: &[String]) -> Result<String, CliError> {
     let mut total: u64 = 0;
     let mut batches: u64 = 0;
     let mut lineno = 1usize; // the schema header was line 1
+    let mut skipped: u64 = 0;
     let mut queries: Vec<bcn::query::StabilityQuery> = Vec::with_capacity(chunk);
+    // One entry per non-empty input line of the chunk, in input order:
+    // `None` is a slot for the next answer, `Some(record)` is an error
+    // record standing in for a line that failed to decode.
+    let mut slots: Vec<Option<String>> = Vec::with_capacity(chunk);
     let mut done = false;
     while !done {
         queries.clear();
+        slots.clear();
         while queries.len() < chunk {
             let Some(line) = lines.next() else {
                 done = true;
@@ -715,25 +866,54 @@ pub fn query(args: &[String]) -> Result<String, CliError> {
             if line.trim().is_empty() {
                 continue;
             }
-            let q = bcn::query::query_from_jsonl(&line)
-                .map_err(|e| CliError::Analysis(format!("{src_name}:{lineno}: {e}")))?;
-            queries.push(q);
+            match bcn::query::query_from_jsonl(&line) {
+                Ok(q) => {
+                    queries.push(q);
+                    slots.push(None);
+                }
+                Err(e) if strict => {
+                    return Err(CliError::Analysis(format!("{src_name}:{lineno}: {e}")));
+                }
+                Err(e) => {
+                    // Streaming contract: one bad line costs one error
+                    // record in the output, never the whole run.
+                    skipped += 1;
+                    slots.push(Some(format!(
+                        r#"{{"type":"error","line":{lineno},"cause":"{}"}}"#,
+                        report_pipeline::json_escape(&e.to_string())
+                    )));
+                }
+            }
         }
-        if queries.is_empty() {
+        if slots.is_empty() {
             break;
         }
-        let batch = bcn::query::QueryBatch::new(&queries);
-        let t0 = std::time::Instant::now();
-        let answers = batch.evaluate();
-        let secs = t0.elapsed().as_secs_f64();
-        for a in &answers {
-            sink.write_all(bcn::query::answer_to_jsonl(a).as_bytes())?;
+        let answers = if queries.is_empty() {
+            Vec::new()
+        } else {
+            let batch = bcn::query::QueryBatch::new(&queries);
+            let t0 = std::time::Instant::now();
+            let answers = batch.evaluate();
+            let secs = t0.elapsed().as_secs_f64();
+            batches += 1;
+            total += answers.len() as u64;
+            let qps = if secs > 0.0 { answers.len() as f64 / secs } else { 0.0 };
+            tel.query_stats(1, answers.len() as u64, qps);
+            answers
+        };
+        let mut next_answer = answers.iter();
+        for slot in &slots {
+            match slot {
+                Some(record) => {
+                    sink.write_all(record.as_bytes())?;
+                }
+                None => {
+                    let a = next_answer.next().expect("one answer per query slot");
+                    sink.write_all(bcn::query::answer_to_jsonl(a).as_bytes())?;
+                }
+            }
             sink.write_all(b"\n")?;
         }
-        batches += 1;
-        total += answers.len() as u64;
-        let qps = if secs > 0.0 { answers.len() as f64 / secs } else { 0.0 };
-        tel.query_stats(1, answers.len() as u64, qps);
     }
     sink.flush()?;
     let delta = bcn::propagate::cache_stats().delta_since(cache0);
@@ -747,6 +927,12 @@ pub fn query(args: &[String]) -> Result<String, CliError> {
     let mut out = String::new();
     let _ =
         writeln!(out, "answered {total} queries in {batches} batch(es), {:.3} ms wall", wall * 1e3);
+    if skipped > 0 {
+        let _ = writeln!(
+            out,
+            "skipped {skipped} malformed line(s) (error records inline; --strict to fail fast)"
+        );
+    }
     out.push_str(&render_summary(&tel));
     Ok(out)
 }
@@ -1042,16 +1228,42 @@ mod tests {
         assert!(record.contains(r#""type":"postmortem""#), "{record}");
         assert!(record.contains(r#""seed":2"#), "{record}");
         assert!(record.contains("intentional panic"), "{record}");
+        assert!(record.contains(r#""config_digest":"#), "{record}");
         // One open_span record per span still open at the panic; the
-        // outermost is the batch-seed span. The rest of the file is the
-        // trace ring, decodable as events.
+        // outermost is the batch-seed span. Then the trace ring,
+        // decodable as events, and finally the replay context (seeded
+        // config + fault plan).
+        let rest: Vec<&str> = lines.collect();
+        let ctx = rest
+            .iter()
+            .position(|l| l.contains(r#""type":"replay""#))
+            .expect("postmortem carries a replay context");
         let (open_spans, events): (Vec<&str>, Vec<&str>) =
-            lines.partition(|l| l.contains(r#""type":"open_span""#));
+            rest[..ctx].iter().partition(|l| l.contains(r#""type":"open_span""#));
         assert!(open_spans[0].contains(r#""kind":"batch_seed""#), "{}", open_spans[0]);
         let events: Vec<_> =
             events.iter().map(|l| telemetry::event_from_jsonl(l).unwrap()).collect();
         assert!(!events.is_empty(), "flight recorder carried no events:\n{body}");
+        assert!(rest[ctx..].iter().any(|l| l.contains(r#""type":"fault_plan""#)), "{body}");
+        // The dump replays end-to-end: same seed, same panic.
+        let msg = replay(&argv(&dir.join("postmortem-2.jsonl").display().to_string())).unwrap();
+        assert!(msg.contains("replayed seed 2"), "{msg}");
+        assert!(msg.contains("reproduced"), "{msg}");
+        assert!(msg.contains("intentional panic"), "{msg}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_rejects_missing_and_undecodable_dumps() {
+        let err = replay(&[]).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+        let err = replay(&argv("--telemetry off")).unwrap_err();
+        assert!(matches!(err, CliError::Usage(_)), "{err}");
+        let path = std::env::temp_dir().join("dcebcn_replay_not_a_dump.jsonl");
+        std::fs::write(&path, format!("{}\n", telemetry::schema_header())).unwrap();
+        let err = replay(&argv(&path.display().to_string())).unwrap_err();
+        assert!(matches!(err, CliError::Analysis(_)), "{err}");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
@@ -1298,14 +1510,17 @@ mod tests {
         assert!(matches!(err, CliError::Analysis(_)), "{err}");
         assert!(err.to_string().contains("schema"), "{err}");
 
-        // A bad line is reported with its source name and line number.
+        // Under --strict a bad line fails fast, reported with its
+        // source name and line number.
         let bad = dir.join("bad.jsonl");
         let mut text = telemetry::schema_header();
         text.push('\n');
         text.push_str("{\"type\":\"query\",\"gi\":1.0}\n");
         text.push_str("{\"type\":\"query\",\"bogus\":1.0}\n");
         std::fs::write(&bad, &text).unwrap();
-        let err = query(&argv(&format!("--in {} --out /dev/null", bad.display()))).unwrap_err();
+        let err =
+            query(&argv(&format!("--in {} --out /dev/null --strict", bad.display()))).unwrap_err();
+        assert!(matches!(err, CliError::Analysis(_)), "{err}");
         assert!(err.to_string().contains("bad.jsonl:3"), "{err}");
 
         // Empty stream, bad chunk, unknown flag.
@@ -1314,6 +1529,110 @@ mod tests {
         assert!(query(&argv(&format!("--in {}", empty.display()))).is_err());
         assert!(query(&argv("--chunk 0")).is_err());
         assert!(query(&argv("--bogus 1")).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn query_streams_past_malformed_lines_by_default() {
+        let dir = std::env::temp_dir().join("dcebcn_query_cli_skip");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let in_path = dir.join("mixed.jsonl");
+        let out_path = dir.join("answers.jsonl");
+        let mut text = telemetry::schema_header();
+        text.push('\n');
+        text.push_str("{\"type\":\"query\",\"gi\":1.0}\n");
+        text.push_str("{\"type\":\"query\",\"bogus\":1.0}\n");
+        text.push_str("not json at all\n");
+        text.push_str("{\"type\":\"query\",\"gi\":2.0}\n");
+        std::fs::write(&in_path, &text).unwrap();
+
+        // --chunk 1 forces the error records to straddle chunk
+        // boundaries; the output order must still match the input.
+        let summary = query(&argv(&format!(
+            "--in {} --out {} --chunk 1",
+            in_path.display(),
+            out_path.display()
+        )))
+        .unwrap();
+        assert!(summary.contains("answered 2 queries"), "{summary}");
+        assert!(summary.contains("skipped 2 malformed line(s)"), "{summary}");
+
+        let written = std::fs::read_to_string(&out_path).unwrap();
+        let mut lines = written.lines();
+        telemetry::check_schema_header(lines.next().unwrap()).unwrap();
+        let rest: Vec<&str> = lines.collect();
+        assert_eq!(rest.len(), 4, "{written}");
+        assert!(rest[0].contains(r#""type":"answer""#), "{}", rest[0]);
+        assert!(rest[1].contains(r#""type":"error""#), "{}", rest[1]);
+        assert!(rest[1].contains(r#""line":3"#), "{}", rest[1]);
+        assert!(rest[2].contains(r#""type":"error""#), "{}", rest[2]);
+        assert!(rest[2].contains(r#""line":4"#), "{}", rest[2]);
+        assert!(rest[3].contains(r#""type":"answer""#), "{}", rest[3]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batch_checkpoint_resume_reproduces_the_artifact_byte_for_byte() {
+        let dir = std::env::temp_dir().join(format!("dcebcn_cli_ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let clean_csv = dir.join("clean.csv");
+        let resumed_csv = dir.join("resumed.csv");
+        let ckpt = dir.join("ckpt");
+
+        let clean =
+            batch(&argv(&format!("{FAST_SIM} --seeds 4 --out {}", clean_csv.display()))).unwrap();
+        assert!(clean.contains("batch: 4 seeds"), "{clean}");
+
+        // First pass populates the checkpoint; a --resume pass restores
+        // every seed without re-running and writes the identical CSV.
+        batch(&argv(&format!("{FAST_SIM} --seeds 4 --checkpoint-dir {}", ckpt.display()))).unwrap();
+        let resumed = batch(&argv(&format!(
+            "{FAST_SIM} --seeds 4 --checkpoint-dir {} --resume --out {}",
+            ckpt.display(),
+            resumed_csv.display()
+        )))
+        .unwrap();
+        assert!(resumed.contains("supervision: 4 seed(s) restored from checkpoint"), "{resumed}");
+        assert_eq!(
+            std::fs::read_to_string(&clean_csv).unwrap(),
+            std::fs::read_to_string(&resumed_csv).unwrap()
+        );
+
+        // Re-creating over an existing manifest is refused; --resume
+        // without a directory is a usage error.
+        let err =
+            batch(&argv(&format!("{FAST_SIM} --seeds 4 --checkpoint-dir {}", ckpt.display())))
+                .unwrap_err();
+        assert!(matches!(err, CliError::Batch(_)), "{err}");
+        assert!(batch(&argv(&format!("{FAST_SIM} --seeds 4 --resume"))).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batch_watchdog_demotes_seeds_and_fail_fast_maps_to_timeout() {
+        let dir = std::env::temp_dir().join(format!("dcebcn_cli_watchdog-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let out = batch(&argv(&format!(
+            "{FAST_SIM} --seeds 2 --max-seed-events 200 --telemetry summary \
+             --postmortem-dir {}",
+            dir.display()
+        )))
+        .unwrap();
+        assert!(out.contains("watchdog demoted 2 of 2 seeds"), "{out}");
+        assert!(out.contains("timed out after 200 events"), "{out}");
+        assert!(out.contains("batch.timed_out"), "{out}");
+        // The demoted seeds replay deterministically from their dumps.
+        let msg = replay(&argv(&dir.join("postmortem-0.jsonl").display().to_string())).unwrap();
+        assert!(msg.contains("watchdog: event budget exhausted after 200 events"), "{msg}");
+        let err = batch(&argv(&format!(
+            "{FAST_SIM} --seeds 2 --max-seed-events 200 --fail-fast --postmortem-dir {}",
+            dir.display()
+        )))
+        .unwrap_err();
+        assert!(matches!(err, CliError::Timeout(_)), "{err}");
+        assert!(err.to_string().contains("2 of 2 seeds hit the watchdog"), "{err}");
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -40,6 +40,10 @@ pub enum CliError {
     Sim(dcesim::error::ConfigError),
     /// A batch run failed under `--fail-fast`.
     Batch(String),
+    /// The watchdog demoted seeds and `--fail-fast` was given.
+    Timeout(String),
+    /// A postmortem replay did not reproduce the recorded failure.
+    Replay(String),
     /// Filesystem output failure.
     Io(std::io::Error),
 }
@@ -52,6 +56,8 @@ impl fmt::Display for CliError {
             CliError::Solver(e) => write!(f, "solver error: {e}"),
             CliError::Sim(e) => write!(f, "simulation config error: {e}"),
             CliError::Batch(msg) => write!(f, "batch error: {msg}"),
+            CliError::Timeout(msg) => write!(f, "watchdog timeout: {msg}"),
+            CliError::Replay(msg) => write!(f, "replay mismatch: {msg}"),
             CliError::Io(e) => write!(f, "i/o error: {e}"),
         }
     }
@@ -120,6 +126,7 @@ pub fn run(args: &[String]) -> Result<String, CliError> {
         "trace" => commands::trace(rest),
         "report" => commands::report(rest),
         "query" => commands::query(rest),
+        "replay" => commands::replay(rest),
         "help" | "--help" | "-h" => Ok(usage()),
         other => Err(CliError::Usage(format!("unknown command `{other}`; run `dcebcn help`"))),
     }
@@ -140,6 +147,7 @@ pub fn usage() -> String {
      \x20 trace     instrumented run: telemetry summary + JSONL event trace\n\
      \x20 report    render telemetry (live run or JSONL trace) as JSON + SVG + prom\n\
      \x20 query     batched stability queries: JSONL questions in, JSONL answers out\n\
+     \x20 replay    re-run the seed recorded in a postmortem dump deterministically\n\
      \n\
      common flags (defaults = the paper's worked example):\n\
      \x20 --n <flows> --capacity <bit/s> --q0 <bits> --buffer <bits>\n\
@@ -163,6 +171,15 @@ pub fn usage() -> String {
      \x20           --scheduler <wheel|heap> --postmortem-dir <dir>  (default results;\n\
      \x20                                      quarantined seeds dump their flight\n\
      \x20                                      recorder as postmortem-<seed>.jsonl)\n\
+     \x20           --checkpoint-dir <dir> [--resume]  (persist per-seed outcomes;\n\
+     \x20                                      --resume skips seeds already done and\n\
+     \x20                                      merges a bit-identical final report)\n\
+     \x20           --max-seed-events <n>   (watchdog: demote a seed to timed-out\n\
+     \x20                                    after n simulator events; deterministic)\n\
+     \x20           --seed-deadline-ms <ms> (watchdog: wall-clock deadline per seed;\n\
+     \x20                                    non-deterministic, off by default)\n\
+     \x20           --seed-retries <n> --retry-backoff-ms <ms>  (re-run failed seeds\n\
+     \x20                                    up to n times with exponential backoff)\n\
      \x20 trace:    <thm1|limit-cycle|packet> --t-end <s> --out <path.jsonl>\n\
      \x20           --engine <analytic|dopri5>  (fluid scenarios only)\n\
      \x20           --scheduler <wheel|heap>    (packet scenario only)\n\
@@ -179,6 +196,12 @@ pub fn usage() -> String {
      \x20           common parameter flags as fields (missing fields = paper\n\
      \x20           defaults) plus optional max_legs; answers stream out in\n\
      \x20           input order as {\"type\":\"answer\",...} lines\n\
+     \x20           [--strict]  (fail fast on the first malformed line; the\n\
+     \x20                        default skips it, emits an {\"type\":\"error\",...}\n\
+     \x20                        record in place of the answer, and continues)\n\
+     \x20 replay:   <postmortem-<seed>.jsonl>  (reconstruct the seeded config and\n\
+     \x20           fault plan from the dump, re-run the seed, and verify the\n\
+     \x20           recorded failure reproduces; divergence exits with code 11)\n\
      \n\
      fault injection (--faults, comma-separated key=value items):\n\
      \x20 seed=<u64> feedback-loss=<p> feedback-corrupt=<p> feedback-delay=<s>\n\

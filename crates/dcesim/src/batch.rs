@@ -17,9 +17,24 @@
 //! flight recorder — the telemetry shard it had accumulated up to the
 //! panic, including the open-span stack — so the crash can be debriefed
 //! (see `dcebcn batch`'s `results/postmortem-<seed>.jsonl`).
+//!
+//! Three supervision layers harden long campaigns:
+//!
+//! * **Watchdog** — a per-seed event budget (deterministic) and an
+//!   optional wall-clock deadline demote runaway seeds to
+//!   [`SeedOutcome::TimedOut`], flight recorder attached, instead of
+//!   hanging the batch.
+//! * **Retry** — failing seeds can be re-attempted with exponential
+//!   backoff ([`BatchConfig::max_seed_retries`]); the retry count rides
+//!   on [`SeedOutcome::Failed`] so it survives checkpoints.
+//! * **Checkpoint/resume** — [`run_batch_checkpointed`] persists every
+//!   finished seed through [`crate::checkpoint::BatchCheckpoint`] and
+//!   restores acknowledged seeds bit-exactly on resume, so the merged
+//!   report after a crash equals an uninterrupted run byte for byte.
 
 use telemetry::{SpanKind, Telemetry, TelemetryLevel};
 
+use crate::checkpoint::{BatchCheckpoint, CheckpointError, ReplaySpec};
 use crate::faults::splitmix64;
 use crate::sim::{SimConfig, SimReport, SimWorkspace, Simulation};
 use crate::time::Time;
@@ -44,6 +59,24 @@ pub struct BatchConfig {
     /// hook for the quarantine and flight-recorder machinery; see
     /// `dcebcn batch --faults panic-seed=N`).
     pub panic_seeds: Vec<u64>,
+    /// Watchdog event budget: a seed still stepping after this many
+    /// dispatched events is demoted to [`SeedOutcome::TimedOut`].
+    /// Counted in sim events, so the verdict is deterministic and
+    /// identical at any thread count. `None` disables the budget.
+    pub max_events_per_seed: Option<u64>,
+    /// Watchdog wall-clock deadline per seed, in milliseconds, checked
+    /// every few thousand events. Unlike the event budget this depends
+    /// on host speed — use it as a backstop against pathological seeds,
+    /// not in runs whose artifacts must be machine-independent. `None`
+    /// disables the deadline.
+    pub max_seed_wall_ms: Option<u64>,
+    /// How many times a failing seed is re-attempted before its
+    /// [`SeedOutcome::Failed`] is accepted. Timeouts are not retried
+    /// (an event-budget verdict is deterministic).
+    pub max_seed_retries: u32,
+    /// Base backoff before the first retry, in milliseconds; doubles on
+    /// each subsequent attempt. Zero sleeps not at all.
+    pub retry_backoff_ms: u64,
 }
 
 impl BatchConfig {
@@ -59,6 +92,10 @@ impl BatchConfig {
             start_jitter_secs: 0.05 * horizon,
             rate_jitter_frac: 0.1,
             panic_seeds: Vec::new(),
+            max_events_per_seed: None,
+            max_seed_wall_ms: None,
+            max_seed_retries: 0,
+            retry_backoff_ms: 0,
         }
     }
 }
@@ -75,14 +112,42 @@ pub enum SeedOutcome {
     /// The run panicked or its configuration was invalid; the seed is
     /// quarantined and the rest of the batch is unaffected.
     Failed {
-        /// Human-readable failure cause (panic message or config error).
+        /// Human-readable failure cause (panic message or config
+        /// error), sanitised to survive the flat JSONL codec (no `"`
+        /// or control characters).
         cause: String,
+        /// How many retry attempts were burned before this failure was
+        /// accepted (0 when retries are disabled).
+        retries: u32,
         /// The flight recorder salvaged from the panicked run: the
         /// telemetry shard as it stood at the moment of the panic —
         /// trace ring, open-span stack, metrics. `None` when collection
         /// was off or the configuration never validated.
         telemetry: Option<Box<Telemetry>>,
     },
+    /// The watchdog demoted the run: it exhausted its event budget (or
+    /// wall-clock deadline) and was stopped mid-flight.
+    TimedOut {
+        /// Events dispatched before the watchdog fired.
+        events: u64,
+        /// The flight recorder as it stood at demotion (`None` when
+        /// collection was off).
+        telemetry: Option<Box<Telemetry>>,
+    },
+}
+
+/// Supervision tallies for one batch run: how many seeds were restored
+/// from a checkpoint, how many retry attempts were burned on failing
+/// seeds, and how many seeds the watchdog demoted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SupervisorStats {
+    /// Seeds restored bit-exactly from the checkpoint (skipped).
+    pub resumed: u64,
+    /// Retry attempts recorded on [`SeedOutcome::Failed`] outcomes.
+    /// Deterministic and checkpointed, so it survives resume.
+    pub retried: u64,
+    /// Seeds demoted to [`SeedOutcome::TimedOut`] by the watchdog.
+    pub timed_out: u64,
 }
 
 /// The result of one batch: per-seed outcomes in seed order plus the
@@ -96,8 +161,12 @@ pub struct BatchReport {
     /// Telemetry shards of the *completed* seeds merged in seed order
     /// (counters added, histograms combined bucket-wise, traces
     /// interleaved by sim time); `None` when the level disables
-    /// collection.
+    /// collection. Carries the resume-stable supervision counters
+    /// `batch.retried` / `batch.timed_out` (but *not* `batch.resumed`,
+    /// which would make a resumed artifact differ from a clean one).
     pub telemetry: Option<Telemetry>,
+    /// Supervision tallies (resume/retry/watchdog) for this run.
+    pub supervisor: SupervisorStats,
 }
 
 impl BatchReport {
@@ -105,33 +174,75 @@ impl BatchReport {
     pub fn completed(&self) -> impl Iterator<Item = (u64, &SimReport)> {
         self.seeds.iter().zip(&self.outcomes).filter_map(|(&seed, out)| match out {
             SeedOutcome::Completed(report) => Some((seed, report.as_ref())),
-            SeedOutcome::Failed { .. } => None,
+            _ => None,
         })
     }
 
-    /// The quarantined seeds with their failure causes, in seed order.
+    /// The quarantined seeds with their failure causes, in seed order
+    /// (watchdog timeouts are listed separately by
+    /// [`timed_out`](BatchReport::timed_out)).
     pub fn failures(&self) -> impl Iterator<Item = (u64, &str)> {
         self.seeds.iter().zip(&self.outcomes).filter_map(|(&seed, out)| match out {
-            SeedOutcome::Completed(_) => None,
             SeedOutcome::Failed { cause, .. } => Some((seed, cause.as_str())),
+            _ => None,
         })
     }
 
-    /// The quarantined seeds with cause and salvaged flight-recorder
+    /// The watchdog-demoted seeds with their event counts, in seed
+    /// order.
+    pub fn timed_out(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.seeds.iter().zip(&self.outcomes).filter_map(|(&seed, out)| match out {
+            SeedOutcome::TimedOut { events, .. } => Some((seed, *events)),
+            _ => None,
+        })
+    }
+
+    /// Every quarantined seed (failed *or* timed out) with a
+    /// replay-comparable cause string and the salvaged flight-recorder
     /// telemetry (when any was captured), in seed order.
-    pub fn postmortems(&self) -> impl Iterator<Item = (u64, &str, Option<&Telemetry>)> {
+    pub fn postmortems(&self) -> impl Iterator<Item = (u64, String, Option<&Telemetry>)> {
         self.seeds.iter().zip(&self.outcomes).filter_map(|(&seed, out)| match out {
             SeedOutcome::Completed(_) => None,
-            SeedOutcome::Failed { cause, telemetry } => {
-                Some((seed, cause.as_str(), telemetry.as_deref()))
+            SeedOutcome::Failed { cause, telemetry, .. } => {
+                Some((seed, cause.clone(), telemetry.as_deref()))
+            }
+            SeedOutcome::TimedOut { events, telemetry } => {
+                Some((seed, timeout_cause(*events), telemetry.as_deref()))
             }
         })
     }
 }
 
 /// How many events a `panic_seeds` run dispatches before it blows up —
-/// enough that the flight recorder has a trace worth dumping.
-const PANIC_AFTER_STEPS: u64 = 256;
+/// enough that the flight recorder has a trace worth dumping. Public so
+/// the CLI can embed the same trigger in postmortem replay contexts.
+pub const PANIC_AFTER_STEPS: u64 = 256;
+
+/// Steps between wall-clock deadline checks: `Instant::now()` is too
+/// expensive for every event, and a few thousand events of slack on a
+/// best-effort deadline is immaterial.
+const WALL_CHECK_EVERY: u64 = 4096;
+
+/// The replay-comparable cause string for a watchdog demotion; shared
+/// by postmortem dumps and [`replay`] so the comparison is verbatim.
+#[must_use]
+pub fn timeout_cause(events: u64) -> String {
+    format!("watchdog: event budget exhausted after {events} events")
+}
+
+/// Strips characters the flat JSONL codec cannot carry (`"` becomes
+/// `'`, control characters become spaces). Applied to every failure
+/// cause at the point of capture, so the in-memory outcome, the
+/// checkpoint shard, and the postmortem dump all agree byte for byte.
+fn sanitize_cause(s: &str) -> String {
+    s.chars()
+        .map(|c| match c {
+            '"' => '\'',
+            c if c.is_control() => ' ',
+            c => c,
+        })
+        .collect()
+}
 
 /// A deterministic uniform sample in `[0, 1)` keyed by `(seed, flow,
 /// field)`.
@@ -163,6 +274,141 @@ pub fn seeded_config(cfg: &BatchConfig, seed: u64) -> SimConfig {
     out
 }
 
+/// How one supervised step loop ended (when it did not panic).
+enum StepEnd {
+    /// The run drained its event queue normally.
+    Done,
+    /// The watchdog fired after this many events.
+    Budget(u64),
+}
+
+/// Runs one already-validated seeded configuration under full
+/// supervision: telemetry sink with per-seed span-id base, intentional
+/// panic hook, event budget, and wall-clock deadline. `local` must be
+/// a workspace the caller owns; on non-completion it is left torn and
+/// must be discarded.
+fn run_seeded(
+    sim_cfg: SimConfig,
+    seed: u64,
+    level: TelemetryLevel,
+    panic_after: Option<u64>,
+    max_events: Option<u64>,
+    max_wall_ms: Option<u64>,
+    local: &mut SimWorkspace,
+) -> SeedOutcome {
+    let t_end = sim_cfg.t_end.as_secs();
+    let mut sim = Simulation::new_in(sim_cfg, local);
+    let mut seed_span = 0;
+    if level.enabled() {
+        let mut tel = Telemetry::new(level);
+        // Disjoint per-seed id ranges keep span ids unique after the
+        // shards merge.
+        tel.set_span_id_base((seed + 1) << 32);
+        seed_span = tel.span_begin(0.0, SpanKind::BatchSeed, seed as u32, 0);
+        sim = sim.with_telemetry_sink(tel);
+    }
+    let deadline =
+        max_wall_ms.map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms));
+    // Only the step loop is unwind-wrapped: construction was validated
+    // by the caller, and the engine stays owned out here so a panicking
+    // run can still surrender its flight recorder. The closure mutates
+    // nothing but the engine, which is inspected (not re-run) after a
+    // panic, so the unwind-safety assertion is sound.
+    let stepped = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut steps: u64 = 0;
+        while sim.step() {
+            steps += 1;
+            if panic_after.is_some_and(|n| steps >= n) {
+                panic!("seed {seed}: intentional panic (panic_seeds)");
+            }
+            if max_events.is_some_and(|n| steps >= n) {
+                return StepEnd::Budget(steps);
+            }
+            if steps.is_multiple_of(WALL_CHECK_EVERY)
+                && deadline.is_some_and(|d| std::time::Instant::now() >= d)
+            {
+                return StepEnd::Budget(steps);
+            }
+        }
+        // A run shorter than the trigger still has to fail.
+        if panic_after.is_some() {
+            panic!("seed {seed}: intentional panic (panic_seeds)");
+        }
+        StepEnd::Done
+    }));
+    match stepped {
+        Ok(StepEnd::Done) => {
+            let mut report = sim.finish_into(local);
+            if let Some(tel) = report.telemetry.as_mut() {
+                tel.span_end(t_end, seed_span);
+            }
+            SeedOutcome::Completed(Box::new(report))
+        }
+        Ok(StepEnd::Budget(events)) => {
+            SeedOutcome::TimedOut { events, telemetry: sim.take_telemetry().map(Box::new) }
+        }
+        Err(payload) => SeedOutcome::Failed {
+            cause: sanitize_cause(&panic_message(payload.as_ref())),
+            retries: 0,
+            telemetry: sim.take_telemetry().map(Box::new),
+        },
+    }
+}
+
+/// One seed under the batch's retry policy. The workspace is taken out
+/// for the duration of each attempt so a panicking seed cannot leave
+/// half-torn buffers behind; it is restored only after a completed run.
+fn run_seed_with_retry(cfg: &BatchConfig, seed: u64, ws: &mut SimWorkspace) -> SeedOutcome {
+    let mut attempt: u32 = 0;
+    loop {
+        let mut local = std::mem::take(ws);
+        let sim_cfg = seeded_config(cfg, seed);
+        if let Err(e) = sim_cfg.validate() {
+            *ws = local;
+            return SeedOutcome::Failed {
+                cause: sanitize_cause(&e.to_string()),
+                retries: attempt,
+                telemetry: None,
+            };
+        }
+        // Known-hazardous seeds get a full flight recorder regardless of
+        // the batch level: they always fail, so their shards never reach
+        // the merge and the upgrade cannot perturb aggregate telemetry.
+        let panic_after = cfg.panic_seeds.contains(&seed).then_some(PANIC_AFTER_STEPS);
+        let level = if panic_after.is_some() { TelemetryLevel::Full } else { cfg.level };
+        let outcome = run_seeded(
+            sim_cfg,
+            seed,
+            level,
+            panic_after,
+            cfg.max_events_per_seed,
+            cfg.max_seed_wall_ms,
+            &mut local,
+        );
+        match outcome {
+            SeedOutcome::Completed(_) => {
+                *ws = local;
+                return outcome;
+            }
+            // An event-budget verdict is deterministic — retrying would
+            // reproduce it exactly, so don't burn the attempts.
+            SeedOutcome::TimedOut { .. } => return outcome,
+            SeedOutcome::Failed { cause, telemetry, .. } => {
+                if attempt >= cfg.max_seed_retries {
+                    return SeedOutcome::Failed { cause, retries: attempt, telemetry };
+                }
+                attempt += 1;
+                if cfg.retry_backoff_ms > 0 {
+                    let factor = 1u64 << (attempt - 1).min(16);
+                    std::thread::sleep(std::time::Duration::from_millis(
+                        cfg.retry_backoff_ms.saturating_mul(factor),
+                    ));
+                }
+            }
+        }
+    }
+}
+
 /// Runs every seed of the batch, in parallel across the configured
 /// worker count, and merges the telemetry shards in seed order.
 ///
@@ -172,71 +418,73 @@ pub fn seeded_config(cfg: &BatchConfig, seed: u64) -> SimConfig {
 /// thread count (`DCE_BCN_THREADS=1` included).
 #[must_use]
 pub fn run_batch(cfg: &BatchConfig) -> BatchReport {
+    run_batch_inner(cfg, None).expect("in-memory batch performs no checkpoint I/O")
+}
+
+/// [`run_batch`] with crash recovery: every finished seed is persisted
+/// through `ckpt` before its result is counted, and seeds already
+/// acknowledged by the checkpoint are restored bit-exactly instead of
+/// re-run. Because restored outcomes equal fresh ones byte for byte,
+/// the merged report of a resumed batch is identical to an
+/// uninterrupted run at any thread count.
+///
+/// # Errors
+///
+/// Fails on the first checkpoint I/O error — the batch aborts rather
+/// than silently running uncheckpointed.
+pub fn run_batch_checkpointed(
+    cfg: &BatchConfig,
+    ckpt: &BatchCheckpoint,
+) -> Result<BatchReport, CheckpointError> {
+    run_batch_inner(cfg, Some(ckpt))
+}
+
+fn run_batch_inner(
+    cfg: &BatchConfig,
+    ckpt: Option<&BatchCheckpoint>,
+) -> Result<BatchReport, CheckpointError> {
+    let restored: Vec<Option<SeedOutcome>> =
+        cfg.seeds.iter().map(|&s| ckpt.and_then(|c| c.take_restored(s))).collect();
+    let todo: Vec<usize> =
+        restored.iter().enumerate().filter_map(|(i, r)| r.is_none().then_some(i)).collect();
+    let resumed = (cfg.seeds.len() - todo.len()) as u64;
+    let first_io_err: std::sync::Mutex<Option<CheckpointError>> = std::sync::Mutex::new(None);
     // Each worker keeps one `SimWorkspace`, so the event-queue slab and
     // bottleneck FIFO are allocated once per worker and recycled across
     // its seeds (reuse changes no trajectory — see
     // `workspace_reuse_is_bit_identical` in `crate::sim`).
-    let outcomes = parkit::par_map_init(cfg.seeds.len(), SimWorkspace::new, |ws, idx| {
-        let seed = cfg.seeds[idx];
-        // The workspace is taken out for the duration of the run so a
-        // panicking seed cannot leave half-torn buffers behind; the
-        // worker then continues with a fresh (empty) workspace.
-        let mut local = std::mem::take(ws);
-        let sim_cfg = seeded_config(cfg, seed);
-        if let Err(e) = sim_cfg.validate() {
-            *ws = local;
-            return SeedOutcome::Failed { cause: e.to_string(), telemetry: None };
-        }
-        // Known-hazardous seeds get a full flight recorder regardless of
-        // the batch level: they always fail, so their shards never reach
-        // the merge and the upgrade cannot perturb aggregate telemetry.
-        let panic_after = cfg.panic_seeds.contains(&seed).then_some(PANIC_AFTER_STEPS);
-        let level = if panic_after.is_some() { TelemetryLevel::Full } else { cfg.level };
-        let t_end = sim_cfg.t_end.as_secs();
-        let mut sim = Simulation::new_in(sim_cfg, &mut local);
-        let mut seed_span = 0;
-        if level.enabled() {
-            let mut tel = Telemetry::new(level);
-            // Disjoint per-seed id ranges keep span ids unique after the
-            // shards merge.
-            tel.set_span_id_base((seed + 1) << 32);
-            seed_span = tel.span_begin(0.0, SpanKind::BatchSeed, seed as u32, 0);
-            sim = sim.with_telemetry_sink(tel);
-        }
-        // Only the step loop is unwind-wrapped: construction was
-        // validated above, and the engine stays owned out here so a
-        // panicking run can still surrender its flight recorder. The
-        // closure mutates nothing but the engine, which is inspected
-        // (not re-run) after a panic, so the unwind-safety assertion is
-        // sound.
-        let stepped = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            let mut steps: u64 = 0;
-            while sim.step() {
-                steps += 1;
-                if panic_after.is_some_and(|n| steps >= n) {
-                    panic!("seed {seed}: intentional panic (panic_seeds)");
+    let fresh = parkit::par_map_init(todo.len(), SimWorkspace::new, |ws, k| {
+        let seed = cfg.seeds[todo[k]];
+        let outcome = run_seed_with_retry(cfg, seed, ws);
+        if let Some(ck) = ckpt {
+            if let Err(e) = ck.record(seed, &outcome) {
+                let mut slot = first_io_err.lock().expect("checkpoint error slot");
+                if slot.is_none() {
+                    *slot = Some(e);
                 }
             }
-            // A run shorter than the trigger still has to fail.
-            if panic_after.is_some() {
-                panic!("seed {seed}: intentional panic (panic_seeds)");
-            }
-        }));
-        match stepped {
-            Ok(()) => {
-                let mut report = sim.finish_into(&mut local);
-                *ws = local;
-                if let Some(tel) = report.telemetry.as_mut() {
-                    tel.span_end(t_end, seed_span);
-                }
-                SeedOutcome::Completed(Box::new(report))
-            }
-            Err(payload) => SeedOutcome::Failed {
-                cause: panic_message(payload.as_ref()),
-                telemetry: sim.take_telemetry().map(Box::new),
-            },
         }
+        outcome
     });
+    if let Some(e) = first_io_err.into_inner().expect("checkpoint error slot") {
+        return Err(e);
+    }
+    // Zip restored and fresh outcomes back into seed order (`todo` is
+    // ascending and `par_map_init` lands results at their index, so the
+    // fresh outcomes stream in the same order the gaps appear).
+    let mut fresh = fresh.into_iter();
+    let outcomes: Vec<SeedOutcome> = restored
+        .into_iter()
+        .map(|slot| slot.unwrap_or_else(|| fresh.next().expect("one fresh outcome per gap")))
+        .collect();
+    let (mut retried, mut timed_out) = (0u64, 0u64);
+    for outcome in &outcomes {
+        match outcome {
+            SeedOutcome::Failed { retries, .. } => retried += u64::from(*retries),
+            SeedOutcome::TimedOut { .. } => timed_out += 1,
+            SeedOutcome::Completed(_) => {}
+        }
+    }
     let telemetry = cfg.level.enabled().then(|| {
         let mut agg = Telemetry::new(cfg.level);
         for outcome in &outcomes {
@@ -246,9 +494,84 @@ pub fn run_batch(cfg: &BatchConfig) -> BatchReport {
                 }
             }
         }
+        // Derived from checkpointed outcomes, so resume-stable; the
+        // resumed count deliberately stays out (see `BatchReport`).
+        agg.batch_supervision(0, retried, timed_out);
         agg
     });
-    BatchReport { seeds: cfg.seeds.clone(), outcomes, telemetry }
+    Ok(BatchReport {
+        seeds: cfg.seeds.clone(),
+        outcomes,
+        telemetry,
+        supervisor: SupervisorStats { resumed, retried, timed_out },
+    })
+}
+
+/// The typed outcome of a [`replay`] divergence: the re-run did not
+/// reproduce the recorded failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplayMismatch {
+    /// The cause recorded in the postmortem dump.
+    pub expected: String,
+    /// What the re-run produced instead (`None`: it completed cleanly).
+    pub got: Option<String>,
+}
+
+impl std::fmt::Display for ReplayMismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.got {
+            Some(got) => {
+                write!(f, "replay diverged: expected failure `{}`, got `{got}`", self.expected)
+            }
+            None => write!(
+                f,
+                "replay diverged: expected failure `{}`, but the run completed cleanly",
+                self.expected
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ReplayMismatch {}
+
+/// Re-runs a quarantined seed from its postmortem [`ReplaySpec`] and
+/// checks that the failure reproduces verbatim. Returns the reproduced
+/// cause on success.
+///
+/// The re-run uses the exact seeded configuration and supervision
+/// triggers from the dump, with a full flight recorder; determinism
+/// makes the comparison exact, so any divergence is a real behavioural
+/// difference (version skew, tampered dump, or a heisenbug worth
+/// escalating).
+///
+/// # Errors
+///
+/// [`ReplayMismatch`] when the re-run completes or fails differently.
+pub fn replay(spec: &ReplaySpec) -> Result<String, ReplayMismatch> {
+    let mismatch = |got: Option<String>| ReplayMismatch { expected: spec.cause.clone(), got };
+    if let Err(e) = spec.config.validate() {
+        let got = sanitize_cause(&e.to_string());
+        return if got == spec.cause { Ok(got) } else { Err(mismatch(Some(got))) };
+    }
+    let mut ws = SimWorkspace::new();
+    let outcome = run_seeded(
+        spec.config.clone(),
+        spec.seed,
+        TelemetryLevel::Full,
+        spec.panic_after,
+        spec.max_events,
+        None,
+        &mut ws,
+    );
+    let got = match outcome {
+        SeedOutcome::Completed(_) => None,
+        SeedOutcome::Failed { cause, .. } => Some(cause),
+        SeedOutcome::TimedOut { events, .. } => Some(timeout_cause(events)),
+    };
+    match got {
+        Some(g) if g == spec.cause => Ok(g),
+        got => Err(mismatch(got)),
+    }
 }
 
 /// Extracts the human-readable message from a caught panic payload.
@@ -464,5 +787,145 @@ mod tests {
         assert!(!cfg.base.faults.enabled());
         let seeded = seeded_config(&cfg, 42);
         assert_eq!(seeded.faults, cfg.base.faults, "fault seed must not be mixed when disabled");
+    }
+
+    /// Byte-level fingerprint of a whole batch report: every outcome
+    /// through the checkpoint codec plus the merged aggregate through
+    /// the snapshot codec. Equal fingerprints mean equal artifacts.
+    fn fingerprint(report: &BatchReport) -> String {
+        let mut s = String::new();
+        for (&seed, out) in report.seeds.iter().zip(&report.outcomes) {
+            crate::checkpoint::encode_seed_outcome(seed, out, &mut s);
+        }
+        if let Some(tel) = &report.telemetry {
+            s.push_str(&telemetry::snapshot_to_jsonl(tel));
+        }
+        s
+    }
+
+    fn scratch(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("dcesim-batch-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        dir
+    }
+
+    #[test]
+    fn watchdog_demotes_runaway_seeds_deterministically() {
+        let mut cfg = batch(3);
+        cfg.max_events_per_seed = Some(150);
+        let report = run_batch(&cfg);
+        assert_eq!(report.completed().count(), 0, "the budget is far below a full run");
+        let demoted: Vec<_> = report.timed_out().collect();
+        assert_eq!(demoted.len(), 3);
+        assert!(demoted.iter().all(|&(_, events)| events == 150), "demoted: {demoted:?}");
+        assert_eq!(report.supervisor.timed_out, 3);
+        let tel = report.telemetry.as_ref().expect("telemetry requested");
+        assert_eq!(tel.metrics.counter_by_name("batch.timed_out"), Some(3));
+        // The flight recorder is attached, seed span still open.
+        let (_, _, flight) = report.postmortems().next().expect("postmortems cover timeouts");
+        let flight = flight.expect("flight recorder captured");
+        assert!(!flight.open_spans().is_empty(), "seed span should still be open");
+        // Demotion is an event-count verdict: identical at any width.
+        parkit::set_threads(1);
+        let serial = run_batch(&cfg);
+        parkit::set_threads(4);
+        let parallel = run_batch(&cfg);
+        parkit::set_threads(0);
+        assert_eq!(fingerprint(&serial), fingerprint(&parallel));
+    }
+
+    #[test]
+    fn failing_seeds_are_retried_up_to_the_budget() {
+        let mut cfg = batch(4);
+        cfg.panic_seeds = vec![2];
+        cfg.max_seed_retries = 2;
+        let report = run_batch(&cfg);
+        assert_eq!(report.completed().count(), 3);
+        let retries: Vec<_> = report
+            .outcomes
+            .iter()
+            .filter_map(|o| match o {
+                SeedOutcome::Failed { retries, .. } => Some(*retries),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(retries, vec![2], "a deterministic panic burns the whole retry budget");
+        assert_eq!(report.supervisor.retried, 2);
+        let tel = report.telemetry.as_ref().expect("telemetry requested");
+        assert_eq!(tel.metrics.counter_by_name("batch.retried"), Some(2));
+    }
+
+    #[test]
+    fn resumed_batches_are_bit_identical_at_any_kill_point_and_width() {
+        let mut cfg = batch(6);
+        cfg.panic_seeds = vec![4];
+        cfg.base.faults.seed = 11;
+        cfg.base.faults.feedback_loss = 0.15;
+        let want = fingerprint(&run_batch(&cfg));
+        for (kill_after, width) in [(0usize, 1usize), (2, 4), (5, 1), (6, 4)] {
+            let dir = scratch(&format!("kill{kill_after}w{width}"));
+            // First run: "crashes" after recording `kill_after` seeds.
+            let ck = crate::checkpoint::BatchCheckpoint::create(&dir, &cfg).expect("create");
+            let partial = BatchConfig { seeds: cfg.seeds[..kill_after].to_vec(), ..cfg.clone() };
+            run_batch_checkpointed(&partial, &ck).expect("partial run");
+            drop(ck);
+            // Resume with the full seed list at the requested width.
+            parkit::set_threads(width);
+            let ck = crate::checkpoint::BatchCheckpoint::resume(&dir, &cfg).expect("resume");
+            assert_eq!(ck.restored_seeds().len(), kill_after);
+            let resumed = run_batch_checkpointed(&cfg, &ck).expect("resumed run");
+            parkit::set_threads(0);
+            assert_eq!(resumed.supervisor.resumed, kill_after as u64);
+            assert_eq!(
+                fingerprint(&resumed),
+                want,
+                "kill point {kill_after} width {width} diverged"
+            );
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+
+    #[test]
+    fn replay_reproduces_a_recorded_panic_and_flags_divergence() {
+        let mut cfg = batch(4);
+        cfg.panic_seeds = vec![1];
+        let report = run_batch(&cfg);
+        let (seed, cause, _) = report.postmortems().next().expect("one quarantined seed");
+        let spec = crate::checkpoint::ReplaySpec {
+            seed,
+            cause: cause.clone(),
+            config: seeded_config(&cfg, seed),
+            panic_after: Some(256),
+            max_events: None,
+        };
+        assert_eq!(replay(&spec).expect("panic must reproduce"), cause);
+        // Drop the panic trigger: the run completes, which is a typed
+        // divergence, not a success.
+        let clean = crate::checkpoint::ReplaySpec { panic_after: None, ..spec.clone() };
+        let err = replay(&clean).unwrap_err();
+        assert_eq!(err.expected, cause);
+        assert_eq!(err.got, None);
+        // A wrong expected cause diverges with the reproduced one.
+        let wrong = crate::checkpoint::ReplaySpec { cause: "other".into(), ..spec };
+        let err = replay(&wrong).unwrap_err();
+        assert_eq!(err.got.as_deref(), Some(cause.as_str()));
+    }
+
+    #[test]
+    fn replay_reproduces_watchdog_timeouts() {
+        let mut cfg = batch(2);
+        cfg.max_events_per_seed = Some(120);
+        let report = run_batch(&cfg);
+        let (seed, cause, _) = report.postmortems().next().expect("a demoted seed");
+        assert!(cause.contains("watchdog"), "cause: {cause}");
+        let spec = crate::checkpoint::ReplaySpec {
+            seed,
+            cause: cause.clone(),
+            config: seeded_config(&cfg, seed),
+            panic_after: None,
+            max_events: Some(120),
+        };
+        assert_eq!(replay(&spec).expect("timeout must reproduce"), cause);
     }
 }

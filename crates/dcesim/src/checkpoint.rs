@@ -1,0 +1,1271 @@
+//! Crash-recoverable batch checkpoints and postmortem replay specs.
+//!
+//! A batch run can be pointed at a checkpoint directory
+//! ([`BatchCheckpoint`]): every finished seed is persisted as a
+//! self-contained JSONL *shard* (`seed-<seed>.jsonl`) holding the full
+//! [`SeedOutcome`] — metrics, recorded series, fault tallies, and the
+//! seed's telemetry shard via the bit-exact snapshot codec — and then
+//! acknowledged in an append-only `manifest.jsonl`. Shards are written
+//! atomically (tmp + fsync + rename + directory fsync) and the manifest
+//! is fsynced after every acknowledgement, so a run killed at *any*
+//! instant — `SIGKILL` mid-seed included — leaves the directory in a
+//! state a `--resume` run can pick up: acknowledged seeds are restored
+//! bit-exactly, everything else (including a torn trailing manifest
+//! line or an orphaned `seed-N.tmp`) is simply re-run. Because the
+//! simulator is deterministic, the merged report of a resumed batch is
+//! byte-identical to an uninterrupted run.
+//!
+//! The same codec makes postmortem dumps self-describing: a quarantined
+//! seed's dump embeds its fully seeded [`SimConfig`] (fault plan
+//! included), its panic/watchdog triggers, and a config digest, so
+//! `dcebcn replay <dump>` can reconstruct a [`ReplaySpec`] and re-run
+//! the exact crashing scenario with no access to the original command
+//! line.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::Mutex;
+
+use telemetry::{
+    check_schema_header, fmt_num, parse_scalars, schema_header, snapshot_from_jsonl,
+    snapshot_to_jsonl, JsonlError, Scalar,
+};
+
+use crate::batch::{BatchConfig, SeedOutcome};
+use crate::cp::{CpConfig, FbQuant};
+use crate::faults::{splitmix64, FaultConfig, FaultCounts};
+use crate::frame::CpId;
+use crate::metrics::SimMetrics;
+use crate::qcn::{QcnCpConfig, QcnRpConfig};
+use crate::rp::RpConfig;
+use crate::sched::Scheduler;
+use crate::sim::{Control, SimConfig, SimReport};
+use crate::time::{Duration, Time};
+use crate::workload::FlowSpec;
+
+/// The manifest file name inside a checkpoint directory.
+pub const MANIFEST_FILE: &str = "manifest.jsonl";
+
+/// Largest integer the flat JSONL codec round-trips exactly (2^53);
+/// wider values are split into 32-bit halves.
+const MASK_53: u64 = (1 << 53) - 1;
+
+/// Errors from checkpoint persistence, decoding, or replay parsing.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// The underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// A checkpoint or postmortem file is malformed or truncated.
+    Format(String),
+    /// The checkpoint directory belongs to a different batch
+    /// configuration; resuming would silently mix incompatible runs.
+    ConfigMismatch {
+        /// Digest of the configuration being resumed.
+        expected: u64,
+        /// Digest recorded in the on-disk manifest.
+        found: u64,
+    },
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint I/O: {e}"),
+            CheckpointError::Format(msg) => write!(f, "checkpoint format: {msg}"),
+            CheckpointError::ConfigMismatch { expected, found } => write!(
+                f,
+                "checkpoint belongs to a different batch configuration \
+                 (manifest digest {found:#x}, this run {expected:#x}); \
+                 use a fresh --checkpoint-dir"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<std::io::Error> for CheckpointError {
+    fn from(e: std::io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+impl From<JsonlError> for CheckpointError {
+    fn from(e: JsonlError) -> Self {
+        CheckpointError::Format(e.0)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Config digests
+// ---------------------------------------------------------------------
+
+fn mix(h: u64, v: u64) -> u64 {
+    splitmix64(h ^ v)
+}
+
+fn mix_f(h: u64, v: f64) -> u64 {
+    mix(h, v.to_bits())
+}
+
+fn mix_opt_f(h: u64, v: Option<f64>) -> u64 {
+    match v {
+        Some(x) => mix_f(mix(h, 1), x),
+        None => mix(h, 0),
+    }
+}
+
+/// Order-sensitive digest of a fully seeded [`SimConfig`], folded with
+/// splitmix64 over every field and masked below 2^53 so it survives the
+/// JSONL number path. Postmortem dumps embed it so `replay` can detect
+/// a truncated or hand-edited config block.
+#[must_use]
+pub fn sim_config_digest(cfg: &SimConfig) -> u64 {
+    let mut h = 0x9e37_79b9_7f4a_7c15;
+    h = mix_f(h, cfg.capacity);
+    h = mix_f(h, cfg.buffer_bits);
+    h = mix_f(h, cfg.frame_bits);
+    h = mix(h, cfg.prop_delay.as_nanos());
+    h = mix(h, cfg.t_end.as_nanos());
+    h = mix(h, cfg.record_interval.as_nanos());
+    h = mix(h, cfg.pause_hold.as_nanos());
+    h = mix(h, cfg.flows.len() as u64);
+    for flow in &cfg.flows {
+        h = mix(h, flow.start.as_nanos());
+        h = match flow.stop {
+            Some(t) => mix(mix(h, 1), t.as_nanos()),
+            None => mix(h, 0),
+        };
+        h = mix_f(h, flow.initial_rate);
+        h = mix_opt_f(h, flow.volume_bits);
+    }
+    h = match &cfg.control {
+        Control::Bcn { cp, rp } => {
+            let mut h = mix(h, 1);
+            h = mix(h, cp.cpid.0);
+            h = mix_f(h, cp.q0_bits);
+            h = mix_f(h, cp.qsc_bits);
+            h = mix_f(h, cp.w);
+            h = mix(h, cp.sample_every);
+            h = match cp.fb_quant {
+                Some(q) => mix_f(mix(mix(h, 1), u64::from(q.bits)), q.range_bits),
+                None => mix(h, 0),
+            };
+            h = mix(h, u64::from(cp.gate_positive));
+            h = mix_f(h, rp.gi);
+            h = mix_f(h, rp.gd);
+            h = mix_f(h, rp.ru);
+            h = mix_f(h, rp.gain_scale);
+            h = mix_f(h, rp.r_min);
+            mix_f(h, rp.r_max)
+        }
+        Control::Qcn { cp, rp } => {
+            let mut h = mix(h, 2);
+            h = mix_f(h, cp.q_eq_bits);
+            h = mix_f(h, cp.w);
+            h = mix(h, cp.sample_every);
+            h = mix_f(h, rp.gd);
+            h = mix_f(h, rp.bc_limit_bits);
+            h = mix(h, u64::from(rp.fr_cycles));
+            h = mix_f(h, rp.r_ai);
+            h = mix_f(h, rp.r_hai);
+            h = mix_f(h, rp.r_min);
+            mix_f(h, rp.r_max)
+        }
+        Control::None => mix(h, 3),
+    };
+    let fl = &cfg.faults;
+    h = mix(h, fl.seed);
+    h = mix_f(h, fl.feedback_loss);
+    h = mix_f(h, fl.feedback_corrupt);
+    h = mix(h, fl.feedback_extra_delay.as_nanos());
+    h = mix_f(h, fl.feedback_reorder);
+    h = mix(h, fl.reorder_window.as_nanos());
+    h = mix_f(h, fl.data_loss);
+    h = mix(h, fl.data_burst_len);
+    h = mix(h, fl.link_flap_period.as_nanos());
+    h = mix(h, fl.link_flap_down.as_nanos());
+    h = mix_f(h, fl.pause_storm);
+    h = mix_f(h, fl.pause_storm_factor);
+    h = mix(h, scheduler_tag(cfg.scheduler));
+    h & MASK_53
+}
+
+/// Digest identifying a whole [`BatchConfig`] — the base scenario plus
+/// everything that shapes per-seed outcomes (seed list, jitters,
+/// telemetry level, panic hooks, watchdog and retry policy). A resume
+/// whose digest differs from the manifest's is rejected with
+/// [`CheckpointError::ConfigMismatch`].
+#[must_use]
+pub fn batch_config_digest(cfg: &BatchConfig) -> u64 {
+    let mut h = mix(0xa076_1d64_78bd_642f, sim_config_digest(&cfg.base));
+    h = mix(h, cfg.seeds.len() as u64);
+    for &s in &cfg.seeds {
+        h = mix(h, s);
+    }
+    h = mix(h, cfg.level as u64);
+    h = mix_f(h, cfg.start_jitter_secs);
+    h = mix_f(h, cfg.rate_jitter_frac);
+    h = mix(h, cfg.panic_seeds.len() as u64);
+    for &s in &cfg.panic_seeds {
+        h = mix(h, s);
+    }
+    h = match cfg.max_events_per_seed {
+        Some(n) => mix(mix(h, 1), n),
+        None => mix(h, 0),
+    };
+    h = match cfg.max_seed_wall_ms {
+        Some(n) => mix(mix(h, 1), n),
+        None => mix(h, 0),
+    };
+    h = mix(h, u64::from(cfg.max_seed_retries));
+    h = mix(h, cfg.retry_backoff_ms);
+    h & MASK_53
+}
+
+fn scheduler_tag(s: Scheduler) -> u64 {
+    match s {
+        Scheduler::Wheel => 0,
+        Scheduler::Heap => 1,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Record helpers
+// ---------------------------------------------------------------------
+
+type Fields = Vec<(String, Scalar)>;
+
+fn field<'a>(fields: &'a Fields, key: &str) -> Result<&'a Scalar, CheckpointError> {
+    fields
+        .iter()
+        .find(|(k, _)| k == key)
+        .map(|(_, v)| v)
+        .ok_or_else(|| CheckpointError::Format(format!("missing field `{key}`")))
+}
+
+fn next_record<'a, I: Iterator<Item = &'a str>>(
+    lines: &mut I,
+    what: &str,
+) -> Result<Fields, CheckpointError> {
+    let line = lines
+        .next()
+        .ok_or_else(|| CheckpointError::Format(format!("truncated checkpoint: expected {what}")))?;
+    Ok(parse_scalars(line)?)
+}
+
+fn expect_type(fields: &Fields, want: &str) -> Result<(), CheckpointError> {
+    let ty = field(fields, "type")?.as_str("type")?;
+    if ty != want {
+        return Err(CheckpointError::Format(format!("expected `{want}` record, found `{ty}`")));
+    }
+    Ok(())
+}
+
+fn get_f64(fields: &Fields, key: &str) -> Result<f64, CheckpointError> {
+    Ok(field(fields, key)?.as_f64(key)?)
+}
+
+fn get_u64(fields: &Fields, key: &str) -> Result<u64, CheckpointError> {
+    Ok(field(fields, key)?.as_u64(key)?)
+}
+
+fn get_u32(fields: &Fields, key: &str) -> Result<u32, CheckpointError> {
+    Ok(field(fields, key)?.as_u32(key)?)
+}
+
+fn get_bool(fields: &Fields, key: &str) -> Result<bool, CheckpointError> {
+    Ok(field(fields, key)?.as_bool(key)?)
+}
+
+fn get_str<'a>(fields: &'a Fields, key: &str) -> Result<&'a str, CheckpointError> {
+    Ok(field(fields, key)?.as_str(key)?)
+}
+
+/// Writes a full-range `u64` as two 32-bit halves (`<key>_hi`,
+/// `<key>_lo`): post-splitmix seeds and CPIDs use the whole 64-bit
+/// range, which the f64-funnelled number path cannot carry in one
+/// piece.
+fn put_split_u64(out: &mut String, key: &str, v: u64) {
+    let _ = write!(out, r#","{key}_hi":{},"{key}_lo":{}"#, v >> 32, v & 0xffff_ffff);
+}
+
+fn get_split_u64(fields: &Fields, key: &str) -> Result<u64, CheckpointError> {
+    let hi = get_u64(fields, &format!("{key}_hi"))?;
+    let lo = get_u64(fields, &format!("{key}_lo"))?;
+    if hi > u64::from(u32::MAX) || lo > u64::from(u32::MAX) {
+        return Err(CheckpointError::Format(format!("field `{key}` halves exceed 32 bits")));
+    }
+    Ok((hi << 32) | lo)
+}
+
+fn pack_f64s(vals: &[f64]) -> String {
+    let mut out = String::new();
+    for (i, v) in vals.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&fmt_num(*v));
+    }
+    out
+}
+
+fn unpack_f64s(packed: &str, what: &str) -> Result<Vec<f64>, CheckpointError> {
+    if packed.is_empty() {
+        return Ok(Vec::new());
+    }
+    packed.split(',').map(|tok| parse_num(tok, what)).collect()
+}
+
+fn parse_num(tok: &str, what: &str) -> Result<f64, CheckpointError> {
+    match tok {
+        "NaN" => Ok(f64::NAN),
+        "inf" => Ok(f64::INFINITY),
+        "-inf" => Ok(f64::NEG_INFINITY),
+        _ => tok
+            .parse::<f64>()
+            .map_err(|_| CheckpointError::Format(format!("bad number `{tok}` in {what}"))),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Seeded-config codec (shared by postmortem dumps and replay)
+// ---------------------------------------------------------------------
+
+/// Appends the self-describing record block for a fully seeded
+/// [`SimConfig`]: a `sim_config` header (with digest), the control
+/// parameters, every flow, and the seeded fault plan. The inverse is
+/// [`decode_sim_config`].
+pub fn encode_sim_config(cfg: &SimConfig, out: &mut String) {
+    let control = match cfg.control {
+        Control::Bcn { .. } => "bcn",
+        Control::Qcn { .. } => "qcn",
+        Control::None => "none",
+    };
+    let _ = writeln!(
+        out,
+        r#"{{"type":"sim_config","digest":{},"capacity":{},"buffer_bits":{},"frame_bits":{},"prop_delay_ns":{},"t_end_ns":{},"record_interval_ns":{},"pause_hold_ns":{},"scheduler":"{}","control":"{}","flows":{}}}"#,
+        sim_config_digest(cfg),
+        fmt_num(cfg.capacity),
+        fmt_num(cfg.buffer_bits),
+        fmt_num(cfg.frame_bits),
+        cfg.prop_delay.as_nanos(),
+        cfg.t_end.as_nanos(),
+        cfg.record_interval.as_nanos(),
+        cfg.pause_hold.as_nanos(),
+        cfg.scheduler.name(),
+        control,
+        cfg.flows.len(),
+    );
+    match &cfg.control {
+        Control::Bcn { cp, rp } => {
+            let mut line = String::from(r#"{"type":"bcn_cp""#);
+            put_split_u64(&mut line, "cpid", cp.cpid.0);
+            let _ = write!(
+                line,
+                r#","q0_bits":{},"qsc_bits":{},"w":{},"sample_every":{},"gate_positive":{},"has_fb_quant":{}"#,
+                fmt_num(cp.q0_bits),
+                fmt_num(cp.qsc_bits),
+                fmt_num(cp.w),
+                cp.sample_every,
+                cp.gate_positive,
+                cp.fb_quant.is_some(),
+            );
+            if let Some(q) = cp.fb_quant {
+                let _ = write!(
+                    line,
+                    r#","fb_bits":{},"fb_range_bits":{}"#,
+                    q.bits,
+                    fmt_num(q.range_bits)
+                );
+            }
+            line.push('}');
+            out.push_str(&line);
+            out.push('\n');
+            let _ = writeln!(
+                out,
+                r#"{{"type":"bcn_rp","gi":{},"gd":{},"ru":{},"gain_scale":{},"r_min":{},"r_max":{}}}"#,
+                fmt_num(rp.gi),
+                fmt_num(rp.gd),
+                fmt_num(rp.ru),
+                fmt_num(rp.gain_scale),
+                fmt_num(rp.r_min),
+                fmt_num(rp.r_max),
+            );
+        }
+        Control::Qcn { cp, rp } => {
+            let _ = writeln!(
+                out,
+                r#"{{"type":"qcn_cp","q_eq_bits":{},"w":{},"sample_every":{}}}"#,
+                fmt_num(cp.q_eq_bits),
+                fmt_num(cp.w),
+                cp.sample_every,
+            );
+            let _ = writeln!(
+                out,
+                r#"{{"type":"qcn_rp","gd":{},"bc_limit_bits":{},"fr_cycles":{},"r_ai":{},"r_hai":{},"r_min":{},"r_max":{}}}"#,
+                fmt_num(rp.gd),
+                fmt_num(rp.bc_limit_bits),
+                rp.fr_cycles,
+                fmt_num(rp.r_ai),
+                fmt_num(rp.r_hai),
+                fmt_num(rp.r_min),
+                fmt_num(rp.r_max),
+            );
+        }
+        Control::None => {}
+    }
+    for flow in &cfg.flows {
+        let _ = write!(
+            out,
+            r#"{{"type":"flow","start_ns":{},"initial_rate":{},"has_stop":{},"has_volume":{}"#,
+            flow.start.as_nanos(),
+            fmt_num(flow.initial_rate),
+            flow.stop.is_some(),
+            flow.volume_bits.is_some(),
+        );
+        if let Some(t) = flow.stop {
+            let _ = write!(out, r#","stop_ns":{}"#, t.as_nanos());
+        }
+        if let Some(v) = flow.volume_bits {
+            let _ = write!(out, r#","volume_bits":{}"#, fmt_num(v));
+        }
+        out.push_str("}\n");
+    }
+    let fl = &cfg.faults;
+    let mut line = String::from(r#"{"type":"fault_plan""#);
+    put_split_u64(&mut line, "seed", fl.seed);
+    let _ = write!(
+        line,
+        r#","feedback_loss":{},"feedback_corrupt":{},"feedback_extra_delay_ns":{},"feedback_reorder":{},"reorder_window_ns":{},"data_loss":{},"data_burst_len":{},"link_flap_period_ns":{},"link_flap_down_ns":{},"pause_storm":{},"pause_storm_factor":{}"#,
+        fmt_num(fl.feedback_loss),
+        fmt_num(fl.feedback_corrupt),
+        fl.feedback_extra_delay.as_nanos(),
+        fmt_num(fl.feedback_reorder),
+        fl.reorder_window.as_nanos(),
+        fmt_num(fl.data_loss),
+        fl.data_burst_len,
+        fl.link_flap_period.as_nanos(),
+        fl.link_flap_down.as_nanos(),
+        fmt_num(fl.pause_storm),
+        fmt_num(fl.pause_storm_factor),
+    );
+    line.push('}');
+    out.push_str(&line);
+    out.push('\n');
+}
+
+/// Decodes a [`SimConfig`] block written by [`encode_sim_config`],
+/// consuming exactly its lines, and verifies the embedded digest
+/// against the decoded config.
+///
+/// # Errors
+///
+/// Fails on truncation, malformed records, or a digest mismatch
+/// (edited or version-skewed config block).
+pub fn decode_sim_config<'a, I: Iterator<Item = &'a str>>(
+    lines: &mut I,
+) -> Result<SimConfig, CheckpointError> {
+    let head = next_record(lines, "`sim_config` record")?;
+    expect_type(&head, "sim_config")?;
+    let digest = get_u64(&head, "digest")?;
+    let scheduler = match get_str(&head, "scheduler")? {
+        "wheel" => Scheduler::Wheel,
+        "heap" => Scheduler::Heap,
+        other => {
+            return Err(CheckpointError::Format(format!("unknown scheduler `{other}`")));
+        }
+    };
+    let control = match get_str(&head, "control")? {
+        "bcn" => {
+            let cp = next_record(lines, "`bcn_cp` record")?;
+            expect_type(&cp, "bcn_cp")?;
+            let fb_quant = if get_bool(&cp, "has_fb_quant")? {
+                Some(FbQuant {
+                    bits: get_u32(&cp, "fb_bits")?,
+                    range_bits: get_f64(&cp, "fb_range_bits")?,
+                })
+            } else {
+                None
+            };
+            let cp = CpConfig {
+                cpid: CpId(get_split_u64(&cp, "cpid")?),
+                q0_bits: get_f64(&cp, "q0_bits")?,
+                qsc_bits: get_f64(&cp, "qsc_bits")?,
+                w: get_f64(&cp, "w")?,
+                sample_every: get_u64(&cp, "sample_every")?,
+                fb_quant,
+                gate_positive: get_bool(&cp, "gate_positive")?,
+            };
+            let rp = next_record(lines, "`bcn_rp` record")?;
+            expect_type(&rp, "bcn_rp")?;
+            let rp = RpConfig {
+                gi: get_f64(&rp, "gi")?,
+                gd: get_f64(&rp, "gd")?,
+                ru: get_f64(&rp, "ru")?,
+                gain_scale: get_f64(&rp, "gain_scale")?,
+                r_min: get_f64(&rp, "r_min")?,
+                r_max: get_f64(&rp, "r_max")?,
+            };
+            Control::Bcn { cp, rp }
+        }
+        "qcn" => {
+            let cp = next_record(lines, "`qcn_cp` record")?;
+            expect_type(&cp, "qcn_cp")?;
+            let cp = QcnCpConfig {
+                q_eq_bits: get_f64(&cp, "q_eq_bits")?,
+                w: get_f64(&cp, "w")?,
+                sample_every: get_u64(&cp, "sample_every")?,
+            };
+            let rp = next_record(lines, "`qcn_rp` record")?;
+            expect_type(&rp, "qcn_rp")?;
+            let rp = QcnRpConfig {
+                gd: get_f64(&rp, "gd")?,
+                bc_limit_bits: get_f64(&rp, "bc_limit_bits")?,
+                fr_cycles: get_u32(&rp, "fr_cycles")?,
+                r_ai: get_f64(&rp, "r_ai")?,
+                r_hai: get_f64(&rp, "r_hai")?,
+                r_min: get_f64(&rp, "r_min")?,
+                r_max: get_f64(&rp, "r_max")?,
+            };
+            Control::Qcn { cp, rp }
+        }
+        "none" => Control::None,
+        other => {
+            return Err(CheckpointError::Format(format!("unknown control `{other}`")));
+        }
+    };
+    let n_flows = get_u64(&head, "flows")? as usize;
+    let mut flows = Vec::with_capacity(n_flows);
+    for _ in 0..n_flows {
+        let f = next_record(lines, "`flow` record")?;
+        expect_type(&f, "flow")?;
+        flows.push(FlowSpec {
+            start: Time::from_nanos(get_u64(&f, "start_ns")?),
+            stop: if get_bool(&f, "has_stop")? {
+                Some(Time::from_nanos(get_u64(&f, "stop_ns")?))
+            } else {
+                None
+            },
+            initial_rate: get_f64(&f, "initial_rate")?,
+            volume_bits: if get_bool(&f, "has_volume")? {
+                Some(get_f64(&f, "volume_bits")?)
+            } else {
+                None
+            },
+        });
+    }
+    let fp = next_record(lines, "`fault_plan` record")?;
+    expect_type(&fp, "fault_plan")?;
+    let faults = FaultConfig {
+        seed: get_split_u64(&fp, "seed")?,
+        feedback_loss: get_f64(&fp, "feedback_loss")?,
+        feedback_corrupt: get_f64(&fp, "feedback_corrupt")?,
+        feedback_extra_delay: Duration::from_nanos(get_u64(&fp, "feedback_extra_delay_ns")?),
+        feedback_reorder: get_f64(&fp, "feedback_reorder")?,
+        reorder_window: Duration::from_nanos(get_u64(&fp, "reorder_window_ns")?),
+        data_loss: get_f64(&fp, "data_loss")?,
+        data_burst_len: get_u64(&fp, "data_burst_len")?,
+        link_flap_period: Duration::from_nanos(get_u64(&fp, "link_flap_period_ns")?),
+        link_flap_down: Duration::from_nanos(get_u64(&fp, "link_flap_down_ns")?),
+        pause_storm: get_f64(&fp, "pause_storm")?,
+        pause_storm_factor: get_f64(&fp, "pause_storm_factor")?,
+    };
+    let cfg = SimConfig {
+        capacity: get_f64(&head, "capacity")?,
+        buffer_bits: get_f64(&head, "buffer_bits")?,
+        frame_bits: get_f64(&head, "frame_bits")?,
+        prop_delay: Duration::from_nanos(get_u64(&head, "prop_delay_ns")?),
+        flows,
+        control,
+        t_end: Time::from_nanos(get_u64(&head, "t_end_ns")?),
+        record_interval: Duration::from_nanos(get_u64(&head, "record_interval_ns")?),
+        pause_hold: Duration::from_nanos(get_u64(&head, "pause_hold_ns")?),
+        faults,
+        scheduler,
+    };
+    let actual = sim_config_digest(&cfg);
+    if actual != digest {
+        return Err(CheckpointError::Format(format!(
+            "sim_config digest mismatch (recorded {digest:#x}, decoded {actual:#x}): \
+             the config block was edited or written by an incompatible version"
+        )));
+    }
+    Ok(cfg)
+}
+
+// ---------------------------------------------------------------------
+// Seed-outcome codec
+// ---------------------------------------------------------------------
+
+/// Appends the record block for one seed's [`SeedOutcome`] — the shard
+/// payload of a checkpoint. Completed reports serialise every
+/// [`SimMetrics`] field plus the telemetry shard through the bit-exact
+/// snapshot codec, so a decoded outcome merges into an aggregate
+/// byte-identically to the original.
+pub fn encode_seed_outcome(seed: u64, outcome: &SeedOutcome, out: &mut String) {
+    let (kind, retries, cause, events, tel) = match outcome {
+        SeedOutcome::Completed(report) => {
+            ("completed", 0, String::new(), 0, report.telemetry.as_ref())
+        }
+        SeedOutcome::Failed { cause, retries, telemetry } => {
+            ("failed", *retries, cause.clone(), 0, telemetry.as_deref())
+        }
+        SeedOutcome::TimedOut { events, telemetry } => {
+            ("timed_out", 0, String::new(), *events, telemetry.as_deref())
+        }
+    };
+    let mut line = String::from(r#"{"type":"seed""#);
+    put_split_u64(&mut line, "seed", seed);
+    let _ = write!(
+        line,
+        r#","outcome":"{kind}","retries":{retries},"events":{events},"has_telemetry":{},"cause":"{cause}""#,
+        tel.is_some(),
+    );
+    line.push('}');
+    out.push_str(&line);
+    out.push('\n');
+    if let SeedOutcome::Completed(report) = outcome {
+        let m = &report.metrics;
+        let _ = writeln!(
+            out,
+            r#"{{"type":"sim_counters","delivered_frames":{},"dropped_frames":{},"feedback_messages":{},"pause_events":{},"delivered_bits":{},"sources":{}}}"#,
+            m.delivered_frames,
+            m.dropped_frames,
+            m.feedback_messages,
+            m.pause_events,
+            fmt_num(m.delivered_bits),
+            m.per_source_rate.len(),
+        );
+        let f = &m.faults;
+        let _ = writeln!(
+            out,
+            r#"{{"type":"fault_counts","feedback_dropped":{},"feedback_corrupted":{},"feedback_corrupt_lost":{},"feedback_delayed":{},"feedback_reordered":{},"data_frames_lost":{},"link_flap_deferrals":{},"pause_storms":{}}}"#,
+            f.feedback_dropped,
+            f.feedback_corrupted,
+            f.feedback_corrupt_lost,
+            f.feedback_delayed,
+            f.feedback_reordered,
+            f.data_frames_lost,
+            f.link_flap_deferrals,
+            f.pause_storms,
+        );
+        put_samples(out, "final_rates", &report.final_rates);
+        put_samples(out, "per_source_bits", &m.per_source_bits);
+        put_samples(out, "queueing_delay", m.queueing_delay.values());
+        put_series(out, "queue", None, &m.queue);
+        put_series(out, "aggregate_rate", None, &m.aggregate_rate);
+        for (i, s) in m.per_source_rate.iter().enumerate() {
+            put_series(out, "rate", Some(i), s);
+        }
+    }
+    if let Some(t) = tel {
+        out.push_str(&snapshot_to_jsonl(t));
+    }
+}
+
+fn put_samples(out: &mut String, name: &str, vals: &[f64]) {
+    let _ = writeln!(out, r#"{{"type":"samples","name":"{name}","values":"{}"}}"#, pack_f64s(vals));
+}
+
+fn put_series(out: &mut String, name: &str, entity: Option<usize>, s: &crate::metrics::TimeSeries) {
+    let mut line = format!(r#"{{"type":"sim_series","name":"{name}""#);
+    if let Some(e) = entity {
+        let _ = write!(line, r#","entity":{e}"#);
+    }
+    let _ =
+        write!(line, r#","times":"{}","values":"{}""#, pack_f64s(s.times()), pack_f64s(s.values()));
+    line.push('}');
+    out.push_str(&line);
+    out.push('\n');
+}
+
+/// Decodes one seed's outcome block written by [`encode_seed_outcome`],
+/// consuming exactly its lines.
+///
+/// # Errors
+///
+/// Fails on truncation or malformed records; a resuming batch treats
+/// that as "seed not done" and re-runs it.
+pub fn decode_seed_outcome<'a, I: Iterator<Item = &'a str>>(
+    lines: &mut I,
+) -> Result<(u64, SeedOutcome), CheckpointError> {
+    let head = next_record(lines, "`seed` record")?;
+    expect_type(&head, "seed")?;
+    let seed = get_split_u64(&head, "seed")?;
+    let kind = get_str(&head, "outcome")?.to_string();
+    let retries = get_u32(&head, "retries")?;
+    let events = get_u64(&head, "events")?;
+    let has_tel = get_bool(&head, "has_telemetry")?;
+    let cause = get_str(&head, "cause")?.to_string();
+    let outcome = match kind.as_str() {
+        "completed" => {
+            let c = next_record(lines, "`sim_counters` record")?;
+            expect_type(&c, "sim_counters")?;
+            let sources = get_u64(&c, "sources")? as usize;
+            let fc = next_record(lines, "`fault_counts` record")?;
+            expect_type(&fc, "fault_counts")?;
+            let faults = FaultCounts {
+                feedback_dropped: get_u64(&fc, "feedback_dropped")?,
+                feedback_corrupted: get_u64(&fc, "feedback_corrupted")?,
+                feedback_corrupt_lost: get_u64(&fc, "feedback_corrupt_lost")?,
+                feedback_delayed: get_u64(&fc, "feedback_delayed")?,
+                feedback_reordered: get_u64(&fc, "feedback_reordered")?,
+                data_frames_lost: get_u64(&fc, "data_frames_lost")?,
+                link_flap_deferrals: get_u64(&fc, "link_flap_deferrals")?,
+                pause_storms: get_u64(&fc, "pause_storms")?,
+            };
+            let final_rates = take_samples(lines, "final_rates")?;
+            let per_source_bits = take_samples(lines, "per_source_bits")?;
+            let delay_vals = take_samples(lines, "queueing_delay")?;
+            let queue = take_series(lines, "queue")?;
+            let aggregate_rate = take_series(lines, "aggregate_rate")?;
+            let mut per_source_rate = Vec::with_capacity(sources);
+            for _ in 0..sources {
+                per_source_rate.push(take_series(lines, "rate")?);
+            }
+            let mut queueing_delay = crate::metrics::SampleSet::new();
+            for v in delay_vals {
+                queueing_delay.push(v);
+            }
+            let metrics = SimMetrics {
+                queue,
+                aggregate_rate,
+                delivered_frames: get_u64(&c, "delivered_frames")?,
+                dropped_frames: get_u64(&c, "dropped_frames")?,
+                feedback_messages: get_u64(&c, "feedback_messages")?,
+                pause_events: get_u64(&c, "pause_events")?,
+                per_source_bits,
+                delivered_bits: get_f64(&c, "delivered_bits")?,
+                queueing_delay,
+                per_source_rate,
+                faults,
+            };
+            let telemetry = if has_tel { Some(snapshot_from_jsonl(lines)?) } else { None };
+            SeedOutcome::Completed(Box::new(SimReport { metrics, final_rates, telemetry }))
+        }
+        "failed" => {
+            let telemetry =
+                if has_tel { Some(Box::new(snapshot_from_jsonl(lines)?)) } else { None };
+            SeedOutcome::Failed { cause, retries, telemetry }
+        }
+        "timed_out" => {
+            let telemetry =
+                if has_tel { Some(Box::new(snapshot_from_jsonl(lines)?)) } else { None };
+            SeedOutcome::TimedOut { events, telemetry }
+        }
+        other => {
+            return Err(CheckpointError::Format(format!("unknown seed outcome `{other}`")));
+        }
+    };
+    Ok((seed, outcome))
+}
+
+fn take_samples<'a, I: Iterator<Item = &'a str>>(
+    lines: &mut I,
+    name: &str,
+) -> Result<Vec<f64>, CheckpointError> {
+    let r = next_record(lines, "`samples` record")?;
+    expect_type(&r, "samples")?;
+    let found = get_str(&r, "name")?;
+    if found != name {
+        return Err(CheckpointError::Format(format!("expected samples `{name}`, found `{found}`")));
+    }
+    unpack_f64s(get_str(&r, "values")?, name)
+}
+
+fn take_series<'a, I: Iterator<Item = &'a str>>(
+    lines: &mut I,
+    name: &str,
+) -> Result<crate::metrics::TimeSeries, CheckpointError> {
+    let r = next_record(lines, "`sim_series` record")?;
+    expect_type(&r, "sim_series")?;
+    let found = get_str(&r, "name")?;
+    if found != name {
+        return Err(CheckpointError::Format(format!("expected series `{name}`, found `{found}`")));
+    }
+    let times = unpack_f64s(get_str(&r, "times")?, name)?;
+    let values = unpack_f64s(get_str(&r, "values")?, name)?;
+    if times.len() != values.len() {
+        return Err(CheckpointError::Format(format!(
+            "series `{name}`: {} times vs {} values",
+            times.len(),
+            values.len()
+        )));
+    }
+    let mut s = crate::metrics::TimeSeries::new();
+    for (t, v) in times.into_iter().zip(values) {
+        s.push_secs(t, v);
+    }
+    Ok(s)
+}
+
+// ---------------------------------------------------------------------
+// The checkpoint store
+// ---------------------------------------------------------------------
+
+/// A batch checkpoint directory: per-seed outcome shards plus an
+/// append-only, fsynced manifest acknowledging each finished seed.
+/// See the module docs for the crash-consistency argument.
+#[derive(Debug)]
+pub struct BatchCheckpoint {
+    dir: PathBuf,
+    manifest: Mutex<fs::File>,
+    restored: Mutex<BTreeMap<u64, SeedOutcome>>,
+}
+
+impl BatchCheckpoint {
+    /// Starts a fresh checkpoint in `dir` (created if needed).
+    ///
+    /// # Errors
+    ///
+    /// Fails if `dir` already holds a manifest (refuse to silently
+    /// clobber a previous run — resume it or pick a fresh directory) or
+    /// on I/O errors.
+    pub fn create(dir: &Path, cfg: &BatchConfig) -> Result<Self, CheckpointError> {
+        if dir.join(MANIFEST_FILE).exists() {
+            return Err(CheckpointError::Format(format!(
+                "{} already contains a manifest; resume it or use a fresh directory",
+                dir.display()
+            )));
+        }
+        Self::open(dir, cfg)
+    }
+
+    /// Opens `dir` for a (possibly resumed) run: if a manifest exists,
+    /// verifies its config digest and loads every acknowledged,
+    /// readable shard; otherwise starts fresh. Unreadable or truncated
+    /// shards are skipped — their seeds simply re-run.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors, a malformed manifest header, or
+    /// [`CheckpointError::ConfigMismatch`] when the directory belongs
+    /// to a different batch configuration.
+    pub fn resume(dir: &Path, cfg: &BatchConfig) -> Result<Self, CheckpointError> {
+        Self::open(dir, cfg)
+    }
+
+    fn open(dir: &Path, cfg: &BatchConfig) -> Result<Self, CheckpointError> {
+        fs::create_dir_all(dir)?;
+        let digest = batch_config_digest(cfg);
+        let path = dir.join(MANIFEST_FILE);
+        let mut restored = BTreeMap::new();
+        if path.exists() {
+            let text = fs::read_to_string(&path)?;
+            for seed in parse_manifest(&text, digest)? {
+                if !cfg.seeds.contains(&seed) {
+                    continue;
+                }
+                if let Some(outcome) = load_shard(dir, seed) {
+                    restored.insert(seed, outcome);
+                }
+            }
+        } else {
+            let mut text = schema_header();
+            text.push('\n');
+            let mut line = String::from(r#"{"type":"batch_manifest""#);
+            let _ = write!(line, r#","digest":{digest},"seeds":{}"#, cfg.seeds.len());
+            line.push('}');
+            text.push_str(&line);
+            text.push('\n');
+            write_atomic(&path, &text)?;
+        }
+        let manifest = fs::OpenOptions::new().append(true).open(&path)?;
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            manifest: Mutex::new(manifest),
+            restored: Mutex::new(restored),
+        })
+    }
+
+    /// Seeds whose outcomes were restored from disk, ascending.
+    #[must_use]
+    pub fn restored_seeds(&self) -> Vec<u64> {
+        self.restored.lock().expect("restored lock").keys().copied().collect()
+    }
+
+    /// Hands the restored outcome for `seed` to the runner (once).
+    pub(crate) fn take_restored(&self, seed: u64) -> Option<SeedOutcome> {
+        self.restored.lock().expect("restored lock").remove(&seed)
+    }
+
+    /// Persists one finished seed: writes its shard atomically, then
+    /// appends and fsyncs a manifest acknowledgement. Only after both
+    /// steps will a resume skip the seed, so a crash at any point in
+    /// between re-runs it rather than trusting a torn shard.
+    ///
+    /// # Errors
+    ///
+    /// Fails on I/O errors; the batch runner surfaces the first one and
+    /// aborts rather than silently running uncheckpointed.
+    pub fn record(&self, seed: u64, outcome: &SeedOutcome) -> Result<(), CheckpointError> {
+        let mut text = schema_header();
+        text.push('\n');
+        encode_seed_outcome(seed, outcome, &mut text);
+        write_atomic(&self.dir.join(shard_name(seed)), &text)?;
+        let mut line = String::from(r#"{"type":"done""#);
+        put_split_u64(&mut line, "seed", seed);
+        line.push_str("}\n");
+        let mut f = self.manifest.lock().expect("manifest lock");
+        f.write_all(line.as_bytes())?;
+        f.sync_data()?;
+        Ok(())
+    }
+}
+
+fn shard_name(seed: u64) -> String {
+    format!("seed-{seed}.jsonl")
+}
+
+/// Parses the manifest: schema header, `batch_manifest` record (digest
+/// checked), then `done` acknowledgements. Unparseable `done` lines —
+/// a torn trailing write from a killed run — are skipped, which only
+/// ever errs toward re-running a seed.
+fn parse_manifest(text: &str, expected: u64) -> Result<Vec<u64>, CheckpointError> {
+    let mut lines = text.lines();
+    let header =
+        lines.next().ok_or_else(|| CheckpointError::Format("empty manifest".to_string()))?;
+    check_schema_header(header)?;
+    let head = next_record(&mut lines, "`batch_manifest` record")?;
+    expect_type(&head, "batch_manifest")?;
+    let found = get_u64(&head, "digest")?;
+    if found != expected {
+        return Err(CheckpointError::ConfigMismatch { expected, found });
+    }
+    let mut done = Vec::new();
+    for line in lines {
+        let Ok(fields) = parse_scalars(line) else { continue };
+        if expect_type(&fields, "done").is_err() {
+            continue;
+        }
+        if let Ok(seed) = get_split_u64(&fields, "seed") {
+            done.push(seed);
+        }
+    }
+    Ok(done)
+}
+
+/// Loads one acknowledged shard; any failure (missing file, torn or
+/// version-skewed content, seed mismatch) yields `None` so the seed
+/// re-runs.
+fn load_shard(dir: &Path, seed: u64) -> Option<SeedOutcome> {
+    let text = fs::read_to_string(dir.join(shard_name(seed))).ok()?;
+    let mut lines = text.lines();
+    check_schema_header(lines.next()?).ok()?;
+    let (found, outcome) = decode_seed_outcome(&mut lines).ok()?;
+    (found == seed).then_some(outcome)
+}
+
+/// Writes `contents` to `path` atomically: temp file, fsync, rename,
+/// directory fsync. Readers never observe a partial file.
+fn write_atomic(path: &Path, contents: &str) -> std::io::Result<()> {
+    let tmp = path.with_extension("tmp");
+    {
+        let mut f = fs::File::create(&tmp)?;
+        f.write_all(contents.as_bytes())?;
+        f.sync_all()?;
+    }
+    fs::rename(&tmp, path)?;
+    if let Some(parent) = path.parent() {
+        if let Ok(d) = fs::File::open(parent) {
+            let _ = d.sync_all();
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Postmortem replay specs
+// ---------------------------------------------------------------------
+
+/// Everything needed to re-run a quarantined seed exactly: parsed from
+/// a self-describing postmortem dump by [`replay_spec_from_postmortem`]
+/// and executed by [`crate::batch::replay`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplaySpec {
+    /// The quarantined seed.
+    pub seed: u64,
+    /// The recorded failure cause the re-run must reproduce.
+    pub cause: String,
+    /// The fully seeded configuration (jitters and fault plan applied).
+    pub config: SimConfig,
+    /// The intentional-panic trigger active during the original run.
+    pub panic_after: Option<u64>,
+    /// The watchdog event budget active during the original run.
+    pub max_events: Option<u64>,
+}
+
+/// Appends the replay-context records a postmortem dump embeds: a
+/// `replay` record (seed + panic/watchdog triggers) followed by the
+/// seeded config block.
+pub fn encode_replay_context(
+    seed: u64,
+    panic_after: Option<u64>,
+    max_events: Option<u64>,
+    config: &SimConfig,
+    out: &mut String,
+) {
+    let mut line = String::from(r#"{"type":"replay""#);
+    put_split_u64(&mut line, "seed", seed);
+    let _ = write!(
+        line,
+        r#","has_panic_after":{},"panic_after":{},"has_max_events":{},"max_events":{}"#,
+        panic_after.is_some(),
+        panic_after.unwrap_or(0),
+        max_events.is_some(),
+        max_events.unwrap_or(0),
+    );
+    line.push_str("}\n");
+    out.push_str(&line);
+    encode_sim_config(config, out);
+}
+
+/// Reconstructs a [`ReplaySpec`] from a postmortem dump written by
+/// `dcebcn batch` (schema v2 with embedded replay context).
+///
+/// # Errors
+///
+/// Fails when `text` is not a postmortem dump, lacks the embedded
+/// config (pre-recovery dumps), or its config block fails to decode.
+pub fn replay_spec_from_postmortem(text: &str) -> Result<ReplaySpec, CheckpointError> {
+    let mut lines = text.lines();
+    let header =
+        lines.next().ok_or_else(|| CheckpointError::Format("empty postmortem file".to_string()))?;
+    check_schema_header(header)?;
+    let all: Vec<&str> = lines.collect();
+    let mut cause = None;
+    let mut replay = None;
+    let mut config = None;
+    let mut idx = 0;
+    while idx < all.len() {
+        let line = all[idx];
+        let Ok(fields) = parse_scalars(line) else {
+            idx += 1;
+            continue;
+        };
+        match field(&fields, "type").and_then(|t| Ok(t.as_str("type")?.to_string())) {
+            Ok(t) if t == "postmortem" => {
+                cause = Some(get_str(&fields, "cause")?.to_string());
+                idx += 1;
+            }
+            Ok(t) if t == "replay" => {
+                let seed = get_split_u64(&fields, "seed")?;
+                let panic_after =
+                    get_bool(&fields, "has_panic_after")?.then(|| get_u64(&fields, "panic_after"));
+                let max_events =
+                    get_bool(&fields, "has_max_events")?.then(|| get_u64(&fields, "max_events"));
+                replay = Some((seed, panic_after.transpose()?, max_events.transpose()?));
+                idx += 1;
+            }
+            Ok(t) if t == "sim_config" => {
+                let mut rest = all[idx..].iter().copied();
+                config = Some(decode_sim_config(&mut rest)?);
+                idx = all.len() - rest.count();
+            }
+            _ => idx += 1,
+        }
+    }
+    let cause = cause.ok_or_else(|| {
+        CheckpointError::Format("no `postmortem` record: not a postmortem dump".to_string())
+    })?;
+    let (seed, panic_after, max_events) = replay.ok_or_else(|| {
+        CheckpointError::Format(
+            "no `replay` record: dump predates the self-describing postmortem format".to_string(),
+        )
+    })?;
+    let config = config.ok_or_else(|| {
+        CheckpointError::Format(
+            "no `sim_config` block: dump predates the self-describing postmortem format"
+                .to_string(),
+        )
+    })?;
+    Ok(ReplaySpec { seed, cause, config, panic_after, max_events })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::run_batch;
+    use telemetry::TelemetryLevel;
+
+    fn scratch(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("dcesim-ckpt-{}-{tag}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).expect("create scratch dir");
+        dir
+    }
+
+    fn faulty_batch(n: u64) -> BatchConfig {
+        let mut base = SimConfig::fluid_validation_default();
+        base.t_end = Time::from_secs(0.02);
+        base.faults.seed = 7;
+        base.faults.feedback_loss = 0.2;
+        BatchConfig { level: TelemetryLevel::Full, ..BatchConfig::quick(base, n) }
+    }
+
+    #[test]
+    fn sim_config_codec_round_trips_bcn_and_qcn() {
+        let mut bcn = crate::batch::seeded_config(&faulty_batch(2), 1);
+        bcn.flows[0].stop = Some(Time::from_secs(0.015));
+        bcn.flows[1].volume_bits = Some(1.5e6);
+        if let Control::Bcn { cp, .. } = &mut bcn.control {
+            cp.fb_quant = Some(FbQuant { bits: 6, range_bits: 2.0e6 });
+        }
+        let mut qcn = bcn.clone();
+        qcn.control = Control::Qcn {
+            cp: QcnCpConfig { q_eq_bits: 1.0e6, w: 2.0, sample_every: 50 },
+            rp: QcnRpConfig {
+                gd: 1.0 / 128.0,
+                bc_limit_bits: 1.2e6,
+                fr_cycles: 5,
+                r_ai: 5.0e6,
+                r_hai: 5.0e7,
+                r_min: 1.0e4,
+                r_max: 1.0e9,
+            },
+        };
+        qcn.scheduler = Scheduler::Heap;
+        let mut none = bcn.clone();
+        none.control = Control::None;
+        for cfg in [bcn, qcn, none] {
+            let mut text = String::new();
+            encode_sim_config(&cfg, &mut text);
+            let decoded = decode_sim_config(&mut text.lines()).expect("decode");
+            assert_eq!(decoded, cfg);
+        }
+    }
+
+    #[test]
+    fn sim_config_decode_rejects_tampering() {
+        let cfg = crate::batch::seeded_config(&faulty_batch(1), 0);
+        let mut text = String::new();
+        encode_sim_config(&cfg, &mut text);
+        let tampered = text.replacen("\"capacity\":1", "\"capacity\":2", 1);
+        assert_ne!(tampered, text, "expected the capacity field to be editable");
+        let err = decode_sim_config(&mut tampered.lines()).unwrap_err();
+        assert!(matches!(err, CheckpointError::Format(m) if m.contains("digest mismatch")));
+    }
+
+    #[test]
+    fn seed_outcomes_round_trip_byte_exactly() {
+        let mut cfg = faulty_batch(3);
+        cfg.panic_seeds = vec![1];
+        // 400 > PANIC_AFTER_STEPS (256): seed 1 still panics, while the
+        // other seeds run into the event budget and get demoted — so
+        // one batch exercises all three outcome arms of the codec.
+        cfg.max_events_per_seed = Some(400);
+        let report = run_batch(&cfg);
+        let kinds: Vec<&str> = report
+            .outcomes
+            .iter()
+            .map(|o| match o {
+                SeedOutcome::Completed(_) => "completed",
+                SeedOutcome::Failed { .. } => "failed",
+                SeedOutcome::TimedOut { .. } => "timed_out",
+            })
+            .collect();
+        assert_eq!(kinds, ["timed_out", "failed", "timed_out"], "outcomes: {kinds:?}");
+        let mut completed_cfg = faulty_batch(1);
+        completed_cfg.max_seed_retries = 3;
+        let completed = run_batch(&completed_cfg);
+        assert_eq!(completed.completed().count(), 1);
+        let all: Vec<(u64, &SeedOutcome)> = report
+            .seeds
+            .iter()
+            .zip(&report.outcomes)
+            .chain(completed.seeds.iter().zip(&completed.outcomes))
+            .map(|(&s, o)| (s, o))
+            .collect();
+        for (seed, outcome) in all {
+            let mut text = String::new();
+            encode_seed_outcome(seed, outcome, &mut text);
+            let mut lines = text.lines();
+            let (dseed, decoded) = decode_seed_outcome(&mut lines).expect("decode");
+            assert_eq!(dseed, seed);
+            assert_eq!(lines.next(), None, "decoder must consume the whole block");
+            let mut re = String::new();
+            encode_seed_outcome(dseed, &decoded, &mut re);
+            assert_eq!(re, text, "seed {seed} round trip not byte-exact");
+        }
+    }
+
+    #[test]
+    fn checkpoint_store_round_trips_and_rejects_mismatched_config() {
+        let dir = scratch("store");
+        let cfg = faulty_batch(2);
+        let ck = BatchCheckpoint::create(&dir, &cfg).expect("create");
+        let report = run_batch(&cfg);
+        for (&seed, outcome) in report.seeds.iter().zip(&report.outcomes) {
+            ck.record(seed, outcome).expect("record");
+        }
+        drop(ck);
+        assert!(
+            matches!(BatchCheckpoint::create(&dir, &cfg), Err(CheckpointError::Format(_))),
+            "create must refuse an existing manifest"
+        );
+        let ck = BatchCheckpoint::resume(&dir, &cfg).expect("resume");
+        assert_eq!(ck.restored_seeds(), cfg.seeds);
+        drop(ck);
+        let mut other = cfg.clone();
+        other.rate_jitter_frac += 0.01;
+        match BatchCheckpoint::resume(&dir, &other) {
+            Err(CheckpointError::ConfigMismatch { expected, found }) => {
+                assert_ne!(expected, found);
+            }
+            other => panic!("expected ConfigMismatch, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_manifest_line_and_corrupt_shard_only_rerun_seeds() {
+        let dir = scratch("torn");
+        let cfg = faulty_batch(3);
+        let ck = BatchCheckpoint::create(&dir, &cfg).expect("create");
+        let report = run_batch(&cfg);
+        for (&seed, outcome) in report.seeds.iter().zip(&report.outcomes) {
+            ck.record(seed, outcome).expect("record");
+        }
+        drop(ck);
+        // Corrupt seed 1's shard and tear the final manifest line the
+        // way a SIGKILL mid-append would.
+        fs::write(dir.join(shard_name(1)), "garbage\n").expect("corrupt shard");
+        let path = dir.join(MANIFEST_FILE);
+        let text = fs::read_to_string(&path).expect("read manifest");
+        fs::write(&path, &text[..text.len() - 3]).expect("tear manifest");
+        let ck = BatchCheckpoint::resume(&dir, &cfg).expect("resume");
+        assert_eq!(ck.restored_seeds(), vec![0], "seeds 1 (corrupt) and 2 (torn) must re-run");
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_spec_round_trips_through_a_postmortem_dump() {
+        let cfg = faulty_batch(2);
+        let seeded = crate::batch::seeded_config(&cfg, 1);
+        let mut text = schema_header();
+        text.push('\n');
+        text.push_str(r#"{"type":"postmortem","seed":1,"cause":"seed 1: intentional panic (panic_seeds)","open_spans":1,"events":4}"#);
+        text.push('\n');
+        encode_replay_context(1, Some(256), None, &seeded, &mut text);
+        let spec = replay_spec_from_postmortem(&text).expect("parse");
+        assert_eq!(spec.seed, 1);
+        assert_eq!(spec.cause, "seed 1: intentional panic (panic_seeds)");
+        assert_eq!(spec.config, seeded);
+        assert_eq!(spec.panic_after, Some(256));
+        assert_eq!(spec.max_events, None);
+    }
+
+    #[test]
+    fn replay_spec_rejects_dumps_without_embedded_config() {
+        let mut text = schema_header();
+        text.push('\n');
+        text.push_str(r#"{"type":"postmortem","seed":1,"cause":"boom","open_spans":0,"events":0}"#);
+        text.push('\n');
+        let err = replay_spec_from_postmortem(&text).unwrap_err();
+        assert!(matches!(err, CheckpointError::Format(m) if m.contains("replay")));
+    }
+}

@@ -55,6 +55,7 @@
 #![warn(missing_docs)]
 
 pub mod batch;
+pub mod checkpoint;
 pub mod cp;
 pub mod error;
 pub mod faults;

@@ -31,6 +31,16 @@ impl TimeSeries {
         self.values.reserve(n);
     }
 
+    /// Appends a sample already expressed in seconds.
+    ///
+    /// The checkpoint codec restores recorded series through this path:
+    /// `push` quantizes through [`Time`]'s integer nanoseconds, so a
+    /// recorded `f64` second value would not round-trip bit-exactly.
+    pub(crate) fn push_secs(&mut self, t_secs: f64, value: f64) {
+        self.times.push(t_secs);
+        self.values.push(value);
+    }
+
     /// Sample times in seconds.
     #[must_use]
     pub fn times(&self) -> &[f64] {
@@ -138,6 +148,12 @@ impl SampleSet {
     /// [`TimeSeries::reserve`]).
     pub fn reserve(&mut self, n: usize) {
         self.values.reserve(n);
+    }
+
+    /// The raw samples, in recording order.
+    #[must_use]
+    pub fn values(&self) -> &[f64] {
+        &self.values
     }
 
     /// Number of samples.

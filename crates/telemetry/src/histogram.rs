@@ -161,6 +161,26 @@ impl Histogram {
         }
     }
 
+    /// The raw internal state `(count, sum, min, max, nonpositive,
+    /// buckets)` for the snapshot codec. The public `min()`/`max()`
+    /// accessors mask the empty-histogram `±inf` sentinels as NaN, so
+    /// an exact round trip needs the raw fields.
+    pub(crate) fn parts(&self) -> (u64, f64, f64, f64, u64, &[u64]) {
+        (self.count, self.sum, self.min, self.max, self.nonpositive, &self.buckets)
+    }
+
+    /// Rebuilds a histogram from raw state captured by [`Self::parts`].
+    pub(crate) fn from_parts(
+        count: u64,
+        sum: f64,
+        min: f64,
+        max: f64,
+        nonpositive: u64,
+        buckets: Vec<u64>,
+    ) -> Self {
+        Self { count, sum, min, max, nonpositive, buckets }
+    }
+
     /// Nearest-rank quantile estimate for `q` in `[0, 1]`.
     ///
     /// Resolution is the bucket width (~4.4% relative); the result is

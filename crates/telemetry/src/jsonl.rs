@@ -33,7 +33,7 @@ pub fn schema_header() -> String {
 /// instead of misparsing them.
 pub fn check_schema_header(line: &str) -> Result<(), JsonlError> {
     let fields = parse_flat_object(line)?;
-    let get = |key: &str| -> Result<&Value, JsonlError> {
+    let get = |key: &str| -> Result<&Scalar, JsonlError> {
         fields
             .iter()
             .find(|(k, _)| k == key)
@@ -77,6 +77,18 @@ fn fmt_f64(v: f64) -> String {
     } else {
         format!("{v:?}")
     }
+}
+
+/// Formats a number using this module's float conventions: Rust's `{:?}`
+/// (shortest representation that round-trips exactly) plus the `NaN`,
+/// `inf`, and `-inf` extension tokens for non-finite values.
+///
+/// Exposed so other crates' flat-JSONL codecs (checkpoint shards,
+/// postmortem config records) stay byte-compatible with the trace
+/// format and decode back bit-exactly through [`parse_scalars`].
+#[must_use]
+pub fn fmt_num(v: f64) -> String {
+    fmt_f64(v)
 }
 
 /// Serializes one event to a single JSONL line (no trailing newline).
@@ -142,23 +154,40 @@ pub fn event_to_jsonl(e: &Event) -> String {
     }
 }
 
-/// One parsed JSON scalar.
+/// One parsed JSON scalar from a flat object line.
+///
+/// Public so downstream flat-JSONL codecs (checkpoint shards, replay
+/// specs) can reuse [`parse_scalars`] and its typed accessors instead
+/// of re-implementing the number/string/bool conventions.
 #[derive(Debug, Clone, PartialEq)]
-enum Value {
+pub enum Scalar {
+    /// A number (including the `NaN`/`inf`/`-inf` extension tokens).
     Num(f64),
+    /// A string without escapes.
     Str(String),
+    /// A `true`/`false` literal.
     Bool(bool),
 }
 
-impl Value {
-    fn as_f64(&self, key: &str) -> Result<f64, JsonlError> {
+impl Scalar {
+    /// The scalar as a float; `key` names the field in errors.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the scalar is not a number.
+    pub fn as_f64(&self, key: &str) -> Result<f64, JsonlError> {
         match self {
-            Value::Num(v) => Ok(*v),
+            Scalar::Num(v) => Ok(*v),
             _ => Err(JsonlError(format!("field `{key}` is not a number"))),
         }
     }
 
-    fn as_u32(&self, key: &str) -> Result<u32, JsonlError> {
+    /// The scalar as a `u32`; `key` names the field in errors.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the scalar is not an integer in `u32` range.
+    pub fn as_u32(&self, key: &str) -> Result<u32, JsonlError> {
         let v = self.as_f64(key)?;
         if v.fract() == 0.0 && (0.0..=u32::MAX as f64).contains(&v) {
             Ok(v as u32)
@@ -167,7 +196,13 @@ impl Value {
         }
     }
 
-    fn as_u64(&self, key: &str) -> Result<u64, JsonlError> {
+    /// The scalar as a `u64`; `key` names the field in errors.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the scalar is not an integer, is negative, or exceeds
+    /// 2^53 (the largest range that survives the f64 funnel).
+    pub fn as_u64(&self, key: &str) -> Result<u64, JsonlError> {
         let v = self.as_f64(key)?;
         // 2^53: the largest range in which every integer survives the
         // f64 round trip the flat parser funnels numbers through.
@@ -178,16 +213,26 @@ impl Value {
         }
     }
 
-    fn as_bool(&self, key: &str) -> Result<bool, JsonlError> {
+    /// The scalar as a bool; `key` names the field in errors.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the scalar is not a boolean.
+    pub fn as_bool(&self, key: &str) -> Result<bool, JsonlError> {
         match self {
-            Value::Bool(b) => Ok(*b),
+            Scalar::Bool(b) => Ok(*b),
             _ => Err(JsonlError(format!("field `{key}` is not a bool"))),
         }
     }
 
-    fn as_str(&self, key: &str) -> Result<&str, JsonlError> {
+    /// The scalar as a string slice; `key` names the field in errors.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the scalar is not a string.
+    pub fn as_str(&self, key: &str) -> Result<&str, JsonlError> {
         match self {
-            Value::Str(s) => Ok(s),
+            Scalar::Str(s) => Ok(s),
             _ => Err(JsonlError(format!("field `{key}` is not a string"))),
         }
     }
@@ -196,7 +241,15 @@ impl Value {
 /// Minimal parser for the flat objects this module emits: one level of
 /// `"key": scalar` pairs, scalars being numbers (with `NaN`/`inf`
 /// extensions), strings without escapes, or booleans.
-fn parse_flat_object(line: &str) -> Result<Vec<(String, Value)>, JsonlError> {
+///
+/// # Errors
+///
+/// Fails when the line is not a flat JSON object of scalar fields.
+pub fn parse_scalars(line: &str) -> Result<Vec<(String, Scalar)>, JsonlError> {
+    parse_flat_object(line)
+}
+
+fn parse_flat_object(line: &str) -> Result<Vec<(String, Scalar)>, JsonlError> {
     let s = line.trim();
     let inner = s
         .strip_prefix('{')
@@ -216,21 +269,21 @@ fn parse_flat_object(line: &str) -> Result<Vec<(String, Value)>, JsonlError> {
             .strip_prefix(':')
             .ok_or_else(|| JsonlError(format!("expected `:` after key `{key}`")))?
             .trim_start();
-        // Value.
+        // Scalar.
         let (value, tail) = if let Some(r) = rest.strip_prefix('"') {
             let vq = r.find('"').ok_or_else(|| JsonlError("unterminated string value".into()))?;
-            (Value::Str(r[..vq].to_string()), &r[vq + 1..])
+            (Scalar::Str(r[..vq].to_string()), &r[vq + 1..])
         } else {
             let end = rest.find(',').unwrap_or(rest.len());
             let token = rest[..end].trim();
             let v =
                 match token {
-                    "true" => Value::Bool(true),
-                    "false" => Value::Bool(false),
-                    "NaN" => Value::Num(f64::NAN),
-                    "inf" => Value::Num(f64::INFINITY),
-                    "-inf" => Value::Num(f64::NEG_INFINITY),
-                    _ => Value::Num(token.parse::<f64>().map_err(|_| {
+                    "true" => Scalar::Bool(true),
+                    "false" => Scalar::Bool(false),
+                    "NaN" => Scalar::Num(f64::NAN),
+                    "inf" => Scalar::Num(f64::INFINITY),
+                    "-inf" => Scalar::Num(f64::NEG_INFINITY),
+                    _ => Scalar::Num(token.parse::<f64>().map_err(|_| {
                         JsonlError(format!("bad scalar `{token}` for key `{key}`"))
                     })?),
                 };
@@ -250,7 +303,7 @@ fn parse_flat_object(line: &str) -> Result<Vec<(String, Value)>, JsonlError> {
 /// Parses one JSONL line back into an [`Event`].
 pub fn event_from_jsonl(line: &str) -> Result<Event, JsonlError> {
     let fields = parse_flat_object(line)?;
-    let get = |key: &str| -> Result<&Value, JsonlError> {
+    let get = |key: &str| -> Result<&Scalar, JsonlError> {
         fields
             .iter()
             .find(|(k, _)| k == key)

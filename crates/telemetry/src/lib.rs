@@ -36,18 +36,20 @@ mod level;
 mod logging;
 mod metrics;
 mod series;
+mod snapshot;
 mod trace;
 
 pub use event::{Event, ExtremumKind, FaultClass, SpanKind};
 pub use histogram::Histogram;
 pub use jsonl::{
-    check_schema_header, event_from_jsonl, event_to_jsonl, schema_header, JsonlError,
-    TRACE_SCHEMA_VERSION,
+    check_schema_header, event_from_jsonl, event_to_jsonl, fmt_num, parse_scalars, schema_header,
+    JsonlError, Scalar, TRACE_SCHEMA_VERSION,
 };
 pub use level::TelemetryLevel;
 pub use logging::{quiet, set_quiet};
 pub use metrics::{CounterId, Gauge, GaugeId, HistogramId, Registry};
 pub use series::{SeriesBank, SeriesKind, TimeSeries, SERIES_CAPACITY};
+pub use snapshot::{snapshot_from_jsonl, snapshot_to_jsonl};
 pub use trace::{EventTrace, DEFAULT_TRACE_CAPACITY};
 
 /// An open (begun but not yet ended) causal span.
@@ -94,6 +96,9 @@ struct CoreIds {
     sched_popped: CounterId,
     sched_cascades: CounterId,
     sched_overflow: CounterId,
+    batch_resumed: CounterId,
+    batch_retried: CounterId,
+    batch_timed_out: CounterId,
     step_size: HistogramId,
     step_error: HistogramId,
     event_iters: HistogramId,
@@ -157,6 +162,9 @@ impl Telemetry {
             sched_popped: metrics.counter("scheduler.events_popped"),
             sched_cascades: metrics.counter("scheduler.cascades"),
             sched_overflow: metrics.counter("scheduler.overflow_parked"),
+            batch_resumed: metrics.counter("batch.resumed"),
+            batch_retried: metrics.counter("batch.retried"),
+            batch_timed_out: metrics.counter("batch.timed_out"),
             step_size: metrics.histogram("solver.step_size_s"),
             step_error: metrics.histogram("solver.step_error"),
             event_iters: metrics.histogram("solver.event_location_iters"),
@@ -500,6 +508,26 @@ impl Telemetry {
         self.metrics.inc(self.ids.sched_cascades, cascades);
         self.metrics.inc(self.ids.sched_overflow, overflow_parked);
         self.metrics.set_gauge(self.ids.sched_max_pending, max_pending as f64);
+    }
+
+    /// Records batch-supervision activity: seeds skipped because a
+    /// checkpoint already held their outcome (`batch.resumed`), retry
+    /// attempts spent on failing seeds (`batch.retried`), and seeds the
+    /// watchdog demoted (`batch.timed_out`).
+    ///
+    /// `retried`/`timed_out` are deterministic facts of the batch and
+    /// are folded into the merged aggregate by the runner; `resumed` is
+    /// a property of *this* process's execution and is bumped by the
+    /// CLI into its rendering copy only, so a resumed run's merged
+    /// artifact stays byte-identical to an uninterrupted one.
+    #[inline]
+    pub fn batch_supervision(&mut self, resumed: u64, retried: u64, timed_out: u64) {
+        if !self.enabled() {
+            return;
+        }
+        self.metrics.inc(self.ids.batch_resumed, resumed);
+        self.metrics.inc(self.ids.batch_retried, retried);
+        self.metrics.inc(self.ids.batch_timed_out, timed_out);
     }
 
     /// Merges a worker shard into this sink.

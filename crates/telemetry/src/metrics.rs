@@ -177,6 +177,23 @@ impl Registry {
         }
     }
 
+    /// Overwrites a counter with an absolute value (snapshot restore).
+    pub(crate) fn set_counter(&mut self, id: CounterId, v: u64) {
+        self.counters[id.0] = v;
+    }
+
+    /// Overwrites a gauge's full state — including an unset `last` of
+    /// NaN and the empty-envelope `±inf` sentinels that no sequence of
+    /// public `set_gauge` calls can reproduce (snapshot restore).
+    pub(crate) fn restore_gauge(&mut self, id: GaugeId, g: Gauge) {
+        self.gauges[id.0] = g;
+    }
+
+    /// Overwrites a histogram's full state (snapshot restore).
+    pub(crate) fn restore_histogram(&mut self, id: HistogramId, h: Histogram) {
+        self.histograms[id.0] = h;
+    }
+
     /// Iterates `(name, value)` over all counters in registration order.
     pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
         self.counter_names.iter().map(String::as_str).zip(self.counters.iter().copied())

@@ -131,6 +131,24 @@ impl TimeSeries {
         self.stride
     }
 
+    /// Maximum number of points retained.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Rebuilds a series from raw state (snapshot restore): the public
+    /// `record` path cannot reproduce an arbitrary `stride`/`offered`
+    /// pair without replaying the entire discarded sample stream.
+    pub(crate) fn from_parts(
+        capacity: usize,
+        stride: u64,
+        offered: u64,
+        points: Vec<(f64, f64)>,
+    ) -> Self {
+        Self { capacity, stride, offered, points }
+    }
+
     /// Merges a shard into this series.
     ///
     /// Points interleave by time (stable: at equal stamps this series'
@@ -217,6 +235,13 @@ impl SeriesBank {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// Appends a fully-built series under `(kind, entity)` (snapshot
+    /// restore; insertion order must follow the snapshot to reproduce
+    /// first-record iteration order).
+    pub(crate) fn insert(&mut self, kind: SeriesKind, entity: u32, series: TimeSeries) {
+        self.entries.push((kind, entity, series));
     }
 
     /// Merges a shard bank: matching `(kind, entity)` series merge

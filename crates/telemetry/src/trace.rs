@@ -90,6 +90,13 @@ impl EventTrace {
         self.overwritten
     }
 
+    /// Overwrites the discard counter (snapshot restore: replaying the
+    /// held events through `push` cannot reproduce discards that
+    /// happened before the snapshot).
+    pub(crate) fn set_overwritten(&mut self, n: u64) {
+        self.overwritten = n;
+    }
+
     /// Merges another trace into this one, reordering the union by
     /// event sim-time.
     ///

@@ -32,10 +32,21 @@ echo "== fluid engine smoke (analytic vs DOPRI5 agreement) =="
 DCE_BCN_QUICK=1 DCE_BCN_RESULTS=$(mktemp -d) \
   cargo run --release -p bench --bin fluid_engine
 
-echo "== fault-injection smoke (Theorem 1 degradation gap) =="
+echo "== fault-injection smoke (Theorem 1 degradation gap + campaign resume) =="
 # Quick mode writes a reduced grid; keep it out of the committed results/.
-DCE_BCN_QUICK=1 DCE_BCN_RESULTS=$(mktemp -d) \
+# Run once journalling every grid point, then resume from the populated
+# journal into a fresh results dir: all points restore (no sims re-run)
+# and the artifacts must match byte-for-byte.
+fd_results=$(mktemp -d)
+fd_ckpt=$(mktemp -d)
+DCE_BCN_QUICK=1 DCE_BCN_RESULTS="$fd_results" DCE_BCN_CHECKPOINT_DIR="$fd_ckpt" \
   cargo run --release -p bench --bin exp_feedback_degradation
+fd_resume=$(mktemp -d)
+fd_out=$(DCE_BCN_QUICK=1 DCE_BCN_RESULTS="$fd_resume" DCE_BCN_CHECKPOINT_DIR="$fd_ckpt" \
+  cargo run --release -p bench --bin exp_feedback_degradation)
+echo "$fd_out" | grep -q "checkpoint: restored 4 of 4 grid points"
+cmp "$fd_results/exp_feedback_degradation.csv" "$fd_resume/exp_feedback_degradation.csv"
+cmp "$fd_results/feedback_degradation.json" "$fd_resume/feedback_degradation.json"
 
 echo "== packet engine smoke (wheel/heap equivalence + zero allocs) =="
 # Quick mode: short horizons, replay-speedup gate skipped; every
@@ -94,9 +105,10 @@ printf '%s\n' '{"type":"schema","version":2}' \
 cmp "$q_dir/a.jsonl" "$q_dir/a_chunked.jsonl"
 test "$(grep -c '"type":"answer"' "$q_dir/a.jsonl")" = 3
 # Answers decode as queries' inverse stream: feeding them back through
-# the tool must fail loudly (wrong record type), proving the decoder
-# actually parses rather than passing bytes through.
-if ./target/release/dcebcn query < "$q_dir/a.jsonl" >/dev/null 2>&1; then
+# the tool under --strict must fail loudly (wrong record type), proving
+# the decoder actually parses rather than passing bytes through. (The
+# default streams past bad lines as inline error records.)
+if ./target/release/dcebcn query --strict < "$q_dir/a.jsonl" >/dev/null 2>&1; then
   echo "query accepted an answer stream as input" >&2
   exit 1
 fi
@@ -118,6 +130,78 @@ if ./target/release/dcebcn batch --seeds 8 --t-end 0.01 \
 elif [ "$(./target/release/dcebcn batch --seeds 8 --t-end 0.01 \
   --faults panic-seed=3 --fail-fast >/dev/null 2>&1; echo $?)" != "9" ]; then
   echo "fail-fast exited with the wrong code" >&2
+  exit 1
+fi
+
+echo "== kill-and-resume smoke (SIGKILL mid-batch, byte-identical artifact) =="
+# A checkpointed batch killed with SIGKILL at an arbitrary point must
+# resume to a merged CSV byte-identical to an uninterrupted run. The
+# check is kill-point agnostic: whether the signal lands before the
+# first shard, mid-seed, or after completion, resume replays only the
+# missing seeds and the artifact cannot differ.
+kr_dir=$(mktemp -d)
+kr_flags="--seeds 48 --t-end 0.02 --faults feedback-loss=0.1,seed=9"
+./target/release/dcebcn batch $kr_flags --out "$kr_dir/clean.csv" >/dev/null
+./target/release/dcebcn batch $kr_flags --checkpoint-dir "$kr_dir/ckpt" \
+  --out "$kr_dir/killed.csv" >/dev/null 2>&1 &
+kr_pid=$!
+sleep 0.3
+kill -9 "$kr_pid" 2>/dev/null || true
+wait "$kr_pid" 2>/dev/null || true
+./target/release/dcebcn batch $kr_flags --checkpoint-dir "$kr_dir/ckpt" \
+  --resume --out "$kr_dir/resumed.csv" >/dev/null
+cmp "$kr_dir/clean.csv" "$kr_dir/resumed.csv"
+# A second resume restores every seed from the journal (no re-runs)
+# and must still render the identical artifact.
+out=$(./target/release/dcebcn batch $kr_flags --checkpoint-dir "$kr_dir/ckpt" \
+  --resume --out "$kr_dir/resumed2.csv")
+echo "$out" | grep -q "supervision: 48 seed(s) restored from checkpoint"
+cmp "$kr_dir/clean.csv" "$kr_dir/resumed2.csv"
+
+echo "== replay smoke (postmortem dumps re-run deterministically) =="
+# The quarantine smoke's postmortem embeds the seeded config and fault
+# plan; replay must re-run it and reproduce the recorded panic.
+./target/release/dcebcn replay "$pm_dir/postmortem-3.jsonl" \
+  | grep -q "recorded failure reproduced"
+# A tampered cause must be caught as a divergence: exit 11.
+sed 's/intentional panic/a different failure/' "$pm_dir/postmortem-3.jsonl" \
+  > "$pm_dir/tampered.jsonl"
+code=0
+./target/release/dcebcn replay "$pm_dir/tampered.jsonl" >/dev/null 2>&1 || code=$?
+if [ "$code" != "11" ]; then
+  echo "tampered replay exited with code $code, expected 11" >&2
+  exit 1
+fi
+
+echo "== watchdog smoke (event-budget demotion, typed exit 10) =="
+wd_dir=$(mktemp -d)
+out=$(./target/release/dcebcn batch --seeds 4 --t-end 0.01 --max-seed-events 200 \
+  --telemetry full --postmortem-dir "$wd_dir")
+echo "$out" | grep -q "watchdog demoted 4 of 4 seeds"
+# The demotion is deterministic, so its postmortem replays too.
+./target/release/dcebcn replay "$wd_dir/postmortem-0.jsonl" \
+  | grep -q "event budget exhausted"
+code=0
+./target/release/dcebcn batch --seeds 4 --t-end 0.01 --max-seed-events 200 \
+  --fail-fast >/dev/null 2>&1 || code=$?
+if [ "$code" != "10" ]; then
+  echo "watchdog fail-fast exited with code $code, expected 10" >&2
+  exit 1
+fi
+
+echo "== query streaming smoke (malformed lines become error records) =="
+printf '%s\n' '{"type":"schema","version":2}' \
+  '{"type":"query","gi":2.0}' \
+  'garbage' \
+  '{"type":"query","gd":0.03}' > "$q_dir/bad.jsonl"
+./target/release/dcebcn query --in "$q_dir/bad.jsonl" --out "$q_dir/bad_a.jsonl" \
+  | grep -q "skipped 1 malformed line"
+test "$(grep -c '"type":"answer"' "$q_dir/bad_a.jsonl")" = 2
+grep -q '"type":"error","line":3' "$q_dir/bad_a.jsonl"
+code=0
+./target/release/dcebcn query --in "$q_dir/bad.jsonl" --strict >/dev/null 2>&1 || code=$?
+if [ "$code" != "3" ]; then
+  echo "strict query exited with code $code, expected 3" >&2
   exit 1
 fi
 

@@ -3,7 +3,8 @@
 //! Failures are lifted into the workspace-wide [`dce_bcn::Error`]
 //! taxonomy so each failure family maps to a distinct exit code (2
 //! usage, 3 model/analysis, 4 solver, 5 Poincaré, 6 wire, 7 simulator
-//! config, 8 I/O, 9 batch fail-fast).
+//! config, 8 I/O, 9 batch fail-fast, 10 watchdog timeout, 11 replay
+//! mismatch).
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();

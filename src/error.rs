@@ -38,12 +38,19 @@ pub enum Error {
     Io(std::io::Error),
     /// A batch run failed under fail-fast semantics. Exit code 9.
     Batch(String),
+    /// The batch watchdog demoted seeds under fail-fast semantics.
+    /// Exit code 10.
+    Timeout(String),
+    /// A postmortem replay did not reproduce the recorded failure.
+    /// Exit code 11.
+    Replay(String),
 }
 
 impl Error {
     /// The process exit code for this failure family: 2 usage, 3
     /// model/analysis, 4 solver, 5 Poincaré, 6 wire codec, 7 simulator
-    /// config, 8 I/O, 9 batch fail-fast.
+    /// config, 8 I/O, 9 batch fail-fast, 10 watchdog timeout, 11 replay
+    /// mismatch.
     #[must_use]
     pub fn exit_code(&self) -> i32 {
         match self {
@@ -55,6 +62,8 @@ impl Error {
             Error::SimConfig(_) => 7,
             Error::Io(_) => 8,
             Error::Batch(_) => 9,
+            Error::Timeout(_) => 10,
+            Error::Replay(_) => 11,
         }
     }
 }
@@ -71,6 +80,8 @@ impl fmt::Display for Error {
             Error::SimConfig(e) => write!(f, "simulation config error: {e}"),
             Error::Io(e) => write!(f, "i/o error: {e}"),
             Error::Batch(msg) => write!(f, "batch error: {msg}"),
+            Error::Timeout(msg) => write!(f, "watchdog timeout: {msg}"),
+            Error::Replay(msg) => write!(f, "replay mismatch: {msg}"),
         }
     }
 }
@@ -84,7 +95,11 @@ impl std::error::Error for Error {
             Error::Wire(e) => Some(e),
             Error::SimConfig(e) => Some(e),
             Error::Io(e) => Some(e),
-            Error::Usage(_) | Error::Analysis(_) | Error::Batch(_) => None,
+            Error::Usage(_)
+            | Error::Analysis(_)
+            | Error::Batch(_)
+            | Error::Timeout(_)
+            | Error::Replay(_) => None,
         }
     }
 }
@@ -133,6 +148,8 @@ impl From<cli::CliError> for Error {
             cli::CliError::Solver(e) => Error::Solver(e),
             cli::CliError::Sim(e) => Error::SimConfig(e),
             cli::CliError::Batch(msg) => Error::Batch(msg),
+            cli::CliError::Timeout(msg) => Error::Timeout(msg),
+            cli::CliError::Replay(msg) => Error::Replay(msg),
             cli::CliError::Io(e) => Error::Io(e),
             // `CliError` is non-exhaustive: future variants fall back to
             // the analysis family rather than breaking the build.
@@ -153,6 +170,8 @@ mod tests {
             Error::Solver(odesolve::SolveError::StepSizeUnderflow { t: 0.0, h: 1e-30 }),
             Error::Io(std::io::Error::other("io")),
             Error::Batch("b".into()),
+            Error::Timeout("t".into()),
+            Error::Replay("r".into()),
         ];
         let codes: Vec<i32> = errors.iter().map(Error::exit_code).collect();
         let mut unique = codes.clone();
@@ -168,6 +187,12 @@ mod tests {
         assert_eq!(e.exit_code(), 2);
         let e = Error::from(cli::CliError::Batch("seed 3 failed".into()));
         assert_eq!(e.exit_code(), 9);
+        let e = Error::from(cli::CliError::Timeout("seed 3 hit the watchdog".into()));
+        assert_eq!(e.exit_code(), 10);
+        assert!(e.to_string().contains("watchdog"));
+        let e = Error::from(cli::CliError::Replay("seed 3 diverged".into()));
+        assert_eq!(e.exit_code(), 11);
+        assert!(e.to_string().contains("replay"));
         let e = Error::from(cli::CliError::Sim(dcesim::error::ConfigError::new(
             "capacity",
             "must be positive",

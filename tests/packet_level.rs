@@ -169,3 +169,104 @@ fn packet_drops_track_strong_stability() {
         tight.buffer
     );
 }
+
+/// Crash-recovery contract end to end through the public API: a batch
+/// killed after any prefix of its seeds and resumed from its checkpoint
+/// merges a report byte-identical to an uninterrupted run — including
+/// across different worker widths for the killed and resumed halves,
+/// and with a quarantined seed and watchdog demotions in the mix.
+#[test]
+fn checkpointed_batches_resume_bit_identically_across_widths() {
+    use dcesim::batch::{run_batch, run_batch_checkpointed, BatchConfig, BatchReport};
+    use dcesim::checkpoint::{encode_seed_outcome, BatchCheckpoint};
+    use dcesim::faults::FaultConfig;
+
+    let fingerprint = |r: &BatchReport| {
+        let mut s = String::new();
+        for (&seed, out) in r.seeds.iter().zip(&r.outcomes) {
+            encode_seed_outcome(seed, out, &mut s);
+        }
+        if let Some(tel) = &r.telemetry {
+            s.push_str(&telemetry::snapshot_to_jsonl(tel));
+        }
+        s
+    };
+
+    let mut base = bcn_cfg(0.02);
+    base.faults = FaultConfig { seed: 9, feedback_loss: 0.15, ..FaultConfig::none() };
+    let mut cfg = BatchConfig::quick(base, 5);
+    cfg.level = telemetry::TelemetryLevel::Full;
+    cfg.panic_seeds = vec![3];
+    cfg.max_seed_retries = 1;
+
+    parkit::set_threads(1);
+    let clean = fingerprint(&run_batch(&cfg));
+    parkit::set_threads(4);
+    assert_eq!(fingerprint(&run_batch(&cfg)), clean, "batch is width-sensitive");
+
+    for (kill_after, first_width, resume_width) in [(0, 1, 4), (2, 4, 1), (5, 1, 1)] {
+        let dir = std::env::temp_dir().join(format!(
+            "dcesim_it_resume-{}-{kill_after}-{first_width}x{resume_width}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+
+        // The "killed" half: only the first `kill_after` seeds ran and
+        // were acknowledged before the crash.
+        parkit::set_threads(first_width);
+        let partial = BatchConfig { seeds: cfg.seeds[..kill_after].to_vec(), ..cfg.clone() };
+        let ck = BatchCheckpoint::create(&dir, &cfg).unwrap();
+        run_batch_checkpointed(&partial, &ck).unwrap();
+        drop(ck);
+
+        parkit::set_threads(resume_width);
+        let ck = BatchCheckpoint::resume(&dir, &cfg).unwrap();
+        assert_eq!(ck.restored_seeds().len(), kill_after);
+        let resumed = run_batch_checkpointed(&cfg, &ck).unwrap();
+        assert_eq!(resumed.supervisor.timed_out, 0);
+        assert_eq!(
+            fingerprint(&resumed),
+            clean,
+            "resume after {kill_after} seeds at widths {first_width}->{resume_width} diverged"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    parkit::set_threads(0);
+}
+
+/// The watchdog's event budget is part of the checkpointed contract
+/// too: demoted seeds persist as `timed_out`, restore as `timed_out`,
+/// and the resumed aggregate carries the same `batch.timed_out` count.
+#[test]
+fn watchdog_demotions_survive_checkpoint_resume() {
+    use dcesim::batch::{run_batch, run_batch_checkpointed, BatchConfig, SeedOutcome};
+    use dcesim::checkpoint::BatchCheckpoint;
+
+    let mut cfg = BatchConfig::quick(bcn_cfg(0.02), 3);
+    cfg.level = telemetry::TelemetryLevel::Summary;
+    cfg.max_events_per_seed = Some(150);
+
+    let clean = run_batch(&cfg);
+    assert_eq!(clean.supervisor.timed_out, 3);
+
+    let dir =
+        std::env::temp_dir().join(format!("dcesim_it_watchdog_resume-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let ck = BatchCheckpoint::create(&dir, &cfg).unwrap();
+    run_batch_checkpointed(&cfg, &ck).unwrap();
+    drop(ck);
+
+    let ck = BatchCheckpoint::resume(&dir, &cfg).unwrap();
+    assert_eq!(ck.restored_seeds().len(), 3);
+    let resumed = run_batch_checkpointed(&cfg, &ck).unwrap();
+    assert_eq!(resumed.supervisor.timed_out, 3);
+    for out in &resumed.outcomes {
+        assert!(matches!(out, SeedOutcome::TimedOut { events: 150, .. }), "{out:?}");
+    }
+    let (clean_tel, resumed_tel) = (clean.telemetry.unwrap(), resumed.telemetry.unwrap());
+    assert_eq!(
+        telemetry::snapshot_to_jsonl(&clean_tel),
+        telemetry::snapshot_to_jsonl(&resumed_tel)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -363,3 +363,76 @@ proptest! {
         prop_assert_eq!(a.counts(), b.counts());
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Crash-recovery round trip over random kill points: persist a
+    /// random prefix of a batch's seeds, resume from the checkpoint at
+    /// a random worker width, and the merged report (per-seed outcomes
+    /// plus the telemetry aggregate, both serialized through the
+    /// checkpoint codec) is byte-identical to an uninterrupted run at
+    /// widths 1 and 4. The deterministic CI twin lives in
+    /// `tests/packet_level.rs`.
+    #[test]
+    fn checkpoint_resume_is_bit_identical_over_random_kill_points(
+        kill_after in 0usize..=4,
+        first_width in 1usize..5,
+        resume_width in 1usize..5,
+        feedback_loss in 0.0..0.4f64,
+        fault_seed in any::<u64>(),
+    ) {
+        use dcesim::batch::{run_batch, run_batch_checkpointed, BatchConfig, BatchReport};
+        use dcesim::checkpoint::{encode_seed_outcome, BatchCheckpoint};
+        use dcesim::faults::FaultConfig;
+        use dcesim::sim::{fluid_validation_params, SimConfig};
+        use dcesim::time::Duration;
+
+        let fingerprint = |r: &BatchReport| {
+            let mut s = String::new();
+            for (&seed, out) in r.seeds.iter().zip(&r.outcomes) {
+                encode_seed_outcome(seed, out, &mut s);
+            }
+            if let Some(tel) = &r.telemetry {
+                s.push_str(&telemetry::snapshot_to_jsonl(tel));
+            }
+            s
+        };
+
+        let mut base = SimConfig::from_fluid(
+            &fluid_validation_params(),
+            8_000.0,
+            Duration::from_secs(2e-6),
+            0.02,
+        );
+        base.faults = FaultConfig { seed: fault_seed, feedback_loss, ..FaultConfig::none() };
+        let mut cfg = BatchConfig::quick(base, 4);
+        cfg.level = telemetry::TelemetryLevel::Full;
+        cfg.panic_seeds = vec![2];
+
+        parkit::set_threads(1);
+        let clean = fingerprint(&run_batch(&cfg));
+        parkit::set_threads(4);
+        prop_assert_eq!(&fingerprint(&run_batch(&cfg)), &clean);
+
+        let dir = std::env::temp_dir().join(format!(
+            "dcesim_pt_resume-{}-{kill_after}-{first_width}x{resume_width}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        parkit::set_threads(first_width);
+        let partial = BatchConfig { seeds: cfg.seeds[..kill_after].to_vec(), ..cfg.clone() };
+        let ck = BatchCheckpoint::create(&dir, &cfg).unwrap();
+        run_batch_checkpointed(&partial, &ck).unwrap();
+        drop(ck);
+
+        parkit::set_threads(resume_width);
+        let ck = BatchCheckpoint::resume(&dir, &cfg).unwrap();
+        prop_assert_eq!(ck.restored_seeds().len(), kill_after);
+        let resumed = run_batch_checkpointed(&cfg, &ck).unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+        parkit::set_threads(0);
+        prop_assert_eq!(&fingerprint(&resumed), &clean,
+            "kill at {} widths {}->{}", kill_after, first_width, resume_width);
+    }
+}
