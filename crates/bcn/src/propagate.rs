@@ -253,6 +253,100 @@ impl Propagator {
     pub fn crossing_time(&self, region: Region, z0: [f64; 2], t_max: f64) -> Option<f64> {
         crossing_time(self.flow(region), self.k, z0, t_max)
     }
+
+    /// Signed switching-line coordinate `s = x + k y` of a state: zero
+    /// on the line, positive on the decrease side, negative on the
+    /// increase side. `|s|` is the hybrid engine's distance-to-line
+    /// oracle (in bits, since `k y` is a queue-scaled rate surplus).
+    #[must_use]
+    pub fn line_coordinate(&self, z: [f64; 2]) -> f64 {
+        z[0] + self.k * z[1]
+    }
+
+    /// The region a trajectory at `z` departs into, using the same
+    /// tie-break as `rounds::departing_region`: sign of `s` off the
+    /// line, sign of `y` on it. Only the slope `k` is needed, so the
+    /// propagator can answer without the full parameter set.
+    #[must_use]
+    pub fn departing_region(&self, z: [f64; 2]) -> Region {
+        let s = self.line_coordinate(z);
+        if s > 0.0 || (s == 0.0 && z[1] > 0.0) {
+            Region::Decrease
+        } else {
+            Region::Increase
+        }
+    }
+
+    /// Advances the switched system analytically by exactly `dt`,
+    /// starting from `z0` departing in `region`, walking as many
+    /// closed-form legs as fit (at most `max_switches` region
+    /// transitions). Each landing is normalised onto the switching line
+    /// (`x = -k y`, the `rounds::trace_legs` convention) before the
+    /// next leg departs, so a multi-leg advance matches
+    /// [`analytic_trajectory`] leg for leg.
+    ///
+    /// Returns the state reached, the region it departs into, the number
+    /// of switches taken, and the time actually covered: `t == dt`
+    /// unless the switch budget ran out or a leg collapsed below time
+    /// resolution, in which case the caller sees `t < dt` and can fall
+    /// back to stepping.
+    #[must_use]
+    pub fn advance(
+        &self,
+        mut region: Region,
+        mut z: [f64; 2],
+        dt: f64,
+        max_switches: usize,
+    ) -> EpochStep {
+        let mut t = 0.0;
+        let mut switches = 0usize;
+        loop {
+            let remaining = dt - t;
+            if remaining <= 0.0 {
+                return EpochStep { z, region, switches, t };
+            }
+            match self.crossing_time(region, z, remaining) {
+                Some(tc) => {
+                    let mut z_end = self.flow(region).at(tc, z);
+                    z_end[0] = -self.k * z_end[1];
+                    let t_hit = t + tc;
+                    if t_hit <= t || switches == max_switches {
+                        // Sub-ulp leg or budget exhausted: report the
+                        // partial advance honestly.
+                        return EpochStep { z: z_end, region, switches, t: t_hit.min(dt) };
+                    }
+                    switches += 1;
+                    t = t_hit;
+                    z = z_end;
+                    region = self.departing_region(z);
+                }
+                None => {
+                    return EpochStep {
+                        z: self.flow(region).at(remaining, z),
+                        region,
+                        switches,
+                        t: dt,
+                    };
+                }
+            }
+        }
+    }
+}
+
+/// Outcome of [`Propagator::advance`]: where an analytic multi-leg
+/// epoch advance landed.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EpochStep {
+    /// State reached after time `t`.
+    pub z: [f64; 2],
+    /// Region the trajectory departs into from `z`.
+    pub region: Region,
+    /// Region transitions taken.
+    pub switches: usize,
+    /// Time actually covered; `t < dt` means the switch budget ran out
+    /// (or a leg collapsed below time resolution) and the caller should
+    /// fall back to stepping from `z`.
+    pub t: f64,
 }
 
 /// First strictly positive time at which `s(t) = x(t) + k y(t)` crosses
@@ -688,6 +782,68 @@ mod tests {
                 (z[0] + k * z[1]).abs() <= 1e-9 * params.q0,
                 "switch sample off the line: {z:?}"
             );
+        }
+    }
+
+    #[test]
+    fn advance_matches_propagate_inside_one_region() {
+        let params = BcnParams::test_defaults();
+        let prop = Propagator::for_params(&params);
+        // Deep in the increase region, short horizon: no switch fits.
+        let z0 = [-0.3 * params.q0, -0.02 * params.capacity];
+        let tc = prop.crossing_time(Region::Increase, z0, 1e9).expect("eventually crosses");
+        let dt = 0.5 * tc;
+        let step = prop.advance(Region::Increase, z0, dt, 64);
+        assert_eq!(step.switches, 0);
+        assert_eq!(step.t, dt);
+        assert_eq!(step.region, Region::Increase);
+        assert_eq!(step.z, prop.propagate(Region::Increase, dt, z0));
+    }
+
+    #[test]
+    fn advance_matches_analytic_trajectory_across_switches() {
+        let params = BcnParams::test_defaults();
+        let sys = BcnFluid::linearized(params.clone());
+        let prop = Propagator::for_params(&params);
+        let z0 = params.initial_point();
+        let dt = 0.2;
+        let opts = FluidOptions::default().with_t_end(dt);
+        let reference = analytic_trajectory(&sys, z0, &opts);
+        let step = prop.advance(departing_region(&params, z0), z0, dt, 1024);
+        assert_eq!(step.t, dt);
+        assert_eq!(step.switches, reference.switch_count());
+        let z_ref = reference.solution.last_state();
+        for (i, r) in z_ref.iter().enumerate() {
+            assert!(
+                (step.z[i] - r).abs() <= 1e-9 * r.abs().max(1.0),
+                "component {i}: {} vs {r}",
+                step.z[i]
+            );
+        }
+    }
+
+    #[test]
+    fn advance_reports_partial_time_when_budget_exhausted() {
+        let params = BcnParams::test_defaults();
+        let prop = Propagator::for_params(&params);
+        let z0 = params.initial_point();
+        let region = departing_region(&params, z0);
+        let full = prop.advance(region, z0, 0.2, 1024);
+        assert!(full.switches >= 2, "scenario must actually switch");
+        let capped = prop.advance(region, z0, 0.2, 1);
+        assert_eq!(capped.switches, 1);
+        assert!(capped.t < 0.2, "partial advance must be reported");
+        // The landing is on the switching line.
+        assert_eq!(capped.z[0], -prop.k() * capped.z[1]);
+    }
+
+    #[test]
+    fn departing_region_matches_rounds_oracle() {
+        let params = BcnParams::test_defaults();
+        let prop = Propagator::for_params(&params);
+        let k = prop.k();
+        for z in [[-k, 1.0], [k, -1.0], [-1.0, 0.0], [1.0, 0.0], [0.4, 0.1], [-0.4, -0.1]] {
+            assert_eq!(prop.departing_region(z), departing_region(&params, z), "{z:?}");
         }
     }
 

@@ -18,13 +18,15 @@ use dcesim::checkpoint::{
     encode_replay_context, replay_spec_from_postmortem, sim_config_digest, BatchCheckpoint,
 };
 use dcesim::faults::FaultCounts;
+use dcesim::hybrid::{HybridSim, HybridSpec, HybridStats};
 use dcesim::sim::{SimConfig, Simulation};
 use dcesim::time::Duration;
 use plotkit::{Csv, Table};
 use telemetry::{Telemetry, TelemetryLevel};
 
 use crate::flags::{
-    engine_choice, faults_from, params_from, scheduler_choice, telemetry_level, Flags, PARAM_FLAGS,
+    engine_choice, faults_from, hybrid_guards_from, params_from, scheduler_choice,
+    sim_engine_choice, telemetry_level, Flags, SimEngine, PARAM_FLAGS,
 };
 use crate::{report as report_pipeline, CliError};
 
@@ -114,6 +116,44 @@ fn render_fault_counts(c: &FaultCounts) -> String {
         }
     }
     out
+}
+
+/// Resolves `--engine` / `--hybrid-guard` for a packet-level command
+/// into an optional [`HybridSpec`] (`None` = the pure packet engine).
+/// `--hybrid-guard` without `--engine hybrid` is a usage error.
+fn hybrid_spec_from(flags: &Flags, p: &bcn::BcnParams) -> Result<Option<HybridSpec>, CliError> {
+    match sim_engine_choice(flags)? {
+        SimEngine::Hybrid => {
+            Ok(Some(HybridSpec { params: p.clone(), guards: hybrid_guards_from(flags)? }))
+        }
+        SimEngine::Packet => {
+            if flags.get("hybrid-guard").is_some() {
+                return Err(CliError::Usage(
+                    "--hybrid-guard only applies with --engine hybrid".into(),
+                ));
+            }
+            Ok(None)
+        }
+    }
+}
+
+/// Renders the hybrid epoch accounting. Empty when no epoch committed,
+/// so an `always-packet` (or never-quiescent) run prints byte-identically
+/// to the pure packet engine.
+fn render_hybrid_stats(stats: &HybridStats) -> String {
+    if stats.epochs == 0 {
+        return String::new();
+    }
+    let total = stats.ff_ns + stats.packet_ns;
+    #[allow(clippy::cast_precision_loss)]
+    let frac = if total > 0 { stats.ff_ns as f64 / total as f64 } else { 0.0 };
+    format!(
+        "hybrid engine: {} epoch(s) fast-forwarded ({} reseeds), {:.1}% of simulated time \
+         analytic\n",
+        stats.epochs,
+        stats.reseeds,
+        frac * 100.0
+    )
 }
 
 /// Parses `--faults` for a single-run command, where `panic-seed` has no
@@ -225,11 +265,30 @@ pub fn buffer(args: &[String]) -> Result<String, CliError> {
 /// Propagates flag, validation, integration, and I/O failures.
 pub fn simulate(args: &[String]) -> Result<String, CliError> {
     let flags = Flags::parse(args)?;
-    flags.ensure_known(&with_param_flags(&["t-end", "out", "nonlinear", "engine"]))?;
+    flags.ensure_known(&with_param_flags(&[
+        "t-end",
+        "out",
+        "nonlinear",
+        "engine",
+        "hybrid-guard",
+    ]))?;
     let p = params_from(&flags)?;
     let t_end = flags.get_f64("t-end")?.unwrap_or(0.01);
     if t_end <= 0.0 {
         return Err(CliError::Usage("--t-end must be positive".into()));
+    }
+    if matches!(flags.get("engine"), Some("hybrid")) {
+        if flags.get_bool("nonlinear") {
+            return Err(CliError::Usage(
+                "--nonlinear only applies to the fluid integrators (the hybrid engine's packet \
+                 stretches are the nonlinear reality)"
+                    .into(),
+            ));
+        }
+        return simulate_hybrid(&flags, &p, t_end);
+    }
+    if flags.get("hybrid-guard").is_some() {
+        return Err(CliError::Usage("--hybrid-guard only applies with --engine hybrid".into()));
     }
     let sys = if flags.get_bool("nonlinear") {
         BcnFluid::new(p.clone())
@@ -265,6 +324,47 @@ pub fn simulate(args: &[String]) -> Result<String, CliError> {
     }
     if level.enabled() {
         out.push_str(&render_summary(&tel));
+    }
+    Ok(out)
+}
+
+/// `dcebcn simulate --engine hybrid`: the epoch-switching co-simulator
+/// on the fluid calibration of the flags, writing the same
+/// `t,q_bits,aggregate_rate` CSV schema as the fluid engines.
+fn simulate_hybrid(flags: &Flags, p: &BcnParams, t_end: f64) -> Result<String, CliError> {
+    let guards = hybrid_guards_from(flags)?;
+    let cfg = SimConfig::from_fluid(p, 8_000.0, Duration::from_secs(2e-6), t_end);
+    cfg.validate()?;
+    let spec = HybridSpec { params: p.clone(), guards };
+    spec.validate_for(&cfg)?;
+    let level = telemetry_level(flags, TelemetryLevel::Off)?;
+    let report = HybridSim::new(spec.params, cfg, spec.guards)
+        .with_telemetry_sink(Telemetry::new(level))
+        .run();
+    let m = &report.sim.metrics;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "co-simulated {t_end} s: q in [{:.4e}, {:.4e}] bits, {} frames delivered",
+        m.queue.min_after(0.0),
+        m.queue.max(),
+        m.delivered_frames,
+    );
+    out.push_str(&render_hybrid_stats(&report.stats));
+    if let Some(path) = flags.get("out") {
+        let mut csv = Csv::new(&["t", "q_bits", "aggregate_rate"]);
+        for ((t, q), w) in
+            m.queue.times().iter().zip(m.queue.values()).zip(m.aggregate_rate.values())
+        {
+            csv.row(&[*t, *q, *w]);
+        }
+        csv.save(path)?;
+        let _ = writeln!(out, "wrote {path} ({} samples)", m.queue.len());
+    }
+    if level.enabled() {
+        if let Some(tel) = &report.sim.telemetry {
+            out.push_str(&render_summary(tel));
+        }
     }
     Ok(out)
 }
@@ -332,7 +432,14 @@ pub fn atlas(args: &[String]) -> Result<String, CliError> {
 /// Propagates flag and validation failures.
 pub fn packet(args: &[String]) -> Result<String, CliError> {
     let flags = Flags::parse(args)?;
-    flags.ensure_known(&with_param_flags(&["t-end", "frame-bits", "faults", "scheduler"]))?;
+    flags.ensure_known(&with_param_flags(&[
+        "t-end",
+        "frame-bits",
+        "faults",
+        "scheduler",
+        "engine",
+        "hybrid-guard",
+    ]))?;
     let p = params_from(&flags)?;
     let t_end = flags.get_f64("t-end")?.unwrap_or(0.2);
     let frame_bits = flags.get_f64("frame-bits")?.unwrap_or(8_000.0);
@@ -340,11 +447,21 @@ pub fn packet(args: &[String]) -> Result<String, CliError> {
         return Err(CliError::Usage("--t-end and --frame-bits must be positive".into()));
     }
     let level = telemetry_level(&flags, TelemetryLevel::Off)?;
+    let hybrid = hybrid_spec_from(&flags, &p)?;
     let mut cfg = SimConfig::from_fluid(&p, frame_bits, Duration::from_secs(2e-6), t_end);
     cfg.scheduler = scheduler_choice(&flags)?;
     cfg.faults = single_run_faults(&flags)?;
     cfg.validate()?;
-    let report = Simulation::with_telemetry(cfg, Telemetry::new(level)).run();
+    let (report, hybrid_stats) = match hybrid {
+        Some(spec) => {
+            spec.validate_for(&cfg)?;
+            let run = HybridSim::new(spec.params, cfg, spec.guards)
+                .with_telemetry_sink(Telemetry::new(level))
+                .run();
+            (run.sim, Some(run.stats))
+        }
+        None => (Simulation::with_telemetry(cfg, Telemetry::new(level)).run(), None),
+    };
     let m = &report.metrics;
     let mut out = String::new();
     let _ = writeln!(out, "packet-level run over {t_end} s ({} flows):", p.n_flows);
@@ -361,6 +478,9 @@ pub fn packet(args: &[String]) -> Result<String, CliError> {
     );
     let _ = writeln!(out, "  feedback messages:  {}", m.feedback_messages);
     let _ = writeln!(out, "  PAUSE events:       {}", m.pause_events);
+    if let Some(stats) = &hybrid_stats {
+        out.push_str(&render_hybrid_stats(stats));
+    }
     out.push_str(&render_fault_counts(&m.faults));
     if let Some(tel) = &report.telemetry {
         if tel.enabled() {
@@ -406,6 +526,8 @@ pub fn batch(args: &[String]) -> Result<String, CliError> {
         "seed-deadline-ms",
         "seed-retries",
         "retry-backoff-ms",
+        "engine",
+        "hybrid-guard",
     ]))?;
     let p = params_from(&flags)?;
     let t_end = flags.get_f64("t-end")?.unwrap_or(0.05);
@@ -419,11 +541,18 @@ pub fn batch(args: &[String]) -> Result<String, CliError> {
     }
     let level = telemetry_level(&flags, TelemetryLevel::Off)?;
     let (faults, panic_seeds) = faults_from(&flags)?;
+    let hybrid = hybrid_spec_from(&flags, &p)?;
     let mut base = SimConfig::from_fluid(&p, frame_bits, Duration::from_secs(2e-6), t_end);
     base.scheduler = scheduler_choice(&flags)?;
     base.faults = faults;
     base.validate()?;
+    if let Some(spec) = &hybrid {
+        // Fail the whole command up front on bad knobs rather than
+        // quarantining every seed with the same cause.
+        spec.validate_for(&base)?;
+    }
     let mut cfg = BatchConfig::quick(base, n_seeds as u64);
+    cfg.hybrid = hybrid;
     cfg.level = level;
     cfg.panic_seeds = panic_seeds;
     if let Some(v) = flags.get_f64("start-jitter")? {
@@ -1002,6 +1131,7 @@ pub fn trace(args: &[String]) -> Result<String, CliError> {
         "faults",
         "engine",
         "scheduler",
+        "hybrid-guard",
     ]))?;
     let mut p = params_from(&flags)?;
     let level = telemetry_level(&flags, TelemetryLevel::Full)?;
@@ -1020,6 +1150,12 @@ pub fn trace(args: &[String]) -> Result<String, CliError> {
             if flags.get("scheduler").is_some() {
                 return Err(CliError::Usage(
                     "--scheduler only applies to the packet scenario".into(),
+                ));
+            }
+            if flags.get("hybrid-guard").is_some() {
+                return Err(CliError::Usage(
+                    "--hybrid-guard only applies to the packet scenario with --engine hybrid"
+                        .into(),
                 ));
             }
             if scenario == "thm1" && flags.get_f64("buffer")?.is_none() {
@@ -1048,11 +1184,10 @@ pub fn trace(args: &[String]) -> Result<String, CliError> {
             );
         }
         "packet" => {
-            if flags.get("engine").is_some() {
-                return Err(CliError::Usage(
-                    "--engine only applies to the fluid scenarios (thm1, limit-cycle)".into(),
-                ));
-            }
+            // A fluid-integrator (or unknown) engine on the packet
+            // scenario is a typed usage error naming the valid engines,
+            // never silently ignored.
+            let hybrid = hybrid_spec_from(&flags, &p)?;
             let frame_bits = flags.get_f64("frame-bits")?.unwrap_or(8_000.0);
             if frame_bits <= 0.0 {
                 return Err(CliError::Usage("--frame-bits must be positive".into()));
@@ -1061,13 +1196,25 @@ pub fn trace(args: &[String]) -> Result<String, CliError> {
             cfg.scheduler = scheduler_choice(&flags)?;
             cfg.faults = single_run_faults(&flags)?;
             cfg.validate()?;
-            let report = Simulation::with_telemetry(cfg, tel).run();
+            let (report, hybrid_stats) = match hybrid {
+                Some(spec) => {
+                    spec.validate_for(&cfg)?;
+                    let run = HybridSim::new(spec.params, cfg, spec.guards)
+                        .with_telemetry_sink(tel)
+                        .run();
+                    (run.sim, Some(run.stats))
+                }
+                None => (Simulation::with_telemetry(cfg, tel).run(), None),
+            };
             let m = &report.metrics;
             let _ = writeln!(
                 out,
                 "scenario packet: {} flows over {t_end} s, {} frames delivered, {} dropped",
                 p.n_flows, m.delivered_frames, m.dropped_frames,
             );
+            if let Some(stats) = &hybrid_stats {
+                out.push_str(&render_hybrid_stats(stats));
+            }
             out.push_str(&render_fault_counts(&m.faults));
             tel = report.telemetry.unwrap_or_default();
         }
@@ -1139,9 +1286,83 @@ mod tests {
     }
 
     #[test]
-    fn trace_packet_rejects_engine_flag() {
-        let err = trace(&argv("packet --engine analytic --t-end 0.01")).unwrap_err();
-        assert!(err.to_string().contains("--engine"), "{err}");
+    fn trace_packet_rejects_fluid_engines_with_the_valid_list() {
+        // The satellite bugfix: a fluid-integrator engine on the packet
+        // scenario used to be silently ignored; it is now a typed usage
+        // error (exit 2) that names the engines valid here.
+        for fluid in ["analytic", "dopri5", "rk4"] {
+            let err = trace(&argv(&format!("packet --engine {fluid} --t-end 0.01"))).unwrap_err();
+            assert!(matches!(err, CliError::Usage(_)), "{fluid}: {err}");
+            let msg = err.to_string();
+            assert!(msg.contains("--engine"), "{fluid}: {msg}");
+            assert!(msg.contains("packet or hybrid"), "{fluid}: {msg}");
+        }
+        // The engines that do apply are accepted.
+        let out = trace(&argv(&format!("packet --engine packet {FAST_SIM}"))).unwrap();
+        assert!(out.contains("scenario packet"), "{out}");
+        let out = trace(&argv(&format!("packet --engine hybrid {FAST_SIM}"))).unwrap();
+        assert!(out.contains("scenario packet"), "{out}");
+        // And the fluid scenarios still reject the packet-side engines.
+        let err = trace(&argv("thm1 --engine hybrid --t-end 0.002")).unwrap_err();
+        assert!(err.to_string().contains("analytic or dopri5"), "{err}");
+    }
+
+    #[test]
+    fn packet_hybrid_engine_fast_forwards_and_reports_epochs() {
+        let out = packet(&argv(&format!("{FAST_LONG} --engine hybrid"))).unwrap();
+        assert!(out.contains("hybrid engine:"), "{out}");
+        assert!(out.contains("epoch(s) fast-forwarded"), "{out}");
+        assert!(out.contains("delivered frames"), "{out}");
+    }
+
+    #[test]
+    fn packet_hybrid_always_packet_renders_identically() {
+        // With the guard forced to always-packet the wrapper is
+        // bit-identical to the pure engine, down to the rendered bytes
+        // (no hybrid line: zero epochs print nothing).
+        let pure = packet(&argv(FAST_SIM)).unwrap();
+        let wrapped =
+            packet(&argv(&format!("{FAST_SIM} --engine hybrid --hybrid-guard always-packet")))
+                .unwrap();
+        assert_eq!(pure, wrapped);
+    }
+
+    #[test]
+    fn hybrid_guard_requires_the_hybrid_engine() {
+        let err = packet(&argv(&format!("{FAST_SIM} --hybrid-guard eq=0.1"))).unwrap_err();
+        assert!(err.to_string().contains("--engine hybrid"), "{err}");
+        let err = trace(&argv("thm1 --hybrid-guard eq=0.1 --t-end 0.002")).unwrap_err();
+        assert!(err.to_string().contains("--hybrid-guard"), "{err}");
+        // Bad knobs are rejected before the run starts.
+        assert!(
+            packet(&argv(&format!("{FAST_SIM} --engine hybrid --hybrid-guard eq=0.9"))).is_err()
+        );
+    }
+
+    #[test]
+    fn simulate_hybrid_writes_the_same_csv_schema() {
+        let path = std::env::temp_dir().join("dcebcn_sim_hybrid_test.csv");
+        let _ = std::fs::remove_file(&path);
+        let out = simulate(&argv(&format!("{FAST_LONG} --engine hybrid --out {}", path.display())))
+            .unwrap();
+        assert!(out.contains("co-simulated"), "{out}");
+        assert!(out.contains("hybrid engine:"), "{out}");
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.starts_with("t,q_bits,aggregate_rate"), "{}", &body[..40.min(body.len())]);
+        assert!(body.lines().count() > 100, "CSV too sparse");
+        // --nonlinear belongs to the fluid integrators.
+        assert!(simulate(&argv("--t-end 0.002 --engine hybrid --nonlinear")).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn batch_hybrid_engine_carries_epoch_counters() {
+        let out =
+            batch(&argv(&format!("{FAST_LONG} --engine hybrid --seeds 2 --telemetry summary")))
+                .unwrap();
+        assert!(out.contains("batch: 2 seeds"), "{out}");
+        assert!(out.contains("hybrid.epochs"), "{out}");
+        assert!(out.contains("hybrid.ff_ns"), "{out}");
     }
 
     #[test]
@@ -1207,6 +1428,11 @@ mod tests {
 
     const FAST_SIM: &str = "--n 5 --capacity 1e9 --q0 1e6 --buffer 8e6 --qsc 7.2e6 --ru 1e4 \
                             --gi 1.2 --gd 0.00006103515625 --pm 0.2 --w 3e5 --t-end 0.02";
+
+    /// The same scenario over a horizon long enough for its quiescent
+    /// tail to admit hybrid fast-forward epochs.
+    const FAST_LONG: &str = "--n 5 --capacity 1e9 --q0 1e6 --buffer 8e6 --qsc 7.2e6 --ru 1e4 \
+                             --gi 1.2 --gd 0.00006103515625 --pm 0.2 --w 3e5 --t-end 0.2";
 
     #[test]
     fn batch_quarantines_a_panicking_seed() {

@@ -6,6 +6,7 @@ use std::collections::BTreeMap;
 
 use bcn::{BcnParams, Engine};
 use dcesim::faults::FaultConfig;
+use dcesim::hybrid::HybridGuards;
 use dcesim::sched::Scheduler;
 use dcesim::time::Duration;
 use telemetry::TelemetryLevel;
@@ -136,6 +137,85 @@ pub fn engine_choice(flags: &Flags) -> Result<Engine, CliError> {
         Some("dopri5") => Ok(Engine::Dopri5),
         Some(v) => Err(CliError::Usage(format!("--engine expects analytic or dopri5, got `{v}`"))),
     }
+}
+
+/// The engine behind the packet-level commands: the pure packet engine
+/// or the hybrid fluid–packet co-simulator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SimEngine {
+    /// Every event packet-simulated (the default).
+    #[default]
+    Packet,
+    /// Epoch-switching co-simulation: quiescent stretches fast-forwarded
+    /// with the closed-form fluid solution.
+    Hybrid,
+}
+
+/// Resolves the `--engine <packet|hybrid>` flag for the packet-level
+/// commands (`packet`, `batch`, `trace packet`), defaulting to the pure
+/// packet engine when absent.
+///
+/// # Errors
+///
+/// Rejects fluid-integrator names and unknown engines, listing the
+/// engines valid here.
+pub fn sim_engine_choice(flags: &Flags) -> Result<SimEngine, CliError> {
+    match flags.get("engine") {
+        None | Some("packet") => Ok(SimEngine::Packet),
+        Some("hybrid") => Ok(SimEngine::Hybrid),
+        Some(v) => Err(CliError::Usage(format!(
+            "--engine expects packet or hybrid for the packet-level commands, got `{v}` \
+             (analytic and dopri5 apply to the fluid scenarios only)"
+        ))),
+    }
+}
+
+/// Parses the `--hybrid-guard key=value,key=value` specification into
+/// the hybrid epoch-controller knobs, starting from the conservative
+/// defaults.
+///
+/// Keys: `eq` (equilibrium-ball half-width, fraction), `margin` (queue
+/// safety margin, fraction), `min-ff` (seconds), `max-ff` (seconds, 0 =
+/// unlimited), `max-legs` (region switches per grid step),
+/// `always-packet` (boolean; bare key means true).
+///
+/// # Errors
+///
+/// Rejects malformed items, unknown keys, unparsable values, and knob
+/// combinations [`HybridGuards::validate`] refuses.
+pub fn hybrid_guards_from(flags: &Flags) -> Result<HybridGuards, CliError> {
+    let mut g = HybridGuards::default();
+    let Some(spec) = flags.get("hybrid-guard") else {
+        return Ok(g);
+    };
+    for item in spec.split(',').filter(|s| !s.is_empty()) {
+        // `always-packet` may appear bare; every other key needs `=`.
+        let (key, value) = item.split_once('=').unwrap_or((item, "true"));
+        let num = || {
+            value.parse::<f64>().map_err(|_| {
+                CliError::Usage(format!("--hybrid-guard {key} expects a number, got `{value}`"))
+            })
+        };
+        match key {
+            "eq" => g.eq_frac = num()?,
+            "margin" => g.q_margin_frac = num()?,
+            "min-ff" => g.min_ff_secs = num()?,
+            "max-ff" => g.max_ff_secs = num()?,
+            "max-legs" => {
+                g.max_legs = value.parse::<u32>().map_err(|_| {
+                    CliError::Usage(format!(
+                        "--hybrid-guard max-legs expects an integer, got `{value}`"
+                    ))
+                })?;
+            }
+            "always-packet" => g.always_packet = matches!(value, "true" | "1" | "yes"),
+            other => {
+                return Err(CliError::Usage(format!("unknown --hybrid-guard key `{other}`")));
+            }
+        }
+    }
+    g.validate()?;
+    Ok(g)
 }
 
 /// Resolves the `--scheduler <wheel|heap>` flag for the packet-level
@@ -341,6 +421,56 @@ mod tests {
         assert_eq!(engine_choice(&f).unwrap(), Engine::Analytic);
         let f = Flags::parse(&argv("--engine rk4")).unwrap();
         assert!(engine_choice(&f).is_err());
+    }
+
+    #[test]
+    fn sim_engine_choice_parses_and_rejects_fluid_engines() {
+        let f = Flags::parse(&argv("")).unwrap();
+        assert_eq!(sim_engine_choice(&f).unwrap(), SimEngine::Packet);
+        let f = Flags::parse(&argv("--engine packet")).unwrap();
+        assert_eq!(sim_engine_choice(&f).unwrap(), SimEngine::Packet);
+        let f = Flags::parse(&argv("--engine hybrid")).unwrap();
+        assert_eq!(sim_engine_choice(&f).unwrap(), SimEngine::Hybrid);
+        for fluid in ["analytic", "dopri5", "rk4"] {
+            let f = Flags::parse(&argv(&format!("--engine {fluid}"))).unwrap();
+            let err = sim_engine_choice(&f).unwrap_err();
+            assert!(matches!(err, CliError::Usage(_)), "{fluid}");
+            let msg = err.to_string();
+            assert!(msg.contains("packet or hybrid"), "{fluid}: {msg}");
+        }
+    }
+
+    #[test]
+    fn hybrid_guard_spec_parses_every_key() {
+        let f = Flags::parse(&argv(
+            "--hybrid-guard eq=0.1,margin=0.2,min-ff=5e-4,max-ff=0.1,max-legs=8,always-packet",
+        ))
+        .unwrap();
+        let g = hybrid_guards_from(&f).unwrap();
+        assert_eq!(g.eq_frac, 0.1);
+        assert_eq!(g.q_margin_frac, 0.2);
+        assert_eq!(g.min_ff_secs, 5e-4);
+        assert_eq!(g.max_ff_secs, 0.1);
+        assert_eq!(g.max_legs, 8);
+        assert!(g.always_packet);
+        // Absent flag keeps the defaults.
+        let f = Flags::parse(&argv("")).unwrap();
+        assert_eq!(hybrid_guards_from(&f).unwrap(), HybridGuards::default());
+    }
+
+    #[test]
+    fn hybrid_guard_spec_rejects_garbage() {
+        for bad in [
+            "--hybrid-guard bogus=1",      // unknown key
+            "--hybrid-guard eq=often",     // not a number
+            "--hybrid-guard eq=0.9",       // fraction outside (0, 0.5)
+            "--hybrid-guard min-ff=-1",    // negative duration
+            "--hybrid-guard max-legs=0",   // zero leg budget
+            "--hybrid-guard max-legs=1.5", // not an integer
+        ] {
+            let f = Flags::parse(&argv(bad)).unwrap();
+            assert!(hybrid_guards_from(&f).is_err(), "{bad} should be rejected");
+        }
     }
 
     #[test]

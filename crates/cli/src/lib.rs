@@ -158,14 +158,19 @@ pub fn usage() -> String {
      \n\
      command flags:\n\
      \x20 simulate: --t-end <s> --out <path.csv> [--nonlinear]\n\
-     \x20           --engine <analytic|dopri5>  (default analytic: closed-form leg\n\
-     \x20                                        propagation; nonlinear or\n\
-     \x20                                        instrumented runs use dopri5)\n\
+     \x20           --engine <analytic|dopri5|hybrid>  (default analytic: closed-form\n\
+     \x20                                        leg propagation; nonlinear or\n\
+     \x20                                        instrumented runs use dopri5;\n\
+     \x20                                        hybrid co-simulates packets with\n\
+     \x20                                        analytic fast-forward)\n\
      \x20 atlas:    --grid <n> --out <path.csv>\n\
      \x20 packet:   --t-end <s> --frame-bits <bits> --faults <spec>\n\
      \x20           --scheduler <wheel|heap>  (default wheel: hierarchical timing\n\
      \x20                                      wheel; heap is the reference engine,\n\
      \x20                                      bit-identical results)\n\
+     \x20           --engine <packet|hybrid>  (default packet; hybrid fast-forwards\n\
+     \x20                                      quiescent stretches analytically)\n\
+     \x20           --hybrid-guard <spec>     (epoch-controller knobs, see below)\n\
      \x20 batch:    --seeds <n> --t-end <s> --start-jitter <s> --rate-jitter <frac>\n\
      \x20           --frame-bits <bits> --out <path.csv> --faults <spec> [--fail-fast]\n\
      \x20           --scheduler <wheel|heap> --postmortem-dir <dir>  (default results;\n\
@@ -180,9 +185,13 @@ pub fn usage() -> String {
      \x20                                    non-deterministic, off by default)\n\
      \x20           --seed-retries <n> --retry-backoff-ms <ms>  (re-run failed seeds\n\
      \x20                                    up to n times with exponential backoff)\n\
+     \x20           --engine <packet|hybrid> --hybrid-guard <spec>  (as in packet)\n\
      \x20 trace:    <thm1|limit-cycle|packet> --t-end <s> --out <path.jsonl>\n\
-     \x20           --engine <analytic|dopri5>  (fluid scenarios only)\n\
-     \x20           --scheduler <wheel|heap>    (packet scenario only)\n\
+     \x20           --engine <analytic|dopri5>  (fluid scenarios)\n\
+     \x20           --engine <packet|hybrid>    (packet scenario; other engines are\n\
+     \x20                                        rejected with the valid list)\n\
+     \x20           --scheduler <wheel|heap> --hybrid-guard <spec>  (packet scenario\n\
+     \x20                                        only)\n\
      \x20 report:   <thm1|limit-cycle|packet|victim> --t-end <s>\n\
      \x20           --out-dir <dir>   (default results/report: report.json,\n\
      \x20                              timeline_queue.svg, timeline_rate.svg,\n\
@@ -202,6 +211,13 @@ pub fn usage() -> String {
      \x20 replay:   <postmortem-<seed>.jsonl>  (reconstruct the seeded config and\n\
      \x20           fault plan from the dump, re-run the seed, and verify the\n\
      \x20           recorded failure reproduces; divergence exits with code 11)\n\
+     \n\
+     hybrid epoch controller (--hybrid-guard, comma-separated key=value items):\n\
+     \x20 eq=<frac> margin=<frac> min-ff=<s> max-ff=<s> max-legs=<n>\n\
+     \x20 always-packet       (bare key = true: drive the run through the hybrid\n\
+     \x20                      wrapper but never fast-forward — bit-identical to\n\
+     \x20                      the pure packet engine)\n\
+     \x20 e.g. dcebcn packet --engine hybrid --hybrid-guard eq=0.1,min-ff=5e-4\n\
      \n\
      fault injection (--faults, comma-separated key=value items):\n\
      \x20 seed=<u64> feedback-loss=<p> feedback-corrupt=<p> feedback-delay=<s>\n\

@@ -15,6 +15,8 @@ use telemetry::{Event, SeriesKind, SpanKind, Telemetry};
 
 /// The color used for PAUSE-episode span bands.
 const PAUSE_BAND_COLOR: &str = "#d62728";
+/// The color used for hybrid fast-forward epoch bands.
+const HYBRID_BAND_COLOR: &str = "#2ca02c";
 /// The color used for fault-injection markers.
 const FAULT_MARK_COLOR: &str = "#7f7f7f";
 
@@ -75,6 +77,11 @@ fn span_intervals(tel: &Telemetry) -> Vec<SpanInterval> {
 fn with_annotations(mut plot: SvgPlot, tel: &Telemetry, spans: &[SpanInterval]) -> SvgPlot {
     for s in spans.iter().filter(|s| s.kind == SpanKind::PauseEpisode) {
         plot = plot.with_band(s.t0, s.t1, PAUSE_BAND_COLOR, "PAUSE");
+    }
+    // Hybrid fast-forward epochs render as translucent bands too, so the
+    // analytic stretches are visually distinct from packet-simulated ones.
+    for s in spans.iter().filter(|s| s.kind == SpanKind::HybridEpoch) {
+        plot = plot.with_band(s.t0, s.t1, HYBRID_BAND_COLOR, "FF");
     }
     for e in tel.trace.iter() {
         if let Event::FaultInjected { t, .. } = e {
@@ -298,6 +305,16 @@ mod tests {
         assert!(art.queue_svg.contains("stroke-dasharray"), "fault marker missing");
         assert!(art.rate_svg.contains("flow[1]"), "rate lanes missing");
         assert!(art.prometheus.contains("# TYPE"), "prometheus export empty");
+    }
+
+    #[test]
+    fn hybrid_epochs_render_as_ff_bands() {
+        let mut tel = instrumented();
+        tel.hybrid_epoch(0.12, 0.19, 0);
+        let art = render(&tel, "hybrid");
+        assert!(art.summary_json.contains("\"hybrid_epoch\""), "{}", art.summary_json);
+        assert!(art.queue_svg.contains("FF"), "FF band legend missing: {}", art.queue_svg);
+        assert!(art.queue_svg.contains("#2ca02c"), "FF band color missing");
     }
 
     #[test]

@@ -36,6 +36,7 @@ use telemetry::{SpanKind, Telemetry, TelemetryLevel};
 
 use crate::checkpoint::{BatchCheckpoint, CheckpointError, ReplaySpec};
 use crate::faults::splitmix64;
+use crate::hybrid::{HybridSim, HybridSpec};
 use crate::sim::{SimConfig, SimReport, SimWorkspace, Simulation};
 use crate::time::Time;
 
@@ -77,6 +78,10 @@ pub struct BatchConfig {
     /// Base backoff before the first retry, in milliseconds; doubles on
     /// each subsequent attempt. Zero sleeps not at all.
     pub retry_backoff_ms: u64,
+    /// Run every seed through the hybrid fluid–packet co-simulator
+    /// instead of the pure packet engine (see [`crate::hybrid`]).
+    /// `None` keeps the batch byte-identical to the pre-hybrid runner.
+    pub hybrid: Option<HybridSpec>,
 }
 
 impl BatchConfig {
@@ -96,6 +101,7 @@ impl BatchConfig {
             max_seed_wall_ms: None,
             max_seed_retries: 0,
             retry_backoff_ms: 0,
+            hybrid: None,
         }
     }
 }
@@ -282,22 +288,76 @@ enum StepEnd {
     Budget(u64),
 }
 
+/// The engine a supervised seed runs on: the pure packet simulator or
+/// the hybrid co-simulator (boxed — it carries the packet engine plus
+/// the propagator and controller state).
+#[allow(clippy::large_enum_variant)] // one short-lived engine per seed; no point boxing the common case
+enum SeedEngine {
+    Packet(Simulation),
+    Hybrid(Box<HybridSim>),
+}
+
+impl SeedEngine {
+    fn step(&mut self) -> bool {
+        match self {
+            SeedEngine::Packet(sim) => sim.step(),
+            SeedEngine::Hybrid(h) => h.step(),
+        }
+    }
+
+    fn with_telemetry_sink(self, tel: Telemetry) -> Self {
+        match self {
+            SeedEngine::Packet(sim) => SeedEngine::Packet(sim.with_telemetry_sink(tel)),
+            SeedEngine::Hybrid(h) => SeedEngine::Hybrid(Box::new(h.with_telemetry_sink(tel))),
+        }
+    }
+
+    fn take_telemetry(&mut self) -> Option<Telemetry> {
+        match self {
+            SeedEngine::Packet(sim) => sim.take_telemetry(),
+            SeedEngine::Hybrid(h) => h.take_telemetry(),
+        }
+    }
+
+    /// Finalizes into the packet report (the hybrid epoch accounting
+    /// reaches the batch aggregate through the `hybrid.*` telemetry
+    /// counters the engine flushes on finish).
+    fn finish_into(self, ws: &mut SimWorkspace) -> SimReport {
+        match self {
+            SeedEngine::Packet(sim) => sim.finish_into(ws),
+            SeedEngine::Hybrid(h) => h.finish_into(ws).sim,
+        }
+    }
+}
+
 /// Runs one already-validated seeded configuration under full
 /// supervision: telemetry sink with per-seed span-id base, intentional
 /// panic hook, event budget, and wall-clock deadline. `local` must be
 /// a workspace the caller owns; on non-completion it is left torn and
 /// must be discarded.
+#[allow(clippy::too_many_arguments)]
 fn run_seeded(
     sim_cfg: SimConfig,
     seed: u64,
     level: TelemetryLevel,
+    hybrid: Option<&HybridSpec>,
     panic_after: Option<u64>,
     max_events: Option<u64>,
     max_wall_ms: Option<u64>,
     local: &mut SimWorkspace,
 ) -> SeedOutcome {
     let t_end = sim_cfg.t_end.as_secs();
-    let mut sim = Simulation::new_in(sim_cfg, local);
+    let mut sim = match hybrid {
+        // The caller pre-validated the spec, so construction cannot
+        // panic on it (and `sim_cfg` itself was validated above).
+        Some(spec) => SeedEngine::Hybrid(Box::new(HybridSim::new_in(
+            spec.params.clone(),
+            sim_cfg,
+            spec.guards,
+            local,
+        ))),
+        None => SeedEngine::Packet(Simulation::new_in(sim_cfg, local)),
+    };
     let mut seed_span = 0;
     if level.enabled() {
         let mut tel = Telemetry::new(level);
@@ -363,7 +423,10 @@ fn run_seed_with_retry(cfg: &BatchConfig, seed: u64, ws: &mut SimWorkspace) -> S
     loop {
         let mut local = std::mem::take(ws);
         let sim_cfg = seeded_config(cfg, seed);
-        if let Err(e) = sim_cfg.validate() {
+        if let Err(e) = sim_cfg
+            .validate()
+            .and_then(|()| cfg.hybrid.iter().try_for_each(|spec| spec.validate_for(&sim_cfg)))
+        {
             *ws = local;
             return SeedOutcome::Failed {
                 cause: sanitize_cause(&e.to_string()),
@@ -380,6 +443,7 @@ fn run_seed_with_retry(cfg: &BatchConfig, seed: u64, ws: &mut SimWorkspace) -> S
             sim_cfg,
             seed,
             level,
+            cfg.hybrid.as_ref(),
             panic_after,
             cfg.max_events_per_seed,
             cfg.max_seed_wall_ms,
@@ -558,6 +622,7 @@ pub fn replay(spec: &ReplaySpec) -> Result<String, ReplayMismatch> {
         spec.config.clone(),
         spec.seed,
         TelemetryLevel::Full,
+        None,
         spec.panic_after,
         spec.max_events,
         None,
@@ -639,6 +704,33 @@ mod tests {
             assert_eq!((an, av), (bn, bv));
         }
         assert_eq!(st.trace.len(), pt.trace.len());
+    }
+
+    #[test]
+    fn hybrid_batches_are_deterministic_and_carry_epoch_counters() {
+        let params = crate::sim::fluid_validation_params();
+        let base =
+            SimConfig::from_fluid(&params, 8_000.0, crate::time::Duration::from_secs(2e-6), 0.3);
+        let mut cfg = BatchConfig { level: TelemetryLevel::Summary, ..BatchConfig::quick(base, 3) };
+        cfg.hybrid = Some(HybridSpec::new(params));
+        parkit::set_threads(1);
+        let serial = run_batch(&cfg);
+        parkit::set_threads(4);
+        let parallel = run_batch(&cfg);
+        parkit::set_threads(0);
+        assert_eq!(serial.completed().count(), 3);
+        for ((_, s), (_, p)) in serial.completed().zip(parallel.completed()) {
+            assert_eq!(s.metrics.queue.values(), p.metrics.queue.values());
+            assert_eq!(s.final_rates, p.final_rates);
+        }
+        let (st, pt) = (serial.telemetry.unwrap(), parallel.telemetry.unwrap());
+        let epochs = st.metrics.counter_by_name("hybrid.epochs");
+        assert!(epochs.is_some_and(|v| v > 0), "quiescent tails should fast-forward: {epochs:?}");
+        assert_eq!(epochs, pt.metrics.counter_by_name("hybrid.epochs"));
+        assert_eq!(
+            st.metrics.counter_by_name("hybrid.ff_ns"),
+            pt.metrics.counter_by_name("hybrid.ff_ns")
+        );
     }
 
     #[test]

@@ -223,6 +223,24 @@ pub fn batch_config_digest(cfg: &BatchConfig) -> u64 {
     };
     h = mix(h, u64::from(cfg.max_seed_retries));
     h = mix(h, cfg.retry_backoff_ms);
+    h = match &cfg.hybrid {
+        Some(spec) => {
+            let mut h = mix(h, 1);
+            let p = &spec.params;
+            h = mix(h, u64::from(p.n_flows));
+            for v in [p.capacity, p.q0, p.buffer, p.gi, p.gd, p.ru, p.w, p.pm, p.qsc] {
+                h = mix_f(h, v);
+            }
+            let g = &spec.guards;
+            h = mix(h, u64::from(g.always_packet));
+            h = mix_f(h, g.min_ff_secs);
+            h = mix_f(h, g.max_ff_secs);
+            h = mix_f(h, g.eq_frac);
+            h = mix_f(h, g.q_margin_frac);
+            mix(h, u64::from(g.max_legs))
+        }
+        None => mix(h, 0),
+    };
     h & MASK_53
 }
 

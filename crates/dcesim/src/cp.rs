@@ -152,6 +152,16 @@ impl CongestionPoint {
         self.departed_bits += bits;
     }
 
+    /// Restarts the sampling interval: countdown and arrival/departure
+    /// accumulators reset as if a sample had just been taken. The hybrid
+    /// engine calls this at a fluid→packet re-seed so the first
+    /// post-epoch `sigma` measures only post-epoch traffic.
+    pub(crate) fn restart_interval(&mut self) {
+        self.countdown = self.cfg.sample_every;
+        self.arrived_bits = 0.0;
+        self.departed_bits = 0.0;
+    }
+
     /// Processes an *accepted* arriving data frame against the current
     /// queue occupancy `q_bits` (after enqueue). Returns a BCN message to
     /// send back, if this frame was sampled and the rules produce one.

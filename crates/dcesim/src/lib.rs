@@ -38,6 +38,10 @@
 //! * [`batch`] — multi-seed batches: deterministic workload jitter per
 //!   seed, runs fanned out across the `parkit` worker pool, telemetry
 //!   shards merged in seed order, panicking seeds quarantined.
+//! * [`hybrid`] — the epoch-switching fluid–packet co-simulator:
+//!   packet simulation through the interesting stretches, closed-form
+//!   fast-forward (with guard bands and bit-exact re-seeding) through
+//!   the quiescent ones.
 //!
 //! # Quickstart
 //!
@@ -60,6 +64,7 @@ pub mod cp;
 pub mod error;
 pub mod faults;
 pub mod frame;
+pub mod hybrid;
 pub mod metrics;
 pub mod net;
 pub mod qcn;

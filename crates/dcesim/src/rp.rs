@@ -116,6 +116,12 @@ impl ReactionPoint {
         self.associated
     }
 
+    /// Sets the regulator rate directly, clamped to the configured
+    /// range — the hybrid engine's fluid→packet re-seed hook.
+    pub(crate) fn set_rate(&mut self, rate: f64) {
+        self.rate = rate.clamp(self.cfg.r_min, self.cfg.r_max);
+    }
+
     /// Applies a received BCN message (paper Eq. 2). A message whose FB
     /// field does not decode to a finite value (corrupted wire frames)
     /// is counted and ignored rather than poisoning the rate.

@@ -101,6 +101,9 @@ pub struct SchedStats {
     pub overflow_parked: u64,
     /// High-water mark of pending events.
     pub max_pending: u64,
+    /// Events discarded by [`EventQueue::clear_pending`] (the hybrid
+    /// engine's re-seed path) without being dispatched.
+    pub cleared: u64,
 }
 
 /// A heap entry ordered by `(time, seq)` only — the payload does not
@@ -463,6 +466,22 @@ impl<E> EventQueue<E> {
         self.stats = SchedStats::default();
     }
 
+    /// Drops every pending event but — unlike [`EventQueue::reset`] —
+    /// keeps the tie-break sequence counter and the run's stats (the
+    /// discarded events are tallied in [`SchedStats::cleared`]). This is
+    /// the hybrid engine's re-seed hook: a mid-run wheel re-population
+    /// must neither restart `(time, seq)` ordering nor zero the
+    /// end-of-run scheduler counters. Backing allocations (heap buffer
+    /// or wheel slab) are retained, so re-seeding allocates nothing once
+    /// the arena is warm.
+    pub fn clear_pending(&mut self) {
+        self.stats.cleared += u64::try_from(self.len()).expect("pending count fits u64");
+        match &mut self.imp {
+            Imp::Heap(h) => h.clear(),
+            Imp::Wheel(w) => w.clear(),
+        }
+    }
+
     /// Schedules `ev` at `time`, assigning the next tie-break sequence
     /// number. Events at equal times pop in scheduling order.
     #[inline]
@@ -474,8 +493,9 @@ impl<E> EventQueue<E> {
             Imp::Wheel(w) => w.insert(time, self.seq, ev, &mut self.stats),
         }
         // Pending count without touching the backend: every scheduled
-        // event is popped exactly once, so the difference is the depth.
-        let pending = self.stats.scheduled - self.stats.popped;
+        // event is popped or cleared exactly once, so the difference is
+        // the depth.
+        let pending = self.stats.scheduled - self.stats.popped - self.stats.cleared;
         if pending > self.stats.max_pending {
             self.stats.max_pending = pending;
         }
@@ -629,6 +649,29 @@ mod tests {
         q.reset(Scheduler::Heap);
         assert_eq!(q.scheduler(), Scheduler::Heap);
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn clear_pending_keeps_seq_and_stats() {
+        for s in [Scheduler::Heap, Scheduler::Wheel] {
+            let mut q = EventQueue::new(s);
+            q.schedule(Time::from_nanos(10), 0u32);
+            q.schedule(Time::from_nanos(10), 1);
+            q.schedule(Time::from_nanos(20), 2);
+            assert_eq!(q.pop().unwrap().1, 0);
+            q.clear_pending();
+            assert!(q.is_empty());
+            let st = q.stats();
+            assert_eq!((st.scheduled, st.popped, st.cleared), (3, 1, 2), "{s:?}");
+            // The sequence counter survives: an event re-scheduled at the
+            // popped frontier still orders behind any equal-time event a
+            // later schedule would add, exactly as mid-run scheduling does.
+            q.schedule(Time::from_nanos(10), 7);
+            q.schedule(Time::from_nanos(10), 8);
+            let order: Vec<u32> = std::iter::from_fn(|| q.pop()).map(|(_, p)| p).collect();
+            assert_eq!(order, vec![7, 8], "{s:?}");
+            assert_eq!(q.stats().max_pending, 3, "{s:?}");
+        }
     }
 
     #[test]

@@ -289,6 +289,13 @@ pub struct Simulation {
     flow_spans: Vec<u64>,
     faults: FaultPlan,
     fault_scratch: Vec<FaultClass>,
+    /// PAUSE frames scheduled but not yet delivered — the hybrid
+    /// engine's guard must see in-flight PAUSEs, not just asserted ones.
+    pending_pauses: u32,
+    /// Set by the `Record` dispatch arm, consumed by
+    /// [`Simulation::take_record_mark`]: the hybrid engine's epoch
+    /// controller runs exactly at record-grid ticks.
+    record_just_fired: bool,
 }
 
 impl std::fmt::Debug for Simulation {
@@ -369,6 +376,8 @@ impl Simulation {
             flow_spans: vec![0; n],
             faults: FaultPlan::new(cfg.faults.clone()),
             fault_scratch,
+            pending_pauses: 0,
+            record_just_fired: false,
             cfg,
         };
         sim.metrics.queue.reserve(records);
@@ -570,11 +579,13 @@ impl Simulation {
                 }
             }
             Ev::PauseDeliver { until } => {
+                self.pending_pauses -= 1;
                 for p in &mut self.paused_until {
                     *p = (*p).max(until);
                 }
             }
             Ev::Record => {
+                self.record_just_fired = true;
                 if let Some(tel) = self.telemetry.as_mut() {
                     tel.queue_sample(self.now.as_secs(), self.q_bits);
                 }
@@ -727,6 +738,7 @@ impl Simulation {
                 // eagerly, stamped with the scheduled expiry.
                 tel.pause(deliver.as_secs(), until.as_secs(), 0);
             }
+            self.pending_pauses += 1;
             self.schedule(deliver, Ev::PauseDeliver { until });
         }
     }
@@ -765,6 +777,172 @@ impl Simulation {
         } else {
             self.busy = false;
         }
+    }
+}
+
+/// Hooks for the hybrid co-simulator (`crate::hybrid`): record-grid
+/// epoch marks, fluid-state extraction, and fluid→packet re-seeding.
+/// All crate-private — the engine's public surface stays event-driven.
+impl Simulation {
+    /// Consumes the "a `Record` event just dispatched" mark. The hybrid
+    /// epoch controller runs exactly at record-grid ticks so that every
+    /// fast-forward span is an integer number of record intervals and
+    /// the sampled series stay grid-dense and comparable.
+    pub(crate) fn take_record_mark(&mut self) -> bool {
+        std::mem::take(&mut self.record_just_fired)
+    }
+
+    /// Current simulation time.
+    pub(crate) fn now(&self) -> Time {
+        self.now
+    }
+
+    /// The run configuration.
+    pub(crate) fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// The telemetry sink, if attached.
+    pub(crate) fn telemetry_mut(&mut self) -> Option<&mut Telemetry> {
+        self.telemetry.as_mut()
+    }
+
+    /// Projects the packet state onto the fluid coordinates: exact queue
+    /// occupancy (bits) and the aggregate regulator rate (bit/s), summed
+    /// over active flows in index order. The hybrid engine adds its
+    /// re-seed residue to make the projection round-trip bit-exactly.
+    pub(crate) fn fluid_state(&self) -> [f64; 2] {
+        [self.q_bits, self.aggregate_rate()]
+    }
+
+    /// Whether the run is in a state the fluid model can stand in for:
+    /// fluid-calibrated BCN control (no FB quantizer, ungated positive
+    /// feedback), no fault injection, no PAUSE asserted or in flight,
+    /// and a steady homogeneous workload (every flow active, none
+    /// volume-limited or scheduled to stop). Everything here is a
+    /// *structural* guard; the dynamic guards (switching-line distance,
+    /// queue margins) live in the epoch controller.
+    pub(crate) fn hybrid_quiescent(&self) -> bool {
+        let scheme_ok = match &self.scheme {
+            SchemeState::Bcn { cp, .. } => {
+                let c = cp.config();
+                c.fb_quant.is_none() && !c.gate_positive
+            }
+            _ => false,
+        };
+        scheme_ok
+            && !self.cfg.faults.enabled()
+            && self.pending_pauses == 0
+            && self.paused_until.iter().all(|&p| p <= self.now)
+            && self.active.iter().all(|&a| a)
+            && self.cfg.flows.iter().all(|f| f.stop.is_none() && f.volume_bits.is_none())
+    }
+
+    /// Pushes one fluid-integrated record-grid sample, mirroring the
+    /// `Record` dispatch arm (queue gauge, metrics series, per-flow rate
+    /// series at the fluid fair share) so fast-forwarded stretches stay
+    /// sample-for-sample comparable with packet-simulated ones.
+    pub(crate) fn hybrid_record_sample(&mut self, t: Time, q_bits: f64, w_agg: f64) {
+        if let Some(tel) = self.telemetry.as_mut() {
+            tel.queue_sample(t.as_secs(), q_bits);
+        }
+        self.metrics.queue.push(t, q_bits);
+        self.metrics.aggregate_rate.push(t, w_agg);
+        let per = w_agg / self.cfg.flows.len() as f64;
+        for i in 0..self.cfg.flows.len() {
+            self.metrics.per_source_rate[i].push(t, per);
+            if let Some(tel) = self.telemetry.as_mut() {
+                tel.series_sample(SeriesKind::FlowRate, i as u32, t.as_secs(), per);
+            }
+        }
+    }
+
+    /// Credits delivery totals for a fast-forwarded span: with the
+    /// epoch guards holding, `0 < q` throughout, so the server runs at
+    /// capacity and exactly `C * secs` bits leave the queue (the fluid
+    /// identity `outflow = inflow - dq`). Split evenly across sources
+    /// (the workload is homogeneous under the guards); per-frame
+    /// queueing-delay samples do not accrue inside an epoch.
+    pub(crate) fn hybrid_credit_delivery(&mut self, secs: f64) {
+        let bits = self.cfg.capacity * secs;
+        self.metrics.delivered_bits += bits;
+        self.metrics.delivered_frames += (bits / self.cfg.frame_bits).round() as u64;
+        let per = bits / self.cfg.flows.len() as f64;
+        for b in &mut self.metrics.per_source_bits {
+            *b += per;
+        }
+    }
+
+    /// Re-seeds the packet engine from fluid state at an epoch boundary
+    /// `t`: regulator rates to the fair share of `w_agg` (clamped),
+    /// queue occupancy to exactly `q_bits` (FIFO rebuilt as whole frames
+    /// round-robin across sources plus one partial-frame remainder),
+    /// congestion-point sampling interval restarted, and the event set
+    /// re-populated (per-source sends, the departure of the queue head,
+    /// the next record tick) through the stats-preserving
+    /// [`EventQueue::clear_pending`] so the wheel's slab arena is
+    /// reused. In-flight events discarded here — frames and feedback
+    /// already on the wire — are the documented divergence budget of an
+    /// epoch switch.
+    ///
+    /// Returns the rate residue `w_agg - sum(clamped rates)`; adding it
+    /// back to [`Simulation::fluid_state`]'s aggregate reproduces
+    /// `w_agg` bit-exactly (Sterbenz: the sum is within a factor of two
+    /// of `w_agg`).
+    pub(crate) fn reseed_fluid(&mut self, t: Time, q_bits: f64, w_agg: f64) -> f64 {
+        self.now = t;
+        let n = self.cfg.flows.len();
+        let base = w_agg / n as f64;
+        {
+            let SchemeState::Bcn { cp, rps } = &mut self.scheme else {
+                unreachable!("hybrid re-seed requires BCN control (guarded)");
+            };
+            for rp in rps.iter_mut() {
+                rp.set_rate(base);
+            }
+            cp.restart_interval();
+        }
+        self.queue.clear();
+        self.q_bits = q_bits;
+        let frame_bits = self.cfg.frame_bits;
+        let full = (q_bits / frame_bits).floor() as usize;
+        let rem = q_bits - full as f64 * frame_bits;
+        {
+            let SchemeState::Bcn { rps, .. } = &self.scheme else { unreachable!() };
+            for j in 0..full {
+                let src = j % n;
+                let frame = DataFrame {
+                    src: SourceId(src as u32),
+                    bits: frame_bits,
+                    rrt: rps[src].associated_cp(),
+                };
+                self.queue.push_back((frame, t));
+            }
+            if rem > 0.0 {
+                let src = full % n;
+                let frame = DataFrame {
+                    src: SourceId(src as u32),
+                    bits: rem,
+                    rrt: rps[src].associated_cp(),
+                };
+                self.queue.push_back((frame, t));
+            }
+        }
+        self.events.clear_pending();
+        self.pending_pauses = 0;
+        self.busy = !self.queue.is_empty();
+        if let Some((first, _)) = self.queue.front() {
+            let bits = first.bits;
+            self.schedule_departure(bits);
+        }
+        for i in 0..n {
+            self.sending_scheduled[i] = true;
+            self.schedule(t + Duration::from_nanos(i as u64 + 1), Ev::SourceSend(i));
+        }
+        if t + self.cfg.record_interval <= self.cfg.t_end {
+            self.schedule(t + self.cfg.record_interval, Ev::Record);
+        }
+        w_agg - self.aggregate_rate()
     }
 }
 

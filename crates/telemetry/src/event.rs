@@ -91,12 +91,20 @@ pub enum SpanKind {
     PauseEpisode,
     /// One continuous-dynamics leg between hybrid region switches.
     SolverLeg,
+    /// A fluid fast-forward epoch of the hybrid co-simulation engine
+    /// (packet stepping suspended, closed-form propagation in effect).
+    HybridEpoch,
 }
 
 impl SpanKind {
     /// Every kind, in stable order.
-    pub const ALL: [SpanKind; 4] =
-        [SpanKind::BatchSeed, SpanKind::FlowLifetime, SpanKind::PauseEpisode, SpanKind::SolverLeg];
+    pub const ALL: [SpanKind; 5] = [
+        SpanKind::BatchSeed,
+        SpanKind::FlowLifetime,
+        SpanKind::PauseEpisode,
+        SpanKind::SolverLeg,
+        SpanKind::HybridEpoch,
+    ];
 
     /// Stable snake_case tag (the JSONL `kind` field).
     #[must_use]
@@ -106,6 +114,7 @@ impl SpanKind {
             SpanKind::FlowLifetime => "flow_lifetime",
             SpanKind::PauseEpisode => "pause_episode",
             SpanKind::SolverLeg => "solver_leg",
+            SpanKind::HybridEpoch => "hybrid_epoch",
         }
     }
 

@@ -99,6 +99,10 @@ struct CoreIds {
     batch_resumed: CounterId,
     batch_retried: CounterId,
     batch_timed_out: CounterId,
+    hybrid_epochs: CounterId,
+    hybrid_reseeds: CounterId,
+    hybrid_ff_ns: CounterId,
+    hybrid_packet_ns: CounterId,
     step_size: HistogramId,
     step_error: HistogramId,
     event_iters: HistogramId,
@@ -165,6 +169,10 @@ impl Telemetry {
             batch_resumed: metrics.counter("batch.resumed"),
             batch_retried: metrics.counter("batch.retried"),
             batch_timed_out: metrics.counter("batch.timed_out"),
+            hybrid_epochs: metrics.counter("hybrid.epochs"),
+            hybrid_reseeds: metrics.counter("hybrid.reseeds"),
+            hybrid_ff_ns: metrics.counter("hybrid.ff_ns"),
+            hybrid_packet_ns: metrics.counter("hybrid.packet_ns"),
             step_size: metrics.histogram("solver.step_size_s"),
             step_error: metrics.histogram("solver.step_error"),
             event_iters: metrics.histogram("solver.event_location_iters"),
@@ -510,6 +518,41 @@ impl Telemetry {
         self.metrics.set_gauge(self.ids.sched_max_pending, max_pending as f64);
     }
 
+    /// Records one fluid fast-forward epoch of the hybrid co-simulation
+    /// engine covering `[t0, t1)` (sim seconds): a `HybridEpoch` span
+    /// (begin and end emitted eagerly, like PAUSE episodes, since the
+    /// epoch's extent is known when it commits) parented to the
+    /// outermost open span, plus the `hybrid.epochs` counter. `entity`
+    /// is the epoch's ordinal within the run.
+    #[inline]
+    pub fn hybrid_epoch(&mut self, t0: f64, t1: f64, entity: u32) {
+        if !self.enabled() {
+            return;
+        }
+        self.metrics.inc(self.ids.hybrid_epochs, 1);
+        self.metrics.inc(self.ids.spans, 1);
+        let parent = self.root_span();
+        let id = self.alloc_span_id();
+        self.push(Event::SpanBegin { t: t0, id, parent, kind: SpanKind::HybridEpoch, entity });
+        self.push(Event::SpanEnd { t: t1, id });
+    }
+
+    /// Records one hybrid run's epoch accounting: packet→fluid reseeds
+    /// (`hybrid.reseeds`) and the split of simulated time between the
+    /// fluid fast-forward path (`hybrid.ff_ns`) and the packet engine
+    /// (`hybrid.packet_ns`), both in simulated nanoseconds.
+    ///
+    /// Flushed once when a hybrid run finishes, never on the hot path.
+    #[inline]
+    pub fn hybrid_stats(&mut self, reseeds: u64, ff_ns: u64, packet_ns: u64) {
+        if !self.enabled() {
+            return;
+        }
+        self.metrics.inc(self.ids.hybrid_reseeds, reseeds);
+        self.metrics.inc(self.ids.hybrid_ff_ns, ff_ns);
+        self.metrics.inc(self.ids.hybrid_packet_ns, packet_ns);
+    }
+
     /// Records batch-supervision activity: seeds skipped because a
     /// checkpoint already held their outcome (`batch.resumed`), retry
     /// attempts spent on failing seeds (`batch.retried`), and seeds the
@@ -777,6 +820,28 @@ mod tests {
         let mut off = Telemetry::new(TelemetryLevel::Off);
         off.fault_injected(0.1, FaultClass::DataLoss, 1);
         assert_eq!(off.metrics.counter_by_name("faults.data_loss"), Some(0));
+    }
+
+    #[test]
+    fn hybrid_hooks_feed_counters_and_epoch_spans() {
+        let mut tel = Telemetry::new(TelemetryLevel::Full);
+        tel.hybrid_epoch(0.1, 0.4, 0);
+        tel.hybrid_epoch(0.6, 0.9, 1);
+        tel.hybrid_stats(2, 600_000_000, 400_000_000);
+        assert_eq!(tel.metrics.counter_by_name("hybrid.epochs"), Some(2));
+        assert_eq!(tel.metrics.counter_by_name("hybrid.reseeds"), Some(2));
+        assert_eq!(tel.metrics.counter_by_name("hybrid.ff_ns"), Some(600_000_000));
+        assert_eq!(tel.metrics.counter_by_name("hybrid.packet_ns"), Some(400_000_000));
+        assert_eq!(tel.metrics.counter_by_name("trace.spans"), Some(2));
+        // Eager span pairs: no epoch span stays open.
+        assert!(tel.open_spans().is_empty());
+        let kinds: Vec<&str> = tel.trace.iter().map(Event::type_name).collect();
+        assert_eq!(kinds, ["span_begin", "span_end", "span_begin", "span_end"]);
+        let mut off = Telemetry::new(TelemetryLevel::Off);
+        off.hybrid_epoch(0.0, 1.0, 0);
+        off.hybrid_stats(1, 2, 3);
+        assert_eq!(off.metrics.counter_by_name("hybrid.epochs"), Some(0));
+        assert!(off.trace.is_empty());
     }
 
     #[test]

@@ -55,6 +55,13 @@ echo "== packet engine smoke (wheel/heap equivalence + zero allocs) =="
 DCE_BCN_QUICK=1 DCE_BCN_RESULTS=$(mktemp -d) \
   cargo run --release -p bench --bin packet_engine
 
+echo "== hybrid engine smoke (bounded divergence + always-packet identity) =="
+# Quick mode: short horizons, the 3x end-to-end speedup gate skipped;
+# the divergence bound, always-packet bit-identity (single runs and
+# batches x worker counts) and zero-allocation gates still run.
+DCE_BCN_QUICK=1 DCE_BCN_RESULTS=$(mktemp -d) \
+  cargo run --release -p bench --bin hybrid_engine
+
 echo "== query engine smoke (batched vs naive answer equality) =="
 # Quick mode: smoke-sized workloads, the 3x hot-speedup gate skipped;
 # the bitwise answer-equality and zero-allocation gates still run.
@@ -90,6 +97,16 @@ for faults in "" "--faults feedback-loss=0.05,seed=7"; do
     exit 1
   fi
 done
+
+echo "== hybrid always-packet smoke (wrapper vs pure engine CLI) =="
+# With the always-packet guard the hybrid wrapper must render the same
+# packet summary byte for byte (no epochs, so no hybrid stats line).
+a=$(./target/release/dcebcn packet --t-end 0.02)
+b=$(./target/release/dcebcn packet --t-end 0.02 --engine hybrid --hybrid-guard always-packet)
+if [ "$a" != "$b" ]; then
+  echo "hybrid always-packet output diverged from the pure engine" >&2
+  exit 1
+fi
 
 echo "== query round-trip smoke (JSONL in -> out -> decode -> re-encode) =="
 # The answer stream must re-encode byte-identically and be invariant
