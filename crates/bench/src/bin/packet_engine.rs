@@ -46,6 +46,7 @@ use dcesim::net::{victim_topology, NetSim, PauseConfig};
 use dcesim::sched::{EventQueue, Scheduler};
 use dcesim::sim::{fluid_validation_params, SimConfig, SimWorkspace, Simulation};
 use dcesim::time::{Duration, Time};
+use dcesim::topo::{compile, TopoSpec, Traffic};
 use dcesim::workload;
 use telemetry::{Telemetry, TelemetryLevel};
 
@@ -370,6 +371,52 @@ fn main() {
         scenario_json.push(row);
     }
 
+    // 2b. The deep fabric scenario: a generator-compiled 512-sender
+    // incast, the workload that flips the end-to-end ratio. Reported
+    // here alongside the shallow dumbbell rows; the 1.2x gate on it
+    // lives in BENCH_topo.json (topo_engine).
+    let fabric_row = {
+        let (spec, senders, horizon) = if quick() {
+            (TopoSpec::fat_tree(4), 12, 0.02)
+        } else {
+            (TopoSpec::fat_tree(16), 512, 0.06)
+        };
+        let traffic = Traffic::Incast { senders, dst: usize::MAX, load: 4.0 };
+        let cfg = compile(&spec, &traffic, horizon).expect("fabric compiles");
+        let time_net = |scheduler: Scheduler| {
+            let mut events = 0;
+            let mut best = f64::INFINITY;
+            for _ in 0..reps {
+                let mut c = cfg.clone();
+                c.scheduler = scheduler;
+                let mut sim = NetSim::new(c);
+                let t0 = Instant::now();
+                while sim.step() {}
+                best = best.min(t0.elapsed().as_secs_f64());
+                events = sim.events_popped();
+                black_box(sim.finish());
+            }
+            (events, best)
+        };
+        let (events, wheel_s) = time_net(Scheduler::Wheel);
+        let (_, heap_s) = time_net(Scheduler::Heap);
+        let (wheel_eps, heap_eps) = (events as f64 / wheel_s, events as f64 / heap_s);
+        println!(
+            "  fabric_incast_{senders}: {events} events — wheel {:.2} M ev/s, heap {:.2} M ev/s \
+             ({:.2}x; gated in BENCH_topo.json)",
+            wheel_eps / 1e6,
+            heap_eps / 1e6,
+            wheel_eps / heap_eps
+        );
+        format!(
+            "{{\"scenario\": \"fabric_incast_{senders}\", \"events\": {events}, \
+             \"wheel_events_per_sec\": {wheel_eps:.0}, \"heap_events_per_sec\": {heap_eps:.0}, \
+             \"end_to_end_speedup\": {:.3}}}",
+            wheel_eps / heap_eps
+        )
+    };
+    scenario_json.push(fabric_row);
+
     // 3. Queue-op replay throughput (the gated microbench): shallow =
     // the engine's own backlog depth, deep = a fan-in switch backlog
     // where the heap's O(log n) bites.
@@ -407,10 +454,13 @@ fn main() {
     }
 
     let note = "Speedup is gated on the queue-op replay at a deep (~4096-event) backlog, \
-                where the heap pays its O(log n); the end-to-end rows run the full engine \
-                whose backlog is shallow, so their ratio is reported but not gated. \
-                Steady-state allocations are counted by this binary's wrapping allocator \
-                after a warm-up run recycles every buffer through SimWorkspace.";
+                where the heap pays its O(log n); the dumbbell end-to-end rows run the full \
+                engine at a shallow backlog, so their ratio is reported but not gated. The \
+                fabric_incast row runs the generator-compiled 512-sender incast where the \
+                fan-in keeps the backlog deep end-to-end — that ratio is gated at 1.2x in \
+                BENCH_topo.json. Steady-state allocations are counted by this binary's \
+                wrapping allocator after a warm-up run recycles every buffer through \
+                SimWorkspace.";
     let json = format!(
         "{{\n  \"quick\": {},\n  \"reps\": {reps},\n  \"scenarios\": [{}],\n  \
          \"replay\": {{\"ops\": {}, \"shallow_speedup\": {shallow_speedup:.3}, \

@@ -12,21 +12,25 @@ use bcn::stability::{
 use bcn::transient;
 use bcn::{linear_baseline, BcnFluid, BcnParams};
 use dcesim::batch::{
-    run_batch, run_batch_checkpointed, seeded_config, BatchConfig, PANIC_AFTER_STEPS,
+    run_batch, run_batch_checkpointed, run_net_batch, run_net_batch_checkpointed, seeded_config,
+    BatchConfig, NetBatchConfig, PANIC_AFTER_STEPS,
 };
 use dcesim::checkpoint::{
     encode_replay_context, replay_spec_from_postmortem, sim_config_digest, BatchCheckpoint,
+    NetBatchCheckpoint,
 };
 use dcesim::faults::FaultCounts;
 use dcesim::hybrid::{HybridSim, HybridSpec, HybridStats};
+use dcesim::net::{NetReport, NetSim};
 use dcesim::sim::{SimConfig, Simulation};
 use dcesim::time::Duration;
+use dcesim::topo::{compile, TopoSpec, Traffic};
 use plotkit::{Csv, Table};
 use telemetry::{Telemetry, TelemetryLevel};
 
 use crate::flags::{
     engine_choice, faults_from, hybrid_guards_from, params_from, scheduler_choice,
-    sim_engine_choice, telemetry_level, Flags, SimEngine, PARAM_FLAGS,
+    sim_engine_choice, telemetry_level, topo_request, Flags, SimEngine, PARAM_FLAGS,
 };
 use crate::{report as report_pipeline, CliError};
 
@@ -439,7 +443,12 @@ pub fn packet(args: &[String]) -> Result<String, CliError> {
         "scheduler",
         "engine",
         "hybrid-guard",
+        "topo",
+        "traffic",
     ]))?;
+    if let Some((topo, traffic)) = topo_request(&flags)? {
+        return packet_net(&flags, &topo, &traffic);
+    }
     let p = params_from(&flags)?;
     let t_end = flags.get_f64("t-end")?.unwrap_or(0.2);
     let frame_bits = flags.get_f64("frame-bits")?.unwrap_or(8_000.0);
@@ -490,6 +499,73 @@ pub fn packet(args: &[String]) -> Result<String, CliError> {
     Ok(out)
 }
 
+/// With `--topo` every flag that only makes sense on the
+/// single-bottleneck dumbbell is a typed usage error, never silently
+/// ignored (`--frame-bits` moves into the spec's `frame=` key).
+fn reject_sim_only_flags(flags: &Flags, extra: &[&str]) -> Result<(), CliError> {
+    for f in PARAM_FLAGS.iter().chain(extra) {
+        if flags.get(f).is_some() {
+            if *f == "frame-bits" {
+                return Err(CliError::Usage(
+                    "--frame-bits does not apply to --topo runs (use frame=... in the spec)".into(),
+                ));
+            }
+            return Err(CliError::Usage(format!("--{f} does not apply to --topo runs")));
+        }
+    }
+    Ok(())
+}
+
+/// Deterministic multi-hop run summary — byte-identical across
+/// schedulers and worker counts (the CI smoke byte-diffs it).
+fn net_summary(report: &NetReport, t_end: f64) -> String {
+    let delivered: f64 = report.flows.iter().map(|f| f.delivered_bits).sum();
+    let dropped: u64 = report.flows.iter().map(|f| f.dropped_frames).sum();
+    let pauses: u64 = report.pause_counts.iter().sum();
+    let max_q =
+        report.switch_queues.iter().map(dcesim::metrics::TimeSeries::max).fold(0.0_f64, f64::max);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "  delivered:          {delivered:.6e} bits ({:.4e} bit/s aggregate)",
+        delivered / t_end
+    );
+    let _ = writeln!(out, "  dropped frames:     {dropped}");
+    let _ = writeln!(out, "  feedback messages:  {}", report.feedback_messages);
+    let _ = writeln!(out, "  PAUSE events:       {pauses}");
+    let _ = writeln!(out, "  max switch queue:   {max_q:.4e} bits");
+    out.push_str(&render_fault_counts(&report.faults));
+    out
+}
+
+/// `dcebcn packet --topo ...`: one deterministic run of a compiled
+/// fabric under the multi-hop engine.
+fn packet_net(flags: &Flags, topo: &TopoSpec, traffic: &Traffic) -> Result<String, CliError> {
+    reject_sim_only_flags(flags, &["engine", "hybrid-guard", "frame-bits"])?;
+    let t_end = flags.get_f64("t-end")?.unwrap_or(0.005);
+    if t_end <= 0.0 {
+        return Err(CliError::Usage("--t-end must be positive".into()));
+    }
+    let level = telemetry_level(flags, TelemetryLevel::Off)?;
+    let mut cfg = compile(topo, traffic, t_end)?;
+    cfg.scheduler = scheduler_choice(flags)?;
+    cfg.faults = single_run_faults(flags)?;
+    let (hosts, switches, n_flows) = (cfg.hosts, cfg.switches.len(), cfg.flows.len());
+    let report = NetSim::try_new(cfg)?.with_telemetry_sink(Telemetry::new(level)).run();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "fabric run over {t_end} s: {hosts} hosts, {switches} switches, {n_flows} flows"
+    );
+    out.push_str(&net_summary(&report, t_end));
+    if let Some(tel) = &report.telemetry {
+        if tel.enabled() {
+            out.push_str(&render_summary(tel));
+        }
+    }
+    Ok(out)
+}
+
 /// `dcebcn batch`: multi-seed packet-level batch — the base scenario
 /// with per-seed deterministic workload jitter, run in parallel across
 /// the configured worker count, with the per-seed telemetry shards
@@ -528,7 +604,12 @@ pub fn batch(args: &[String]) -> Result<String, CliError> {
         "retry-backoff-ms",
         "engine",
         "hybrid-guard",
+        "topo",
+        "traffic",
     ]))?;
+    if let Some((topo, traffic)) = topo_request(&flags)? {
+        return batch_net(&flags, &topo, &traffic);
+    }
     let p = params_from(&flags)?;
     let t_end = flags.get_f64("t-end")?.unwrap_or(0.05);
     let frame_bits = flags.get_f64("frame-bits")?.unwrap_or(8_000.0);
@@ -701,6 +782,173 @@ pub fn batch(args: &[String]) -> Result<String, CliError> {
         let _ = writeln!(out, "utilisation spread across seeds: [{lo:.4}, {hi:.4}]");
     }
     out.push_str(&render_fault_counts(&fault_totals));
+    if let Some(path) = flags.get("out") {
+        csv.save(path)?;
+        let _ = writeln!(out, "wrote {path}");
+    }
+    if let Some(tel) = &report.telemetry {
+        out.push_str(&render_summary(tel));
+    }
+    if flags.get_bool("fail-fast") {
+        if !failures.is_empty() {
+            let (seed, cause) = &failures[0];
+            return Err(CliError::Batch(format!(
+                "{} of {n_seeds} seeds failed (first: seed {seed}: {cause})",
+                failures.len()
+            )));
+        }
+        if !timed_out.is_empty() {
+            let (seed, events) = timed_out[0];
+            return Err(CliError::Timeout(format!(
+                "{} of {n_seeds} seeds hit the watchdog (first: seed {seed} after {events} events)",
+                timed_out.len()
+            )));
+        }
+    }
+    Ok(out)
+}
+
+/// `dcebcn batch --topo ...`: a multi-seed fabric batch under the
+/// multi-hop engine — per-seed rate jitter, checkpoint/resume, fault
+/// injection, and the watchdog, but no retry ladder (the engine is
+/// deterministic, so a failed seed fails identically on every retry)
+/// and no postmortem dumps yet.
+fn batch_net(flags: &Flags, topo: &TopoSpec, traffic: &Traffic) -> Result<String, CliError> {
+    reject_sim_only_flags(
+        flags,
+        &[
+            "engine",
+            "hybrid-guard",
+            "frame-bits",
+            "start-jitter",
+            "seed-retries",
+            "retry-backoff-ms",
+            "postmortem-dir",
+        ],
+    )?;
+    let t_end = flags.get_f64("t-end")?.unwrap_or(0.005);
+    if t_end <= 0.0 {
+        return Err(CliError::Usage("--t-end must be positive".into()));
+    }
+    let n_seeds = flags.get_usize("seeds")?.unwrap_or(8);
+    if n_seeds == 0 {
+        return Err(CliError::Usage("--seeds must be at least 1".into()));
+    }
+    let level = telemetry_level(flags, TelemetryLevel::Off)?;
+    let (faults, panic_seeds) = faults_from(flags)?;
+    let mut base = compile(topo, traffic, t_end)?;
+    base.scheduler = scheduler_choice(flags)?;
+    base.faults = faults;
+    let mut cfg = NetBatchConfig::quick(base, n_seeds as u64);
+    cfg.level = level;
+    cfg.panic_seeds = panic_seeds;
+    if let Some(v) = flags.get_f64("rate-jitter")? {
+        cfg.rate_jitter_frac = v;
+    }
+    if let Some(v) = flags.get_usize("max-seed-events")? {
+        if v == 0 {
+            return Err(CliError::Usage("--max-seed-events must be positive".into()));
+        }
+        cfg.max_events_per_seed = Some(v as u64);
+    }
+    if let Some(v) = flags.get_usize("seed-deadline-ms")? {
+        if v == 0 {
+            return Err(CliError::Usage("--seed-deadline-ms must be positive".into()));
+        }
+        cfg.max_seed_wall_ms = Some(v as u64);
+    }
+    let resume = flags.get_bool("resume");
+    let checkpoint_dir = flags.get("checkpoint-dir").map(ToString::to_string);
+    if resume && checkpoint_dir.is_none() {
+        return Err(CliError::Usage("--resume requires --checkpoint-dir".into()));
+    }
+    let mut report = match &checkpoint_dir {
+        Some(dir) => {
+            let dir = std::path::Path::new(dir);
+            let ck = if resume {
+                NetBatchCheckpoint::resume(dir, &cfg)
+            } else {
+                NetBatchCheckpoint::create(dir, &cfg)
+            }
+            .map_err(|e| CliError::Batch(e.to_string()))?;
+            let restored = ck.restored_seeds().len() as u64;
+            let mut report = run_net_batch_checkpointed(&cfg, &ck)
+                .map_err(|e| CliError::Batch(e.to_string()))?;
+            // As in the single-bottleneck runner: only the rendering
+            // copy learns how many seeds the checkpoint restored.
+            report.supervisor.resumed = restored;
+            report
+        }
+        None => run_net_batch(&cfg),
+    };
+    if let Some(tel) = report.telemetry.as_mut() {
+        tel.batch_supervision(report.supervisor.resumed, 0, 0);
+    }
+    let (hosts, switches, n_flows) =
+        (cfg.base.hosts, cfg.base.switches.len(), cfg.base.flows.len());
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "fabric batch: {n_seeds} seeds x {t_end} s, rate jitter {:.1}%, {hosts} hosts / \
+         {switches} switches / {n_flows} flows",
+        cfg.rate_jitter_frac * 100.0
+    );
+    let mut table = Table::new(&[
+        "seed",
+        "delivered (bits)",
+        "dropped",
+        "aggregate (bit/s)",
+        "PAUSEs",
+        "max queue (bits)",
+    ]);
+    let mut csv = Csv::new(&[
+        "seed",
+        "delivered_bits",
+        "dropped",
+        "aggregate_bps",
+        "pauses",
+        "max_queue_bits",
+    ]);
+    for (seed, r) in report.completed() {
+        let delivered: f64 = r.flows.iter().map(|f| f.delivered_bits).sum();
+        let dropped: u64 = r.flows.iter().map(|f| f.dropped_frames).sum();
+        let pauses: u64 = r.pause_counts.iter().sum();
+        let max_q =
+            r.switch_queues.iter().map(dcesim::metrics::TimeSeries::max).fold(0.0_f64, f64::max);
+        table.row(&[
+            seed.to_string(),
+            format!("{delivered:.6e}"),
+            dropped.to_string(),
+            format!("{:.4e}", delivered / t_end),
+            pauses.to_string(),
+            format!("{max_q:.4e}"),
+        ]);
+        #[allow(clippy::cast_precision_loss)]
+        csv.row(&[seed as f64, delivered, dropped as f64, delivered / t_end, pauses as f64, max_q]);
+    }
+    let _ = write!(out, "{table}");
+    let failures: Vec<(u64, String)> = report.failures().map(|(s, c)| (s, c.to_string())).collect();
+    if !failures.is_empty() {
+        let _ = writeln!(out, "quarantined {} of {n_seeds} seeds:", failures.len());
+        for (seed, cause) in &failures {
+            let _ = writeln!(out, "  seed {seed}: {cause}");
+        }
+    }
+    let timed_out: Vec<(u64, u64)> = report.timed_out().collect();
+    if !timed_out.is_empty() {
+        let _ = writeln!(out, "watchdog demoted {} of {n_seeds} seeds:", timed_out.len());
+        for (seed, events) in &timed_out {
+            let _ = writeln!(out, "  seed {seed}: timed out after {events} events");
+        }
+    }
+    let sup = report.supervisor;
+    if sup.resumed + sup.timed_out > 0 {
+        let _ = writeln!(
+            out,
+            "supervision: {} seed(s) restored from checkpoint, {} timed out",
+            sup.resumed, sup.timed_out
+        );
+    }
     if let Some(path) = flags.get("out") {
         csv.save(path)?;
         let _ = writeln!(out, "wrote {path}");
@@ -1119,9 +1367,9 @@ fn victim_scenario(t_end: f64) -> (dcesim::net::NetConfig, usize) {
 ///
 /// Propagates flag, validation, integration, and I/O failures.
 pub fn trace(args: &[String]) -> Result<String, CliError> {
-    let (scenario, rest) = match args.split_first() {
-        Some((s, rest)) if !s.starts_with("--") => (s.as_str(), rest),
-        _ => ("thm1", args),
+    let (explicit, scenario, rest) = match args.split_first() {
+        Some((s, rest)) if !s.starts_with("--") => (true, s.as_str(), rest),
+        _ => (false, "thm1", args),
     };
     let flags = Flags::parse(rest)?;
     flags.ensure_known(&with_param_flags(&[
@@ -1132,7 +1380,17 @@ pub fn trace(args: &[String]) -> Result<String, CliError> {
         "engine",
         "scheduler",
         "hybrid-guard",
+        "topo",
+        "traffic",
     ]))?;
+    if let Some((topo, traffic)) = topo_request(&flags)? {
+        if explicit && scenario != "packet" {
+            return Err(CliError::Usage(format!(
+                "--topo replaces the packet scenario; it does not apply to `{scenario}`"
+            )));
+        }
+        return trace_net(&flags, &topo, &traffic);
+    }
     let mut p = params_from(&flags)?;
     let level = telemetry_level(&flags, TelemetryLevel::Full)?;
     let t_end = flags.get_f64("t-end")?.unwrap_or(0.01);
@@ -1224,6 +1482,36 @@ pub fn trace(args: &[String]) -> Result<String, CliError> {
             )));
         }
     }
+    out.push_str(&render_summary(&tel));
+    if let Some(path) = flags.get("out") {
+        std::fs::write(path, tel.trace_to_jsonl())?;
+        let _ = writeln!(out, "wrote {path} ({} events)", tel.trace.len());
+    }
+    Ok(out)
+}
+
+/// `dcebcn trace --topo ...`: an instrumented fabric run — the
+/// multi-hop engine with full telemetry, the summary tables, and the
+/// optional JSONL trace dump.
+fn trace_net(flags: &Flags, topo: &TopoSpec, traffic: &Traffic) -> Result<String, CliError> {
+    reject_sim_only_flags(flags, &["engine", "hybrid-guard", "frame-bits"])?;
+    let t_end = flags.get_f64("t-end")?.unwrap_or(0.005);
+    if t_end <= 0.0 {
+        return Err(CliError::Usage("--t-end must be positive".into()));
+    }
+    let level = telemetry_level(flags, TelemetryLevel::Full)?;
+    let mut cfg = compile(topo, traffic, t_end)?;
+    cfg.scheduler = scheduler_choice(flags)?;
+    cfg.faults = single_run_faults(flags)?;
+    let (hosts, switches, n_flows) = (cfg.hosts, cfg.switches.len(), cfg.flows.len());
+    let mut report = NetSim::try_new(cfg)?.with_telemetry_sink(Telemetry::new(level)).run();
+    let tel = report.telemetry.take().unwrap_or_default();
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "scenario fabric: {hosts} hosts, {switches} switches, {n_flows} flows over {t_end} s"
+    );
+    out.push_str(&net_summary(&report, t_end));
     out.push_str(&render_summary(&tel));
     if let Some(path) = flags.get("out") {
         std::fs::write(path, tel.trace_to_jsonl())?;
@@ -1860,5 +2148,101 @@ mod tests {
         assert!(matches!(err, CliError::Timeout(_)), "{err}");
         assert!(err.to_string().contains("2 of 2 seeds hit the watchdog"), "{err}");
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    const FAST_TOPO: &str =
+        "--topo leaf-spine:leaves=2,spines=2,hosts-per-leaf=4 --traffic incast:senders=4 \
+         --t-end 0.002";
+
+    #[test]
+    fn packet_topo_output_is_scheduler_invariant() {
+        let wheel = packet(&argv(&format!("{FAST_TOPO} --scheduler wheel"))).unwrap();
+        let heap = packet(&argv(&format!("{FAST_TOPO} --scheduler heap"))).unwrap();
+        assert_eq!(wheel, heap);
+        assert!(wheel.contains("fabric run over 0.002 s: 8 hosts, 4 switches, 4 flows"), "{wheel}");
+        assert!(wheel.contains("delivered:"), "{wheel}");
+    }
+
+    #[test]
+    fn topo_rejects_dumbbell_only_flags_and_orphan_traffic() {
+        for bad in [
+            format!("{FAST_TOPO} --engine hybrid"),
+            format!("{FAST_TOPO} --frame-bits 4000"),
+            format!("{FAST_TOPO} --n 4"),
+            "--traffic incast".to_string(),
+        ] {
+            let err = packet(&argv(&bad)).unwrap_err();
+            assert!(matches!(err, CliError::Usage(_)), "{bad}: {err}");
+        }
+        for bad in
+            [format!("{FAST_TOPO} --start-jitter 1e-5"), format!("{FAST_TOPO} --seed-retries 2")]
+        {
+            let err = batch(&argv(&bad)).unwrap_err();
+            assert!(matches!(err, CliError::Usage(_)), "{bad}: {err}");
+        }
+        // A bad spec is a typed config error, not a panic.
+        assert!(matches!(packet(&argv("--topo fat-tree:k=3")).unwrap_err(), CliError::Sim(_)));
+        // --topo replaces trace's packet scenario only.
+        assert!(matches!(
+            trace(&argv(&format!("thm1 {FAST_TOPO}"))).unwrap_err(),
+            CliError::Usage(_)
+        ));
+    }
+
+    #[test]
+    fn batch_topo_checkpoint_resume_reproduces_the_artifact_byte_for_byte() {
+        let dir = std::env::temp_dir().join(format!("dcebcn_cli_netckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let clean_csv = dir.join("clean.csv");
+        let resumed_csv = dir.join("resumed.csv");
+        let ckpt = dir.join("ckpt");
+
+        let clean =
+            batch(&argv(&format!("{FAST_TOPO} --seeds 3 --out {}", clean_csv.display()))).unwrap();
+        assert!(clean.contains("fabric batch: 3 seeds"), "{clean}");
+
+        batch(&argv(&format!("{FAST_TOPO} --seeds 3 --checkpoint-dir {}", ckpt.display())))
+            .unwrap();
+        let resumed = batch(&argv(&format!(
+            "{FAST_TOPO} --seeds 3 --checkpoint-dir {} --resume --out {}",
+            ckpt.display(),
+            resumed_csv.display()
+        )))
+        .unwrap();
+        assert!(resumed.contains("supervision: 3 seed(s) restored from checkpoint"), "{resumed}");
+        assert_eq!(
+            std::fs::read_to_string(&clean_csv).unwrap(),
+            std::fs::read_to_string(&resumed_csv).unwrap()
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn batch_topo_quarantines_panic_seeds_and_demotes_runaways() {
+        let out = batch(&argv(&format!(
+            "{FAST_TOPO} --seeds 2 --faults panic-seed=1 --telemetry summary"
+        )))
+        .unwrap();
+        assert!(out.contains("quarantined 1 of 2 seeds"), "{out}");
+        assert!(out.contains("intentional panic"), "{out}");
+        let out = batch(&argv(&format!("{FAST_TOPO} --seeds 2 --max-seed-events 500"))).unwrap();
+        assert!(out.contains("watchdog demoted 2 of 2 seeds"), "{out}");
+        let err = batch(&argv(&format!("{FAST_TOPO} --seeds 2 --max-seed-events 500 --fail-fast")))
+            .unwrap_err();
+        assert!(matches!(err, CliError::Timeout(_)), "{err}");
+    }
+
+    #[test]
+    fn trace_topo_emits_summary_and_jsonl() {
+        let path =
+            std::env::temp_dir().join(format!("dcebcn_trace_topo-{}.jsonl", std::process::id()));
+        let _ = std::fs::remove_file(&path);
+        let out = trace(&argv(&format!("{FAST_TOPO} --out {}", path.display()))).unwrap();
+        assert!(out.contains("scenario fabric: 8 hosts, 4 switches, 4 flows"), "{out}");
+        assert!(out.contains("wrote "), "{out}");
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.lines().count() > 10, "trace should hold events");
+        let _ = std::fs::remove_file(&path);
     }
 }

@@ -9,6 +9,7 @@ use dcesim::faults::FaultConfig;
 use dcesim::hybrid::HybridGuards;
 use dcesim::sched::Scheduler;
 use dcesim::time::Duration;
+use dcesim::topo::{TopoSpec, Traffic};
 use telemetry::TelemetryLevel;
 
 use crate::CliError;
@@ -312,6 +313,36 @@ pub fn faults_from(flags: &Flags) -> Result<(FaultConfig, Vec<u64>), CliError> {
     }
     cfg.validate()?;
     Ok((cfg, panic_seeds))
+}
+
+/// Resolves `--topo` / `--traffic` into a fabric spec plus traffic
+/// pattern for the multi-hop engine. Returns `None` when `--topo` is
+/// absent (a bare `--traffic` is a usage error). Without `--traffic` —
+/// or with an `incast` that omits `senders` — the pattern defaults to
+/// every host fanning into the last one at 2× its access capacity.
+///
+/// # Errors
+///
+/// Propagates [`TopoSpec::parse`] / [`Traffic::parse`] rejections as
+/// typed config errors.
+pub fn topo_request(flags: &Flags) -> Result<Option<(TopoSpec, Traffic)>, CliError> {
+    let Some(spec) = flags.get("topo") else {
+        if flags.get("traffic").is_some() {
+            return Err(CliError::Usage("--traffic requires --topo".into()));
+        }
+        return Ok(None);
+    };
+    let topo = TopoSpec::parse(spec)?;
+    let mut traffic = match flags.get("traffic") {
+        Some(t) => Traffic::parse(t)?,
+        None => Traffic::Incast { senders: 0, dst: usize::MAX, load: 2.0 },
+    };
+    if let Traffic::Incast { senders, .. } = &mut traffic {
+        if *senders == 0 {
+            *senders = topo.hosts().saturating_sub(1);
+        }
+    }
+    Ok(Some((topo, traffic)))
 }
 
 /// Builds a [`BcnParams`] from the paper defaults overridden by flags.

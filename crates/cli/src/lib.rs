@@ -171,6 +171,8 @@ pub fn usage() -> String {
      \x20           --engine <packet|hybrid>  (default packet; hybrid fast-forwards\n\
      \x20                                      quiescent stretches analytically)\n\
      \x20           --hybrid-guard <spec>     (epoch-controller knobs, see below)\n\
+     \x20           --topo <spec> --traffic <spec>  (multi-hop fabric run, see\n\
+     \x20                                      below; dumbbell-only flags rejected)\n\
      \x20 batch:    --seeds <n> --t-end <s> --start-jitter <s> --rate-jitter <frac>\n\
      \x20           --frame-bits <bits> --out <path.csv> --faults <spec> [--fail-fast]\n\
      \x20           --scheduler <wheel|heap> --postmortem-dir <dir>  (default results;\n\
@@ -186,12 +188,18 @@ pub fn usage() -> String {
      \x20           --seed-retries <n> --retry-backoff-ms <ms>  (re-run failed seeds\n\
      \x20                                    up to n times with exponential backoff)\n\
      \x20           --engine <packet|hybrid> --hybrid-guard <spec>  (as in packet)\n\
+     \x20           --topo <spec> --traffic <spec>  (fabric batch; multi-hop engine,\n\
+     \x20                                      rate jitter / checkpoint / watchdog /\n\
+     \x20                                      faults as above; sim-only flags such\n\
+     \x20                                      as --engine or --seed-retries are\n\
+     \x20                                      rejected)\n\
      \x20 trace:    <thm1|limit-cycle|packet> --t-end <s> --out <path.jsonl>\n\
      \x20           --engine <analytic|dopri5>  (fluid scenarios)\n\
      \x20           --engine <packet|hybrid>    (packet scenario; other engines are\n\
      \x20                                        rejected with the valid list)\n\
      \x20           --scheduler <wheel|heap> --hybrid-guard <spec>  (packet scenario\n\
      \x20                                        only)\n\
+     \x20           --topo <spec> --traffic <spec>  (instrumented fabric run)\n\
      \x20 report:   <thm1|limit-cycle|packet|victim> --t-end <s>\n\
      \x20           --out-dir <dir>   (default results/report: report.json,\n\
      \x20                              timeline_queue.svg, timeline_rate.svg,\n\
@@ -218,6 +226,18 @@ pub fn usage() -> String {
      \x20                      wrapper but never fast-forward — bit-identical to\n\
      \x20                      the pure packet engine)\n\
      \x20 e.g. dcebcn packet --engine hybrid --hybrid-guard eq=0.1,min-ff=5e-4\n\
+     \n\
+     scale-out fabrics (--topo / --traffic on packet, batch, and trace):\n\
+     \x20 --topo fat-tree:k=8[,link=1e9][,delay=1e-6][,frame=8000]\n\
+     \x20 --topo leaf-spine:leaves=16,spines=4,hosts-per-leaf=32[,oversub=2]\n\
+     \x20        [,link=...][,delay=...][,frame=...]\n\
+     \x20 --traffic incast[:senders=512][,dst=0][,load=2]  (default: every host\n\
+     \x20                      fans into the last one at 2x its access capacity)\n\
+     \x20 --traffic permutation[:load=0.9]\n\
+     \x20 --traffic all-to-all[:hosts=16][,load=2]\n\
+     \x20 e.g. dcebcn packet --topo fat-tree:k=8 --traffic incast:senders=128\n\
+     \x20      dcebcn batch --topo leaf-spine:leaves=8,spines=2,hosts-per-leaf=16 \\\n\
+     \x20                   --seeds 8 --checkpoint-dir results/ck --faults seed=3\n\
      \n\
      fault injection (--faults, comma-separated key=value items):\n\
      \x20 seed=<u64> feedback-loss=<p> feedback-corrupt=<p> feedback-delay=<s>\n\

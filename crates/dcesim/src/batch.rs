@@ -34,9 +34,10 @@
 
 use telemetry::{SpanKind, Telemetry, TelemetryLevel};
 
-use crate::checkpoint::{BatchCheckpoint, CheckpointError, ReplaySpec};
+use crate::checkpoint::{BatchCheckpoint, CheckpointError, NetBatchCheckpoint, ReplaySpec};
 use crate::faults::splitmix64;
 use crate::hybrid::{HybridSim, HybridSpec};
+use crate::net::{NetConfig, NetReport, NetSim};
 use crate::sim::{SimConfig, SimReport, SimWorkspace, Simulation};
 use crate::time::Time;
 
@@ -639,6 +640,306 @@ pub fn replay(spec: &ReplaySpec) -> Result<String, ReplayMismatch> {
     }
 }
 
+// ---------------------------------------------------------------------
+// Multi-hop network batches
+// ---------------------------------------------------------------------
+
+/// A multi-seed batch over a multi-hop network scenario
+/// ([`crate::net`]) — the scale-out counterpart of [`BatchConfig`],
+/// sized for generator-built fabrics ([`crate::topo`]) with thousands
+/// of hosts.
+///
+/// Network flows carry no start time, so only initial rates are
+/// jittered; everything else — seeds fanned out across the `parkit`
+/// pool, telemetry shards merged in seed order, panic quarantine,
+/// watchdog demotion, checkpoint/resume — mirrors the
+/// single-bottleneck runner, and the merged report is identical at any
+/// thread count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetBatchConfig {
+    /// The unperturbed network scenario.
+    pub base: NetConfig,
+    /// One run per seed; equal seeds produce equal runs.
+    pub seeds: Vec<u64>,
+    /// Telemetry level for every run (`Off` skips the sinks entirely).
+    pub level: TelemetryLevel,
+    /// Relative initial-rate jitter: each flow's rate is scaled by
+    /// `1 + (2u - 1) * rate_jitter_frac` with `u` uniform in `[0, 1)`.
+    pub rate_jitter_frac: f64,
+    /// Seeds that deliberately panic mid-run (quarantine test hook, as
+    /// in [`BatchConfig::panic_seeds`]).
+    pub panic_seeds: Vec<u64>,
+    /// Watchdog event budget per seed, counted in dispatched events so
+    /// the verdict is deterministic. `None` disables it.
+    pub max_events_per_seed: Option<u64>,
+    /// Watchdog wall-clock deadline per seed in milliseconds (host
+    /// dependent; backstop only). `None` disables it.
+    pub max_seed_wall_ms: Option<u64>,
+}
+
+impl NetBatchConfig {
+    /// A batch over `n_seeds` consecutive seeds with 10% rate jitter.
+    #[must_use]
+    pub fn quick(base: NetConfig, n_seeds: u64) -> Self {
+        Self {
+            base,
+            seeds: (0..n_seeds).collect(),
+            level: TelemetryLevel::Off,
+            rate_jitter_frac: 0.1,
+            panic_seeds: Vec::new(),
+            max_events_per_seed: None,
+            max_seed_wall_ms: None,
+        }
+    }
+}
+
+/// What happened to one seed of a network batch (the [`SeedOutcome`]
+/// counterpart; no retry policy, so `Failed` carries no retry count).
+#[derive(Debug)]
+pub enum NetSeedOutcome {
+    /// The run finished; its report is attached.
+    Completed(Box<NetReport>),
+    /// The run panicked or its seeded configuration failed validation;
+    /// the seed is quarantined and the rest of the batch is unaffected.
+    Failed {
+        /// Sanitised failure cause (panic message or config error).
+        cause: String,
+        /// Flight recorder salvaged at the panic (`None` when
+        /// collection was off or construction never succeeded).
+        telemetry: Option<Box<Telemetry>>,
+    },
+    /// The watchdog demoted the run mid-flight.
+    TimedOut {
+        /// Events dispatched before the watchdog fired.
+        events: u64,
+        /// Flight recorder at demotion (`None` when collection was
+        /// off).
+        telemetry: Option<Box<Telemetry>>,
+    },
+}
+
+/// The result of one network batch: per-seed outcomes in seed order
+/// plus the merged telemetry aggregate, as in [`BatchReport`].
+#[derive(Debug)]
+pub struct NetBatchReport {
+    /// The seeds, in the order the outcomes are stored.
+    pub seeds: Vec<u64>,
+    /// One outcome per seed, input order preserved.
+    pub outcomes: Vec<NetSeedOutcome>,
+    /// Completed seeds' telemetry shards merged in seed order; `None`
+    /// when the level disables collection. Carries `batch.timed_out`
+    /// (resume-stable) but not `batch.resumed`.
+    pub telemetry: Option<Telemetry>,
+    /// Supervision tallies (`retried` stays zero: network batches have
+    /// no retry policy — a deterministic engine reproduces any failure
+    /// exactly).
+    pub supervisor: SupervisorStats,
+}
+
+impl NetBatchReport {
+    /// The seeds that finished, with their reports, in seed order.
+    pub fn completed(&self) -> impl Iterator<Item = (u64, &NetReport)> {
+        self.seeds.iter().zip(&self.outcomes).filter_map(|(&seed, out)| match out {
+            NetSeedOutcome::Completed(report) => Some((seed, report.as_ref())),
+            _ => None,
+        })
+    }
+
+    /// The quarantined seeds with their failure causes, in seed order.
+    pub fn failures(&self) -> impl Iterator<Item = (u64, &str)> {
+        self.seeds.iter().zip(&self.outcomes).filter_map(|(&seed, out)| match out {
+            NetSeedOutcome::Failed { cause, .. } => Some((seed, cause.as_str())),
+            _ => None,
+        })
+    }
+
+    /// The watchdog-demoted seeds with their event counts, in seed
+    /// order.
+    pub fn timed_out(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.seeds.iter().zip(&self.outcomes).filter_map(|(&seed, out)| match out {
+            NetSeedOutcome::TimedOut { events, .. } => Some((seed, *events)),
+            _ => None,
+        })
+    }
+}
+
+/// The base network scenario perturbed for one seed: every flow's
+/// initial rate jittered with the same `(seed, flow, field)` hash as
+/// [`seeded_config`] (field 1, the rate field, so a flow draws the same
+/// perturbation it would in the single-bottleneck runner), and the
+/// fault seed remixed per seed when injection is enabled.
+#[must_use]
+pub fn seeded_net_config(cfg: &NetBatchConfig, seed: u64) -> NetConfig {
+    let mut out = cfg.base.clone();
+    for (i, flow) in out.flows.iter_mut().enumerate() {
+        let dr = 1.0 + (2.0 * unit(seed, i as u64, 1) - 1.0) * cfg.rate_jitter_frac;
+        flow.initial_rate *= dr;
+    }
+    if out.faults.enabled() {
+        out.faults.seed = splitmix64(seed ^ out.faults.seed);
+    }
+    out
+}
+
+/// Runs one seeded network configuration under full supervision:
+/// telemetry sink with per-seed span-id base, intentional panic hook,
+/// event budget, and wall-clock deadline. Construction failures
+/// (`NetSim::try_new`) map to [`NetSeedOutcome::Failed`].
+fn run_net_seeded(
+    net_cfg: NetConfig,
+    seed: u64,
+    level: TelemetryLevel,
+    panic_after: Option<u64>,
+    max_events: Option<u64>,
+    max_wall_ms: Option<u64>,
+) -> NetSeedOutcome {
+    let t_end = net_cfg.t_end.as_secs();
+    let mut sim = match NetSim::try_new(net_cfg) {
+        Ok(sim) => sim,
+        Err(e) => {
+            return NetSeedOutcome::Failed {
+                cause: sanitize_cause(&e.to_string()),
+                telemetry: None,
+            };
+        }
+    };
+    let mut seed_span = 0;
+    if level.enabled() {
+        let mut tel = Telemetry::new(level);
+        tel.set_span_id_base((seed + 1) << 32);
+        seed_span = tel.span_begin(0.0, SpanKind::BatchSeed, seed as u32, 0);
+        sim = sim.with_telemetry_sink(tel);
+    }
+    let deadline =
+        max_wall_ms.map(|ms| std::time::Instant::now() + std::time::Duration::from_millis(ms));
+    // Same unwind-safety argument as `run_seeded`: only the step loop is
+    // wrapped, the engine stays owned out here, and after a panic it is
+    // only inspected for its flight recorder, never re-run.
+    let stepped = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut steps: u64 = 0;
+        while sim.step() {
+            steps += 1;
+            if panic_after.is_some_and(|n| steps >= n) {
+                panic!("seed {seed}: intentional panic (panic_seeds)");
+            }
+            if max_events.is_some_and(|n| steps >= n) {
+                return StepEnd::Budget(steps);
+            }
+            if steps.is_multiple_of(WALL_CHECK_EVERY)
+                && deadline.is_some_and(|d| std::time::Instant::now() >= d)
+            {
+                return StepEnd::Budget(steps);
+            }
+        }
+        if panic_after.is_some() {
+            panic!("seed {seed}: intentional panic (panic_seeds)");
+        }
+        StepEnd::Done
+    }));
+    match stepped {
+        Ok(StepEnd::Done) => {
+            let mut report = sim.finish();
+            if let Some(tel) = report.telemetry.as_mut() {
+                tel.span_end(t_end, seed_span);
+            }
+            NetSeedOutcome::Completed(Box::new(report))
+        }
+        Ok(StepEnd::Budget(events)) => {
+            NetSeedOutcome::TimedOut { events, telemetry: sim.take_telemetry().map(Box::new) }
+        }
+        Err(payload) => NetSeedOutcome::Failed {
+            cause: sanitize_cause(&panic_message(payload.as_ref())),
+            telemetry: sim.take_telemetry().map(Box::new),
+        },
+    }
+}
+
+/// One seed of a network batch: seeding, the known-hazardous-seed
+/// flight-recorder upgrade, and supervision.
+fn run_net_seed(cfg: &NetBatchConfig, seed: u64) -> NetSeedOutcome {
+    let net_cfg = seeded_net_config(cfg, seed);
+    let panic_after = cfg.panic_seeds.contains(&seed).then_some(PANIC_AFTER_STEPS);
+    let level = if panic_after.is_some() { TelemetryLevel::Full } else { cfg.level };
+    run_net_seeded(net_cfg, seed, level, panic_after, cfg.max_events_per_seed, cfg.max_seed_wall_ms)
+}
+
+/// Runs every seed of a network batch in parallel across the configured
+/// worker count and merges the telemetry shards in seed order. Output
+/// is identical at any thread count (`DCE_BCN_THREADS=1` included).
+#[must_use]
+pub fn run_net_batch(cfg: &NetBatchConfig) -> NetBatchReport {
+    run_net_batch_inner(cfg, None).expect("in-memory batch performs no checkpoint I/O")
+}
+
+/// [`run_net_batch`] with crash recovery through a
+/// [`NetBatchCheckpoint`]: finished seeds are persisted before they are
+/// counted and acknowledged seeds are restored bit-exactly on resume,
+/// so a resumed batch's merged report equals an uninterrupted run.
+///
+/// # Errors
+///
+/// Fails on the first checkpoint I/O error — the batch aborts rather
+/// than silently running uncheckpointed.
+pub fn run_net_batch_checkpointed(
+    cfg: &NetBatchConfig,
+    ckpt: &NetBatchCheckpoint,
+) -> Result<NetBatchReport, CheckpointError> {
+    run_net_batch_inner(cfg, Some(ckpt))
+}
+
+fn run_net_batch_inner(
+    cfg: &NetBatchConfig,
+    ckpt: Option<&NetBatchCheckpoint>,
+) -> Result<NetBatchReport, CheckpointError> {
+    let restored: Vec<Option<NetSeedOutcome>> =
+        cfg.seeds.iter().map(|&s| ckpt.and_then(|c| c.take_restored(s))).collect();
+    let todo: Vec<usize> =
+        restored.iter().enumerate().filter_map(|(i, r)| r.is_none().then_some(i)).collect();
+    let resumed = (cfg.seeds.len() - todo.len()) as u64;
+    let first_io_err: std::sync::Mutex<Option<CheckpointError>> = std::sync::Mutex::new(None);
+    let fresh = parkit::par_map_indexed(todo.len(), |k| {
+        let seed = cfg.seeds[todo[k]];
+        let outcome = run_net_seed(cfg, seed);
+        if let Some(ck) = ckpt {
+            if let Err(e) = ck.record(seed, &outcome) {
+                let mut slot = first_io_err.lock().expect("checkpoint error slot");
+                if slot.is_none() {
+                    *slot = Some(e);
+                }
+            }
+        }
+        outcome
+    });
+    if let Some(e) = first_io_err.into_inner().expect("checkpoint error slot") {
+        return Err(e);
+    }
+    let mut fresh = fresh.into_iter();
+    let outcomes: Vec<NetSeedOutcome> = restored
+        .into_iter()
+        .map(|slot| slot.unwrap_or_else(|| fresh.next().expect("one fresh outcome per gap")))
+        .collect();
+    let timed_out =
+        outcomes.iter().filter(|o| matches!(o, NetSeedOutcome::TimedOut { .. })).count() as u64;
+    let telemetry = cfg.level.enabled().then(|| {
+        let mut agg = Telemetry::new(cfg.level);
+        for outcome in &outcomes {
+            if let NetSeedOutcome::Completed(report) = outcome {
+                if let Some(shard) = &report.telemetry {
+                    agg.merge(shard);
+                }
+            }
+        }
+        agg.batch_supervision(0, 0, timed_out);
+        agg
+    });
+    Ok(NetBatchReport {
+        seeds: cfg.seeds.clone(),
+        outcomes,
+        telemetry,
+        supervisor: SupervisorStats { resumed, retried: 0, timed_out },
+    })
+}
+
 /// Extracts the human-readable message from a caught panic payload.
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
@@ -1019,5 +1320,90 @@ mod tests {
             max_events: Some(120),
         };
         assert_eq!(replay(&spec).expect("timeout must reproduce"), cause);
+    }
+
+    /// A small generator-built incast fabric for the net-batch tests.
+    fn net_batch(n: u64) -> NetBatchConfig {
+        let spec = crate::topo::TopoSpec::leaf_spine(2, 2, 4);
+        let traffic = crate::topo::Traffic::Incast { senders: 4, dst: usize::MAX, load: 2.0 };
+        let base = crate::topo::compile(&spec, &traffic, 0.005).expect("compile");
+        NetBatchConfig { level: TelemetryLevel::Summary, ..NetBatchConfig::quick(base, n) }
+    }
+
+    #[test]
+    fn seeded_net_configs_are_deterministic_and_jitter_only_rates() {
+        let cfg = net_batch(2);
+        let a = seeded_net_config(&cfg, 7);
+        assert_eq!(a, seeded_net_config(&cfg, 7), "same seed must reproduce");
+        assert_ne!(a.flows, seeded_net_config(&cfg, 8).flows, "different seeds must differ");
+        for (orig, jit) in cfg.base.flows.iter().zip(&a.flows) {
+            let ratio = jit.initial_rate / orig.initial_rate;
+            assert!((ratio - 1.0).abs() <= cfg.rate_jitter_frac + 1e-12);
+            assert_eq!((orig.src_host, orig.dst_host), (jit.src_host, jit.dst_host));
+        }
+        let mut zero = cfg.clone();
+        zero.rate_jitter_frac = 0.0;
+        assert_eq!(seeded_net_config(&zero, 123), zero.base);
+    }
+
+    #[test]
+    fn net_batch_results_are_identical_at_any_thread_count_and_scheduler() {
+        let cfg = net_batch(3);
+        let mut heap_cfg = cfg.clone();
+        heap_cfg.base.scheduler = crate::sched::Scheduler::Heap;
+        parkit::set_threads(1);
+        let serial = run_net_batch(&cfg);
+        parkit::set_threads(4);
+        let parallel = run_net_batch(&cfg);
+        let heap = run_net_batch(&heap_cfg);
+        parkit::set_threads(0);
+        assert_eq!(serial.completed().count(), 3);
+        for ((_, s), (_, p)) in serial.completed().zip(parallel.completed()) {
+            assert_eq!(s.flows, p.flows);
+            assert_eq!(s.pause_counts, p.pause_counts);
+        }
+        // Scheduler bit-identity extends from single runs to batches.
+        for ((_, s), (_, h)) in serial.completed().zip(heap.completed()) {
+            assert_eq!(s.flows, h.flows);
+            for (a, b) in s.switch_queues.iter().zip(&h.switch_queues) {
+                assert_eq!(a.values(), b.values());
+            }
+        }
+        let (st, pt) = (serial.telemetry.unwrap(), parallel.telemetry.unwrap());
+        for ((an, av), (bn, bv)) in st.metrics.counters().zip(pt.metrics.counters()) {
+            assert_eq!((an, av), (bn, bv));
+        }
+    }
+
+    #[test]
+    fn net_batch_quarantines_panics_and_demotes_runaways() {
+        let mut cfg = net_batch(4);
+        cfg.panic_seeds = vec![1];
+        cfg.max_events_per_seed = Some(2_000);
+        let report = run_net_batch(&cfg);
+        let failures: Vec<_> = report.failures().collect();
+        assert_eq!(failures.len(), 1);
+        assert_eq!(failures[0].0, 1);
+        assert!(failures[0].1.contains("intentional panic"), "cause: {}", failures[0].1);
+        // The hazardous-seed flight-recorder upgrade applies here too.
+        let salvaged = report
+            .outcomes
+            .iter()
+            .any(|o| matches!(o, NetSeedOutcome::Failed { telemetry: Some(_), .. }));
+        assert!(salvaged, "panicking seed must surrender its flight recorder");
+        assert_eq!(report.timed_out().count(), 3, "remaining seeds hit the event budget");
+        assert_eq!(report.supervisor.timed_out, 3);
+    }
+
+    #[test]
+    fn net_batch_rejects_invalid_seeded_configs_as_failures() {
+        let mut cfg = net_batch(2);
+        cfg.base.switches[0].routes.clear();
+        let report = run_net_batch(&cfg);
+        assert_eq!(report.completed().count(), 0);
+        assert_eq!(report.failures().count(), 2);
+        for (_, cause) in report.failures() {
+            assert!(cause.contains("unroutable"), "cause: {cause}");
+        }
     }
 }

@@ -72,5 +72,6 @@ pub mod rp;
 pub mod sched;
 pub mod sim;
 pub mod time;
+pub mod topo;
 pub mod wire;
 pub mod workload;

@@ -30,6 +30,7 @@ use std::collections::VecDeque;
 use telemetry::{FaultClass, SeriesKind, Telemetry};
 
 use crate::cp::{CongestionPoint, CpConfig};
+use crate::error::ConfigError;
 use crate::faults::{FaultConfig, FaultCounts, FaultPlan, FeedbackFate};
 use crate::frame::{BcnMessage, CpId, DataFrame, SourceId};
 use crate::metrics::TimeSeries;
@@ -225,28 +226,26 @@ impl SwitchState {
     }
 }
 
-impl SwitchState {
-    fn port_of_link(&self, link: usize) -> Option<usize> {
-        self.ports.iter().position(|p| p.link == link)
-    }
-    fn route(&self, dst_host: usize) -> Option<usize> {
-        self.spec
-            .routes
-            .iter()
-            .find(|(d, _)| *d == dst_host)
-            .and_then(|(_, link)| self.port_of_link(*link))
-    }
-}
-
 /// The multi-hop simulation engine.
 pub struct NetSim {
     cfg: NetConfig,
     events: EventQueue<Ev>,
     now: Time,
     switches: Vec<SwitchState>,
-    /// For each switch, the links terminating at it (hoisted out of the
-    /// PAUSE path, which used to collect this per assertion).
-    switch_incoming: Vec<Vec<usize>>,
+    /// Number of hosts (stride of `route_table`).
+    n_hosts: usize,
+    /// Flat next-hop table: `route_table[si * n_hosts + dst]` is the
+    /// output *port* index on switch `si` for destination host `dst`
+    /// (`NO_ROUTE` = none). Built once from the per-switch route lists;
+    /// the per-frame path is a single indexed load instead of the old
+    /// `routes.iter().find(...)` linear scan.
+    route_table: Vec<u32>,
+    /// CSR layout of the links terminating at each switch: switch `si`
+    /// owns `incoming_links[incoming_off[si]..incoming_off[si + 1]]`.
+    /// One flat allocation instead of the old `Vec<Vec<usize>>` (hoisted
+    /// out of the PAUSE path, which used to collect this per assertion).
+    incoming_off: Vec<u32>,
+    incoming_links: Vec<u32>,
     /// Pause state per link and priority class, read by the transmitter
     /// (plain PAUSE sets every class).
     link_paused_until: Vec<[Time; N_PRIORITIES]>,
@@ -277,50 +276,61 @@ impl std::fmt::Debug for NetSim {
     }
 }
 
+/// Sentinel in [`NetSim`]'s flat next-hop table: no route.
+const NO_ROUTE: u32 = u32::MAX;
+
 impl NetSim {
     /// Builds the engine.
     ///
     /// # Panics
     ///
-    /// Panics on inconsistent configuration: flows referencing missing
-    /// hosts, routes referencing links that do not originate at the
-    /// switch, or hosts without an uplink that are used as sources.
+    /// Panics where [`try_new`](Self::try_new) errors.
     #[must_use]
-    pub fn new(mut cfg: NetConfig) -> Self {
-        if let Err(e) = cfg.faults.validate() {
-            panic!("{e}");
+    pub fn new(cfg: NetConfig) -> Self {
+        match Self::try_new(cfg) {
+            Ok(sim) => sim,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Builds the engine, validating the configuration: every link
+    /// endpoint must exist, every switch may only route over links it
+    /// owns, and — so a misrouted flow fails here instead of silently
+    /// dropping every frame at forward time — every flow's path must
+    /// actually reach its destination host, loop-free.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] naming the offending flow, switch, or
+    /// link on any of the inconsistencies above.
+    pub fn try_new(mut cfg: NetConfig) -> Result<Self, ConfigError> {
+        cfg.faults.validate()?;
+        let n_switches = cfg.switches.len();
+        for (i, l) in cfg.links.iter().enumerate() {
+            for (end, name) in [(l.from, "from"), (l.to, "to")] {
+                match end {
+                    Endpoint::Host(h) if h >= cfg.hosts => {
+                        return Err(ConfigError::new(
+                            "links",
+                            format!("link {i} {name} unknown host {h} (hosts: {})", cfg.hosts),
+                        ));
+                    }
+                    Endpoint::Switch(s) if s >= n_switches => {
+                        return Err(ConfigError::new(
+                            "links",
+                            format!("link {i} {name} unknown switch {s} (switches: {n_switches})"),
+                        ));
+                    }
+                    _ => {}
+                }
+            }
         }
         let mut host_uplink = vec![None; cfg.hosts];
         for (i, l) in cfg.links.iter().enumerate() {
             if let Endpoint::Host(h) = l.from {
-                assert!(h < cfg.hosts, "link {i} from unknown host {h}");
                 host_uplink[h] = Some(i);
             }
         }
-        let mut rps = Vec::with_capacity(cfg.flows.len());
-        let mut fixed = Vec::with_capacity(cfg.flows.len());
-        let mut feedback_delay = Vec::with_capacity(cfg.flows.len());
-        for (fi, flow) in cfg.flows.iter().enumerate() {
-            assert!(flow.src_host < cfg.hosts && flow.dst_host < cfg.hosts);
-            assert!(
-                host_uplink[flow.src_host].is_some(),
-                "flow {fi} source host {} has no uplink",
-                flow.src_host
-            );
-            rps.push(flow.rp.map(|c| ReactionPoint::new(c, flow.initial_rate)));
-            fixed.push(flow.initial_rate);
-            feedback_delay.push(path_delay(&cfg, flow.src_host, flow.dst_host, &host_uplink));
-        }
-        let switch_incoming: Vec<Vec<usize>> = (0..cfg.switches.len())
-            .map(|si| {
-                cfg.links
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, l)| l.to == Endpoint::Switch(si))
-                    .map(|(i, _)| i)
-                    .collect()
-            })
-            .collect();
         // Everything that needed the full config is done; move the
         // switch specs out so each `SwitchState` owns its spec without
         // the old per-run `spec.clone()`.
@@ -349,24 +359,92 @@ impl NetSim {
                         }
                     })
                     .collect();
-                for (_, link) in &spec.routes {
-                    assert!(
-                        ports.iter().any(|p| p.link == *link),
-                        "switch {si} routes via link {link} it does not own"
-                    );
-                }
                 SwitchState { spec, ports, last_pause: None }
             })
             .collect();
+        // Flat next-hop table (first match wins, like the old linear
+        // scan over the route list).
+        let mut route_table = vec![NO_ROUTE; n_switches * cfg.hosts];
+        for (si, sw) in switches.iter().enumerate() {
+            for &(dst, link) in &sw.spec.routes {
+                if dst >= cfg.hosts {
+                    return Err(ConfigError::new(
+                        "switches",
+                        format!("switch {si} routes unknown host {dst} (hosts: {})", cfg.hosts),
+                    ));
+                }
+                let Some(port) = sw.ports.iter().position(|p| p.link == link) else {
+                    return Err(ConfigError::new(
+                        "switches",
+                        format!("switch {si} routes via link {link} it does not own"),
+                    ));
+                };
+                let slot = &mut route_table[si * cfg.hosts + dst];
+                if *slot == NO_ROUTE {
+                    *slot = port as u32;
+                }
+            }
+        }
+        // CSR of incoming links per switch.
+        let mut incoming_off = vec![0u32; n_switches + 1];
+        for l in &cfg.links {
+            if let Endpoint::Switch(si) = l.to {
+                incoming_off[si + 1] += 1;
+            }
+        }
+        for si in 0..n_switches {
+            incoming_off[si + 1] += incoming_off[si];
+        }
+        let mut incoming_links = vec![0u32; incoming_off[n_switches] as usize];
+        let mut cursor: Vec<u32> = incoming_off[..n_switches].to_vec();
+        for (li, l) in cfg.links.iter().enumerate() {
+            if let Endpoint::Switch(si) = l.to {
+                incoming_links[cursor[si] as usize] = li as u32;
+                cursor[si] += 1;
+            }
+        }
+        let mut rps = Vec::with_capacity(cfg.flows.len());
+        let mut fixed = Vec::with_capacity(cfg.flows.len());
+        let mut feedback_delay = Vec::with_capacity(cfg.flows.len());
+        for (fi, flow) in cfg.flows.iter().enumerate() {
+            if flow.src_host >= cfg.hosts || flow.dst_host >= cfg.hosts {
+                return Err(ConfigError::new(
+                    "flows",
+                    format!(
+                        "flow {fi} references host {} -> {} outside 0..{}",
+                        flow.src_host, flow.dst_host, cfg.hosts
+                    ),
+                ));
+            }
+            if host_uplink[flow.src_host].is_none() {
+                return Err(ConfigError::new(
+                    "flows",
+                    format!("flow {fi} source host {} has no uplink", flow.src_host),
+                ));
+            }
+            rps.push(flow.rp.map(|c| ReactionPoint::new(c, flow.initial_rate)));
+            fixed.push(flow.initial_rate);
+            feedback_delay.push(walk_path(
+                &cfg,
+                &switches,
+                &route_table,
+                &host_uplink,
+                fi,
+                flow.src_host,
+                flow.dst_host,
+            )?);
+        }
 
         let n_flows = cfg.flows.len();
         let n_links = cfg.links.len();
-        let n_switches = switches.len();
         let mut sim = Self {
             events: EventQueue::new(cfg.scheduler),
             now: Time::ZERO,
             switches,
-            switch_incoming,
+            n_hosts: cfg.hosts,
+            route_table,
+            incoming_off,
+            incoming_links,
             link_paused_until: vec![[Time::ZERO; N_PRIORITIES]; n_links],
             rps,
             flow_rates_fixed: fixed,
@@ -391,7 +469,7 @@ impl NetSim {
             sim.schedule(Time::from_nanos(fi as u64 + 1), Ev::HostSend(fi));
         }
         sim.schedule(Time::ZERO, Ev::Record);
-        sim
+        Ok(sim)
     }
 
     /// Attaches a telemetry sink; its shard comes back in the report.
@@ -399,6 +477,13 @@ impl NetSim {
     pub fn with_telemetry_sink(mut self, tel: Telemetry) -> Self {
         self.telemetry = Some(tel);
         self
+    }
+
+    /// Detaches the telemetry sink mid-run — the flight recorder a
+    /// supervised batch salvages from a panicked or demoted seed. The
+    /// eventual report (if any) carries `None` afterwards.
+    pub fn take_telemetry(&mut self) -> Option<Telemetry> {
+        self.telemetry.take()
     }
 
     fn schedule(&mut self, time: Time, ev: Ev) {
@@ -415,13 +500,38 @@ impl NetSim {
     /// Runs to completion.
     #[must_use]
     pub fn run(mut self) -> NetReport {
-        while let Some((time, ev)) = self.events.pop() {
-            if time > self.cfg.t_end {
-                break;
-            }
-            self.now = time;
-            self.dispatch(ev);
+        while self.step() {}
+        self.finish()
+    }
+
+    /// Advances by one event; `false` once the horizon is reached or the
+    /// queue is drained. Exposed so supervised drivers (batch watchdogs,
+    /// allocation gates) can interleave checks with the event loop.
+    pub fn step(&mut self) -> bool {
+        let Some((time, ev)) = self.events.pop() else { return false };
+        if time > self.cfg.t_end {
+            return false;
         }
+        self.now = time;
+        self.dispatch(ev);
+        true
+    }
+
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> Time {
+        self.now
+    }
+
+    /// Events dispatched so far (the supervision budget currency).
+    #[must_use]
+    pub fn events_popped(&self) -> u64 {
+        self.events.stats().popped
+    }
+
+    /// Finalises the report after [`step`](Self::step) returns `false`.
+    #[must_use]
+    pub fn finish(mut self) -> NetReport {
         for (fi, stat) in self.stats.iter_mut().enumerate() {
             stat.final_rate = match &self.rps[fi] {
                 Some(rp) => rp.rate(),
@@ -547,14 +657,19 @@ impl NetSim {
 
     fn switch_ingress(&mut self, si: usize, frame: NetFrame) {
         let dst = self.cfg.flows[frame.flow].dst_host;
-        let Some(pi) = self.switches[si].route(dst) else {
-            // No route: count as a drop against the flow.
+        // One indexed load; construction-time validation guarantees a
+        // route exists for every flow's destination, but corrupted
+        // feedback cannot reach here (data frames only), so the sentinel
+        // check is pure defence in depth.
+        let pi = self.route_table[si * self.n_hosts + dst];
+        if pi == NO_ROUTE {
             self.stats[frame.flow].dropped_frames += 1;
             if let Some(tel) = self.telemetry.as_mut() {
                 tel.frame_dropped(self.now.as_secs(), frame.flow as u32);
             }
             return;
-        };
+        }
+        let pi = pi as usize;
         if self.switches[si].ports[pi].backlog_bits() + frame.bits
             > self.switches[si].spec.buffer_bits
         {
@@ -624,8 +739,8 @@ impl NetSim {
         // Pause every link that terminates at this switch (precomputed
         // in `new` — this path allocates nothing).
         let (hold, _stormed) = self.faults.pause_hold(self.cfg.pause.hold);
-        for k in 0..self.switch_incoming[si].len() {
-            let li = self.switch_incoming[si][k];
+        for k in self.incoming_off[si] as usize..self.incoming_off[si + 1] as usize {
+            let li = self.incoming_links[k] as usize;
             self.pause_counts[li] += 1;
             let deliver = self.now + self.cfg.links[li].delay;
             let until = deliver + hold;
@@ -700,36 +815,54 @@ impl NetSim {
     }
 }
 
-/// Sum of link delays along a flow's forward path (used as the feedback
-/// delay approximation).
-fn path_delay(
+/// Walks a flow's forward path through the next-hop tables, validating
+/// it delivers to `dst_host` within a loop-free number of hops, and
+/// returns the summed link delay (used as the feedback delay
+/// approximation).
+fn walk_path(
     cfg: &NetConfig,
+    switches: &[SwitchState],
+    route_table: &[u32],
+    host_uplink: &[Option<usize>],
+    fi: usize,
     src_host: usize,
     dst_host: usize,
-    host_uplink: &[Option<usize>],
-) -> Duration {
-    let mut delay = Duration::ZERO;
-    let mut at = match host_uplink[src_host] {
-        Some(l) => {
-            delay = delay + cfg.links[l].delay;
-            cfg.links[l].to
-        }
-        None => return delay,
-    };
-    for _ in 0..cfg.switches.len() + 1 {
+) -> Result<Duration, ConfigError> {
+    let uplink = host_uplink[src_host].expect("caller checked the source uplink");
+    let mut delay = cfg.links[uplink].delay;
+    let mut at = cfg.links[uplink].to;
+    for _ in 0..switches.len() + 1 {
         match at {
-            Endpoint::Host(_) => break,
+            Endpoint::Host(h) => {
+                if h == dst_host {
+                    return Ok(delay);
+                }
+                return Err(ConfigError::new(
+                    "flows",
+                    format!("flow {fi} ({src_host} -> {dst_host}) is routed to host {h} instead"),
+                ));
+            }
             Endpoint::Switch(si) => {
-                let Some((_, link)) = cfg.switches[si].routes.iter().find(|(d, _)| *d == dst_host)
-                else {
-                    break;
-                };
-                delay = delay + cfg.links[*link].delay;
-                at = cfg.links[*link].to;
+                let port = route_table[si * cfg.hosts + dst_host];
+                if port == NO_ROUTE {
+                    return Err(ConfigError::new(
+                        "flows",
+                        format!(
+                            "flow {fi} ({src_host} -> {dst_host}) is unroutable: \
+                             switch {si} has no route to host {dst_host}"
+                        ),
+                    ));
+                }
+                let link = switches[si].ports[port as usize].link;
+                delay = delay + cfg.links[link].delay;
+                at = cfg.links[link].to;
             }
         }
     }
-    delay
+    Err(ConfigError::new(
+        "flows",
+        format!("flow {fi} ({src_host} -> {dst_host}) never reaches its destination: routing loop"),
+    ))
 }
 
 /// Builds the paper-Introduction victim scenario:
@@ -1080,6 +1213,101 @@ mod tests {
         let (b, _, _) = run_victim(true, Some(bcn_pair()));
         assert_eq!(a.flows, b.flows);
         assert_eq!(a.pause_counts, b.pause_counts);
+    }
+
+    #[test]
+    fn rejects_unroutable_flow_at_construction() {
+        // Remove S1's route to sink_c: the culprit flows become
+        // unroutable and construction must say so (previously every
+        // frame was silently dropped at forward time instead).
+        let (mut cfg, _) = victim_topology(
+            2,
+            TRUNK,
+            FRAME,
+            Duration::from_secs(1e-6),
+            0.1,
+            PauseConfig { enabled: false, hold: Duration::ZERO, per_priority: false },
+            None,
+        );
+        let sink_c = cfg.hosts - 2;
+        cfg.switches[0].routes.retain(|(d, _)| *d != sink_c);
+        let err = NetSim::try_new(cfg).expect_err("must reject the unroutable flow");
+        assert_eq!(err.field, "flows");
+        assert!(err.reason.contains("unroutable"), "unexpected reason: {}", err.reason);
+    }
+
+    #[test]
+    fn rejects_misdelivering_route_at_construction() {
+        // Point S2's sink_c route at the victim sink: the flow "arrives"
+        // somewhere, just not at its destination.
+        let (mut cfg, _) = victim_topology(
+            2,
+            TRUNK,
+            FRAME,
+            Duration::from_secs(1e-6),
+            0.1,
+            PauseConfig { enabled: false, hold: Duration::ZERO, per_priority: false },
+            None,
+        );
+        let sink_c = cfg.hosts - 2;
+        let victim_link = cfg.links.len() - 1;
+        for r in &mut cfg.switches[1].routes {
+            if r.0 == sink_c {
+                r.1 = victim_link;
+            }
+        }
+        let err = NetSim::try_new(cfg).expect_err("must reject the misdelivering route");
+        assert_eq!(err.field, "flows");
+        assert!(err.reason.contains("instead"), "unexpected reason: {}", err.reason);
+    }
+
+    #[test]
+    fn rejects_routing_loop_at_construction() {
+        // S1 and S2 bounce sink_c traffic between each other forever.
+        let (mut cfg, _) = victim_topology(
+            2,
+            TRUNK,
+            FRAME,
+            Duration::from_secs(1e-6),
+            0.1,
+            PauseConfig { enabled: false, hold: Duration::ZERO, per_priority: false },
+            None,
+        );
+        let sink_c = cfg.hosts - 2;
+        let back = cfg.links.len();
+        cfg.links.push(LinkSpec {
+            from: Endpoint::Switch(1),
+            to: Endpoint::Switch(0),
+            capacity: TRUNK,
+            delay: Duration::from_secs(1e-6),
+        });
+        for r in &mut cfg.switches[1].routes {
+            if r.0 == sink_c {
+                r.1 = back;
+            }
+        }
+        let err = NetSim::try_new(cfg).expect_err("must reject the routing loop");
+        assert_eq!(err.field, "flows");
+        assert!(err.reason.contains("loop"), "unexpected reason: {}", err.reason);
+    }
+
+    #[test]
+    fn rejects_route_over_foreign_link() {
+        let (mut cfg, _) = victim_topology(
+            2,
+            TRUNK,
+            FRAME,
+            Duration::from_secs(1e-6),
+            0.1,
+            PauseConfig { enabled: false, hold: Duration::ZERO, per_priority: false },
+            None,
+        );
+        // S1 claims a route over S2's bottleneck link.
+        let bottleneck = cfg.links.len() - 2;
+        cfg.switches[0].routes[0].1 = bottleneck;
+        let err = NetSim::try_new(cfg).expect_err("must reject the foreign link");
+        assert_eq!(err.field, "switches");
+        assert!(err.reason.contains("does not own"), "unexpected reason: {}", err.reason);
     }
 
     #[test]

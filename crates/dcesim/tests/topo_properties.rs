@@ -1,0 +1,144 @@
+//! Property-based topology-generator tests (requires the
+//! `proptest-tests` feature and a vendored `proptest`; see Cargo.toml).
+//!
+//! Deterministic versions of these checks run unconditionally in the
+//! `topo` module's unit tests on fixed dimensions; this file lets
+//! proptest explore the dimension/speed space and shrink a failing
+//! fabric to a minimal reproducer.
+
+use dcesim::net::Endpoint;
+use dcesim::time::Duration;
+use dcesim::topo::{Fabric, TopoSpec};
+use proptest::prelude::*;
+
+/// Follows the compiled route tables from `src` to `dst`, returning the
+/// hop count (links traversed). Fails on a missing route, a path longer
+/// than the node count (a loop), or arrival at the wrong host.
+fn walk(fabric: &Fabric, src: usize, dst: usize) -> Result<usize, String> {
+    let mut link = 2 * src; // host access up-link
+    let mut hops = 0usize;
+    let limit = fabric.switches.len() + 2;
+    loop {
+        hops += 1;
+        if hops > limit {
+            return Err(format!("path {src}->{dst} exceeds {limit} hops: loop"));
+        }
+        match fabric.links[link].to {
+            Endpoint::Host(h) => {
+                return if h == dst {
+                    Ok(hops)
+                } else {
+                    Err(format!("path {src}->{dst} arrived at host {h}"))
+                };
+            }
+            Endpoint::Switch(si) => {
+                link = fabric.switches[si]
+                    .routes
+                    .iter()
+                    .find(|&&(d, _)| d == dst)
+                    .ok_or_else(|| format!("switch {si} has no route to {dst}"))?
+                    .1;
+            }
+        }
+    }
+}
+
+/// All-pairs shortest hop counts over hosts + switches (hosts first),
+/// unit weight per link — the reference the compiled next-hop tables
+/// must match.
+fn floyd_warshall(fabric: &Fabric) -> Vec<Vec<usize>> {
+    let n = fabric.hosts + fabric.switches.len();
+    let node = |e: Endpoint| match e {
+        Endpoint::Host(h) => h,
+        Endpoint::Switch(s) => fabric.hosts + s,
+    };
+    let inf = usize::MAX / 2;
+    let mut dist = vec![vec![inf; n]; n];
+    for (i, row) in dist.iter_mut().enumerate() {
+        row[i] = 0;
+    }
+    for l in &fabric.links {
+        let (a, b) = (node(l.from), node(l.to));
+        dist[a][b] = dist[a][b].min(1);
+    }
+    for k in 0..n {
+        for i in 0..n {
+            for j in 0..n {
+                let via = dist[i][k] + dist[k][j];
+                if via < dist[i][j] {
+                    dist[i][j] = via;
+                }
+            }
+        }
+    }
+    dist
+}
+
+/// A random small fabric: leaf–spine with arbitrary dimensions or a
+/// fat-tree with k ∈ {4, 6}.
+fn small_spec() -> impl Strategy<Value = TopoSpec> {
+    prop_oneof![
+        (1usize..5, 1usize..4, 1usize..6, 0.5f64..4.0).prop_map(|(l, s, h, o)| {
+            let mut spec = TopoSpec::leaf_spine(l, s, h);
+            spec.oversub = o;
+            spec
+        }),
+        prop_oneof![Just(4usize), Just(6usize)].prop_map(TopoSpec::fat_tree),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Every host pair routes loop-free to its destination, and the
+    /// compiled next-hop tables realise exactly the Floyd–Warshall
+    /// shortest-path distance (single-path ECMP never detours).
+    #[test]
+    fn routes_are_loop_free_shortest_paths(spec in small_spec()) {
+        let fabric = spec.build().expect("valid spec");
+        let dist = floyd_warshall(&fabric);
+        for src in 0..fabric.hosts {
+            for dst in 0..fabric.hosts {
+                if src == dst {
+                    continue;
+                }
+                let hops = walk(&fabric, src, dst).map_err(
+                    |e| TestCaseError::fail(format!("{spec:?}: {e}")))?;
+                prop_assert_eq!(
+                    hops, dist[src][dst],
+                    "{:?}: {}->{} took {} hops, shortest is {}",
+                    &spec, src, dst, hops, dist[src][dst]
+                );
+            }
+        }
+    }
+
+    /// The PFC XOFF contribution is monotone in the link BDP: more
+    /// capacity or more delay never lowers the threshold (and it always
+    /// keeps the 2-MTU floor).
+    #[test]
+    fn pfc_thresholds_are_monotone_in_bdp(
+        cap_a in 1e8f64..4e10,
+        cap_b in 1e8f64..4e10,
+        delay_a_us in 0.1f64..20.0,
+        delay_b_us in 0.1f64..20.0,
+        frame in 1_000.0f64..16_000.0,
+    ) {
+        let spec_at = |d_us: f64| {
+            let mut s = TopoSpec::leaf_spine(2, 2, 2);
+            s.delay = Duration::from_secs(d_us * 1e-6);
+            s.frame_bits = frame;
+            s
+        };
+        let (lo_d, hi_d) = if delay_a_us <= delay_b_us {
+            (delay_a_us, delay_b_us)
+        } else {
+            (delay_b_us, delay_a_us)
+        };
+        let (lo_c, hi_c) = if cap_a <= cap_b { (cap_a, cap_b) } else { (cap_b, cap_a) };
+        let lo = spec_at(lo_d).pfc_threshold_bits(lo_c);
+        let hi = spec_at(hi_d).pfc_threshold_bits(hi_c);
+        prop_assert!(lo <= hi, "threshold fell as BDP grew: {lo} > {hi}");
+        prop_assert!(lo >= 2.0 * frame, "threshold below the 2-MTU floor: {lo}");
+    }
+}

@@ -55,6 +55,13 @@ echo "== packet engine smoke (wheel/heap equivalence + zero allocs) =="
 DCE_BCN_QUICK=1 DCE_BCN_RESULTS=$(mktemp -d) \
   cargo run --release -p bench --bin packet_engine
 
+echo "== topo engine smoke (fabric equivalence + zero allocs) =="
+# Quick mode: fat-tree k=4 scale, the end-to-end and route-lookup
+# speedup gates skipped; every bit-identity check (schedulers x worker
+# counts x fault plans) and the steady-state allocation gate still run.
+DCE_BCN_QUICK=1 DCE_BCN_RESULTS=$(mktemp -d) \
+  cargo run --release -p bench --bin topo_engine
+
 echo "== hybrid engine smoke (bounded divergence + always-packet identity) =="
 # Quick mode: short horizons, the 3x end-to-end speedup gate skipped;
 # the divergence bound, always-packet bit-identity (single runs and
@@ -97,6 +104,22 @@ for faults in "" "--faults feedback-loss=0.05,seed=7"; do
     exit 1
   fi
 done
+
+echo "== fabric CLI smoke (--topo under both schedulers, byte-diffed) =="
+# A generator-compiled leaf-spine incast must render byte-identical
+# summaries under both schedulers, faulted and clean alike.
+topo_spec="leaf-spine:leaves=4,spines=2,hosts-per-leaf=8"
+for faults in "" "--faults feedback-loss=0.05,seed=7"; do
+  a=$(./target/release/dcebcn packet --topo "$topo_spec" \
+    --traffic incast:senders=16 --t-end 0.004 --scheduler wheel $faults)
+  b=$(./target/release/dcebcn packet --topo "$topo_spec" \
+    --traffic incast:senders=16 --t-end 0.004 --scheduler heap $faults)
+  if [ "$a" != "$b" ]; then
+    echo "fabric scheduler outputs diverged (faults: '$faults')" >&2
+    exit 1
+  fi
+done
+echo "$a" | grep -q "fabric run over 0.004 s: 32 hosts, 6 switches, 16 flows"
 
 echo "== hybrid always-packet smoke (wrapper vs pure engine CLI) =="
 # With the always-packet guard the hybrid wrapper must render the same
